@@ -1,0 +1,323 @@
+(* Benchmark and experiment harness.
+
+   For every figure/experiment of the paper (see DESIGN.md's experiment
+   index) this executable both:
+   - registers a Bechamel micro-benchmark measuring the artefact's cost, and
+   - prints the experiment's table/series (the EXPERIMENTS.md numbers).
+
+   FIG1  shared-bistable global object (Figure 1)
+   FIG3  TLM vs pin-accurate vs post-synthesis simulation speed (Figure 3)
+   FIG4  waveform dump of the PCI handler (Figure 4)
+   EXP1-3 the three-step validation flow (Section 3)
+   FW1   method-call latency vs concurrent callers (the paper's future work) *)
+
+module K = Hlcs_engine.Kernel
+module C = Hlcs_engine.Clock
+module S = Hlcs_engine.Signal
+module T = Hlcs_engine.Time
+module BV = Hlcs_logic.Bitvec
+module Go = Hlcs_osss.Global_object
+module Policy = Hlcs_osss.Policy
+module Bistable = Hlcs_osss.Bistable
+open Hlcs_interface
+module Synthesize = Hlcs_synth.Synthesize
+module Equiv = Hlcs_verify.Equiv
+module Pci_stim = Hlcs_pci.Pci_stim
+module Pci_types = Hlcs_pci.Pci_types
+module Flow = Hlcs.Flow
+
+let script = Pci_stim.directed_smoke ~base:0
+let mem_bytes = 512
+
+let random_script =
+  Pci_stim.write_then_read_all (Pci_stim.random ~seed:7 ~count:10 ~base:0 ~size_bytes:mem_bytes ())
+
+(* ------------------------------------------------------------------ *)
+(* FIG1: the shared bistable                                           *)
+
+let fig1_roundtrips = 200
+
+let run_fig1 () =
+  let k = K.create () in
+  let b1 = Bistable.create k ~name:"m1.b" and b2 = Bistable.create k ~name:"m2.b" in
+  Bistable.connect b1 b2;
+  let observed = ref 0 in
+  let _ =
+    K.spawn k ~name:"m1" (fun () ->
+        for _ = 1 to fig1_roundtrips do
+          Bistable.set b1;
+          Bistable.reset b1
+        done)
+  in
+  let _ =
+    K.spawn k ~name:"m2" (fun () ->
+        for _ = 1 to fig1_roundtrips do
+          Bistable.wait_until_set b2;
+          incr observed;
+          while Bistable.get_state b2 do
+            ()
+          done
+        done)
+  in
+  K.run ~max_time:(T.us 1000) k;
+  !observed
+
+(* ------------------------------------------------------------------ *)
+(* FW1: method-call completion latency vs number of concurrent callers *)
+
+(* A synthesised n-caller contention design: every caller performs
+   [rounds] back-to-back calls on one shared object; the server grants at
+   most one call per cycle, so per-call completion time grows with the
+   number of contenders. *)
+let contention_design ~policy ~nprocs ~rounds =
+  let open Hlcs_hlir.Builder in
+  let ctr =
+    object_ "ctr" ~policy
+      ~fields:[ field_decl "n" 16 ]
+      ~methods:
+        [ method_ "bump" ~guard:ctrue ~updates:[ ("n", field "n" +: cst ~width:16 1) ] ]
+  in
+  let worker i =
+    process (Printf.sprintf "w%d" i) ~priority:i
+      ~locals:[ local "k" 8 ]
+      [
+        while_ (var "k" <: cst ~width:8 rounds)
+          [ call "ctr" "bump" []; set "k" (var "k" +: cst ~width:8 1) ];
+        emit (Printf.sprintf "done%d" i) ctrue;
+        halt;
+      ]
+  in
+  design "contention"
+    ~ports:(List.init nprocs (fun i -> out_port (Printf.sprintf "done%d" i) 1))
+    ~objects:[ ctr ]
+    ~processes:(List.init nprocs worker)
+
+(* cycles until every caller finished, on the synthesised RTL *)
+let fw1_cycles ~policy ~nprocs ~rounds =
+  let d = contention_design ~policy ~nprocs ~rounds in
+  let report = Synthesize.synthesize d in
+  let k = K.create () in
+  let clk = C.create k ~name:"clk" ~period:(T.ns 10) () in
+  let sim = Hlcs_rtl.Sim.elaborate k ~clock:clk report.Synthesize.rp_rtl in
+  let finished = ref 0 in
+  let _ =
+    K.spawn k ~name:"watch" (fun () ->
+        for i = 0 to nprocs - 1 do
+          S.wait_value (Hlcs_rtl.Sim.out_port sim (Printf.sprintf "done%d" i))
+            (BV.of_bool true)
+        done;
+        finished := C.cycles clk;
+        K.request_stop k)
+  in
+  K.run ~max_time:(T.us 10_000) k;
+  if !finished = 0 then failwith "fw1: contention design did not finish";
+  !finished
+
+(* behavioural-level wait statistics for the same workload *)
+let fw1_behavioural_wait ~policy ~nprocs ~rounds =
+  let k = K.create () in
+  let clk = C.create k ~name:"clk" ~period:(T.ns 10) () in
+  let o = Go.create k ~name:"ctr" ~policy 0 in
+  for i = 1 to nprocs do
+    ignore
+      (K.spawn k
+         ~name:(Printf.sprintf "w%d" i)
+         (fun () ->
+           for _ = 1 to rounds do
+             Go.call o ~meth:"bump" ~priority:i ~guard:(fun _ -> true) (fun st ->
+                 (st + 1, ()));
+             C.wait_rising clk
+           done))
+  done;
+  K.run ~max_time:(T.us 10_000) k;
+  let calls = max 1 (Go.calls_granted o) in
+  (T.to_ps (Go.total_wait o) / calls / 10_000, T.to_ps (Go.max_wait o) / 10_000)
+
+(* ------------------------------------------------------------------ *)
+(* Experiment tables                                                   *)
+
+let heading title = Printf.printf "\n=== %s ===\n" title
+
+let table_fig1 () =
+  heading "FIG1 - Figure 1: shared bistable global object";
+  let observed = run_fig1 () in
+  Printf.printf
+    "two connected bistables, %d set/reset rounds: %d observations via the shared state space -> %s\n"
+    fig1_roundtrips observed
+    (if observed = fig1_roundtrips then "OK" else "MISMATCH")
+
+let table_fig3 () =
+  heading "FIG3 - Figure 3: communication refinement (same application, three interfaces)";
+  let a = System.run_tlm ~mem_bytes ~script:random_script () in
+  let b = System.run_pin ~mem_bytes ~script:random_script () in
+  let c = System.run_rtl ~mem_bytes ~script:random_script () in
+  let d = Sram_system.run_pin ~mem_bytes ~script:random_script () in
+  let e = Sram_system.run_rtl ~mem_bytes ~script:random_script () in
+  Printf.printf "%-22s %12s %12s %14s %10s\n" "configuration" "cycles" "deltas" "wall (s)"
+    "speedup";
+  let row (r : System.run_report) =
+    Printf.printf "%-22s %12d %12d %14.5f %9.1fx\n" r.System.rr_label r.System.rr_cycles
+      r.System.rr_deltas r.System.rr_wall_seconds
+      (c.System.rr_wall_seconds /. r.System.rr_wall_seconds)
+  in
+  List.iter row [ a; b; c; d; e ];
+  let consistent =
+    System.compare_runs a b = [] && System.compare_runs b c = []
+    && System.compare_bus_traces b c = []
+    && System.compare_runs a d = [] && System.compare_runs d e = []
+  in
+  Printf.printf
+    "application-level observations consistent across all five configurations: %b\n"
+    consistent
+
+let table_fig4 () =
+  heading "FIG4 - Figure 4: simulation waveforms of the PCI handler";
+  let b = System.run_pin ~vcd:"pci_behavioural.vcd" ~mem_bytes ~script () in
+  let c = System.run_rtl ~vcd:"pci_rtl.vcd" ~mem_bytes ~script () in
+  Printf.printf "VCD written: pci_behavioural.vcd (%d bytes), pci_rtl.vcd (%d bytes)\n"
+    (Unix.stat "pci_behavioural.vcd").Unix.st_size
+    (Unix.stat "pci_rtl.vcd").Unix.st_size;
+  Printf.printf "bus transactions (behavioural run):\n";
+  List.iter
+    (fun tx -> Format.printf "  %a@." Pci_types.pp_transaction tx)
+    b.System.rr_transactions;
+  Printf.printf "post-synthesis transaction trace identical: %b\n"
+    (System.compare_bus_traces b c = []);
+  (* the paper's waveform comparison, mechanised *)
+  let wave = Hlcs_verify.Wave_diff.compare_files "pci_behavioural.vcd" "pci_rtl.vcd" in
+  print_endline "per-signal waveform comparison (value sequences, time-abstracted):";
+  Format.printf "%a@." Hlcs_verify.Wave_diff.pp_report wave;
+  Printf.printf
+    "protocol lines consistent (clk/req/ad differ only by abstraction level): %b\n"
+    (Hlcs_verify.Wave_diff.consistent ~ignore:[ "clk"; "req_n_0"; "ad" ] wave)
+
+let table_exp123 () =
+  heading "EXP1-3 - the paper's three-step validation flow";
+  let report = Flow.run ~mem_bytes ~script:random_script () in
+  Format.printf "%a@." Flow.pp_report report
+
+let table_ext2_dma () =
+  heading
+    "EXT2 - DMA on the pattern: word-by-word vs burst-buffered (register-file staging)";
+  let words = 16 in
+  let run label design =
+    let b = System.run_pin ~design ~max_time:(T.us 4_000) ~mem_bytes:1024 ~script:[] () in
+    let c = System.run_rtl ~design ~max_time:(T.us 16_000) ~mem_bytes:1024 ~script:[] () in
+    let ok = System.compare_runs b c = [] && System.compare_bus_traces b c = [] in
+    Printf.printf "%-16s %10d txns %10d cycles (behavioural) %10d cycles (rtl)  consistent=%b\n"
+      label
+      (List.length b.System.rr_transactions)
+      b.System.rr_cycles c.System.rr_cycles ok
+  in
+  run "word-by-word" (Dma_design.design ~src:0 ~dst:0x100 ~words ());
+  run "burst chunk=4" (Dma_design.buffered_design ~src:0 ~dst:0x100 ~words ~chunk:4 ());
+  run "burst chunk=8" (Dma_design.buffered_design ~src:0 ~dst:0x100 ~words ~chunk:8 ())
+
+let table_fw1 () =
+  heading
+    "FW1 - future work: method-call completion time vs concurrent callers (synthesised)";
+  let rounds = 16 in
+  Printf.printf "%-14s" "callers";
+  List.iter (fun n -> Printf.printf "%8d" n) [ 1; 2; 4; 8; 12; 16 ];
+  Printf.printf "\n";
+  List.iter
+    (fun policy ->
+      Printf.printf "%-14s" (Policy.to_string policy);
+      List.iter
+        (fun nprocs ->
+          let total = fw1_cycles ~policy ~nprocs ~rounds in
+          (* cycles per completed call, across all callers *)
+          Printf.printf "%8.1f" (float_of_int total /. float_of_int rounds))
+        [ 1; 2; 4; 8; 12; 16 ];
+      Printf.printf "   (total cycles / %d rounds)\n" rounds)
+    Policy.all;
+  Printf.printf "\nbehavioural wait (delta-level, cycles avg/max), fcfs:\n";
+  List.iter
+    (fun nprocs ->
+      let avg, mx = fw1_behavioural_wait ~policy:Policy.Fcfs ~nprocs ~rounds in
+      Printf.printf "  %2d callers: avg=%d max=%d\n" nprocs avg mx)
+    [ 1; 4; 16 ]
+
+let table_exp2_area () =
+  heading "EXP2 - synthesis results for the PCI interface (units under design)";
+  let d = Pci_master_design.design ~app:script () in
+  let chained = Synthesize.synthesize d in
+  let unchained =
+    Synthesize.synthesize ~options:{ Synthesize.default_options with chaining = false } d
+  in
+  let raw =
+    Synthesize.synthesize ~options:{ Synthesize.default_options with optimize = false } d
+  in
+  Format.printf "with operator chaining (default):@.%a@." Synthesize.pp_report chained;
+  Format.printf "one assignment per state (ablation):@.%a@." Synthesize.pp_report
+    unchained;
+  Format.printf "netlist clean-up passes disabled (ablation):@.%a@." Synthesize.pp_report
+    raw
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks                                           *)
+
+open Bechamel
+open Toolkit
+
+let benches =
+  [
+    Test.make ~name:"fig1/bistable_roundtrips" (Staged.stage (fun () -> ignore (run_fig1 ())));
+    Test.make ~name:"fig3/tlm"
+      (Staged.stage (fun () -> ignore (System.run_tlm ~mem_bytes ~script ())));
+    Test.make ~name:"fig3/pin_behavioural"
+      (Staged.stage (fun () -> ignore (System.run_pin ~mem_bytes ~script ())));
+    Test.make ~name:"fig3/pin_rtl"
+      (Staged.stage (fun () -> ignore (System.run_rtl ~mem_bytes ~script ())));
+    Test.make ~name:"fig4/vcd_dump"
+      (Staged.stage (fun () ->
+           ignore (System.run_pin ~vcd:"bench_fig4.vcd" ~mem_bytes ~script ())));
+    Test.make ~name:"exp2/synthesis"
+      (Staged.stage (fun () ->
+           ignore (Synthesize.synthesize (Pci_master_design.design ~app:script ()))));
+    Test.make ~name:"exp3/equiv_check"
+      (Staged.stage (fun () ->
+           ignore
+             (Equiv.check ~max_time:(T.us 50)
+                (contention_design ~policy:Policy.Fcfs ~nprocs:3 ~rounds:5))));
+    Test.make ~name:"fw1/contention_rtl_16"
+      (Staged.stage (fun () ->
+           ignore (fw1_cycles ~policy:Policy.Round_robin ~nprocs:16 ~rounds:8)));
+  ]
+
+let run_benchmarks () =
+  heading "Bechamel micro-benchmarks (monotonic clock per run)";
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |] in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:50 ~quota:(Time.second 0.5) ~stabilize:false ~kde:None ()
+  in
+  let raw = Benchmark.all cfg instances (Test.make_grouped ~name:"hlcs" benches) in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows =
+    Hashtbl.fold (fun name v acc -> (name, v) :: acc) results []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+  in
+  Printf.printf "%-40s %16s\n" "benchmark" "time/run";
+  List.iter
+    (fun (name, v) ->
+      let estimate =
+        match Analyze.OLS.estimates v with
+        | Some [ ns ] -> Printf.sprintf "%12.3f ms" (ns /. 1e6)
+        | Some _ | None -> "n/a"
+      in
+      Printf.printf "%-40s %16s\n" name estimate)
+    rows;
+  if Sys.file_exists "bench_fig4.vcd" then Sys.remove "bench_fig4.vcd"
+
+let () =
+  Printf.printf
+    "hlcs benchmark & experiment harness - reproduction of Bruschi & Bombana, DATE 2004\n";
+  table_fig1 ();
+  table_fig3 ();
+  table_fig4 ();
+  table_exp2_area ();
+  table_exp123 ();
+  table_fw1 ();
+  table_ext2_dma ();
+  run_benchmarks ()

@@ -1,0 +1,282 @@
+(* Command-line driver for the reproduction.
+
+     hlcs_cli flow     run the paper's complete design flow (Figure 2)
+     hlcs_cli synth    synthesise the PCI interface, dump reports/VHDL
+     hlcs_cli waves    produce the Figure-4 VCD waveforms
+     hlcs_cli latency  the FW1 method-call latency series
+
+   All commands are deterministic in their --seed. *)
+
+open Cmdliner
+module Synthesize = Hlcs_synth.Synthesize
+module Policy = Hlcs_osss.Policy
+module Pci_stim = Hlcs_pci.Pci_stim
+module Pci_target = Hlcs_pci.Pci_target
+open Hlcs_interface
+
+(* --- shared options --------------------------------------------------- *)
+
+let seed =
+  Arg.(value & opt int 2004 & info [ "seed" ] ~docv:"N" ~doc:"Stimuli random seed.")
+
+let count =
+  Arg.(
+    value & opt int 12
+    & info [ "count" ] ~docv:"N" ~doc:"Number of random bus requests to generate.")
+
+let mem_bytes =
+  Arg.(
+    value & opt int 1024
+    & info [ "mem-bytes" ] ~docv:"BYTES" ~doc:"Size of the target memory window.")
+
+let policy_conv =
+  let parse s =
+    match Policy.of_string s with
+    | Some p -> Ok p
+    | None -> Error (`Msg (Printf.sprintf "unknown policy %S (fcfs|priority|rr)" s))
+  in
+  Arg.conv (parse, Policy.pp)
+
+let policy =
+  Arg.(
+    value & opt policy_conv Policy.Fcfs
+    & info [ "policy" ] ~docv:"POLICY"
+        ~doc:"Arbitration policy of the interface object: fcfs, priority or rr.")
+
+let retry_every =
+  Arg.(
+    value & opt (some int) None
+    & info [ "retry-every" ] ~docv:"K" ~doc:"Make the target Retry every K-th transaction.")
+
+let wait_states =
+  Arg.(
+    value & opt int 0
+    & info [ "wait-states" ] ~docv:"N" ~doc:"Target wait states per data phase.")
+
+let devsel_latency =
+  Arg.(
+    value & opt int 1
+    & info [ "devsel-latency" ] ~docv:"N" ~doc:"Target DEVSEL# latency in cycles (>= 1).")
+
+let target_term =
+  let make retry_every wait_states devsel_latency =
+    { Pci_target.default_config with retry_every; wait_states; devsel_latency }
+  in
+  Term.(const make $ retry_every $ wait_states $ devsel_latency)
+
+let script_term =
+  let make seed count mem_bytes =
+    Pci_stim.write_then_read_all
+      (Pci_stim.random ~seed ~count ~base:0 ~size_bytes:mem_bytes ())
+  in
+  Term.(const make $ seed $ count $ mem_bytes)
+
+(* --- flow -------------------------------------------------------------- *)
+
+let flow_cmd =
+  let run script mem_bytes target policy vcd_prefix =
+    let report =
+      Hlcs.Flow.run ~mem_bytes ~target ~policy ?vcd_prefix ~script ()
+    in
+    Format.printf "%a@." Hlcs.Flow.pp_report report;
+    if report.Hlcs.Flow.fl_ok then `Ok () else `Error (false, "flow failed")
+  in
+  let vcd_prefix =
+    Arg.(
+      value & opt (some string) None
+      & info [ "vcd" ] ~docv:"PREFIX" ~doc:"Dump waveforms to PREFIX_{behavioural,rtl}.vcd.")
+  in
+  Cmd.v
+    (Cmd.info "flow" ~doc:"Run the paper's complete design flow (Figure 2).")
+    Term.(
+      ret (const run $ script_term $ mem_bytes $ target_term $ policy $ vcd_prefix))
+
+(* --- synth ------------------------------------------------------------- *)
+
+let synth_cmd =
+  let run script policy vhdl pretty chaining fsm_dot lint =
+    let design = Pci_master_design.design ~policy ~app:script () in
+    if pretty then print_string (Hlcs_hlir.Pretty.design_to_string design);
+    if lint then
+      List.iter
+        (fun w -> Format.printf "lint: %a@." Hlcs_hlir.Lint.pp_warning w)
+        (Hlcs_hlir.Lint.check design);
+    let options = { Synthesize.default_options with chaining } in
+    let report = Synthesize.synthesize ~options design in
+    Format.printf "%a@." Synthesize.pp_report report;
+    (match fsm_dot with
+    | Some dir ->
+        if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
+        List.iter
+          (fun (proc, dot) ->
+            let path = Filename.concat dir (proc ^ ".dot") in
+            let oc = open_out path in
+            output_string oc dot;
+            close_out oc;
+            Printf.printf "fsm written to %s\n" path)
+          report.Synthesize.rp_fsm_dot
+    | None -> ());
+    match vhdl with
+    | Some path ->
+        Hlcs_rtl.Vhdl.write_file path report.Synthesize.rp_rtl;
+        Printf.printf "netlist written to %s\n" path
+    | None -> ()
+  in
+  let vhdl =
+    Arg.(
+      value & opt (some string) None
+      & info [ "vhdl" ] ~docv:"FILE" ~doc:"Write the RT-level netlist as VHDL.")
+  in
+  let pretty =
+    Arg.(value & flag & info [ "pretty" ] ~doc:"Print the high-level source first.")
+  in
+  let chaining =
+    Arg.(
+      value & opt bool true
+      & info [ "chaining" ] ~docv:"BOOL" ~doc:"Operator chaining (false = one assignment per state).")
+  in
+  let fsm_dot =
+    Arg.(
+      value & opt (some string) None
+      & info [ "fsm-dot" ] ~docv:"DIR" ~doc:"Write one Graphviz file per process FSM.")
+  in
+  let lint =
+    Arg.(value & flag & info [ "lint" ] ~doc:"Print static-analysis warnings first.")
+  in
+  Cmd.v
+    (Cmd.info "synth" ~doc:"Synthesise the PCI interface to RT level.")
+    Term.(const run $ script_term $ policy $ vhdl $ pretty $ chaining $ fsm_dot $ lint)
+
+(* --- waves ------------------------------------------------------------- *)
+
+let waves_cmd =
+  let run mem_bytes target out =
+    let script = Pci_stim.directed_smoke ~base:0 in
+    let b =
+      System.run_pin ~vcd:(out ^ "_behavioural.vcd") ~target ~mem_bytes ~script ()
+    in
+    let c = System.run_rtl ~vcd:(out ^ "_rtl.vcd") ~target ~mem_bytes ~script () in
+    Format.printf "%a@.%a@." System.pp_report b System.pp_report c;
+    List.iter
+      (fun tx -> Format.printf "  %a@." Hlcs_pci.Pci_types.pp_transaction tx)
+      b.System.rr_transactions;
+    Printf.printf "written: %s_behavioural.vcd, %s_rtl.vcd\n" out out
+  in
+  let out =
+    Arg.(value & opt string "pci" & info [ "out" ] ~docv:"PREFIX" ~doc:"Output prefix.")
+  in
+  Cmd.v
+    (Cmd.info "waves" ~doc:"Dump the Figure-4 waveforms (pre- and post-synthesis).")
+    Term.(const run $ mem_bytes $ target_term $ out)
+
+(* --- latency ------------------------------------------------------------ *)
+
+let latency_cmd =
+  let run rounds max_callers =
+    Printf.printf "%-14s" "callers";
+    let points =
+      List.filter (fun n -> n <= max_callers) [ 1; 2; 4; 8; 12; 16; 24; 32 ]
+    in
+    List.iter (fun n -> Printf.printf "%8d" n) points;
+    print_newline ();
+    List.iter
+      (fun policy ->
+        Printf.printf "%-14s" (Policy.to_string policy);
+        List.iter
+          (fun nprocs ->
+            let open Hlcs_hlir.Builder in
+            let ctr =
+              object_ "ctr" ~policy
+                ~fields:[ field_decl "n" 16 ]
+                ~methods:
+                  [
+                    method_ "bump" ~guard:ctrue
+                      ~updates:[ ("n", field "n" +: cst ~width:16 1) ];
+                  ]
+            in
+            let worker i =
+              process (Printf.sprintf "w%d" i) ~priority:i
+                ~locals:[ local "k" 8 ]
+                [
+                  while_ (var "k" <: cst ~width:8 rounds)
+                    [ call "ctr" "bump" []; set "k" (var "k" +: cst ~width:8 1) ];
+                  emit (Printf.sprintf "done%d" i) ctrue;
+                  halt;
+                ]
+            in
+            let d =
+              design "contention"
+                ~ports:(List.init nprocs (fun i -> out_port (Printf.sprintf "done%d" i) 1))
+                ~objects:[ ctr ]
+                ~processes:(List.init nprocs worker)
+            in
+            let report = Synthesize.synthesize d in
+            let k = Hlcs_engine.Kernel.create () in
+            let clk =
+              Hlcs_engine.Clock.create k ~name:"clk" ~period:(Hlcs_engine.Time.ns 10) ()
+            in
+            let sim = Hlcs_rtl.Sim.elaborate k ~clock:clk report.Synthesize.rp_rtl in
+            let finished = ref 0 in
+            let _ =
+              Hlcs_engine.Kernel.spawn k (fun () ->
+                  for i = 0 to nprocs - 1 do
+                    Hlcs_engine.Signal.wait_value
+                      (Hlcs_rtl.Sim.out_port sim (Printf.sprintf "done%d" i))
+                      (Hlcs_logic.Bitvec.of_bool true)
+                  done;
+                  finished := Hlcs_engine.Clock.cycles clk;
+                  Hlcs_engine.Kernel.request_stop k)
+            in
+            Hlcs_engine.Kernel.run ~max_time:(Hlcs_engine.Time.us 50_000) k;
+            Printf.printf "%8.1f" (float_of_int !finished /. float_of_int rounds))
+          points;
+        Printf.printf "   (cycles per call round)\n")
+      Policy.all
+  in
+  let rounds =
+    Arg.(value & opt int 16 & info [ "rounds" ] ~docv:"N" ~doc:"Calls per caller.")
+  in
+  let max_callers =
+    Arg.(value & opt int 16 & info [ "max-callers" ] ~docv:"N" ~doc:"Largest caller count.")
+  in
+  Cmd.v
+    (Cmd.info "latency"
+       ~doc:"Method-call completion latency vs concurrent callers (FW1).")
+    Term.(const run $ rounds $ max_callers)
+
+(* --- wavediff ----------------------------------------------------------- *)
+
+let wavediff_cmd =
+  let run file_a file_b ignore_signals =
+    let report = Hlcs_verify.Wave_diff.compare_files file_a file_b in
+    Format.printf "%a@." Hlcs_verify.Wave_diff.pp_report report;
+    let ok = Hlcs_verify.Wave_diff.consistent ~ignore:ignore_signals report in
+    Printf.printf "consistent%s: %b\n"
+      (if ignore_signals = [] then ""
+       else " (ignoring " ^ String.concat ", " ignore_signals ^ ")")
+      ok;
+    if ok then `Ok () else `Error (false, "waveforms differ")
+  in
+  let file n =
+    Arg.(required & pos n (some file) None & info [] ~docv:(Printf.sprintf "VCD%d" n))
+  in
+  let ignore_signals =
+    Arg.(
+      value
+      & opt (list string) [ "clk" ]
+      & info [ "ignore" ] ~docv:"SIGNALS"
+          ~doc:"Comma-separated signals excluded from the verdict (default: clk).")
+  in
+  Cmd.v
+    (Cmd.info "wavediff"
+       ~doc:"Compare two VCD dumps by per-signal value sequences (time-abstracted).")
+    Term.(ret (const run $ file 0 $ file 1 $ ignore_signals))
+
+let () =
+  let info =
+    Cmd.info "hlcs_cli" ~version:"1.0.0"
+      ~doc:
+        "High-level communication synthesis — reproduction of Bruschi & Bombana (DATE 2004)."
+  in
+  exit
+    (Cmd.eval (Cmd.group info [ flow_cmd; synth_cmd; waves_cmd; latency_cmd; wavediff_cmd ]))

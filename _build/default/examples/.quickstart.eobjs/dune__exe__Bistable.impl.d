@@ -1,0 +1,1 @@
+examples/bistable.ml: Hlcs_engine Hlcs_osss Printf

@@ -1,0 +1,1 @@
+examples/dma_copy.ml: Dma_design Format Hlcs_engine Hlcs_interface Hlcs_pci List Printf System

@@ -1,0 +1,1 @@
+examples/interface_library.ml: Hlcs_engine Hlcs_interface Hlcs_pci List Printf Sram_system System

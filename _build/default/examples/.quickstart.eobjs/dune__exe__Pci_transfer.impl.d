@@ -1,0 +1,1 @@
+examples/pci_transfer.ml: Format Hlcs_interface Hlcs_pci List Printf System

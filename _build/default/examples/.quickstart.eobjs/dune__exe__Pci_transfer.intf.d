@@ -1,0 +1,1 @@
+examples/pci_transfer.mli:

@@ -1,0 +1,1 @@
+examples/polymorphism.ml: Format Hlcs_engine Hlcs_hlir Hlcs_logic Hlcs_verify List Printf String

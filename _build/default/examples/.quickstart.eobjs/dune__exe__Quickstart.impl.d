@@ -1,0 +1,1 @@
+examples/quickstart.ml: Format Hlcs_engine Hlcs_hlir Hlcs_logic Hlcs_osss Hlcs_verify List Printf String

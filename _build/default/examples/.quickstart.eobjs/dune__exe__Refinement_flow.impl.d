@@ -1,0 +1,1 @@
+examples/refinement_flow.ml: Format Hlcs Hlcs_interface Hlcs_pci List Printf

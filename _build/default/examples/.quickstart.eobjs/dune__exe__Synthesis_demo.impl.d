@@ -1,0 +1,1 @@
+examples/synthesis_demo.ml: Format Hlcs_hlir Hlcs_interface Hlcs_pci Hlcs_rtl Hlcs_synth Pci_master_design Printf

@@ -1,0 +1,1 @@
+lib/core/flow.ml: Format Hlcs_engine Hlcs_interface Hlcs_synth List Option String Unix

@@ -1,0 +1,1 @@
+lib/core/flow.mli: Format Hlcs_engine Hlcs_interface Hlcs_osss Hlcs_pci Hlcs_synth

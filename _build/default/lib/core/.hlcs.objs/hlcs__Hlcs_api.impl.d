@@ -1,0 +1,1 @@
+lib/core/hlcs_api.ml: Hlcs_engine Hlcs_hlir Hlcs_interface Hlcs_logic Hlcs_osss Hlcs_pci Hlcs_rtl Hlcs_synth Hlcs_verify

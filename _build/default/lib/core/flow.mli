@@ -1,0 +1,52 @@
+(** The paper's Figure-2 design flow as an executable driver.
+
+    Given a request script (the specification's workload), the driver runs:
+
+    + {b Functional model} — the application against the TLM interface
+      (configuration A), producing the golden application-level
+      observations at maximum simulation speed;
+    + {b Executable specification} — communication refined to the
+      pin-accurate library element, simulated behaviourally against the
+      PCI fabric (configuration B); checked against A;
+    + {b Synthesis} — the unit under design (application + interface)
+      pushed through the communication synthesiser;
+    + {b Post-synthesis validation} — the RT-level model re-simulated with
+      the same stimuli (configuration C); behaviour consistency checked
+      against B at the application level {e and} at the bus-transaction
+      level, with the protocol monitor arbitrating legality throughout.
+
+    The returned report records, per stage, success, wall-clock cost and a
+    human-readable summary — the data behind EXPERIMENTS.md. *)
+
+type stage = {
+  sg_name : string;
+  sg_ok : bool;
+  sg_detail : string;
+  sg_wall_seconds : float;
+}
+
+type report = {
+  fl_stages : stage list;
+  fl_ok : bool;
+  fl_tlm : Hlcs_interface.System.run_report;
+  fl_behavioural : Hlcs_interface.System.run_report;
+  fl_rtl : Hlcs_interface.System.run_report;
+  fl_synthesis : Hlcs_synth.Synthesize.report;
+}
+
+val run :
+  ?mem_bytes:int ->
+  ?mem_seed:int ->
+  ?target:Hlcs_pci.Pci_target.config ->
+  ?policy:Hlcs_osss.Policy.t ->
+  ?options:Hlcs_synth.Synthesize.options ->
+  ?vcd_prefix:string ->
+  ?max_time:Hlcs_engine.Time.t ->
+  script:Hlcs_pci.Pci_types.request list ->
+  unit ->
+  report
+(** [vcd_prefix] (e.g. ["waves/pci"]) dumps [<prefix>_behavioural.vcd] and
+    [<prefix>_rtl.vcd] — the paper's Figure-4 artefacts.  [mem_bytes]
+    defaults to 1024. *)
+
+val pp_report : Format.formatter -> report -> unit

@@ -1,0 +1,1 @@
+lib/engine/kernel.ml: Effect List Pq Printf Queue Time

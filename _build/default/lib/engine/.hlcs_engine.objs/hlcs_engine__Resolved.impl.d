@@ -1,0 +1,1 @@
+lib/engine/resolved.ml: Hlcs_logic Kernel List Printf Time

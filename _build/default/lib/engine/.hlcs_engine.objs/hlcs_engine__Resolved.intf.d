@@ -1,0 +1,1 @@
+lib/engine/resolved.mli: Hlcs_logic Kernel Time

@@ -1,0 +1,1 @@
+lib/engine/vcd.ml: Buffer Char Hlcs_logic Kernel List Printf Resolved Signal String Time

@@ -1,0 +1,1 @@
+lib/engine/vcd.mli: Hlcs_logic Kernel Resolved Signal

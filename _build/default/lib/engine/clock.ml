@@ -1,0 +1,52 @@
+type t = {
+  signal : bool Signal.t;
+  rising_ev : Kernel.event;
+  falling_ev : Kernel.event;
+  period : Time.t;
+  mutable cycle : int;
+}
+
+let create kernel ~name ~period ?(start = Time.zero) () =
+  if Time.compare period Time.zero <= 0 then
+    invalid_arg "Clock.create: period must be positive";
+  let half = Time.div period 2 in
+  if Time.compare half Time.zero <= 0 then invalid_arg "Clock.create: period too small";
+  let clk =
+    {
+      signal = Signal.create kernel ~name false;
+      rising_ev = Kernel.make_event kernel (name ^ ".rising");
+      falling_ev = Kernel.make_event kernel (name ^ ".falling");
+      period;
+      cycle = 0;
+    }
+  in
+  let rec tick () =
+    Signal.write clk.signal true;
+    clk.cycle <- clk.cycle + 1;
+    Kernel.notify_delta clk.rising_ev;
+    Kernel.delay kernel half;
+    Signal.write clk.signal false;
+    Kernel.notify_delta clk.falling_ev;
+    Kernel.delay kernel (Time.sub period half);
+    tick ()
+  in
+  let body () =
+    if Time.compare start Time.zero > 0 then Kernel.delay kernel start;
+    tick ()
+  in
+  ignore (Kernel.spawn kernel ~name:(name ^ ".gen") body);
+  clk
+
+let signal c = c.signal
+let rising c = c.rising_ev
+let falling c = c.falling_ev
+let period c = c.period
+let cycles c = c.cycle
+let wait_rising c = Kernel.wait c.rising_ev
+let wait_falling c = Kernel.wait c.falling_ev
+
+let wait_edges c n =
+  if n < 1 then invalid_arg "Clock.wait_edges: n must be >= 1";
+  for _ = 1 to n do
+    wait_rising c
+  done

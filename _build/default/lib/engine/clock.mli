@@ -1,0 +1,25 @@
+(** A free-running clock built from a kernel process, exposing dedicated
+    rising/falling events (notified in the same delta as the signal commit)
+    and a cycle counter used by latency measurements. *)
+
+type t
+
+val create :
+  Kernel.t -> name:string -> period:Time.t -> ?start:Time.t -> unit -> t
+(** The first rising edge occurs at [start] (default: time zero). *)
+
+val signal : t -> bool Signal.t
+val rising : t -> Kernel.event
+val falling : t -> Kernel.event
+val period : t -> Time.t
+
+val cycles : t -> int
+(** Number of rising edges so far. *)
+
+val wait_rising : t -> unit
+(** Suspends the caller until the next rising edge. *)
+
+val wait_falling : t -> unit
+
+val wait_edges : t -> int -> unit
+(** Waits for [n] rising edges ([n >= 1]). *)

@@ -1,0 +1,221 @@
+(* The scheduler follows the SystemC reference semantics:
+
+     evaluate*  ->  update  ->  delta-notify  ->  (more deltas | advance time)
+
+   Processes are one-shot coroutines: the [Suspend] effect captures the
+   continuation, parks it on the requested events (or a timer) and returns
+   control to the scheduler.  A waiter cell shared between several events
+   carries a [fired] flag so an any-of wait resumes exactly once. *)
+
+type proc_id = int
+
+type proc = { pid : proc_id; pname : string }
+
+type waiter = { mutable fired : bool; resume : unit -> unit }
+
+type event = {
+  ev_name : string;
+  owner : t;
+  mutable waiters : waiter list;
+  mutable delta_pending : bool;
+}
+
+and t = {
+  mutable time : Time.t;
+  runnable : (unit -> unit) Queue.t;
+  mutable updates : (unit -> unit) list;
+  mutable delta_events : event list;
+  timed : event Pq.t;
+  mutable deltas : int;
+  mutable next_pid : int;
+  mutable current : proc option;
+  mutable stop : bool;
+  mutable suspended : int;
+}
+
+exception Process_failure of string * exn
+
+type trigger = On_events of event list | For_time of Time.t
+
+type _ Effect.t += Suspend : trigger -> unit Effect.t
+
+let create () =
+  {
+    time = Time.zero;
+    runnable = Queue.create ();
+    updates = [];
+    delta_events = [];
+    timed = Pq.create ();
+    deltas = 0;
+    next_pid = 0;
+    current = None;
+    stop = false;
+    suspended = 0;
+  }
+
+let now t = t.time
+let delta_count t = t.deltas
+
+let make_event t name = { ev_name = name; owner = t; waiters = []; delta_pending = false }
+
+let event_name ev = ev.ev_name
+
+(* Firing takes the current waiter list so that re-waits performed while
+   resuming land on a fresh list and are not woken by this firing. *)
+let fire ev =
+  let ws = ev.waiters in
+  ev.waiters <- [];
+  let wake w =
+    if not w.fired then begin
+      w.fired <- true;
+      Queue.push w.resume ev.owner.runnable
+    end
+  in
+  List.iter wake ws
+
+let notify_immediate ev = fire ev
+
+let notify_delta ev =
+  if not ev.delta_pending then begin
+    ev.delta_pending <- true;
+    ev.owner.delta_events <- ev :: ev.owner.delta_events
+  end
+
+let notify_after ev d =
+  if Time.compare d Time.zero < 0 then invalid_arg "Kernel.notify_after: negative delay";
+  Pq.add ev.owner.timed (Time.add ev.owner.time d) ev
+
+let schedule_update t f = t.updates <- f :: t.updates
+
+let current_proc t =
+  match t.current with
+  | Some p -> p.pid
+  | None -> failwith "Kernel.current_proc: no process is running"
+
+let current_proc_name t =
+  match t.current with
+  | Some p -> p.pname
+  | None -> "<none>"
+
+let register_waiter t proc trigger k =
+  let resume () =
+    t.current <- Some proc;
+    t.suspended <- t.suspended - 1;
+    Effect.Deep.continue k ()
+  in
+  let w = { fired = false; resume } in
+  t.suspended <- t.suspended + 1;
+  match trigger with
+  | On_events evs ->
+      if evs = [] then invalid_arg "Kernel.wait_any: empty event list";
+      List.iter (fun ev -> ev.waiters <- w :: ev.waiters) evs
+  | For_time d ->
+      if Time.compare d Time.zero <= 0 then
+        invalid_arg "Kernel.delay: delay must be positive";
+      let ev = make_event t "timer" in
+      ev.waiters <- [ w ];
+      notify_after ev d
+
+let spawn t ?(name = "proc") body =
+  let pid = t.next_pid in
+  t.next_pid <- pid + 1;
+  let proc = { pid; pname = name } in
+  let step () =
+    t.current <- Some proc;
+    let open Effect.Deep in
+    match_with body ()
+      {
+        retc = (fun () -> ());
+        exnc = (fun e -> raise (Process_failure (proc.pname, e)));
+        effc =
+          (fun (type a) (eff : a Effect.t) ->
+            match eff with
+            | Suspend trigger ->
+                Some
+                  (fun (k : (a, _) continuation) -> register_waiter t proc trigger k)
+            | _ -> None);
+      }
+  in
+  Queue.push step t.runnable;
+  pid
+
+let spawn_method t ?(name = "method") ~sensitive body =
+  if sensitive = [] then invalid_arg "Kernel.spawn_method: empty sensitivity list";
+  let thread () =
+    body ();
+    let rec loop () =
+      Effect.perform (Suspend (On_events sensitive));
+      body ();
+      loop ()
+    in
+    loop ()
+  in
+  spawn t ~name thread
+
+let wait ev = Effect.perform (Suspend (On_events [ ev ]))
+let wait_any evs = Effect.perform (Suspend (On_events evs))
+let delay _t d = Effect.perform (Suspend (For_time d))
+
+let yield t =
+  let ev = make_event t "yield" in
+  notify_delta ev;
+  wait ev
+
+let request_stop t = t.stop <- true
+let suspended_processes t = t.suspended
+
+let run_delta_notifications t =
+  let evs = t.delta_events in
+  t.delta_events <- [];
+  List.iter
+    (fun ev ->
+      ev.delta_pending <- false;
+      fire ev)
+    (List.rev evs)
+
+let run ?max_time t =
+  let within_horizon time =
+    match max_time with None -> true | Some m -> Time.compare time m <= 0
+  in
+  let rec cycle () =
+    if not t.stop then begin
+      (* evaluate *)
+      while not (Queue.is_empty t.runnable) && not t.stop do
+        let step = Queue.pop t.runnable in
+        t.current <- None;
+        step ();
+        t.current <- None
+      done;
+      if not t.stop then begin
+        (* update *)
+        let us = List.rev t.updates in
+        t.updates <- [];
+        List.iter (fun u -> u ()) us;
+        (* delta notify *)
+        if t.delta_events <> [] then begin
+          t.deltas <- t.deltas + 1;
+          run_delta_notifications t;
+          cycle ()
+        end
+        else if not (Queue.is_empty t.runnable) then cycle ()
+        else if Pq.is_empty t.timed then ()
+        else begin
+          let next = Pq.min_key t.timed in
+          if within_horizon next then begin
+            t.time <- next;
+            t.deltas <- t.deltas + 1;
+            while (not (Pq.is_empty t.timed)) && Pq.min_key t.timed = next do
+              let _, ev = Pq.pop t.timed in
+              fire ev
+            done;
+            cycle ()
+          end
+        end
+      end
+    end
+  in
+  cycle ()
+
+let stats t =
+  Printf.sprintf "time=%dps deltas=%d processes=%d suspended=%d" (Time.to_ps t.time)
+    t.deltas t.next_pid t.suspended

@@ -1,0 +1,67 @@
+(* Classic array-backed binary heap; stability comes from a monotonically
+   increasing sequence number used as a tie-break. *)
+
+type 'a entry = { key : int; seq : int; value : 'a }
+
+type 'a t = {
+  mutable data : 'a entry array;
+  mutable size : int;
+  mutable next_seq : int;
+}
+
+let create () = { data = [||]; size = 0; next_seq = 0 }
+let is_empty q = q.size = 0
+let length q = q.size
+
+let less a b = a.key < b.key || (a.key = b.key && a.seq < b.seq)
+
+let grow q entry =
+  let cap = Array.length q.data in
+  if q.size = cap then begin
+    let data = Array.make (max 16 (2 * cap)) entry in
+    Array.blit q.data 0 data 0 q.size;
+    q.data <- data
+  end
+
+let add q key value =
+  let entry = { key; seq = q.next_seq; value } in
+  q.next_seq <- q.next_seq + 1;
+  grow q entry;
+  q.data.(q.size) <- entry;
+  q.size <- q.size + 1;
+  (* sift up *)
+  let i = ref (q.size - 1) in
+  while !i > 0 && less q.data.(!i) q.data.((!i - 1) / 2) do
+    let p = (!i - 1) / 2 in
+    let tmp = q.data.(p) in
+    q.data.(p) <- q.data.(!i);
+    q.data.(!i) <- tmp;
+    i := p
+  done
+
+let min_key q = if q.size = 0 then raise Not_found else q.data.(0).key
+
+let pop q =
+  if q.size = 0 then raise Not_found;
+  let top = q.data.(0) in
+  q.size <- q.size - 1;
+  if q.size > 0 then begin
+    q.data.(0) <- q.data.(q.size);
+    (* sift down *)
+    let i = ref 0 in
+    let continue = ref true in
+    while !continue do
+      let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+      let smallest = ref !i in
+      if l < q.size && less q.data.(l) q.data.(!smallest) then smallest := l;
+      if r < q.size && less q.data.(r) q.data.(!smallest) then smallest := r;
+      if !smallest = !i then continue := false
+      else begin
+        let tmp = q.data.(!smallest) in
+        q.data.(!smallest) <- q.data.(!i);
+        q.data.(!i) <- tmp;
+        i := !smallest
+      end
+    done
+  end;
+  (top.key, top.value)

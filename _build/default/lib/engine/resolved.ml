@@ -1,0 +1,85 @@
+module Lvec = Hlcs_logic.Lvec
+module Logic = Hlcs_logic.Logic
+
+type t = {
+  rname : string;
+  rwidth : int;
+  kernel : Kernel.t;
+  pull : [ `None | `Up ];
+  mutable drivers : driver list;
+  mutable cur : Lvec.t;
+  mutable raw : Lvec.t;
+  mutable pending : bool;
+  changed_ev : Kernel.event;
+  mutable tracers : (Time.t -> Lvec.t -> unit) list;
+}
+
+and driver = { net : t; d_name : string; mutable contribution : Lvec.t }
+
+let apply_pull net v = match net.pull with `None -> v | `Up -> Lvec.pull_up v
+
+let create kernel ~name ~width ?(pull = `None) () =
+  if width < 1 then invalid_arg "Resolved.create: width must be >= 1";
+  let net =
+    {
+      rname = name;
+      rwidth = width;
+      kernel;
+      pull;
+      drivers = [];
+      cur = Lvec.all_z width;
+      raw = Lvec.all_z width;
+      pending = false;
+      changed_ev = Kernel.make_event kernel (name ^ ".changed");
+      tracers = [];
+    }
+  in
+  net.cur <- apply_pull net net.cur;
+  net
+
+let name net = net.rname
+let width net = net.rwidth
+
+let make_driver net d_name =
+  let d = { net; d_name; contribution = Lvec.all_z net.rwidth } in
+  net.drivers <- d :: net.drivers;
+  d
+
+let resolve net =
+  Lvec.resolve_all ~width:net.rwidth (List.map (fun d -> d.contribution) net.drivers)
+
+let commit net () =
+  net.pending <- false;
+  let raw = resolve net in
+  let v = apply_pull net raw in
+  net.raw <- raw;
+  if not (Lvec.equal net.cur v) then begin
+    net.cur <- v;
+    Kernel.notify_delta net.changed_ev;
+    let t = Kernel.now net.kernel in
+    List.iter (fun f -> f t v) net.tracers
+  end
+
+let schedule net =
+  if not net.pending then begin
+    net.pending <- true;
+    Kernel.schedule_update net.kernel (commit net)
+  end
+
+let drive d v =
+  if Lvec.width v <> d.net.rwidth then
+    invalid_arg
+      (Printf.sprintf "Resolved.drive %s: width %d, expected %d" d.net.rname
+         (Lvec.width v) d.net.rwidth);
+  d.contribution <- v;
+  schedule d.net
+
+let release d =
+  d.contribution <- Lvec.all_z d.net.rwidth;
+  schedule d.net
+
+let read net = net.cur
+let read_raw net = net.raw
+let read_bit net = Lvec.get net.cur 0
+let changed net = net.changed_ev
+let on_commit net f = net.tracers <- f :: net.tracers

@@ -1,0 +1,40 @@
+(** Multi-driver four-valued nets, the substrate of the PCI bus wires.
+
+    Each module that may drive the net obtains its own {!driver}; the net's
+    value is the bitwise {!Hlcs_logic.Logic.resolve} of all driver
+    contributions, optionally pulled up so that an all-[Z] bit reads as
+    [One] (PCI keeps its active-low control lines deasserted with
+    pull-ups). *)
+
+type t
+type driver
+
+val create :
+  Kernel.t -> name:string -> width:int -> ?pull:[ `None | `Up ] -> unit -> t
+(** [pull] defaults to [`None]. *)
+
+val name : t -> string
+val width : t -> int
+
+val make_driver : t -> string -> driver
+(** A fresh driver, initially contributing all-[Z]. *)
+
+val drive : driver -> Hlcs_logic.Lvec.t -> unit
+(** Schedules this driver's contribution for the update phase. *)
+
+val release : driver -> unit
+(** Equivalent to driving all-[Z]. *)
+
+val read : t -> Hlcs_logic.Lvec.t
+(** Resolved (and pulled) current value. *)
+
+val read_raw : t -> Hlcs_logic.Lvec.t
+(** Resolved value before the pull is applied: an undriven bit reads [Z]
+    even on a pulled-up net (lets a monitor distinguish "driven high" from
+    "floating high"). *)
+
+val read_bit : t -> Hlcs_logic.Logic.t
+(** Bit 0 — convenient for one-bit control lines. *)
+
+val changed : t -> Kernel.event
+val on_commit : t -> (Time.t -> Hlcs_logic.Lvec.t -> unit) -> unit

@@ -1,0 +1,49 @@
+type 'a t = {
+  sname : string;
+  kernel : Kernel.t;
+  eq : 'a -> 'a -> bool;
+  mutable cur : 'a;
+  mutable nxt : 'a;
+  mutable pending : bool;
+  changed_ev : Kernel.event;
+  mutable tracers : (Time.t -> 'a -> unit) list;
+}
+
+let create kernel ~name ?(eq = ( = )) init =
+  {
+    sname = name;
+    kernel;
+    eq;
+    cur = init;
+    nxt = init;
+    pending = false;
+    changed_ev = Kernel.make_event kernel (name ^ ".changed");
+    tracers = [];
+  }
+
+let name s = s.sname
+let read s = s.cur
+let changed s = s.changed_ev
+let on_commit s f = s.tracers <- f :: s.tracers
+
+let commit s () =
+  s.pending <- false;
+  if not (s.eq s.cur s.nxt) then begin
+    s.cur <- s.nxt;
+    Kernel.notify_delta s.changed_ev;
+    let t = Kernel.now s.kernel in
+    List.iter (fun f -> f t s.cur) s.tracers
+  end
+
+let write s v =
+  s.nxt <- v;
+  if not s.pending then begin
+    s.pending <- true;
+    Kernel.schedule_update s.kernel (commit s)
+  end
+
+let rec wait_value s v =
+  if not (s.eq s.cur v) then begin
+    Kernel.wait s.changed_ev;
+    wait_value s v
+  end

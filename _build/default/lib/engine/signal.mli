@@ -1,0 +1,30 @@
+(** Typed signals with SystemC [sc_signal] semantics: a write becomes
+    visible only in the update phase of the current delta cycle, and a
+    change notifies the signal's [changed] event (waking sensitive
+    processes in the next delta). *)
+
+type 'a t
+
+val create : Kernel.t -> name:string -> ?eq:('a -> 'a -> bool) -> 'a -> 'a t
+(** [create k ~name init] — [eq] defaults to structural equality and decides
+    whether a committed write counts as a change. *)
+
+val name : 'a t -> string
+val read : 'a t -> 'a
+(** Current (committed) value. *)
+
+val write : 'a t -> 'a -> unit
+(** Schedules the value for the next update phase.  Last write in a delta
+    wins. *)
+
+val changed : 'a t -> Kernel.event
+(** Notified (delta) whenever a committed value differs from the previous
+    one. *)
+
+val on_commit : 'a t -> (Time.t -> 'a -> unit) -> unit
+(** Registers a tracer called at each value change (used by the VCD
+    writer). *)
+
+val wait_value : 'a t -> 'a -> unit
+(** Suspends the calling process until the signal's committed value equals
+    the given one (returns immediately if it already does). *)

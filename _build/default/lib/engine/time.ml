@@ -1,0 +1,20 @@
+type t = int
+
+let zero = 0
+let ps n = n
+let ns n = n * 1_000
+let us n = n * 1_000_000
+let add = ( + )
+let sub = ( - )
+let mul = ( * )
+let div = ( / )
+let compare = Int.compare
+let equal = Int.equal
+let to_ps t = t
+let to_ns_float t = float_of_int t /. 1_000.
+
+let pp ppf t =
+  if t = 0 then Format.pp_print_string ppf "0 s"
+  else if t mod 1_000_000 = 0 then Format.fprintf ppf "%d us" (t / 1_000_000)
+  else if t mod 1_000 = 0 then Format.fprintf ppf "%d ns" (t / 1_000)
+  else Format.fprintf ppf "%d ps" t

@@ -1,0 +1,20 @@
+(** Simulation time, in integer picoseconds (the kernel's base resolution).
+    A plain [int] keeps arithmetic cheap; 2^62 ps is about 53 days of
+    simulated time, far beyond any run this library performs. *)
+
+type t = int
+
+val zero : t
+val ps : int -> t
+val ns : int -> t
+val us : int -> t
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> int -> t
+val div : t -> int -> t
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val to_ps : t -> int
+val to_ns_float : t -> float
+val pp : Format.formatter -> t -> unit
+(** Prints with an engineering unit, e.g. ["1.500 ns"]. *)

@@ -1,0 +1,102 @@
+module Bitvec = Hlcs_logic.Bitvec
+module Lvec = Hlcs_logic.Lvec
+
+type var = { id : string; vname : string; vwidth : int; initial : unit -> string }
+
+type t = {
+  oc : out_channel;
+  kernel : Kernel.t;
+  mutable vars : var list;
+  mutable header_done : bool;
+  mutable last_time : int;
+  mutable next_id : int;
+}
+
+let create kernel ~path =
+  {
+    oc = open_out path;
+    kernel;
+    vars = [];
+    header_done = false;
+    last_time = -1;
+    next_id = 0;
+  }
+
+(* VCD identifier codes use the printable ASCII range 33..126. *)
+let idcode n =
+  let buf = Buffer.create 2 in
+  let rec go n =
+    Buffer.add_char buf (Char.chr (33 + (n mod 94)));
+    if n >= 94 then go ((n / 94) - 1)
+  in
+  go n;
+  Buffer.contents buf
+
+let encode_bool b = if b then "1" else "0"
+let encode_bitvec v = "b" ^ Bitvec.to_bin_string v ^ " "
+let encode_lvec v = "b" ^ Lvec.to_string v ^ " "
+
+let sanitize name =
+  String.map (fun c -> if c = ' ' || c = '[' || c = ']' then '_' else c) name
+
+let write_header t =
+  let oc = t.oc in
+  output_string oc "$date reproduction run $end\n";
+  output_string oc "$version hlcs_engine.Vcd $end\n";
+  output_string oc "$timescale 1ps $end\n";
+  output_string oc "$scope module top $end\n";
+  List.iter
+    (fun v ->
+      Printf.fprintf oc "$var wire %d %s %s $end\n" v.vwidth v.id (sanitize v.vname))
+    (List.rev t.vars);
+  output_string oc "$upscope $end\n";
+  output_string oc "$enddefinitions $end\n";
+  output_string oc "#0\n$dumpvars\n";
+  List.iter (fun v -> Printf.fprintf oc "%s%s\n" (v.initial ()) v.id) (List.rev t.vars);
+  output_string oc "$end\n";
+  t.last_time <- 0;
+  t.header_done <- true
+
+let emit t id value =
+  if not t.header_done then write_header t;
+  let time = Time.to_ps (Kernel.now t.kernel) in
+  if time <> t.last_time then begin
+    Printf.fprintf t.oc "#%d\n" time;
+    t.last_time <- time
+  end;
+  Printf.fprintf t.oc "%s%s\n" value id
+
+let fresh_var t ~name ~width ~initial =
+  if t.header_done then
+    invalid_arg "Vcd: all variables must be registered before the first change";
+  let id = idcode t.next_id in
+  t.next_id <- t.next_id + 1;
+  t.vars <- { id; vname = name; vwidth = width; initial } :: t.vars;
+  id
+
+let add_bool t ?name signal =
+  let name = match name with Some n -> n | None -> Signal.name signal in
+  let id =
+    fresh_var t ~name ~width:1 ~initial:(fun () -> encode_bool (Signal.read signal))
+  in
+  Signal.on_commit signal (fun _ v -> emit t id (encode_bool v))
+
+let add_bitvec t ?name signal =
+  let name = match name with Some n -> n | None -> Signal.name signal in
+  let width = Bitvec.width (Signal.read signal) in
+  let id =
+    fresh_var t ~name ~width ~initial:(fun () -> encode_bitvec (Signal.read signal))
+  in
+  Signal.on_commit signal (fun _ v -> emit t id (encode_bitvec v))
+
+let add_lvec t ?name net =
+  let name = match name with Some n -> n | None -> Resolved.name net in
+  let id =
+    fresh_var t ~name ~width:(Resolved.width net) ~initial:(fun () ->
+        encode_lvec (Resolved.read net))
+  in
+  Resolved.on_commit net (fun _ v -> emit t id (encode_lvec v))
+
+let close t =
+  if not t.header_done then write_header t;
+  close_out t.oc

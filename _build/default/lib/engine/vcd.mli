@@ -1,0 +1,18 @@
+(** A Value Change Dump writer.  Register the signals of interest before
+    running the simulation; every committed change is then streamed to the
+    file, reproducing the paper's Figure-4 waveform artefact in a form any
+    wave viewer (GTKWave etc.) opens. *)
+
+type t
+
+val create : Kernel.t -> path:string -> t
+
+val add_bool : t -> ?name:string -> bool Signal.t -> unit
+(** [name] defaults to the signal's own name. *)
+
+val add_bitvec : t -> ?name:string -> Hlcs_logic.Bitvec.t Signal.t -> unit
+val add_lvec : t -> ?name:string -> Resolved.t -> unit
+
+val close : t -> unit
+(** Flushes and closes the file (writes the header even if nothing
+    changed). *)

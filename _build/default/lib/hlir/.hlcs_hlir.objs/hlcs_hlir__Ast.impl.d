@@ -1,0 +1,1 @@
+lib/hlir/ast.ml: Hlcs_logic Hlcs_osss List

@@ -1,0 +1,1 @@
+lib/hlir/ast.mli: Hlcs_logic Hlcs_osss

@@ -1,0 +1,1 @@
+lib/hlir/builder.ml: Ast Hlcs_logic Hlcs_osss List

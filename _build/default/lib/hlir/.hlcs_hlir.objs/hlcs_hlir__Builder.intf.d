@@ -1,0 +1,1 @@
+lib/hlir/builder.mli: Ast Hlcs_logic Hlcs_osss

@@ -1,0 +1,1 @@
+lib/hlir/interp.ml: Array Ast Hashtbl Hlcs_engine Hlcs_logic Hlcs_osss List Option Printf Typecheck

@@ -1,0 +1,1 @@
+lib/hlir/interp.mli: Ast Hlcs_engine Hlcs_logic Hlcs_osss

@@ -1,0 +1,1 @@
+lib/hlir/lint.ml: Ast Format Hashtbl List Printf Set String

@@ -1,0 +1,1 @@
+lib/hlir/lint.mli: Ast Format

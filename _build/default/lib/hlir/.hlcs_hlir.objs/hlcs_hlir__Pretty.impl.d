@@ -1,0 +1,1 @@
+lib/hlir/pretty.ml: Ast Format Hlcs_logic Hlcs_osss List

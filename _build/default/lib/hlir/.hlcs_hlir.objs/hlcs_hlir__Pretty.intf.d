@@ -1,0 +1,1 @@
+lib/hlir/pretty.mli: Ast Format

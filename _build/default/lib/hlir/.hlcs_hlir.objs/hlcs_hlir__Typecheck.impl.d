@@ -1,0 +1,1 @@
+lib/hlir/typecheck.ml: Ast Format Hashtbl Hlcs_logic List Printf

@@ -1,0 +1,1 @@
+lib/hlir/typecheck.mli: Ast

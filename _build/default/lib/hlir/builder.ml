@@ -1,0 +1,119 @@
+open Ast
+module Bitvec = Hlcs_logic.Bitvec
+
+let cst ~width n = Const (Bitvec.of_int ~width n)
+let cbv bv = Const bv
+let ctrue = cst ~width:1 1
+let cfalse = cst ~width:1 0
+let var name = Var name
+let field name = Field name
+let index name i = Index (name, i)
+let port name = Port name
+let ( +: ) a b = Binop (Add, a, b)
+let ( -: ) a b = Binop (Sub, a, b)
+let ( *: ) a b = Binop (Mul, a, b)
+let ( &: ) a b = Binop (And, a, b)
+let ( |: ) a b = Binop (Or, a, b)
+let ( ^: ) a b = Binop (Xor, a, b)
+let ( ==: ) a b = Binop (Eq, a, b)
+let ( <>: ) a b = Binop (Ne, a, b)
+let ( <: ) a b = Binop (Lt, a, b)
+let ( <=: ) a b = Binop (Le, a, b)
+let ( >: ) a b = Binop (Gt, a, b)
+let ( >=: ) a b = Binop (Ge, a, b)
+let ( <<: ) a b = Binop (Shl, a, b)
+let ( >>: ) a b = Binop (Shr, a, b)
+let ( @: ) a b = Binop (Concat, a, b)
+let inv e = Unop (Not, e)
+let neg e = Unop (Neg, e)
+let any e = Unop (Reduce_or, e)
+let all e = Unop (Reduce_and, e)
+let parity e = Unop (Reduce_xor, e)
+let mux c a b = Mux (c, a, b)
+let slice e ~hi ~lo = Slice (e, hi, lo)
+let bitsel e i = Slice (e, i, i)
+let set name e = Set (name, e)
+let emit name e = Emit (name, e)
+let if_ c t e = If (c, t, e)
+let when_ c t = If (c, t, [])
+let case_bv sel arms ~default = Case (sel, arms, default)
+
+let case_ sel ~width arms ~default =
+  Case
+    ( sel,
+      List.map
+        (fun (labels, body) -> (List.map (Bitvec.of_int ~width) labels, body))
+        arms,
+      default )
+
+let while_ c body = While (c, body)
+let wait n = Wait n
+
+let call obj meth args =
+  Call { co_obj = obj; co_meth = meth; co_args = args; co_bind = None }
+
+let call_bind x ~obj ~meth args =
+  Call { co_obj = obj; co_meth = meth; co_args = args; co_bind = Some x }
+
+let halt = Halt
+
+let repeat n body = List.concat (List.init n (fun _ -> body))
+
+let in_port name width = { pt_name = name; pt_width = width; pt_dir = In }
+let out_port name width = { pt_name = name; pt_width = width; pt_dir = Out }
+let local ?(init = 0) name width = (name, width, Bitvec.of_int ~width init)
+let field_decl ?(init = 0) name width = (name, width, Bitvec.of_int ~width init)
+
+let impl ?result ?(array_updates = []) ~guard ~updates () =
+  {
+    mi_guard = guard;
+    mi_updates = updates;
+    mi_array_updates = array_updates;
+    mi_result = result;
+  }
+
+let method_ ?(params = []) ?result ?(array_updates = []) ~guard ~updates name =
+  let result_width, result_expr =
+    match result with
+    | Some (w, e) -> (Some w, Some e)
+    | None -> (None, None)
+  in
+  {
+    m_name = name;
+    m_params = params;
+    m_result_width = result_width;
+    m_kind =
+      Plain
+        {
+          mi_guard = guard;
+          mi_updates = updates;
+          mi_array_updates = array_updates;
+          mi_result = result_expr;
+        };
+  }
+
+let virtual_method ?(params = []) ?result_width name impls =
+  {
+    m_name = name;
+    m_params = params;
+    m_result_width = result_width;
+    m_kind = Virtual impls;
+  }
+
+let array_decl name ~width ~depth = (name, width, depth)
+
+let object_ ?(policy = Hlcs_osss.Policy.Fcfs) ?tag ?(arrays = []) ~fields ~methods name =
+  {
+    o_name = name;
+    o_fields = fields;
+    o_arrays = arrays;
+    o_tag = tag;
+    o_methods = methods;
+    o_policy = policy;
+  }
+
+let process ?(locals = []) ?(priority = 0) name body =
+  { p_name = name; p_locals = locals; p_priority = priority; p_body = body }
+
+let design ?(ports = []) ?(objects = []) ?(processes = []) name =
+  { d_name = name; d_ports = ports; d_objects = objects; d_processes = processes }

@@ -1,0 +1,129 @@
+(** Combinators for writing {!Ast} designs in a readable, HDL-flavoured
+    style.  All operators construct plain AST nodes; width discipline is
+    enforced later by {!Typecheck}. *)
+
+open Ast
+
+(** {1 Expressions} *)
+
+val cst : width:int -> int -> expr
+val cbv : Hlcs_logic.Bitvec.t -> expr
+val ctrue : expr
+val cfalse : expr
+val var : string -> expr
+val field : string -> expr
+val index : string -> expr -> expr
+(** Object array element read (method scope). *)
+
+val port : string -> expr
+
+val ( +: ) : expr -> expr -> expr
+val ( -: ) : expr -> expr -> expr
+val ( *: ) : expr -> expr -> expr
+val ( &: ) : expr -> expr -> expr
+val ( |: ) : expr -> expr -> expr
+val ( ^: ) : expr -> expr -> expr
+val ( ==: ) : expr -> expr -> expr
+val ( <>: ) : expr -> expr -> expr
+val ( <: ) : expr -> expr -> expr
+val ( <=: ) : expr -> expr -> expr
+val ( >: ) : expr -> expr -> expr
+val ( >=: ) : expr -> expr -> expr
+val ( <<: ) : expr -> expr -> expr
+val ( >>: ) : expr -> expr -> expr
+val ( @: ) : expr -> expr -> expr
+(** Concatenation, left = MSBs. *)
+
+val inv : expr -> expr
+val neg : expr -> expr
+val any : expr -> expr
+(** OR-reduction. *)
+
+val all : expr -> expr
+val parity : expr -> expr
+val mux : expr -> expr -> expr -> expr
+val slice : expr -> hi:int -> lo:int -> expr
+val bitsel : expr -> int -> expr
+(** Single-bit slice. *)
+
+(** {1 Statements} *)
+
+val set : string -> expr -> stmt
+val emit : string -> expr -> stmt
+val if_ : expr -> stmt list -> stmt list -> stmt
+val when_ : expr -> stmt list -> stmt
+(** [if_] with an empty else branch. *)
+
+val case_ :
+  expr -> width:int -> (int list * stmt list) list -> default:stmt list -> stmt
+(** [case_ sel ~width arms ~default] — integer labels are converted to
+    [width]-bit vectors (the selector's width). *)
+
+val case_bv :
+  expr -> (Hlcs_logic.Bitvec.t list * stmt list) list -> default:stmt list -> stmt
+
+val while_ : expr -> stmt list -> stmt
+val wait : int -> stmt
+val call : string -> string -> expr list -> stmt
+val call_bind : string -> obj:string -> meth:string -> expr list -> stmt
+(** [call_bind x ~obj ~meth args] binds the result to local [x]. *)
+
+val halt : stmt
+val repeat : int -> stmt list -> stmt list
+(** Static unrolling. *)
+
+(** {1 Declarations} *)
+
+val in_port : string -> int -> port
+val out_port : string -> int -> port
+val local : ?init:int -> string -> int -> string * int * Hlcs_logic.Bitvec.t
+val field_decl : ?init:int -> string -> int -> string * int * Hlcs_logic.Bitvec.t
+
+val method_ :
+  ?params:(string * int) list ->
+  ?result:int * expr ->
+  ?array_updates:(string * expr * expr) list ->
+  guard:expr ->
+  updates:(string * expr) list ->
+  string ->
+  method_decl
+
+val virtual_method :
+  ?params:(string * int) list ->
+  ?result_width:int ->
+  string ->
+  (int * method_impl) list ->
+  method_decl
+
+val impl :
+  ?result:expr ->
+  ?array_updates:(string * expr * expr) list ->
+  guard:expr ->
+  updates:(string * expr) list ->
+  unit ->
+  method_impl
+
+val array_decl : string -> width:int -> depth:int -> string * int * int
+
+val object_ :
+  ?policy:Hlcs_osss.Policy.t ->
+  ?tag:string ->
+  ?arrays:(string * int * int) list ->
+  fields:(string * int * Hlcs_logic.Bitvec.t) list ->
+  methods:method_decl list ->
+  string ->
+  object_decl
+
+val process :
+  ?locals:(string * int * Hlcs_logic.Bitvec.t) list ->
+  ?priority:int ->
+  string ->
+  stmt list ->
+  process_decl
+
+val design :
+  ?ports:port list ->
+  ?objects:object_decl list ->
+  ?processes:process_decl list ->
+  string ->
+  design

@@ -1,0 +1,196 @@
+open Ast
+module SS = Set.Make (String)
+
+type warning = { w_where : string; w_rule : string; w_detail : string }
+
+let pp_warning ppf w =
+  Format.fprintf ppf "%s: [%s] %s" w.w_where w.w_rule w.w_detail
+
+(* ------------------------------------------------------------------ *)
+(* expression variable/field usage                                      *)
+
+let rec expr_uses acc = function
+  | Var n | Field n -> SS.add n acc
+  | Index (n, i) -> expr_uses (SS.add n acc) i
+  | Port _ | Const _ -> acc
+  | Unop (_, e) | Slice (e, _, _) -> expr_uses acc e
+  | Binop (_, a, b) -> expr_uses (expr_uses acc a) b
+  | Mux (c, a, b) -> expr_uses (expr_uses (expr_uses acc c) a) b
+
+(* ------------------------------------------------------------------ *)
+(* output stability: ports emitted twice in one zero-time segment       *)
+
+let stability_warnings ~where body warn =
+  let reported = Hashtbl.create 4 in
+  let report port =
+    if not (Hashtbl.mem reported port) then begin
+      Hashtbl.replace reported port ();
+      warn "output-stability"
+        (Printf.sprintf
+           "port %S may be emitted twice without an intervening wait; the RT-level \
+            model will expose the transient value"
+           port)
+    end
+  in
+  (* [seg] = ports possibly emitted since the last time-consuming
+     statement on some path reaching this point *)
+  let rec walk seg stmt =
+    match stmt with
+    | Emit (p, _) ->
+        if SS.mem p seg then report p;
+        SS.add p seg
+    | Set _ | Halt -> seg
+    | Wait _ | Call _ -> SS.empty
+    | If (_, t, e) ->
+        let st = walk_list seg t and se = walk_list seg e in
+        SS.union st se
+    | Case (_, arms, default) ->
+        List.fold_left
+          (fun acc (_, body) -> SS.union acc (walk_list seg body))
+          (walk_list seg default) arms
+    | While (_, b) ->
+        (* One pass through the body: catches collisions within an
+           iteration (including against the segment flowing into the
+           loop).  Cross-iteration transients that depend on which exit
+           path ran are not decidable statically and are left to the
+           equivalence checker. *)
+        let s1 = walk_list seg b in
+        SS.union seg s1
+  and walk_list seg stmts = List.fold_left walk seg stmts in
+  ignore (walk_list SS.empty body);
+  ignore where
+
+(* ------------------------------------------------------------------ *)
+
+let rec dead_code_warnings ~warn stmts =
+  let rec scan = function
+    | [] -> ()
+    | Halt :: rest when rest <> [] ->
+        warn "dead-code"
+          (Printf.sprintf "%d statement(s) after halt are unreachable" (List.length rest))
+    | stmt :: rest ->
+        (match stmt with
+        | If (_, t, e) ->
+            dead_code_warnings ~warn t;
+            dead_code_warnings ~warn e
+        | Case (_, arms, default) ->
+            List.iter (fun (_, body) -> dead_code_warnings ~warn body) arms;
+            dead_code_warnings ~warn default
+        | While (_, b) -> dead_code_warnings ~warn b
+        | Set _ | Emit _ | Wait _ | Call _ | Halt -> ());
+        scan rest
+  in
+  scan stmts
+
+let rec stmt_var_usage (reads, writes) = function
+  | Set (x, e) -> (expr_uses reads e, SS.add x writes)
+  | Emit (_, e) -> (expr_uses reads e, writes)
+  | Wait _ | Halt -> (reads, writes)
+  | Call { co_args; co_bind; _ } ->
+      let reads = List.fold_left expr_uses reads co_args in
+      let writes = match co_bind with Some x -> SS.add x writes | None -> writes in
+      (reads, writes)
+  | If (c, t, e) ->
+      let acc = (expr_uses reads c, writes) in
+      let acc = List.fold_left stmt_var_usage acc t in
+      List.fold_left stmt_var_usage acc e
+  | Case (sel, arms, default) ->
+      let acc = (expr_uses reads sel, writes) in
+      let acc =
+        List.fold_left (fun acc (_, body) -> List.fold_left stmt_var_usage acc body) acc arms
+      in
+      List.fold_left stmt_var_usage acc default
+  | While (c, b) ->
+      let acc = (expr_uses reads c, writes) in
+      List.fold_left stmt_var_usage acc b
+
+let process_warnings design proc acc =
+  let where = Printf.sprintf "process %s" proc.p_name in
+  let out = ref [] in
+  let warn rule detail = out := { w_where = where; w_rule = rule; w_detail = detail } :: !out in
+  stability_warnings ~where proc.p_body warn;
+  dead_code_warnings ~warn proc.p_body;
+  let reads, writes =
+    List.fold_left stmt_var_usage (SS.empty, SS.empty) proc.p_body
+  in
+  List.iter
+    (fun (n, _, _) ->
+      if not (SS.mem n reads || SS.mem n writes) then
+        warn "unused-local" (Printf.sprintf "local %S is never referenced" n))
+    proc.p_locals;
+  ignore design;
+  acc @ List.rev !out
+
+let impl_reads acc impl =
+  let acc = expr_uses acc impl.mi_guard in
+  let acc = List.fold_left (fun acc (_, e) -> expr_uses acc e) acc impl.mi_updates in
+  let acc =
+    List.fold_left
+      (fun acc (_, idx, v) -> expr_uses (expr_uses acc idx) v)
+      acc impl.mi_array_updates
+  in
+  match impl.mi_result with Some e -> expr_uses acc e | None -> acc
+
+let object_warnings obj acc =
+  let where = Printf.sprintf "object %s" obj.o_name in
+  let reads =
+    List.fold_left
+      (fun acc m ->
+        match m.m_kind with
+        | Plain impl -> impl_reads acc impl
+        | Virtual impls -> List.fold_left (fun acc (_, i) -> impl_reads acc i) acc impls)
+      SS.empty obj.o_methods
+  in
+  let reads =
+    match obj.o_tag with Some t -> SS.add t reads | None -> reads
+  in
+  let out = ref [] in
+  List.iter
+    (fun (n, _, _) ->
+      if not (SS.mem n reads) then
+        out :=
+          {
+            w_where = where;
+            w_rule = "unread-field";
+            w_detail = Printf.sprintf "field %S is never read by any method" n;
+          }
+          :: !out)
+    obj.o_fields;
+  acc @ List.rev !out
+
+let contention_warnings design acc =
+  let owners = Hashtbl.create 8 in
+  let out = ref [] in
+  let rec scan pname = function
+    | Emit (p, _) -> (
+        match Hashtbl.find_opt owners p with
+        | Some other when other <> pname ->
+            out :=
+              {
+                w_where = Printf.sprintf "process %s" pname;
+                w_rule = "port-contention";
+                w_detail =
+                  Printf.sprintf "port %S is also emitted by process %S" p other;
+              }
+              :: !out
+        | Some _ -> ()
+        | None -> Hashtbl.replace owners p pname)
+    | If (_, t, e) ->
+        List.iter (scan pname) t;
+        List.iter (scan pname) e
+    | Case (_, arms, default) ->
+        List.iter (fun (_, body) -> List.iter (scan pname) body) arms;
+        List.iter (scan pname) default
+    | While (_, b) -> List.iter (scan pname) b
+    | Set _ | Wait _ | Call _ | Halt -> ()
+  in
+  List.iter (fun p -> List.iter (scan p.p_name) p.p_body) design.d_processes;
+  acc @ List.rev !out
+
+let check design =
+  []
+  |> fun acc ->
+  List.fold_left (fun acc p -> process_warnings design p acc) acc design.d_processes
+  |> fun acc ->
+  List.fold_left (fun acc o -> object_warnings o acc) acc design.d_objects
+  |> contention_warnings design

@@ -1,0 +1,25 @@
+(** Static analyses beyond {!Typecheck}: warnings about designs that are
+    well-typed but violate a synthesis discipline or contain dead code.
+
+    Checks:
+    - {b output stability}: an output port emitted twice within one
+      zero-time segment (no [Wait]/[Call] in between) — the behavioural
+      model only shows the last value, but the synthesised FSM commits at
+      every state boundary, so the transient becomes architecturally
+      visible (see {!Hlcs_synth.Synthesize}).  Loop bodies are analysed
+      for one iteration (including the segment flowing into the loop);
+      transients that depend on which loop exit ran are left to the
+      dynamic equivalence check;
+    - {b port contention}: an output port emitted by more than one process
+      (rejected later by the synthesiser; diagnosed here with both names);
+    - {b dead code}: statements following [Halt];
+    - {b unused locals}: declared but never read nor written;
+    - {b unread fields}: object fields no method ever reads (guard, update
+      right-hand side or result). *)
+
+type warning = { w_where : string; w_rule : string; w_detail : string }
+
+val check : Ast.design -> warning list
+(** Empty = clean.  Warnings are ordered by declaration order. *)
+
+val pp_warning : Format.formatter -> warning -> unit

@@ -1,0 +1,148 @@
+open Ast
+module Bitvec = Hlcs_logic.Bitvec
+
+let binop_symbol = function
+  | Add -> "+"
+  | Sub -> "-"
+  | Mul -> "*"
+  | And -> "&"
+  | Or -> "|"
+  | Xor -> "^"
+  | Eq -> "=="
+  | Ne -> "!="
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+  | Shl -> "<<"
+  | Shr -> ">>"
+  | Concat -> "##"
+
+let unop_symbol = function
+  | Not -> "~"
+  | Neg -> "-"
+  | Reduce_or -> "|"
+  | Reduce_and -> "&"
+  | Reduce_xor -> "^"
+
+let rec pp_expr ppf = function
+  | Const bv -> Bitvec.pp ppf bv
+  | Var n -> Format.pp_print_string ppf n
+  | Field n -> Format.fprintf ppf "this.%s" n
+  | Index (n, i) -> Format.fprintf ppf "this.%s[%a]" n pp_expr i
+  | Port n -> Format.fprintf ppf "port(%s)" n
+  | Unop (op, e) -> Format.fprintf ppf "%s(%a)" (unop_symbol op) pp_expr e
+  | Binop (op, a, b) ->
+      Format.fprintf ppf "(%a %s %a)" pp_expr a (binop_symbol op) pp_expr b
+  | Mux (c, a, b) -> Format.fprintf ppf "(%a ? %a : %a)" pp_expr c pp_expr a pp_expr b
+  | Slice (e, hi, lo) ->
+      if hi = lo then Format.fprintf ppf "%a[%d]" pp_expr e hi
+      else Format.fprintf ppf "%a[%d:%d]" pp_expr e hi lo
+
+let rec pp_stmt ppf = function
+  | Set (n, e) -> Format.fprintf ppf "@[<h>%s = %a;@]" n pp_expr e
+  | Emit (n, e) -> Format.fprintf ppf "@[<h>%s <= %a;@]" n pp_expr e
+  | If (c, t, []) ->
+      Format.fprintf ppf "@[<v 2>if (%a) {@,%a@]@,}" pp_expr c pp_block t
+  | If (c, t, e) ->
+      Format.fprintf ppf "@[<v 2>if (%a) {@,%a@]@,@[<v 2>} else {@,%a@]@,}" pp_expr c
+        pp_block t pp_block e
+  | Case (sel, arms, default) ->
+      Format.fprintf ppf "@[<v 2>switch (%a) {" pp_expr sel;
+      List.iter
+        (fun (labels, body) ->
+          let pp_labels =
+            Format.pp_print_list
+              ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+              Bitvec.pp
+          in
+          Format.fprintf ppf "@,@[<v 2>case %a: {@,%a@]@,}" pp_labels labels pp_block
+            body)
+        arms;
+      if default <> [] then
+        Format.fprintf ppf "@,@[<v 2>default: {@,%a@]@,}" pp_block default;
+      Format.fprintf ppf "@]@,}"
+  | While (c, body) ->
+      Format.fprintf ppf "@[<v 2>while (%a) {@,%a@]@,}" pp_expr c pp_block body
+  | Wait 1 -> Format.fprintf ppf "wait();"
+  | Wait n -> Format.fprintf ppf "wait(%d);" n
+  | Call { co_obj; co_meth; co_args; co_bind } ->
+      let pp_args =
+        Format.pp_print_list
+          ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+          pp_expr
+      in
+      (match co_bind with
+      | Some x -> Format.fprintf ppf "@[<h>%s = %s.%s(%a);@]" x co_obj co_meth pp_args co_args
+      | None -> Format.fprintf ppf "@[<h>%s.%s(%a);@]" co_obj co_meth pp_args co_args)
+  | Halt -> Format.fprintf ppf "halt;"
+
+and pp_block ppf stmts =
+  Format.pp_print_list ~pp_sep:Format.pp_print_cut pp_stmt ppf stmts
+
+let pp_impl ppf impl =
+  Format.fprintf ppf "guard (%a)" pp_expr impl.mi_guard;
+  List.iter
+    (fun (f, e) -> Format.fprintf ppf "@,%s <- %a;" f pp_expr e)
+    impl.mi_updates;
+  List.iter
+    (fun (a, idx, v) -> Format.fprintf ppf "@,%s[%a] <- %a;" a pp_expr idx pp_expr v)
+    impl.mi_array_updates;
+  match impl.mi_result with
+  | Some e -> Format.fprintf ppf "@,return %a;" pp_expr e
+  | None -> ()
+
+let pp_params ppf params =
+  Format.pp_print_list
+    ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+    (fun ppf (n, w) -> Format.fprintf ppf "%s:%d" n w)
+    ppf params
+
+let pp_method ppf m =
+  let result = match m.m_result_width with None -> "void" | Some w -> string_of_int w in
+  match m.m_kind with
+  | Plain impl ->
+      Format.fprintf ppf "@[<v 2>GUARDED_METHOD %s %s(%a) {@,%a@]@,}" result m.m_name
+        pp_params m.m_params pp_impl impl
+  | Virtual impls ->
+      Format.fprintf ppf "@[<v 2>VIRTUAL_GUARDED_METHOD %s %s(%a) {" result m.m_name
+        pp_params m.m_params;
+      List.iter
+        (fun (tag, impl) ->
+          Format.fprintf ppf "@,@[<v 2>case tag %d: {@,%a@]@,}" tag pp_impl impl)
+        impls;
+      Format.fprintf ppf "@]@,}"
+
+let pp_object ppf o =
+  Format.fprintf ppf "@[<v 2>global_object %s (policy %a) {" o.o_name
+    Hlcs_osss.Policy.pp o.o_policy;
+  List.iter
+    (fun (n, w, init) ->
+      let tag = if o.o_tag = Some n then " /* tag */" else "" in
+      Format.fprintf ppf "@,field %s : %d = %a;%s" n w Bitvec.pp init tag)
+    o.o_fields;
+  List.iter
+    (fun (n, w, depth) -> Format.fprintf ppf "@,array %s : %d[%d];" n w depth)
+    o.o_arrays;
+  List.iter (fun m -> Format.fprintf ppf "@,%a" pp_method m) o.o_methods;
+  Format.fprintf ppf "@]@,}"
+
+let pp_process ppf p =
+  Format.fprintf ppf "@[<v 2>SC_THREAD %s (priority %d) {" p.p_name p.p_priority;
+  List.iter
+    (fun (n, w, init) -> Format.fprintf ppf "@,local %s : %d = %a;" n w Bitvec.pp init)
+    p.p_locals;
+  Format.fprintf ppf "@,%a@]@,}" pp_block p.p_body
+
+let pp_design ppf d =
+  Format.fprintf ppf "@[<v 2>SC_MODULE %s {" d.d_name;
+  List.iter
+    (fun p ->
+      let dir = match p.pt_dir with In -> "sc_in" | Out -> "sc_out" in
+      Format.fprintf ppf "@,%s<%d> %s;" dir p.pt_width p.pt_name)
+    d.d_ports;
+  List.iter (fun o -> Format.fprintf ppf "@,%a" pp_object o) d.d_objects;
+  List.iter (fun p -> Format.fprintf ppf "@,%a" pp_process p) d.d_processes;
+  Format.fprintf ppf "@]@,}@."
+
+let design_to_string d = Format.asprintf "%a" pp_design d

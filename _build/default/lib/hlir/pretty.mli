@@ -1,0 +1,10 @@
+(** Pretty-printing of {!Ast} designs in a SystemC+-flavoured pseudo-syntax,
+    for documentation, debugging and golden-file tests. *)
+
+val pp_expr : Format.formatter -> Ast.expr -> unit
+val pp_stmt : Format.formatter -> Ast.stmt -> unit
+val pp_method : Format.formatter -> Ast.method_decl -> unit
+val pp_object : Format.formatter -> Ast.object_decl -> unit
+val pp_process : Format.formatter -> Ast.process_decl -> unit
+val pp_design : Format.formatter -> Ast.design -> unit
+val design_to_string : Ast.design -> string

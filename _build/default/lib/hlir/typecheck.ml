@@ -1,0 +1,333 @@
+open Ast
+module Bitvec = Hlcs_logic.Bitvec
+
+exception Type_error of string
+
+let err fmt = Format.kasprintf (fun s -> raise (Type_error s)) fmt
+
+type process_scope = {
+  ps_locals : (string, int) Hashtbl.t;
+  ps_ports : (string, int * port_dir) Hashtbl.t;
+}
+
+type method_scope = {
+  ms_fields : (string, int) Hashtbl.t;
+  ms_params : (string, int) Hashtbl.t;
+  ms_arrays : (string, int * int) Hashtbl.t;  (* width, depth *)
+}
+
+let table_of pairs =
+  let h = Hashtbl.create 16 in
+  List.iter (fun (k, v) -> Hashtbl.replace h k v) pairs;
+  h
+
+let process_scope design proc =
+  {
+    ps_locals = table_of (List.map (fun (n, w, _) -> (n, w)) proc.p_locals);
+    ps_ports =
+      table_of (List.map (fun p -> (p.pt_name, (p.pt_width, p.pt_dir))) design.d_ports);
+  }
+
+let method_scope obj meth =
+  {
+    ms_fields = table_of (List.map (fun (n, w, _) -> (n, w)) obj.o_fields);
+    ms_params = table_of meth.m_params;
+    ms_arrays = table_of (List.map (fun (n, w, d) -> (n, (w, d))) obj.o_arrays);
+  }
+
+(* Width rules are shared between the two scopes; the [leaf] callback
+   resolves Var/Field/Port according to the context. *)
+let rec width_of leaf expr =
+  match expr with
+  | Const bv -> Bitvec.width bv
+  | Var _ | Field _ | Port _ -> leaf expr
+  | Index (_, i) ->
+      (* the index may have any width; its sub-expression must be sound *)
+      ignore (width_of leaf i);
+      leaf expr
+  | Unop ((Not | Neg), e) -> width_of leaf e
+  | Unop ((Reduce_or | Reduce_and | Reduce_xor), e) ->
+      ignore (width_of leaf e);
+      1
+  | Binop ((Add | Sub | Mul | And | Or | Xor), a, b) ->
+      let wa = width_of leaf a and wb = width_of leaf b in
+      if wa <> wb then err "operands have widths %d and %d" wa wb;
+      wa
+  | Binop ((Eq | Ne | Lt | Le | Gt | Ge), a, b) ->
+      let wa = width_of leaf a and wb = width_of leaf b in
+      if wa <> wb then err "comparison operands have widths %d and %d" wa wb;
+      1
+  | Binop ((Shl | Shr), a, b) ->
+      ignore (width_of leaf b);
+      width_of leaf a
+  | Binop (Concat, a, b) -> width_of leaf a + width_of leaf b
+  | Mux (c, a, b) ->
+      let wc = width_of leaf c in
+      if wc <> 1 then err "mux condition has width %d, expected 1" wc;
+      let wa = width_of leaf a and wb = width_of leaf b in
+      if wa <> wb then err "mux branches have widths %d and %d" wa wb;
+      wa
+  | Slice (e, hi, lo) ->
+      let w = width_of leaf e in
+      if lo < 0 || hi < lo || hi >= w then
+        err "slice [%d:%d] out of range for width %d" hi lo w;
+      hi - lo + 1
+
+let process_leaf scope = function
+  | Var name -> (
+      match Hashtbl.find_opt scope.ps_locals name with
+      | Some w -> w
+      | None -> err "unknown local %S" name)
+  | Field name -> err "field %S referenced outside a method" name
+  | Index (name, _) -> err "array %S referenced outside a method" name
+  | Port name -> (
+      match Hashtbl.find_opt scope.ps_ports name with
+      | Some (w, In) -> w
+      | Some (_, Out) -> err "output port %S cannot be read" name
+      | None -> err "unknown port %S" name)
+  | Const _ | Unop _ | Binop _ | Mux _ | Slice _ -> assert false
+
+let method_leaf scope = function
+  | Var name -> (
+      match Hashtbl.find_opt scope.ms_params name with
+      | Some w -> w
+      | None -> err "unknown method parameter %S" name)
+  | Field name -> (
+      match Hashtbl.find_opt scope.ms_fields name with
+      | Some w -> w
+      | None -> err "unknown field %S" name)
+  | Index (name, _) -> (
+      match Hashtbl.find_opt scope.ms_arrays name with
+      | Some (w, _) -> w
+      | None -> err "unknown array %S" name)
+  | Port name -> err "port %S referenced inside a method" name
+  | Const _ | Unop _ | Binop _ | Mux _ | Slice _ -> assert false
+
+let expr_width_in_process scope e = width_of (process_leaf scope) e
+let expr_width_in_method scope e = width_of (method_leaf scope) e
+
+let check_unique what names diags =
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun n ->
+      if Hashtbl.mem seen n then
+        diags := Format.asprintf "duplicate %s %S" what n :: !diags
+      else Hashtbl.replace seen n ())
+    names
+
+let check_impl ~where scope ~result_width impl diags =
+  let catching f = try f () with Type_error m -> diags := (where ^ ": " ^ m) :: !diags in
+  catching (fun () ->
+      let w = expr_width_in_method scope impl.mi_guard in
+      if w <> 1 then err "guard has width %d, expected 1" w);
+  List.iter
+    (fun (fname, e) ->
+      catching (fun () ->
+          match Hashtbl.find_opt scope.ms_fields fname with
+          | None -> err "update of unknown field %S" fname
+          | Some fw ->
+              let w = expr_width_in_method scope e in
+              if w <> fw then err "update of field %S: width %d, expected %d" fname w fw))
+    impl.mi_updates;
+  check_unique (where ^ ": updated field") (List.map fst impl.mi_updates) diags;
+  List.iter
+    (fun (aname, idx, value) ->
+      catching (fun () ->
+          match Hashtbl.find_opt scope.ms_arrays aname with
+          | None -> err "update of unknown array %S" aname
+          | Some (aw, _) ->
+              ignore (expr_width_in_method scope idx);
+              let w = expr_width_in_method scope value in
+              if w <> aw then
+                err "update of array %S: width %d, expected %d" aname w aw))
+    impl.mi_array_updates;
+  catching (fun () ->
+      match (result_width, impl.mi_result) with
+      | None, None -> ()
+      | None, Some _ -> err "result expression on a method declared without result"
+      | Some _, None -> err "missing result expression"
+      | Some rw, Some e ->
+          let w = expr_width_in_method scope e in
+          if w <> rw then err "result width %d, expected %d" w rw)
+
+let max_array_depth = 256
+
+let check_object obj diags =
+  let where = Printf.sprintf "object %s" obj.o_name in
+  check_unique (where ^ ": field") (List.map (fun (n, _, _) -> n) obj.o_fields) diags;
+  check_unique (where ^ ": method") (List.map (fun m -> m.m_name) obj.o_methods) diags;
+  check_unique
+    (where ^ ": field/array name")
+    (List.map (fun (n, _, _) -> n) obj.o_fields
+    @ List.map (fun (n, _, _) -> n) obj.o_arrays)
+    diags;
+  List.iter
+    (fun (n, w, depth) ->
+      if w < 1 then diags := Printf.sprintf "%s: array %S has width %d" where n w :: !diags;
+      if depth < 1 || depth > max_array_depth then
+        diags :=
+          Printf.sprintf "%s: array %S has depth %d (must be 1..%d)" where n depth
+            max_array_depth
+          :: !diags)
+    obj.o_arrays;
+  List.iter
+    (fun (n, w, init) ->
+      if w < 1 then diags := Printf.sprintf "%s: field %S has width %d" where n w :: !diags
+      else if Bitvec.width init <> w then
+        diags :=
+          Printf.sprintf "%s: field %S init width %d, expected %d" where n
+            (Bitvec.width init) w
+          :: !diags)
+    obj.o_fields;
+  (match obj.o_tag with
+  | None -> ()
+  | Some tag ->
+      if not (List.exists (fun (n, _, _) -> n = tag) obj.o_fields) then
+        diags := Printf.sprintf "%s: tag field %S is not declared" where tag :: !diags);
+  List.iter
+    (fun m ->
+      let mwhere = Printf.sprintf "%s.%s" obj.o_name m.m_name in
+      let scope = method_scope obj m in
+      check_unique (mwhere ^ ": parameter") (List.map fst m.m_params) diags;
+      match m.m_kind with
+      | Plain impl -> check_impl ~where:mwhere scope ~result_width:m.m_result_width impl diags
+      | Virtual impls ->
+          if obj.o_tag = None then
+            diags := (mwhere ^ ": virtual method on an object without tag field") :: !diags;
+          if impls = [] then diags := (mwhere ^ ": virtual method with no implementations") :: !diags;
+          check_unique (mwhere ^ ": tag value")
+            (List.map (fun (t, _) -> string_of_int t) impls)
+            diags;
+          List.iter
+            (fun (tag, impl) ->
+              check_impl
+                ~where:(Printf.sprintf "%s[tag=%d]" mwhere tag)
+                scope ~result_width:m.m_result_width impl diags)
+            impls)
+    obj.o_methods
+
+let rec check_stmt design scope ~where stmt diags =
+  let catching f = try f () with Type_error m -> diags := (where ^ ": " ^ m) :: !diags in
+  match stmt with
+  | Set (name, e) ->
+      catching (fun () ->
+          match Hashtbl.find_opt scope.ps_locals name with
+          | None -> err "assignment to unknown local %S" name
+          | Some lw ->
+              let w = expr_width_in_process scope e in
+              if w <> lw then err "assignment to %S: width %d, expected %d" name w lw)
+  | Emit (name, e) ->
+      catching (fun () ->
+          match Hashtbl.find_opt scope.ps_ports name with
+          | None -> err "emit to unknown port %S" name
+          | Some (_, In) -> err "emit to input port %S" name
+          | Some (pw, Out) ->
+              let w = expr_width_in_process scope e in
+              if w <> pw then err "emit to %S: width %d, expected %d" name w pw)
+  | If (c, t, e) ->
+      catching (fun () ->
+          let w = expr_width_in_process scope c in
+          if w <> 1 then err "if condition has width %d, expected 1" w);
+      List.iter (fun s -> check_stmt design scope ~where s diags) t;
+      List.iter (fun s -> check_stmt design scope ~where s diags) e
+  | Case (sel, arms, default) ->
+      let sel_width =
+        try Some (expr_width_in_process scope sel)
+        with Type_error m ->
+          diags := (where ^ ": " ^ m) :: !diags;
+          None
+      in
+      let seen = Hashtbl.create 8 in
+      List.iter
+        (fun (labels, body) ->
+          if labels = [] then diags := (where ^ ": case arm with no labels") :: !diags;
+          List.iter
+            (fun label ->
+              (match sel_width with
+              | Some w when Bitvec.width label <> w ->
+                  diags :=
+                    Printf.sprintf "%s: case label width %d, selector width %d" where
+                      (Bitvec.width label) w
+                    :: !diags
+              | Some _ | None -> ());
+              let key = Bitvec.to_bin_string label in
+              if Hashtbl.mem seen key then
+                diags := Printf.sprintf "%s: duplicate case label %s" where key :: !diags
+              else Hashtbl.replace seen key ())
+            labels;
+          List.iter (fun s -> check_stmt design scope ~where s diags) body)
+        arms;
+      List.iter (fun s -> check_stmt design scope ~where s diags) default
+  | While (c, body) ->
+      catching (fun () ->
+          let w = expr_width_in_process scope c in
+          if w <> 1 then err "while condition has width %d, expected 1" w);
+      if not (List.exists stmt_takes_time body) then
+        diags := (where ^ ": while body never waits (zero-time loop)") :: !diags;
+      List.iter (fun s -> check_stmt design scope ~where s diags) body
+  | Wait n -> if n < 1 then diags := (where ^ ": wait count must be >= 1") :: !diags
+  | Call { co_obj; co_meth; co_args; co_bind } ->
+      catching (fun () ->
+          match find_object design co_obj with
+          | None -> err "call to unknown object %S" co_obj
+          | Some obj -> (
+              match find_method obj co_meth with
+              | None -> err "object %S has no method %S" co_obj co_meth
+              | Some m ->
+                  if List.length co_args <> List.length m.m_params then
+                    err "call %s.%s: %d arguments, expected %d" co_obj co_meth
+                      (List.length co_args) (List.length m.m_params);
+                  List.iter2
+                    (fun e (pname, pw) ->
+                      let w = expr_width_in_process scope e in
+                      if w <> pw then
+                        err "call %s.%s: argument %S width %d, expected %d" co_obj
+                          co_meth pname w pw)
+                    co_args m.m_params;
+                  match (co_bind, m.m_result_width) with
+                  | None, _ -> ()
+                  | Some _, None ->
+                      err "call %s.%s binds a result but the method returns none" co_obj
+                        co_meth
+                  | Some x, Some rw -> (
+                      match Hashtbl.find_opt scope.ps_locals x with
+                      | None -> err "call result bound to unknown local %S" x
+                      | Some lw ->
+                          if lw <> rw then
+                            err "call result bound to %S: width %d, expected %d" x lw rw)))
+  | Halt -> ()
+
+let check_process design proc diags =
+  let where = Printf.sprintf "process %s" proc.p_name in
+  check_unique (where ^ ": local") (List.map (fun (n, _, _) -> n) proc.p_locals) diags;
+  List.iter
+    (fun (n, w, init) ->
+      if w < 1 then diags := Printf.sprintf "%s: local %S has width %d" where n w :: !diags
+      else if Bitvec.width init <> w then
+        diags :=
+          Printf.sprintf "%s: local %S init width %d, expected %d" where n
+            (Bitvec.width init) w
+          :: !diags)
+    proc.p_locals;
+  let scope = process_scope design proc in
+  List.iter (fun s -> check_stmt design scope ~where s diags) proc.p_body
+
+let check design =
+  let diags = ref [] in
+  check_unique "port" (List.map (fun p -> p.pt_name) design.d_ports) diags;
+  check_unique "object" (List.map (fun o -> o.o_name) design.d_objects) diags;
+  check_unique "process" (List.map (fun p -> p.p_name) design.d_processes) diags;
+  List.iter
+    (fun p ->
+      if p.pt_width < 1 then
+        diags := Printf.sprintf "port %S has width %d" p.pt_name p.pt_width :: !diags)
+    design.d_ports;
+  List.iter (fun o -> check_object o diags) design.d_objects;
+  List.iter (fun p -> check_process design p diags) design.d_processes;
+  match List.rev !diags with [] -> Ok () | ds -> Error ds
+
+let check_exn design =
+  match check design with
+  | Ok () -> ()
+  | Error (d :: _) -> raise (Type_error d)
+  | Error [] -> ()

@@ -1,0 +1,26 @@
+(** Static checking of {!Ast} designs: name resolution, width discipline,
+    and the synthesisability rules shared by the interpreter and the
+    synthesiser (e.g. a [While] body must consume time).  Both back ends
+    assume a checked design and may fail arbitrarily on an unchecked one. *)
+
+exception Type_error of string
+
+type process_scope
+(** Name environment of one process (locals + design ports). *)
+
+type method_scope
+(** Name environment of one method (object fields + parameters). *)
+
+val process_scope : Ast.design -> Ast.process_decl -> process_scope
+val method_scope : Ast.object_decl -> Ast.method_decl -> method_scope
+
+val expr_width_in_process : process_scope -> Ast.expr -> int
+(** @raise Type_error on ill-formed expressions. *)
+
+val expr_width_in_method : method_scope -> Ast.expr -> int
+
+val check : Ast.design -> (unit, string list) result
+(** All diagnostics for the design, or [Ok ()]. *)
+
+val check_exn : Ast.design -> unit
+(** @raise Type_error with the first diagnostic. *)

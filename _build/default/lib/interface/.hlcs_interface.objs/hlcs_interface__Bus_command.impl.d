@@ -1,0 +1,1 @@
+lib/interface/bus_command.ml: Format Hlcs_logic Hlcs_pci Option

@@ -1,0 +1,1 @@
+lib/interface/bus_command.mli: Format Hlcs_logic Hlcs_pci

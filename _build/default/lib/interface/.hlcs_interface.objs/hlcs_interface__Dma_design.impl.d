@@ -1,0 +1,1 @@
+lib/interface/dma_design.ml: Bus_command Hlcs_hlir Interface_object Pci_master_design

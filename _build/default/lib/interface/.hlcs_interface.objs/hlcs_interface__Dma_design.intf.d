@@ -1,0 +1,1 @@
+lib/interface/dma_design.mli: Hlcs_hlir Hlcs_osss

@@ -1,0 +1,1 @@
+lib/interface/interface_object.ml: Bus_command Hlcs_hlir Hlcs_osss

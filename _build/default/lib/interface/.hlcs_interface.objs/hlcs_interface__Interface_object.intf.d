@@ -1,0 +1,1 @@
+lib/interface/interface_object.mli: Bus_command Hlcs_engine Hlcs_hlir Hlcs_osss

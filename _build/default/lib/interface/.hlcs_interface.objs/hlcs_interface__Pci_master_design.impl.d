@@ -1,0 +1,1 @@
+lib/interface/pci_master_design.ml: Bus_command Fun Hlcs_hlir Hlcs_pci Interface_object List

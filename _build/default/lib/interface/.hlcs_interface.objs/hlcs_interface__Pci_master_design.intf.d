@@ -1,0 +1,1 @@
+lib/interface/pci_master_design.mli: Hlcs_hlir Hlcs_osss Hlcs_pci

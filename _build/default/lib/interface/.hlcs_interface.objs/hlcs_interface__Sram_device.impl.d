@@ -1,0 +1,1 @@
+lib/interface/sram_device.ml: Hlcs_engine Hlcs_logic Hlcs_pci Queue

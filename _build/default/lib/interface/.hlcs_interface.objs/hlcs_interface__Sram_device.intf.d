@@ -1,0 +1,1 @@
+lib/interface/sram_device.mli: Hlcs_engine Hlcs_logic Hlcs_pci

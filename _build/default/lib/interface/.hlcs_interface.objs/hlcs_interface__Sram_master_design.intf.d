@@ -1,0 +1,1 @@
+lib/interface/sram_master_design.mli: Hlcs_hlir Hlcs_osss Hlcs_pci

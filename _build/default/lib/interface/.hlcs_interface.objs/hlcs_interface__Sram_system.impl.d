@@ -1,0 +1,1 @@
+lib/interface/sram_system.ml: Hlcs_engine Hlcs_hlir Hlcs_logic Hlcs_pci Hlcs_rtl Hlcs_synth List Sram_device Sram_master_design System Unix

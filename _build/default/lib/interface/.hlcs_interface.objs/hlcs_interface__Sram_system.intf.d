@@ -1,0 +1,1 @@
+lib/interface/sram_system.mli: Hlcs_engine Hlcs_osss Hlcs_pci Hlcs_synth System

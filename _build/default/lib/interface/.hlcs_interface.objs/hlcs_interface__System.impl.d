@@ -1,0 +1,1 @@
+lib/interface/system.ml: Array Format Hlcs_engine Hlcs_hlir Hlcs_logic Hlcs_pci Hlcs_rtl Hlcs_synth List Option Pci_master_design Printf String Tlm Unix

@@ -1,0 +1,1 @@
+lib/interface/system.mli: Format Hlcs_engine Hlcs_hlir Hlcs_osss Hlcs_pci Hlcs_synth

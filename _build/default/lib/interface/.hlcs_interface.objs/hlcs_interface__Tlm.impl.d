@@ -1,0 +1,1 @@
+lib/interface/tlm.ml: Bus_command Hlcs_engine Hlcs_pci Interface_object List

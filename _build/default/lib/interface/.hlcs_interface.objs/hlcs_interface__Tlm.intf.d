@@ -1,0 +1,1 @@
+lib/interface/tlm.mli: Hlcs_engine Hlcs_osss Hlcs_pci Interface_object

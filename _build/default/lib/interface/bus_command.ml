@@ -1,0 +1,60 @@
+module Bitvec = Hlcs_logic.Bitvec
+module Pci_types = Hlcs_pci.Pci_types
+
+type op = Read | Write | Read_burst | Write_burst
+
+let op_code = function Read -> 1 | Write -> 2 | Read_burst -> 3 | Write_burst -> 4
+
+let op_of_code = function
+  | 1 -> Some Read
+  | 2 -> Some Write
+  | 3 -> Some Read_burst
+  | 4 -> Some Write_burst
+  | _ -> None
+
+let op_is_write = function
+  | Write | Write_burst -> true
+  | Read | Read_burst -> false
+
+let op_width = 3
+let len_width = 8
+let addr_width = 32
+let command_width = op_width + len_width + addr_width
+
+let encode ~op ~len ~addr =
+  if len < 1 || len >= 1 lsl len_width then invalid_arg "Bus_command.encode: bad length";
+  Bitvec.concat
+    (Bitvec.concat
+       (Bitvec.of_int ~width:op_width (op_code op))
+       (Bitvec.of_int ~width:len_width len))
+    (Bitvec.of_int ~width:addr_width addr)
+
+let decode bv =
+  if Bitvec.width bv <> command_width then invalid_arg "Bus_command.decode: bad width";
+  let op_bits = Bitvec.to_int (Bitvec.slice bv ~hi:(command_width - 1) ~lo:(len_width + addr_width)) in
+  let len = Bitvec.to_int (Bitvec.slice bv ~hi:(len_width + addr_width - 1) ~lo:addr_width) in
+  let addr = Bitvec.to_int (Bitvec.slice bv ~hi:(addr_width - 1) ~lo:0) in
+  Option.map (fun op -> (op, len, addr)) (op_of_code op_bits)
+
+let of_request (r : Pci_types.request) =
+  let open Pci_types in
+  match r.rq_command with
+  | Mem_read -> Some ((if r.rq_length > 1 then Read_burst else Read), r.rq_length, r.rq_address)
+  | Mem_read_line -> Some (Read_burst, r.rq_length, r.rq_address)
+  | Mem_write -> Some ((if r.rq_length > 1 then Write_burst else Write), r.rq_length, r.rq_address)
+  | Mem_write_invalidate -> Some (Write_burst, r.rq_length, r.rq_address)
+  | Config_read | Config_write -> None
+
+let pci_command = function
+  | Read -> Pci_types.Mem_read
+  | Write -> Pci_types.Mem_write
+  | Read_burst -> Pci_types.Mem_read_line
+  | Write_burst -> Pci_types.Mem_write_invalidate
+
+let pp_op ppf op =
+  Format.pp_print_string ppf
+    (match op with
+    | Read -> "read"
+    | Write -> "write"
+    | Read_burst -> "read_burst"
+    | Write_burst -> "write_burst")

@@ -1,0 +1,28 @@
+(** The command word exchanged between the application and the bus
+    interface through the global object: the [CommandType] of the paper's
+    [putCommand]/[getCommand] methods.
+
+    Layout (43 bits): [op (3) | length (8) | address (32)], op being the
+    most significant field.  Write data travels separately through the
+    interface's data-path methods. *)
+
+type op = Read | Write | Read_burst | Write_burst
+
+val op_code : op -> int
+val op_of_code : int -> op option
+val op_is_write : op -> bool
+val op_width : int
+val len_width : int
+val addr_width : int
+val command_width : int
+
+val encode : op:op -> len:int -> addr:int -> Hlcs_logic.Bitvec.t
+val decode : Hlcs_logic.Bitvec.t -> (op * int * int) option
+(** [None] if the op field does not decode. *)
+
+val of_request : Hlcs_pci.Pci_types.request -> (op * int * int) option
+(** Maps a PCI request onto a command; config-space commands are not part
+    of the synthesisable interface and map to [None]. *)
+
+val pci_command : op -> Hlcs_pci.Pci_types.command
+val pp_op : Format.formatter -> op -> unit

@@ -1,0 +1,106 @@
+open Hlcs_hlir.Builder
+module A = Hlcs_hlir.Ast
+
+let ifc = Interface_object.object_name
+
+let op_const op = cst ~width:Bus_command.op_width (Bus_command.op_code op)
+let w8 n = cst ~width:8 n
+
+let mover_process ~src ~dst ~words =
+  if words < 1 || words > 255 then invalid_arg "Dma_design.mover_process: bad word count";
+  let addr_of base =
+    cst ~width:32 base +: ((cst ~width:24 0 @: var "i") <<: cst ~width:3 2)
+  in
+  process "dma_mover"
+    ~locals:[ local "i" 8; local "x" 32; local "cnt" 8 ]
+    [
+      while_ (var "i" <: w8 words)
+        [
+          (* fetch one word from the source block *)
+          call ifc "put_command"
+            [ op_const Bus_command.Read; w8 1; addr_of src ];
+          call_bind "x" ~obj:ifc ~meth:"app_data_get" [];
+          (* publish it for the cross-configuration trace *)
+          emit "rd_obs" (var "cnt" @: var "x");
+          set "cnt" (var "cnt" +: w8 1);
+          (* store it into the destination block *)
+          call ifc "put_command"
+            [ op_const Bus_command.Write; w8 1; addr_of dst ];
+          call ifc "app_data_put" [ var "x" ];
+          set "i" (var "i" +: w8 1);
+        ];
+      emit "app_done" ctrue;
+      halt;
+    ]
+
+let design ?policy ~src ~dst ~words () =
+  {
+    (Pci_master_design.design ?policy ()) with
+    A.d_processes =
+      [ Pci_master_design.engine_process (); mover_process ~src ~dst ~words ];
+  }
+
+(* staging buffer: a register-file object with indexed store/load *)
+let staging_buffer ~chunk =
+  object_ "staging"
+    ~fields:[ field_decl "unused" 1 ]
+    ~arrays:[ array_decl "buf" ~width:32 ~depth:chunk ]
+    ~methods:
+      [
+        method_ "store" ~params:[ ("i", 4); ("x", 32) ] ~guard:ctrue ~updates:[]
+          ~array_updates:[ ("buf", var "i", var "x") ];
+        method_ "load" ~params:[ ("i", 4) ]
+          ~result:(32, index "buf" (var "i"))
+          ~guard:ctrue ~updates:[];
+      ]
+
+let buffered_mover ~src ~dst ~words ~chunk =
+  if chunk < 1 || chunk > 8 || words mod chunk <> 0 then
+    invalid_arg "Dma_design.buffered_mover: chunk must divide words and be <= 8";
+  let chunk_addr base =
+    cst ~width:32 base +: ((cst ~width:24 0 @: var "c") <<: cst ~width:3 2)
+  in
+  let mover =
+    process "dma_mover"
+      ~locals:[ local "c" 8; local "k" 4; local "x" 32; local "cnt" 8 ]
+      [
+        while_ (var "c" <: w8 words)
+          [
+            (* burst-read one chunk into the staging register file *)
+            call ifc "put_command"
+              [ op_const Bus_command.Read_burst; w8 chunk; chunk_addr src ];
+            set "k" (cst ~width:4 0);
+            while_ (var "k" <: cst ~width:4 chunk)
+              [
+                call_bind "x" ~obj:ifc ~meth:"app_data_get" [];
+                call "staging" "store" [ var "k"; var "x" ];
+                emit "rd_obs" (var "cnt" @: var "x");
+                set "cnt" (var "cnt" +: w8 1);
+                set "k" (var "k" +: cst ~width:4 1);
+              ];
+            (* burst-write it out *)
+            call ifc "put_command"
+              [ op_const Bus_command.Write_burst; w8 chunk; chunk_addr dst ];
+            set "k" (cst ~width:4 0);
+            while_ (var "k" <: cst ~width:4 chunk)
+              [
+                call_bind "x" ~obj:"staging" ~meth:"load" [ var "k" ];
+                call ifc "app_data_put" [ var "x" ];
+                set "k" (var "k" +: cst ~width:4 1);
+              ];
+            set "c" (var "c" +: w8 chunk);
+          ];
+        emit "app_done" ctrue;
+        halt;
+      ]
+  in
+  (staging_buffer ~chunk, mover)
+
+let buffered_design ?policy ~src ~dst ~words ~chunk () =
+  let staging, mover = buffered_mover ~src ~dst ~words ~chunk in
+  let base = Pci_master_design.design ?policy () in
+  {
+    base with
+    A.d_objects = base.A.d_objects @ [ staging ];
+    A.d_processes = [ Pci_master_design.engine_process (); mover ];
+  }

@@ -1,0 +1,41 @@
+(** A second unit under design built on the bus-interface pattern: a DMA
+    block-copy engine.
+
+    The mover process never touches a pin: it programs transfers purely
+    through the interface object's guarded methods (read a word at
+    [src + 4i], write it to [dst + 4i]), so the identical design runs over
+    any library element and survives synthesis unchanged — the
+    methodology's composability claim exercised on a real workload. *)
+
+val mover_process : src:int -> dst:int -> words:int -> Hlcs_hlir.Ast.process_decl
+(** Copies [words] 32-bit words.  Each copied word is published on
+    [rd_obs] (sequence-tagged), and [app_done] rises at the end.
+    @raise Invalid_argument if [words] is not in [1, 255]. *)
+
+val design :
+  ?policy:Hlcs_osss.Policy.t ->
+  src:int ->
+  dst:int ->
+  words:int ->
+  unit ->
+  Hlcs_hlir.Ast.design
+(** The PCI interface element with the DMA mover as application. *)
+
+val buffered_mover :
+  src:int -> dst:int -> words:int -> chunk:int ->
+  Hlcs_hlir.Ast.object_decl * Hlcs_hlir.Ast.process_decl
+(** The high-throughput variant: a staging buffer (an object array — a
+    synthesised register file) lets the mover issue burst reads and burst
+    writes of [chunk] words instead of word-by-word ping-pong.  Returns
+    the buffer object and the mover process.
+    @raise Invalid_argument unless [chunk] divides [words] and is in
+    [1, 8]. *)
+
+val buffered_design :
+  ?policy:Hlcs_osss.Policy.t ->
+  src:int ->
+  dst:int ->
+  words:int ->
+  chunk:int ->
+  unit ->
+  Hlcs_hlir.Ast.design

@@ -1,0 +1,109 @@
+open Hlcs_hlir.Builder
+module Go = Hlcs_osss.Global_object
+
+let object_name = "bus_if"
+
+let decl ?policy () =
+  object_ object_name ?policy
+    ~fields:
+      [
+        field_decl "pending" 1;
+        field_decl "op" Bus_command.op_width;
+        field_decl "len" Bus_command.len_width;
+        field_decl "addr" Bus_command.addr_width;
+        field_decl "wr_data" 32;
+        field_decl "wr_full" 1;
+        field_decl "rd_data" 32;
+        field_decl "rd_full" 1;
+      ]
+    ~methods:
+      [
+        method_ "put_command"
+          ~params:
+            [
+              ("p_op", Bus_command.op_width);
+              ("p_len", Bus_command.len_width);
+              ("p_addr", Bus_command.addr_width);
+            ]
+          ~guard:(inv (field "pending"))
+          ~updates:
+            [
+              ("pending", ctrue);
+              ("op", var "p_op");
+              ("len", var "p_len");
+              ("addr", var "p_addr");
+            ];
+        method_ "get_command"
+          ~result:(Bus_command.command_width, field "op" @: field "len" @: field "addr")
+          ~guard:(field "pending")
+          ~updates:[ ("pending", cfalse) ];
+        method_ "app_data_put" ~params:[ ("x", 32) ]
+          ~guard:(inv (field "wr_full"))
+          ~updates:[ ("wr_full", ctrue); ("wr_data", var "x") ];
+        method_ "eng_data_get" ~result:(32, field "wr_data") ~guard:(field "wr_full")
+          ~updates:[ ("wr_full", cfalse) ];
+        method_ "eng_data_put" ~params:[ ("x", 32) ]
+          ~guard:(inv (field "rd_full"))
+          ~updates:[ ("rd_full", ctrue); ("rd_data", var "x") ];
+        method_ "app_data_get" ~result:(32, field "rd_data") ~guard:(field "rd_full")
+          ~updates:[ ("rd_full", cfalse) ];
+        method_ "reset" ~guard:ctrue
+          ~updates:[ ("pending", cfalse); ("wr_full", cfalse); ("rd_full", cfalse) ];
+      ]
+
+module Native = struct
+  type state = {
+    pending : (Bus_command.op * int * int) option;
+    wr_data : int option;
+    rd_data : int option;
+  }
+
+  type t = state Go.t
+
+  let create kernel ~name ?policy () =
+    Go.create kernel ~name ?policy { pending = None; wr_data = None; rd_data = None }
+
+  let put_command t ~op ~len ~addr =
+    Go.call t ~meth:"put_command"
+      ~guard:(fun st -> st.pending = None)
+      (fun st -> ({ st with pending = Some (op, len, addr) }, ()))
+
+  let get_command t =
+    Go.call t ~meth:"get_command"
+      ~guard:(fun st -> st.pending <> None)
+      (fun st ->
+        match st.pending with
+        | Some cmd -> ({ st with pending = None }, cmd)
+        | None -> assert false)
+
+  let app_data_put t x =
+    Go.call t ~meth:"app_data_put"
+      ~guard:(fun st -> st.wr_data = None)
+      (fun st -> ({ st with wr_data = Some x }, ()))
+
+  let eng_data_get t =
+    Go.call t ~meth:"eng_data_get"
+      ~guard:(fun st -> st.wr_data <> None)
+      (fun st ->
+        match st.wr_data with
+        | Some x -> ({ st with wr_data = None }, x)
+        | None -> assert false)
+
+  let eng_data_put t x =
+    Go.call t ~meth:"eng_data_put"
+      ~guard:(fun st -> st.rd_data = None)
+      (fun st -> ({ st with rd_data = Some x }, ()))
+
+  let app_data_get t =
+    Go.call t ~meth:"app_data_get"
+      ~guard:(fun st -> st.rd_data <> None)
+      (fun st ->
+        match st.rd_data with
+        | Some x -> ({ st with rd_data = None }, x)
+        | None -> assert false)
+
+  let reset t =
+    Go.call t ~meth:"reset"
+      ~guard:(fun _ -> true)
+      (fun _ -> ({ pending = None; wr_data = None; rd_data = None }, ()))
+end

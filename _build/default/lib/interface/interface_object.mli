@@ -1,0 +1,40 @@
+(** The global object at the heart of the paper's bus-interface pattern:
+    the application-facing side of the interface IP.
+
+    The paper's methods are all here — [put_command] (guarded on "no
+    pending command", so a second command blocks until the engine fetched
+    the first), [get_command] (guarded on "command pending", blocking the
+    protocol engine until work arrives), [app_data_get] (guarded on "read
+    data available") and [reset] — plus the symmetric data-path methods a
+    working engine needs ([app_data_put]/[eng_data_get] for write data,
+    [eng_data_put] to post read data).
+
+    Two renditions share the semantics:
+    - {!decl}: the synthesisable HLIR declaration, consumed by the
+      interpreter and the synthesiser (configurations B and C);
+    - {!Native}: an OSSS {!Hlcs_osss.Global_object} over an OCaml record,
+      used by the functional (TLM) configuration A. *)
+
+val object_name : string
+
+val decl : ?policy:Hlcs_osss.Policy.t -> unit -> Hlcs_hlir.Ast.object_decl
+(** Policy defaults to FCFS. *)
+
+module Native : sig
+  type state = {
+    pending : (Bus_command.op * int * int) option;
+    wr_data : int option;
+    rd_data : int option;
+  }
+
+  type t = state Hlcs_osss.Global_object.t
+
+  val create : Hlcs_engine.Kernel.t -> name:string -> ?policy:Hlcs_osss.Policy.t -> unit -> t
+  val put_command : t -> op:Bus_command.op -> len:int -> addr:int -> unit
+  val get_command : t -> Bus_command.op * int * int
+  val app_data_put : t -> int -> unit
+  val eng_data_get : t -> int
+  val eng_data_put : t -> int -> unit
+  val app_data_get : t -> int
+  val reset : t -> unit
+end

@@ -1,0 +1,245 @@
+open Hlcs_hlir.Builder
+module A = Hlcs_hlir.Ast
+module Pci_types = Hlcs_pci.Pci_types
+
+let devsel_timeout = 8
+
+let ifc = Interface_object.object_name
+
+let port_names =
+  [
+    "gnt"; "frame_busy"; "irdy_busy"; "trdy"; "devsel"; "stop"; "ad_in";
+    "req"; "frame"; "irdy"; "ad_out"; "ad_oe"; "cbe_out";
+  ]
+
+let ports =
+  [
+    in_port "gnt" 1;
+    in_port "frame_busy" 1;
+    in_port "irdy_busy" 1;
+    in_port "trdy" 1;
+    in_port "devsel" 1;
+    in_port "stop" 1;
+    in_port "ad_in" 32;
+    out_port "req" 1;
+    out_port "frame" 1;
+    out_port "irdy" 1;
+    out_port "ad_out" 32;
+    out_port "ad_oe" 1;
+    out_port "cbe_out" 4;
+    out_port "rd_obs" 40;
+    out_port "app_done" 1;
+  ]
+
+let w8 n = cst ~width:8 n
+let w4 n = cst ~width:4 n
+let w32 n = cst ~width:32 n
+
+let op_const op = cst ~width:Bus_command.op_width (Bus_command.op_code op)
+
+(* C/BE# bus command code for the decoded op. *)
+let cbe_code =
+  let open Bus_command in
+  let code op = w4 (Pci_types.cbe_of_command (pci_command op)) in
+  mux (var "op" ==: op_const Read) (code Read)
+    (mux (var "op" ==: op_const Write) (code Write)
+       (mux (var "op" ==: op_const Read_burst) (code Read_burst) (code Write_burst)))
+
+let engine_process () =
+  let locals =
+    [
+      local "cmd" Bus_command.command_width;
+      local "op" Bus_command.op_width;
+      local "len" 8;
+      local "addr" 32;
+      local "iswr" 1;
+      local "widx" 8;
+      local "cur" 32;
+      local "word" 32;
+      local "have_word" 1;
+      local "last" 1;
+      local "txdone" 1;
+      local "ph_done" 1;
+      local "xfer" 1;
+      local "disc" 1;
+      local "abort" 1;
+      local "dseen" 1;
+      local "tmo" 4;
+    ]
+  in
+  let cw = Bus_command.command_width in
+  let body =
+    [
+      while_ ctrue
+        [
+          (* fetch the next command from the shared object *)
+          call_bind "cmd" ~obj:ifc ~meth:"get_command" [];
+          set "op" (slice (var "cmd") ~hi:(cw - 1) ~lo:40);
+          set "len" (slice (var "cmd") ~hi:39 ~lo:32);
+          set "addr" (slice (var "cmd") ~hi:31 ~lo:0);
+          set "iswr"
+            ((var "op" ==: op_const Bus_command.Write)
+            |: (var "op" ==: op_const Bus_command.Write_burst));
+          set "widx" (w8 0);
+          set "abort" cfalse;
+          set "have_word" cfalse;
+          (* one bus transaction per iteration; Retry/Disconnect resume here *)
+          while_ ((var "widx" <: var "len") &: inv (var "abort"))
+            [
+              (* arbitration: request and wait for grant on an idle bus *)
+              emit "req" ctrue;
+              wait 1;
+              while_
+                (inv (port "gnt") |: port "frame_busy" |: port "irdy_busy")
+                [ wait 1 ];
+              (* address phase *)
+              set "cur"
+                (var "addr" +: ((cst ~width:24 0 @: var "widx") <<: cst ~width:3 2));
+              emit "frame" ctrue;
+              emit "ad_out" (var "cur");
+              emit "ad_oe" ctrue;
+              emit "cbe_out" cbe_code;
+              wait 1;
+              set "txdone" cfalse;
+              set "dseen" cfalse;
+              set "tmo" (w4 0);
+              while_ (inv (var "txdone"))
+                [
+                  set "last" (var "widx" ==: (var "len" -: w8 1));
+                  (* present the data phase; a word fetched for an attempt
+                     that ended in Retry is still held and re-sent *)
+                  if_ (var "iswr")
+                    [
+                      if_ (inv (var "have_word"))
+                        [
+                          call_bind "word" ~obj:ifc ~meth:"eng_data_get" [];
+                          set "have_word" ctrue;
+                        ]
+                        [];
+                      emit "ad_out" (var "word");
+                      emit "ad_oe" ctrue;
+                    ]
+                    [ emit "ad_oe" cfalse ];
+                  emit "cbe_out" (w4 0);
+                  emit "irdy" ctrue;
+                  emit "frame" (inv (var "last"));
+                  set "ph_done" cfalse;
+                  set "xfer" cfalse;
+                  set "disc" cfalse;
+                  wait 1;
+                  (* per-cycle completion polling: reacts to single-cycle
+                     TRDY#/STOP# strobes and deasserts IRDY# on the
+                     transfer edge itself *)
+                  while_ (inv (var "ph_done"))
+                    [
+                      when_ (port "devsel") [ set "dseen" ctrue ];
+                      if_ (port "trdy")
+                        [
+                          set "xfer" ctrue;
+                          set "ph_done" ctrue;
+                          set "disc" (port "stop");
+                          set "word" (port "ad_in");
+                          emit "irdy" cfalse;
+                        ]
+                        [
+                          if_ (port "stop")
+                            [
+                              (* Retry: target refuses before any data *)
+                              set "ph_done" ctrue;
+                              emit "irdy" cfalse;
+                              emit "frame" cfalse;
+                            ]
+                            [
+                              if_
+                                (inv (var "dseen")
+                                &: (var "tmo" ==: w4 devsel_timeout))
+                                [
+                                  (* master abort: nobody claimed *)
+                                  set "ph_done" ctrue;
+                                  set "abort" ctrue;
+                                  emit "irdy" cfalse;
+                                  emit "frame" cfalse;
+                                ]
+                                [ set "tmo" (var "tmo" +: w4 1) ];
+                            ];
+                        ];
+                      wait 1;
+                    ];
+                  if_ (var "xfer")
+                    [
+                      if_ (inv (var "iswr"))
+                        [ call ifc "eng_data_put" [ var "word" ] ]
+                        [ set "have_word" cfalse ];
+                      set "widx" (var "widx" +: w8 1);
+                      when_
+                        (var "last" |: var "disc")
+                        [ set "txdone" ctrue; emit "frame" cfalse ];
+                    ]
+                    [ set "txdone" ctrue ];
+                ];
+            ];
+          (* a master abort leaves the application's data path dangling:
+             flood reads with the floating-bus all-ones pattern, drain
+             writes *)
+          when_ (var "abort")
+            [
+              while_ (var "widx" <: var "len")
+                [
+                  if_ (var "iswr")
+                    [
+                      if_ (inv (var "have_word"))
+                        [ call_bind "word" ~obj:ifc ~meth:"eng_data_get" [] ]
+                        [ set "have_word" cfalse ];
+                    ]
+                    [ call ifc "eng_data_put" [ w32 0xFFFFFFFF ] ];
+                  set "widx" (var "widx" +: w8 1);
+                ];
+            ];
+          emit "req" cfalse;
+        ];
+    ]
+  in
+  process "engine" ~locals ~priority:1 body
+
+let app_process script =
+  let stmts = ref [] in
+  let push s = stmts := s :: !stmts in
+  List.iter
+    (fun (r : Pci_types.request) ->
+      match Bus_command.of_request r with
+      | None ->
+          invalid_arg "Pci_master_design.app_process: config commands unsupported"
+      | Some (op, len, addr) ->
+          if len > 255 then invalid_arg "Pci_master_design.app_process: burst too long";
+          push
+            (call ifc "put_command"
+               [
+                 op_const op;
+                 cst ~width:Bus_command.len_width len;
+                 cst ~width:Bus_command.addr_width addr;
+               ]);
+          if Bus_command.op_is_write op then
+            List.iter (fun word -> push (call ifc "app_data_put" [ w32 word ])) r.rq_data
+          else
+            List.iter
+              (fun _ ->
+                push (call_bind "rd" ~obj:ifc ~meth:"app_data_get" []);
+                push (emit "rd_obs" (var "cnt" @: var "rd"));
+                push (set "cnt" (var "cnt" +: w8 1)))
+              (List.init (max 1 len) Fun.id))
+    script;
+  push (emit "app_done" ctrue);
+  push halt;
+  process "app"
+    ~locals:[ local "rd" 32; local "cnt" 8 ]
+    ~priority:0 (List.rev !stmts)
+
+let design ?policy ?app () =
+  let processes =
+    match app with
+    | None -> [ engine_process () ]
+    | Some script -> [ engine_process (); app_process script ]
+  in
+  design "pci_master_if" ~ports
+    ~objects:[ Interface_object.decl ?policy () ]
+    ~processes

@@ -1,0 +1,38 @@
+(** The paper's library element: the synthesisable PCI bus master
+    interface, expressed in the behavioural IR.
+
+    The design contains:
+    - the {!Interface_object} global object (application side);
+    - the {e protocol engine} process, which turns queued commands into
+      pin-level PCI transactions: arbitration (REQ/GNT), address phase,
+      data phases with per-cycle TRDY#/STOP#/DEVSEL# polling, write-data
+      fetch and read-data posting through the object's guarded data-path
+      methods, Retry re-issue, Disconnect resume and master-abort timeout;
+    - optionally an {e application} process generated from a request
+      script: the "high-level stimuli generator" of the paper, issuing
+      [put_command]/[app_data_put]/[app_data_get] calls and publishing
+      every read-back word (tagged with a sequence number) on the [rd_obs]
+      port.
+
+    Ports use an active-high convention (reset state = everything
+    deasserted); {!System} inverts them onto the active-low bus nets. *)
+
+val port_names : string list
+(** All pin-side port names, for documentation and tests. *)
+
+val engine_process : unit -> Hlcs_hlir.Ast.process_decl
+
+val app_process : Hlcs_pci.Pci_types.request list -> Hlcs_hlir.Ast.process_decl
+(** @raise Invalid_argument on config-space requests (outside the
+    synthesisable interface) or bursts longer than 255 words. *)
+
+val design :
+  ?policy:Hlcs_osss.Policy.t ->
+  ?app:Hlcs_pci.Pci_types.request list ->
+  unit ->
+  Hlcs_hlir.Ast.design
+(** The complete unit-under-design.  Without [app], only the interface is
+    present and an external caller must drive the object natively. *)
+
+val devsel_timeout : int
+(** Cycles the engine waits for DEVSEL# before master-aborting. *)

@@ -1,0 +1,52 @@
+module K = Hlcs_engine.Kernel
+module C = Hlcs_engine.Clock
+module S = Hlcs_engine.Signal
+module BV = Hlcs_logic.Bitvec
+module Pci_memory = Hlcs_pci.Pci_memory
+
+type t = { mutable n_reads : int; mutable n_writes : int }
+
+let create kernel ~clock ~memory ?(latency = 1) ~addr ~wdata ~we ~re ~rdata ~ready () =
+  if latency < 1 then invalid_arg "Sram_device.create: latency must be >= 1";
+  let t = { n_reads = 0; n_writes = 0 } in
+  let bit s = not (BV.is_zero (S.read s)) in
+  let body () =
+    (* pending read completions: (cycles remaining, word) *)
+    let pending = Queue.create () in
+    let rec step () =
+      C.wait_rising clock;
+      (* present any read completing this cycle *)
+      let presented = ref false in
+      if not (Queue.is_empty pending) then begin
+        let remaining, word = Queue.peek pending in
+        if remaining <= 1 then begin
+          ignore (Queue.pop pending);
+          S.write rdata (BV.of_int ~width:32 word);
+          S.write ready (BV.of_bool true);
+          presented := true
+        end
+        else begin
+          ignore (Queue.pop pending);
+          Queue.push (remaining - 1, word) pending
+        end
+      end;
+      if not !presented then S.write ready (BV.of_bool false);
+      (* accept requests *)
+      let a = BV.to_int (S.read addr) land lnot 3 in
+      if bit we then begin
+        t.n_writes <- t.n_writes + 1;
+        Pci_memory.write32 memory a (BV.to_int (S.read wdata))
+      end;
+      if bit re then begin
+        t.n_reads <- t.n_reads + 1;
+        Queue.push (latency, Pci_memory.read32 memory a) pending
+      end;
+      step ()
+    in
+    step ()
+  in
+  ignore (K.spawn kernel ~name:"sram_device" body);
+  t
+
+let reads t = t.n_reads
+let writes t = t.n_writes

@@ -1,0 +1,30 @@
+(** A pin-level synchronous SRAM device model: the second "memory/
+    peripheral IP" of the executable model, used by the {!Sram_master_design}
+    library element.
+
+    Protocol (all signals active high, sampled on the rising edge):
+    - write: [we]=1 with [addr]/[wdata] valid for one cycle; the word is
+      committed at that edge;
+    - read: [re]=1 with [addr] valid for one cycle; [latency] cycles later
+      the device presents [rdata] and pulses [ready] for one cycle. *)
+
+type t
+
+val create :
+  Hlcs_engine.Kernel.t ->
+  clock:Hlcs_engine.Clock.t ->
+  memory:Hlcs_pci.Pci_memory.t ->
+  ?latency:int ->
+  addr:Hlcs_logic.Bitvec.t Hlcs_engine.Signal.t ->
+  wdata:Hlcs_logic.Bitvec.t Hlcs_engine.Signal.t ->
+  we:Hlcs_logic.Bitvec.t Hlcs_engine.Signal.t ->
+  re:Hlcs_logic.Bitvec.t Hlcs_engine.Signal.t ->
+  rdata:Hlcs_logic.Bitvec.t Hlcs_engine.Signal.t ->
+  ready:Hlcs_logic.Bitvec.t Hlcs_engine.Signal.t ->
+  unit ->
+  t
+(** [latency] defaults to 1 (data the cycle after the request).  [addr] is
+    a word-aligned byte address, 16 bits. *)
+
+val reads : t -> int
+val writes : t -> int

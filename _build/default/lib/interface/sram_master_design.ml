@@ -1,0 +1,89 @@
+open Hlcs_hlir.Builder
+
+let ifc = Interface_object.object_name
+
+let ports =
+  [
+    out_port "addr" 16;
+    out_port "wdata" 32;
+    out_port "we" 1;
+    out_port "re" 1;
+    in_port "rdata" 32;
+    in_port "ready" 1;
+    out_port "rd_obs" 40;
+    out_port "app_done" 1;
+  ]
+
+let w8 n = cst ~width:8 n
+
+let engine_process () =
+  let cw = Bus_command.command_width in
+  let locals =
+    [
+      local "cmd" cw;
+      local "op" Bus_command.op_width;
+      local "len" 8;
+      local "base" 32;
+      local "iswr" 1;
+      local "widx" 8;
+      local "cur" 32;
+      local "word" 32;
+      local "got" 1;
+    ]
+  in
+  let body =
+    [
+      while_ ctrue
+        [
+          call_bind "cmd" ~obj:ifc ~meth:"get_command" [];
+          set "op" (slice (var "cmd") ~hi:(cw - 1) ~lo:40);
+          set "len" (slice (var "cmd") ~hi:39 ~lo:32);
+          set "base" (slice (var "cmd") ~hi:31 ~lo:0);
+          set "iswr"
+            ((var "op" ==: cst ~width:3 (Bus_command.op_code Bus_command.Write))
+            |: (var "op" ==: cst ~width:3 (Bus_command.op_code Bus_command.Write_burst)));
+          set "widx" (w8 0);
+          while_ (var "widx" <: var "len")
+            [
+              set "cur"
+                (var "base" +: ((cst ~width:24 0 @: var "widx") <<: cst ~width:3 2));
+              if_ (var "iswr")
+                [
+                  call_bind "word" ~obj:ifc ~meth:"eng_data_get" [];
+                  emit "addr" (slice (var "cur") ~hi:15 ~lo:0);
+                  emit "wdata" (var "word");
+                  emit "we" ctrue;
+                  wait 1;
+                  (* the loop-head cut deasserts we at the very next edge *)
+                  emit "we" cfalse;
+                ]
+                [
+                  emit "addr" (slice (var "cur") ~hi:15 ~lo:0);
+                  emit "re" ctrue;
+                  wait 1;
+                  emit "re" cfalse;
+                  set "got" cfalse;
+                  while_ (inv (var "got"))
+                    [
+                      when_ (port "ready")
+                        [ set "got" ctrue; set "word" (port "rdata") ];
+                      wait 1;
+                    ];
+                  call ifc "eng_data_put" [ var "word" ];
+                ];
+              set "widx" (var "widx" +: w8 1);
+            ];
+        ];
+    ]
+  in
+  process "engine" ~locals ~priority:1 body
+
+let design ?policy ?app () =
+  let processes =
+    match app with
+    | None -> [ engine_process () ]
+    | Some script -> [ engine_process (); Pci_master_design.app_process script ]
+  in
+  design "sram_master_if" ~ports
+    ~objects:[ Interface_object.decl ?policy () ]
+    ~processes

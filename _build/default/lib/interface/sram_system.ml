@@ -1,0 +1,86 @@
+module Kernel = Hlcs_engine.Kernel
+module Clock = Hlcs_engine.Clock
+module Signal = Hlcs_engine.Signal
+module Time = Hlcs_engine.Time
+module Bitvec = Hlcs_logic.Bitvec
+module Interp = Hlcs_hlir.Interp
+module Synthesize = Hlcs_synth.Synthesize
+module Sim = Hlcs_rtl.Sim
+module Pci_memory = Hlcs_pci.Pci_memory
+
+let default_max_time = Time.us 100_000
+
+type side = {
+  sd_kernel : Kernel.t;
+  sd_clock : Clock.t;
+  sd_in : string -> Bitvec.t Signal.t;
+  sd_out : string -> Bitvec.t Signal.t;
+  sd_synthesis : Synthesize.report option;
+}
+
+let wire_and_run ~label ~mem_seed ~latency ~max_time ~mem_bytes side =
+  let memory = Pci_memory.create ~size_bytes:mem_bytes in
+  Pci_memory.fill_pattern memory ~seed:mem_seed;
+  let (_ : Sram_device.t) =
+    Sram_device.create side.sd_kernel ~clock:side.sd_clock ~memory ~latency
+      ~addr:(side.sd_out "addr") ~wdata:(side.sd_out "wdata") ~we:(side.sd_out "we")
+      ~re:(side.sd_out "re") ~rdata:(side.sd_in "rdata") ~ready:(side.sd_in "ready")
+      ()
+  in
+  let obs = ref [] in
+  Signal.on_commit (side.sd_out "rd_obs") (fun _ v ->
+      let seq = Bitvec.to_int (Bitvec.slice v ~hi:39 ~lo:32) in
+      let word = Bitvec.to_int (Bitvec.slice v ~hi:31 ~lo:0) in
+      obs := (seq, word) :: !obs);
+  let stopper () =
+    Signal.wait_value (side.sd_out "app_done") (Bitvec.of_bool true);
+    Clock.wait_edges side.sd_clock 16;
+    Kernel.request_stop side.sd_kernel
+  in
+  ignore (Kernel.spawn side.sd_kernel ~name:"stopper" stopper);
+  let t0 = Unix.gettimeofday () in
+  Kernel.run ~max_time side.sd_kernel;
+  let wall = Unix.gettimeofday () -. t0 in
+  {
+    System.rr_label = label;
+    rr_observed = List.rev !obs;
+    rr_memory = memory;
+    rr_transactions = [];
+    rr_violations = [];
+    rr_sim_time = Kernel.now side.sd_kernel;
+    rr_deltas = Kernel.delta_count side.sd_kernel;
+    rr_cycles = Clock.cycles side.sd_clock;
+    rr_wall_seconds = wall;
+    rr_synthesis = side.sd_synthesis;
+  }
+
+let run_pin ?(label = "sram-behavioural") ?(mem_seed = 42) ?policy ?(latency = 1)
+    ?(max_time = default_max_time) ~mem_bytes ~script () =
+  let kernel = Kernel.create () in
+  let clock = Clock.create kernel ~name:"clk" ~period:System.clock_period () in
+  let design = Sram_master_design.design ?policy ~app:script () in
+  let it = Interp.elaborate kernel ~clock design in
+  wire_and_run ~label ~mem_seed ~latency ~max_time ~mem_bytes
+    {
+      sd_kernel = kernel;
+      sd_clock = clock;
+      sd_in = Interp.in_port it;
+      sd_out = Interp.out_port it;
+      sd_synthesis = None;
+    }
+
+let run_rtl ?(label = "sram-rtl") ?(mem_seed = 42) ?policy ?(latency = 1)
+    ?(max_time = default_max_time) ?options ~mem_bytes ~script () =
+  let design = Sram_master_design.design ?policy ~app:script () in
+  let report = Synthesize.synthesize ?options design in
+  let kernel = Kernel.create () in
+  let clock = Clock.create kernel ~name:"clk" ~period:System.clock_period () in
+  let sim = Sim.elaborate kernel ~clock report.Synthesize.rp_rtl in
+  wire_and_run ~label ~mem_seed ~latency ~max_time ~mem_bytes
+    {
+      sd_kernel = kernel;
+      sd_clock = clock;
+      sd_in = Sim.in_port sim;
+      sd_out = Sim.out_port sim;
+      sd_synthesis = Some report;
+    }

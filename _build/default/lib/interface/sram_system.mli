@@ -1,0 +1,30 @@
+(** Execution of the SRAM configurations — the same experiment as
+    {!System} but with the SRAM library element wired to the SRAM device
+    instead of the PCI fabric.  Reports reuse {!System.run_report} (bus
+    transaction/violation fields stay empty: the SRAM link is
+    point-to-point and needs no protocol monitor). *)
+
+val run_pin :
+  ?label:string ->
+  ?mem_seed:int ->
+  ?policy:Hlcs_osss.Policy.t ->
+  ?latency:int ->
+  ?max_time:Hlcs_engine.Time.t ->
+  mem_bytes:int ->
+  script:Hlcs_pci.Pci_types.request list ->
+  unit ->
+  System.run_report
+(** Behavioural interface + pin-level SRAM device. *)
+
+val run_rtl :
+  ?label:string ->
+  ?mem_seed:int ->
+  ?policy:Hlcs_osss.Policy.t ->
+  ?latency:int ->
+  ?max_time:Hlcs_engine.Time.t ->
+  ?options:Hlcs_synth.Synthesize.options ->
+  mem_bytes:int ->
+  script:Hlcs_pci.Pci_types.request list ->
+  unit ->
+  System.run_report
+(** Synthesised interface + pin-level SRAM device. *)

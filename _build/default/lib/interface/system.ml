@@ -1,0 +1,299 @@
+module Kernel = Hlcs_engine.Kernel
+module Clock = Hlcs_engine.Clock
+module Signal = Hlcs_engine.Signal
+module Resolved = Hlcs_engine.Resolved
+module Time = Hlcs_engine.Time
+module Vcd = Hlcs_engine.Vcd
+module Bitvec = Hlcs_logic.Bitvec
+module Lvec = Hlcs_logic.Lvec
+module Interp = Hlcs_hlir.Interp
+module Synthesize = Hlcs_synth.Synthesize
+module Sim = Hlcs_rtl.Sim
+module Pci_bus = Hlcs_pci.Pci_bus
+module Pci_pad = Hlcs_pci.Pci_pad
+module Pci_memory = Hlcs_pci.Pci_memory
+module Pci_target = Hlcs_pci.Pci_target
+module Pci_arbiter = Hlcs_pci.Pci_arbiter
+module Pci_monitor = Hlcs_pci.Pci_monitor
+module Pci_types = Hlcs_pci.Pci_types
+
+type run_report = {
+  rr_label : string;
+  rr_observed : (int * int) list;
+  rr_memory : Pci_memory.t;
+  rr_transactions : Pci_types.transaction list;
+  rr_violations : Pci_monitor.violation list;
+  rr_sim_time : Time.t;
+  rr_deltas : int;
+  rr_cycles : int;
+  rr_wall_seconds : float;
+  rr_synthesis : Synthesize.report option;
+}
+
+let clock_period = Time.ns 10
+
+let timed_run ?max_time kernel =
+  let t0 = Unix.gettimeofday () in
+  Kernel.run ?max_time kernel;
+  Unix.gettimeofday () -. t0
+
+(* ------------------------------------------------------------------ *)
+(* Configuration A: functional                                         *)
+
+let run_tlm ?(label = "tlm") ?(mem_seed = 42) ?policy ~mem_bytes ~script () =
+  let kernel = Kernel.create () in
+  let clock = Clock.create kernel ~name:"clk" ~period:clock_period () in
+  let memory = Pci_memory.create ~size_bytes:mem_bytes in
+  Pci_memory.fill_pattern memory ~seed:mem_seed;
+  let tlm =
+    Tlm.spawn kernel ~clock ~memory ?policy ~script
+      ~on_done:(fun () -> Kernel.request_stop kernel)
+      ()
+  in
+  let wall = timed_run ~max_time:(Time.us 100_000) kernel in
+  {
+    rr_label = label;
+    rr_observed = Tlm.observed tlm;
+    rr_memory = memory;
+    rr_transactions = [];
+    rr_violations = [];
+    rr_sim_time = Kernel.now kernel;
+    rr_deltas = Kernel.delta_count kernel;
+    rr_cycles = Clock.cycles clock;
+    rr_wall_seconds = wall;
+    rr_synthesis = None;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Pin-level fabric shared by configurations B and C                   *)
+
+let lv1 b = Lvec.of_bitvec (Bitvec.of_int ~width:1 (if b then 1 else 0))
+
+(* input-side glue: net (active low) -> active-high Bitvec port signal *)
+let net_to_port kernel net signal =
+  let forward () =
+    Signal.write signal (Bitvec.of_bool (Pci_bus.asserted net))
+  in
+  let body () =
+    forward ();
+    let rec loop () =
+      Kernel.wait (Resolved.changed net);
+      forward ();
+      loop ()
+    in
+    loop ()
+  in
+  ignore (Kernel.spawn kernel ~name:("glue." ^ Signal.name signal) body)
+
+(* gnt_n (bool signal, active low) -> active-high port *)
+let gnt_to_port kernel gnt_n signal =
+  let forward () = Signal.write signal (Bitvec.of_bool (not (Signal.read gnt_n))) in
+  let body () =
+    forward ();
+    let rec loop () =
+      Kernel.wait (Signal.changed gnt_n);
+      forward ();
+      loop ()
+    in
+    loop ()
+  in
+  ignore (Kernel.spawn kernel ~name:"glue.gnt" body)
+
+(* output-side glue: active-high port -> active-low net, always driven *)
+let port_to_net kernel signal net who =
+  let driver = Resolved.make_driver net who in
+  let forward () = Resolved.drive driver (lv1 (Bitvec.is_zero (Signal.read signal))) in
+  let body () =
+    forward ();
+    let rec loop () =
+      Kernel.wait (Signal.changed signal);
+      forward ();
+      loop ()
+    in
+    loop ()
+  in
+  ignore (Kernel.spawn kernel ~name:("glue." ^ who) body)
+
+(* active-high port -> active-low req_n bool signal *)
+let port_to_req kernel signal req_n =
+  let forward () = Signal.write req_n (Bitvec.is_zero (Signal.read signal)) in
+  let body () =
+    forward ();
+    let rec loop () =
+      Kernel.wait (Signal.changed signal);
+      forward ();
+      loop ()
+    in
+    loop ()
+  in
+  ignore (Kernel.spawn kernel ~name:"glue.req" body)
+
+(* cbe: raw 4-bit code, always driven *)
+let port_to_cbe kernel signal net =
+  let driver = Resolved.make_driver net "master.cbe" in
+  let forward () = Resolved.drive driver (Lvec.of_bitvec (Signal.read signal)) in
+  let body () =
+    forward ();
+    let rec loop () =
+      Kernel.wait (Signal.changed signal);
+      forward ();
+      loop ()
+    in
+    loop ()
+  in
+  ignore (Kernel.spawn kernel ~name:"glue.cbe" body)
+
+type fabric = {
+  fb_kernel : Kernel.t;
+  fb_clock : Clock.t;
+  fb_bus : Pci_bus.t;
+  fb_memory : Pci_memory.t;
+  fb_monitor : Pci_monitor.t;
+  fb_vcd : Vcd.t option;
+}
+
+let build_fabric ?vcd ?(mem_seed = 42) ?(target = Pci_target.default_config) ~mem_bytes
+    () =
+  let kernel = Kernel.create () in
+  let clock = Clock.create kernel ~name:"clk" ~period:clock_period () in
+  let bus = Pci_bus.create kernel ~clock ~masters:1 in
+  let memory = Pci_memory.create ~size_bytes:mem_bytes in
+  Pci_memory.fill_pattern memory ~seed:mem_seed;
+  let (_ : Pci_target.t) = Pci_target.create kernel ~bus ~memory target in
+  let (_ : Pci_arbiter.t) = Pci_arbiter.create kernel ~bus in
+  let monitor = Pci_monitor.create kernel ~bus in
+  let vcd =
+    Option.map
+      (fun path ->
+        let w = Vcd.create kernel ~path in
+        Pci_bus.trace_to_vcd w bus;
+        w)
+      vcd
+  in
+  {
+    fb_kernel = kernel;
+    fb_clock = clock;
+    fb_bus = bus;
+    fb_memory = memory;
+    fb_monitor = monitor;
+    fb_vcd = vcd;
+  }
+
+(* connect the design's ports (behavioural or RTL, resolved by name through
+   [in_port]/[out_port]) to the bus fabric *)
+let connect_pads fb ~in_port ~out_port =
+  let k = fb.fb_kernel in
+  let bus = fb.fb_bus in
+  net_to_port k bus.Pci_bus.frame_n (in_port "frame_busy");
+  net_to_port k bus.Pci_bus.irdy_n (in_port "irdy_busy");
+  net_to_port k bus.Pci_bus.trdy_n (in_port "trdy");
+  net_to_port k bus.Pci_bus.devsel_n (in_port "devsel");
+  net_to_port k bus.Pci_bus.stop_n (in_port "stop");
+  gnt_to_port k bus.Pci_bus.gnt_n.(0) (in_port "gnt");
+  Pci_pad.connect_in k ~net:bus.Pci_bus.ad ~signal:(in_port "ad_in") ();
+  port_to_net k (out_port "frame") bus.Pci_bus.frame_n "master.frame";
+  port_to_net k (out_port "irdy") bus.Pci_bus.irdy_n "master.irdy";
+  port_to_req k (out_port "req") bus.Pci_bus.req_n.(0);
+  port_to_cbe k (out_port "cbe_out") bus.Pci_bus.cbe;
+  Pci_pad.connect_out k ~net:bus.Pci_bus.ad ~data:(out_port "ad_out")
+    ~enable:(out_port "ad_oe") ()
+
+(* observation of the application: rd_obs changes and the done flag *)
+let observe_app fb ~out_port =
+  let obs = ref [] in
+  Signal.on_commit (out_port "rd_obs") (fun _ v ->
+      let seq = Bitvec.to_int (Bitvec.slice v ~hi:39 ~lo:32) in
+      let word = Bitvec.to_int (Bitvec.slice v ~hi:31 ~lo:0) in
+      obs := (seq, word) :: !obs);
+  let stopper () =
+    Signal.wait_value (out_port "app_done") (Bitvec.of_bool true);
+    (* drain: let the engine park and the monitor close the last txn *)
+    Clock.wait_edges fb.fb_clock 32;
+    Kernel.request_stop fb.fb_kernel
+  in
+  ignore (Kernel.spawn fb.fb_kernel ~name:"stopper" stopper);
+  obs
+
+let finish_pin ~label ~fabric ~obs ~wall ~synthesis =
+  Option.iter Vcd.close fabric.fb_vcd;
+  {
+    rr_label = label;
+    rr_observed = List.rev !obs;
+    rr_memory = fabric.fb_memory;
+    rr_transactions = Pci_monitor.transactions fabric.fb_monitor;
+    rr_violations = Pci_monitor.violations fabric.fb_monitor;
+    rr_sim_time = Kernel.now fabric.fb_kernel;
+    rr_deltas = Kernel.delta_count fabric.fb_kernel;
+    rr_cycles = Clock.cycles fabric.fb_clock;
+    rr_wall_seconds = wall;
+    rr_synthesis = synthesis;
+  }
+
+let default_max_time = Time.us 100_000
+
+let run_pin ?(label = "pin-behavioural") ?mem_seed ?policy ?vcd ?target
+    ?(max_time = default_max_time) ?design ~mem_bytes ~script () =
+  let fabric = build_fabric ?vcd ?mem_seed ?target ~mem_bytes () in
+  let design =
+    match design with
+    | Some d -> d
+    | None -> Pci_master_design.design ?policy ~app:script ()
+  in
+  let it = Interp.elaborate fabric.fb_kernel ~clock:fabric.fb_clock design in
+  connect_pads fabric ~in_port:(Interp.in_port it) ~out_port:(Interp.out_port it);
+  let obs = observe_app fabric ~out_port:(Interp.out_port it) in
+  let wall = timed_run ~max_time fabric.fb_kernel in
+  finish_pin ~label ~fabric ~obs ~wall ~synthesis:None
+
+let run_rtl ?(label = "pin-rtl") ?mem_seed ?policy ?vcd ?target
+    ?(max_time = default_max_time) ?options ?design ~mem_bytes ~script () =
+  let design =
+    match design with
+    | Some d -> d
+    | None -> Pci_master_design.design ?policy ~app:script ()
+  in
+  let report = Synthesize.synthesize ?options design in
+  let fabric = build_fabric ?vcd ?mem_seed ?target ~mem_bytes () in
+  let sim =
+    Sim.elaborate fabric.fb_kernel ~clock:fabric.fb_clock report.Synthesize.rp_rtl
+  in
+  connect_pads fabric ~in_port:(Sim.in_port sim) ~out_port:(Sim.out_port sim);
+  let obs = observe_app fabric ~out_port:(Sim.out_port sim) in
+  let wall = timed_run ~max_time fabric.fb_kernel in
+  finish_pin ~label ~fabric ~obs ~wall ~synthesis:(Some report)
+
+(* ------------------------------------------------------------------ *)
+(* Consistency checks                                                  *)
+
+let compare_runs a b =
+  let issues = ref [] in
+  let add fmt = Format.kasprintf (fun s -> issues := s :: !issues) fmt in
+  if a.rr_observed <> b.rr_observed then begin
+    let show l =
+      String.concat " "
+        (List.map (fun (s, w) -> Printf.sprintf "%d:%08x" s w) l)
+    in
+    add "observed read-backs differ: %s=[%s] %s=[%s]" a.rr_label
+      (show a.rr_observed) b.rr_label (show b.rr_observed)
+  end;
+  if not (Pci_memory.equal a.rr_memory b.rr_memory) then
+    add "final memories differ between %s and %s" a.rr_label b.rr_label;
+  List.rev !issues
+
+let compare_bus_traces a b =
+  if List.length a.rr_transactions = List.length b.rr_transactions
+     && List.for_all2 Pci_types.transaction_equal a.rr_transactions b.rr_transactions
+  then []
+  else
+    [
+      Printf.sprintf "bus transaction traces differ: %s has %d, %s has %d" a.rr_label
+        (List.length a.rr_transactions) b.rr_label (List.length b.rr_transactions);
+    ]
+
+let pp_report ppf r =
+  Format.fprintf ppf
+    "@[<v>%s: %d read-backs, %d bus txns, %d violations, %d cycles, %a simulated, %.4fs wall@]"
+    r.rr_label (List.length r.rr_observed)
+    (List.length r.rr_transactions)
+    (List.length r.rr_violations)
+    r.rr_cycles Time.pp r.rr_sim_time r.rr_wall_seconds

@@ -1,0 +1,61 @@
+module Kernel = Hlcs_engine.Kernel
+module Clock = Hlcs_engine.Clock
+module Pci_types = Hlcs_pci.Pci_types
+module Pci_memory = Hlcs_pci.Pci_memory
+module N = Interface_object.Native
+
+type timing = { cycles_per_command : int; cycles_per_word : int }
+
+let default_timing = { cycles_per_command = 2; cycles_per_word = 1 }
+
+type t = {
+  ifc : N.t;
+  mutable obs : (int * int) list;  (* newest first *)
+  mutable served : int;
+}
+
+let spawn kernel ~clock ~memory ?(timing = default_timing) ?policy ~script
+    ?(on_done = fun () -> ()) () =
+  let ifc = N.create kernel ~name:"bus_if_tlm" ?policy () in
+  let t = { ifc; obs = []; served = 0 } in
+  let engine () =
+    let rec serve () =
+      let op, len, addr = N.get_command ifc in
+      Clock.wait_edges clock timing.cycles_per_command;
+      t.served <- t.served + 1;
+      for k = 0 to len - 1 do
+        if timing.cycles_per_word > 0 then Clock.wait_edges clock timing.cycles_per_word;
+        let a = addr + (4 * k) in
+        if Bus_command.op_is_write op then
+          Pci_memory.write32 memory a (N.eng_data_get ifc)
+        else N.eng_data_put ifc (Pci_memory.read32 memory a)
+      done;
+      serve ()
+    in
+    serve ()
+  in
+  let app () =
+    let cnt = ref 0 in
+    List.iter
+      (fun (r : Pci_types.request) ->
+        match Bus_command.of_request r with
+        | None -> invalid_arg "Tlm: config commands unsupported"
+        | Some (op, len, addr) ->
+            N.put_command ifc ~op ~len ~addr;
+            if Bus_command.op_is_write op then List.iter (N.app_data_put ifc) r.rq_data
+            else
+              for _ = 1 to max 1 len do
+                let w = N.app_data_get ifc in
+                t.obs <- (!cnt land 0xFF, w) :: t.obs;
+                incr cnt
+              done)
+      script;
+    on_done ()
+  in
+  ignore (Kernel.spawn kernel ~name:"tlm_engine" engine);
+  ignore (Kernel.spawn kernel ~name:"tlm_app" app);
+  t
+
+let observed t = List.rev t.obs
+let commands_served t = t.served
+let interface_object t = t.ifc

@@ -1,0 +1,36 @@
+(** Configuration A of the communication-refinement experiment (Figure 3):
+    the {e functional} model.  The application talks to the very same
+    guarded-method interface, but the engine behind it performs the
+    transfers directly on the memory model with a loose timing budget —
+    no bus, no pins.  This is the model the paper recommends writing
+    first, "exploiting the high simulation speeds achievable with such
+    descriptions". *)
+
+type timing = {
+  cycles_per_command : int;  (** fixed overhead per command *)
+  cycles_per_word : int;  (** per data word *)
+}
+
+val default_timing : timing
+
+type t
+
+val spawn :
+  Hlcs_engine.Kernel.t ->
+  clock:Hlcs_engine.Clock.t ->
+  memory:Hlcs_pci.Pci_memory.t ->
+  ?timing:timing ->
+  ?policy:Hlcs_osss.Policy.t ->
+  script:Hlcs_pci.Pci_types.request list ->
+  ?on_done:(unit -> unit) ->
+  unit ->
+  t
+(** Creates the native interface object, the functional engine and the
+    application process replaying [script].  [on_done] fires when the
+    application has completed all requests. *)
+
+val observed : t -> (int * int) list
+(** (sequence, word) pairs read back by the application, oldest first. *)
+
+val commands_served : t -> int
+val interface_object : t -> Interface_object.Native.t

@@ -1,0 +1,1 @@
+lib/logic/logic.mli: Format

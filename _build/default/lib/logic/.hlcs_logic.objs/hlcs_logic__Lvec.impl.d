@@ -1,0 +1,1 @@
+lib/logic/lvec.ml: Array Bitvec Format List Logic String

@@ -1,0 +1,1 @@
+lib/logic/lvec.mli: Bitvec Format Logic

@@ -1,0 +1,274 @@
+(* Bit vectors are stored little-endian in 31-bit limbs so that the product
+   of two limbs fits comfortably in a 63-bit OCaml [int].  The top limb is
+   always kept masked to the declared width; every constructor and operator
+   re-establishes that invariant via [norm]. *)
+
+let limb_bits = 31
+let limb_mask = (1 lsl limb_bits) - 1
+
+type t = { w : int; limbs : int array }
+
+let limbs_for w = (w + limb_bits - 1) / limb_bits
+
+let top_mask w =
+  let r = w mod limb_bits in
+  if r = 0 then limb_mask else (1 lsl r) - 1
+
+let norm v =
+  let n = Array.length v.limbs in
+  v.limbs.(n - 1) <- v.limbs.(n - 1) land top_mask v.w;
+  v
+
+let check_width w = if w < 1 then invalid_arg "Bitvec: width must be >= 1"
+
+let zero w =
+  check_width w;
+  { w; limbs = Array.make (limbs_for w) 0 }
+
+let ones w =
+  check_width w;
+  norm { w; limbs = Array.make (limbs_for w) limb_mask }
+
+let of_int ~width n =
+  check_width width;
+  let v = zero width in
+  (* Two's-complement truncation: negative inputs fill high limbs with ones. *)
+  let fill = if n < 0 then limb_mask else 0 in
+  let rec go i x =
+    if i < Array.length v.limbs then begin
+      v.limbs.(i) <- x land limb_mask;
+      (* arithmetic shift keeps the sign so the fill propagates *)
+      go (i + 1) (if i < 62 / limb_bits then x asr limb_bits else fill)
+    end
+  in
+  go 0 n;
+  norm v
+
+let of_bool b = of_int ~width:1 (if b then 1 else 0)
+
+let width v = v.w
+
+let bit v i =
+  if i < 0 || i >= v.w then invalid_arg "Bitvec.bit: index out of range";
+  v.limbs.(i / limb_bits) land (1 lsl (i mod limb_bits)) <> 0
+
+let init w f =
+  check_width w;
+  let v = zero w in
+  for i = 0 to w - 1 do
+    if f i then
+      v.limbs.(i / limb_bits) <- v.limbs.(i / limb_bits) lor (1 lsl (i mod limb_bits))
+  done;
+  v
+
+let is_zero v = Array.for_all (fun l -> l = 0) v.limbs
+
+let to_int_opt v =
+  (* The value fits iff all limbs above the first two are zero and the
+     second limb uses at most 62 - limb_bits bits. *)
+  let n = Array.length v.limbs in
+  let fits =
+    (n <= 1 || v.limbs.(1) lsr (62 - limb_bits) = 0)
+    && (n <= 2 || Array.for_all (fun l -> l = 0) (Array.sub v.limbs 2 (n - 2)))
+  in
+  if not fits then None
+  else Some (v.limbs.(0) lor (if n > 1 then v.limbs.(1) lsl limb_bits else 0))
+
+let to_int v =
+  match to_int_opt v with
+  | Some n -> n
+  | None -> failwith "Bitvec.to_int: value does not fit in an int"
+
+let msb v = bit v (v.w - 1)
+
+let popcount v =
+  let count = ref 0 in
+  Array.iter
+    (fun l ->
+      let x = ref l in
+      while !x <> 0 do
+        incr count;
+        x := !x land (!x - 1)
+      done)
+    v.limbs;
+  !count
+
+let map2 op a b =
+  if a.w <> b.w then invalid_arg "Bitvec: width mismatch";
+  norm { w = a.w; limbs = Array.map2 op a.limbs b.limbs }
+
+let lognot v = norm { w = v.w; limbs = Array.map (fun l -> lnot l land limb_mask) v.limbs }
+let logand = map2 ( land )
+let logor = map2 ( lor )
+let logxor = map2 ( lxor )
+
+let reduce_or v = not (is_zero v)
+
+let reduce_and v =
+  let n = Array.length v.limbs in
+  let ok = ref true in
+  for i = 0 to n - 2 do
+    if v.limbs.(i) <> limb_mask then ok := false
+  done;
+  !ok && v.limbs.(n - 1) = top_mask v.w
+
+let reduce_xor v = popcount v land 1 = 1
+
+let add a b =
+  if a.w <> b.w then invalid_arg "Bitvec.add: width mismatch";
+  let r = zero a.w in
+  let carry = ref 0 in
+  for i = 0 to Array.length r.limbs - 1 do
+    let s = a.limbs.(i) + b.limbs.(i) + !carry in
+    r.limbs.(i) <- s land limb_mask;
+    carry := s lsr limb_bits
+  done;
+  norm r
+
+let neg v =
+  let r = zero v.w in
+  let carry = ref 1 in
+  for i = 0 to Array.length r.limbs - 1 do
+    let s = (lnot v.limbs.(i) land limb_mask) + !carry in
+    r.limbs.(i) <- s land limb_mask;
+    carry := s lsr limb_bits
+  done;
+  norm r
+
+let sub a b = add a (neg b)
+let succ v = add v (of_int ~width:v.w 1)
+
+let mul a b =
+  if a.w <> b.w then invalid_arg "Bitvec.mul: width mismatch";
+  let n = Array.length a.limbs in
+  let r = zero a.w in
+  for i = 0 to n - 1 do
+    if a.limbs.(i) <> 0 then begin
+      let carry = ref 0 in
+      for j = 0 to n - 1 - i do
+        (* the 62-bit product is split into low and high limb contributions *)
+        let p = a.limbs.(i) * b.limbs.(j) in
+        let s = r.limbs.(i + j) + (p land limb_mask) + !carry in
+        r.limbs.(i + j) <- s land limb_mask;
+        carry := (s lsr limb_bits) + (p lsr limb_bits)
+      done
+    end
+  done;
+  norm r
+
+let shift_left v k =
+  if k < 0 then invalid_arg "Bitvec.shift_left: negative shift";
+  if k >= v.w then zero v.w else init v.w (fun i -> i >= k && bit v (i - k))
+
+let shift_right v k =
+  if k < 0 then invalid_arg "Bitvec.shift_right: negative shift";
+  if k >= v.w then zero v.w else init v.w (fun i -> i + k < v.w && bit v (i + k))
+
+let shift_right_arith v k =
+  if k < 0 then invalid_arg "Bitvec.shift_right_arith: negative shift";
+  let sign = msb v in
+  init v.w (fun i -> if i + k < v.w then bit v (i + k) else sign)
+
+let slice v ~hi ~lo =
+  if lo < 0 || hi < lo || hi >= v.w then
+    invalid_arg
+      (Printf.sprintf "Bitvec.slice: [%d:%d] out of range for width %d" hi lo v.w);
+  init (hi - lo + 1) (fun i -> bit v (i + lo))
+
+let concat hi lo =
+  init (hi.w + lo.w) (fun i -> if i < lo.w then bit lo i else bit hi (i - lo.w))
+
+let resize v w =
+  check_width w;
+  init w (fun i -> i < v.w && bit v i)
+
+let sign_extend v w =
+  check_width w;
+  let sign = msb v in
+  init w (fun i -> if i < v.w then bit v i else sign)
+
+let equal a b = a.w = b.w && Array.for_all2 ( = ) a.limbs b.limbs
+
+let compare_unsigned a b =
+  if a.w <> b.w then invalid_arg "Bitvec.compare_unsigned: width mismatch";
+  let rec go i =
+    if i < 0 then 0
+    else if a.limbs.(i) <> b.limbs.(i) then compare a.limbs.(i) b.limbs.(i)
+    else go (i - 1)
+  in
+  go (Array.length a.limbs - 1)
+
+let compare_signed a b =
+  if a.w <> b.w then invalid_arg "Bitvec.compare_signed: width mismatch";
+  match msb a, msb b with
+  | true, false -> -1
+  | false, true -> 1
+  | _ -> compare_unsigned a b
+
+let lt a b = compare_unsigned a b < 0
+let le a b = compare_unsigned a b <= 0
+
+let to_signed_int v =
+  if msb v then
+    match to_int_opt (neg v) with
+    | Some n when n >= 0 -> -n
+    | Some _ | None -> failwith "Bitvec.to_signed_int: value does not fit"
+  else to_int v
+
+let to_bin_string v = String.init v.w (fun i -> if bit v (v.w - 1 - i) then '1' else '0')
+
+let to_hex_string v =
+  let digits = (v.w + 3) / 4 in
+  String.init digits (fun i ->
+      let lo = (digits - 1 - i) * 4 in
+      let hi = min (lo + 3) (v.w - 1) in
+      "0123456789abcdef".[to_int (slice v ~hi ~lo)])
+
+let to_bool_list v = List.init v.w (fun i -> bit v (v.w - 1 - i))
+
+let of_digits ~width ~base digits =
+  let v = ref (zero width) in
+  let base_v = of_int ~width base in
+  String.iter
+    (fun c ->
+      if c <> '_' then begin
+        let d =
+          match c with
+          | '0' .. '9' -> Char.code c - Char.code '0'
+          | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+          | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+          | _ -> invalid_arg (Printf.sprintf "Bitvec.of_string: bad digit %C" c)
+        in
+        if d >= base then invalid_arg (Printf.sprintf "Bitvec.of_string: bad digit %C" c);
+        v := add (mul !v base_v) (of_int ~width d)
+      end)
+    digits;
+  !v
+
+let count_digits s = String.fold_left (fun n c -> if c = '_' then n else n + 1) 0 s
+
+let of_string s =
+  let fail () = invalid_arg (Printf.sprintf "Bitvec.of_string: %S" s) in
+  match String.index_opt s '\'' with
+  | Some q ->
+      let width = try int_of_string (String.sub s 0 q) with Failure _ -> fail () in
+      if width < 1 || q + 1 >= String.length s then fail ();
+      let digits = String.sub s (q + 2) (String.length s - q - 2) in
+      let base =
+        match s.[q + 1] with
+        | 'b' | 'B' -> 2
+        | 'h' | 'H' | 'x' | 'X' -> 16
+        | 'd' | 'D' -> 10
+        | _ -> fail ()
+      in
+      of_digits ~width ~base digits
+  | None ->
+      if String.length s > 2 && s.[0] = '0' && (s.[1] = 'b' || s.[1] = 'B') then
+        let digits = String.sub s 2 (String.length s - 2) in
+        of_digits ~width:(max 1 (count_digits digits)) ~base:2 digits
+      else if String.length s > 2 && s.[0] = '0' && (s.[1] = 'x' || s.[1] = 'X') then
+        let digits = String.sub s 2 (String.length s - 2) in
+        of_digits ~width:(max 1 (4 * count_digits digits)) ~base:16 digits
+      else fail ()
+
+let pp ppf v = Format.fprintf ppf "%d'h%s" v.w (to_hex_string v)

@@ -1,0 +1,109 @@
+(** Arbitrary-width two-valued bit vectors with two's-complement wrap-around
+    arithmetic, the value type used by the behavioural IR, the RT-level
+    netlists and the RTL simulator.
+
+    A value carries its width; all arithmetic is performed modulo
+    [2^width].  Binary operators require operands of equal width and raise
+    [Invalid_argument] otherwise, mirroring the width discipline a hardware
+    description imposes. *)
+
+type t
+
+(** {1 Construction} *)
+
+val zero : int -> t
+(** [zero w] is the all-zero vector of width [w].  Width must be >= 1. *)
+
+val ones : int -> t
+(** [ones w] is the all-one vector of width [w]. *)
+
+val of_int : width:int -> int -> t
+(** [of_int ~width n] truncates the two's-complement representation of [n]
+    to [width] bits (so [-1] gives all ones). *)
+
+val of_bool : bool -> t
+(** One-bit vector. *)
+
+val of_string : string -> t
+(** Parses ["<width>'b<bits>"], ["<width>'h<hex>"], ["<width>'d<dec>"]
+    (Verilog style), or bare ["0b..."] / ["0x..."] whose width is the number
+    of digits times the digit width.  Underscores are ignored.
+    @raise Invalid_argument on malformed input. *)
+
+val init : int -> (int -> bool) -> t
+(** [init w f] builds a vector whose bit [i] (0 = LSB) is [f i]. *)
+
+(** {1 Observation} *)
+
+val width : t -> int
+val bit : t -> int -> bool
+(** [bit v i] is bit [i], LSB first. @raise Invalid_argument if out of range. *)
+
+val is_zero : t -> bool
+val to_int : t -> int
+(** Unsigned value. @raise Failure if it does not fit in an OCaml [int]. *)
+
+val to_int_opt : t -> int option
+val to_signed_int : t -> int
+(** Two's-complement value. @raise Failure if it does not fit. *)
+
+val popcount : t -> int
+val to_bin_string : t -> string
+val to_hex_string : t -> string
+val to_bool_list : t -> bool list
+(** MSB first. *)
+
+(** {1 Bitwise operations} *)
+
+val lognot : t -> t
+val logand : t -> t -> t
+val logor : t -> t -> t
+val logxor : t -> t -> t
+val reduce_or : t -> bool
+val reduce_and : t -> bool
+val reduce_xor : t -> bool
+
+(** {1 Arithmetic (modulo [2^width])} *)
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val neg : t -> t
+val mul : t -> t -> t
+val succ : t -> t
+
+(** {1 Shifts} *)
+
+val shift_left : t -> int -> t
+val shift_right : t -> int -> t
+(** Logical (zero-filling). *)
+
+val shift_right_arith : t -> int -> t
+
+(** {1 Structure} *)
+
+val slice : t -> hi:int -> lo:int -> t
+(** [slice v ~hi ~lo] extracts bits [hi..lo] inclusive as a vector of width
+    [hi - lo + 1]. *)
+
+val concat : t -> t -> t
+(** [concat hi lo]: [hi] becomes the most significant part. *)
+
+val resize : t -> int -> t
+(** Zero-extend or truncate to the given width. *)
+
+val sign_extend : t -> int -> t
+(** Sign-extend (or truncate) to the given width. *)
+
+(** {1 Comparison} *)
+
+val equal : t -> t -> bool
+(** Value and width equality. *)
+
+val compare_unsigned : t -> t -> int
+val compare_signed : t -> t -> int
+val lt : t -> t -> bool
+val le : t -> t -> bool
+(** Unsigned comparisons; equal widths required. *)
+
+val pp : Format.formatter -> t -> unit
+(** Prints as ["<width>'h<hex>"]. *)

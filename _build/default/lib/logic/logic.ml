@@ -1,0 +1,61 @@
+type t = Zero | One | X | Z
+
+let resolve a b =
+  match a, b with
+  | Z, v | v, Z -> v
+  | Zero, Zero -> Zero
+  | One, One -> One
+  | Zero, One | One, Zero -> X
+  | X, (Zero | One | X) | (Zero | One), X -> X
+
+let resolve_all vs = List.fold_left resolve Z vs
+
+let logic_not = function
+  | Zero -> One
+  | One -> Zero
+  | X | Z -> X
+
+let logic_and a b =
+  match a, b with
+  | Zero, (Zero | One | X | Z) | (One | X | Z), Zero -> Zero
+  | One, One -> One
+  | (X | Z), (One | X | Z) | One, (X | Z) -> X
+
+let logic_or a b =
+  match a, b with
+  | One, (Zero | One | X | Z) | (Zero | X | Z), One -> One
+  | Zero, Zero -> Zero
+  | (X | Z), (Zero | X | Z) | Zero, (X | Z) -> X
+
+let logic_xor a b =
+  match a, b with
+  | Zero, Zero | One, One -> Zero
+  | Zero, One | One, Zero -> One
+  | (X | Z), (Zero | One | X | Z) | (Zero | One), (X | Z) -> X
+
+let of_bool b = if b then One else Zero
+
+let to_bool = function
+  | Zero -> Some false
+  | One -> Some true
+  | X | Z -> None
+
+let is_defined = function
+  | Zero | One -> true
+  | X | Z -> false
+
+let of_char = function
+  | '0' -> Zero
+  | '1' -> One
+  | 'x' | 'X' -> X
+  | 'z' | 'Z' -> Z
+  | c -> invalid_arg (Printf.sprintf "Logic.of_char: %C" c)
+
+let to_char = function
+  | Zero -> '0'
+  | One -> '1'
+  | X -> 'x'
+  | Z -> 'z'
+
+let equal (a : t) (b : t) = a = b
+let pp ppf v = Format.pp_print_char ppf (to_char v)

@@ -1,0 +1,42 @@
+(** Four-valued scalar logic in the IEEE-1164 tradition, restricted to the
+    four values actually needed to model a shared bus with pull-ups:
+    strong zero, strong one, unknown and high impedance. *)
+
+type t =
+  | Zero  (** driven low *)
+  | One   (** driven high *)
+  | X     (** unknown / conflict *)
+  | Z     (** not driven *)
+
+(** [resolve a b] combines two drivers of the same net.  [Z] yields to any
+    other value; two equal strong values agree; conflicting strong values or
+    any [X] produce [X]. *)
+val resolve : t -> t -> t
+
+(** [resolve_all vs] folds {!resolve} over a list of drivers.  An empty or
+    all-[Z] list resolves to [Z]. *)
+val resolve_all : t list -> t
+
+(** Logical operators follow the usual pessimistic 4-valued tables: [Z]
+    behaves as [X] when used as an operand. *)
+
+val logic_not : t -> t
+val logic_and : t -> t -> t
+val logic_or : t -> t -> t
+val logic_xor : t -> t -> t
+
+val of_bool : bool -> t
+
+(** [to_bool v] is [Some] for driven values, [None] for [X] and [Z]. *)
+val to_bool : t -> bool option
+
+(** [is_defined v] is true iff [v] is [Zero] or [One]. *)
+val is_defined : t -> bool
+
+val of_char : char -> t
+(** [of_char] accepts ['0'], ['1'], ['x'], ['X'], ['z'], ['Z'].
+    @raise Invalid_argument otherwise. *)
+
+val to_char : t -> char
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

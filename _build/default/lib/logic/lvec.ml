@@ -1,0 +1,63 @@
+(* Stored LSB-first, matching Bitvec's bit order. *)
+
+type t = Logic.t array
+
+let check_width w = if w < 1 then invalid_arg "Lvec: width must be >= 1"
+
+let make w v =
+  check_width w;
+  Array.make w v
+
+let all_z w = make w Logic.Z
+let all_x w = make w Logic.X
+let width = Array.length
+
+let get v i =
+  if i < 0 || i >= Array.length v then invalid_arg "Lvec.get: index out of range";
+  v.(i)
+
+let set v i b =
+  if i < 0 || i >= Array.length v then invalid_arg "Lvec.set: index out of range";
+  let v' = Array.copy v in
+  v'.(i) <- b;
+  v'
+
+let init w f =
+  check_width w;
+  Array.init w f
+
+let of_bitvec bv = Array.init (Bitvec.width bv) (fun i -> Logic.of_bool (Bitvec.bit bv i))
+
+let is_fully_defined v = Array.for_all Logic.is_defined v
+let has_x v = Array.exists (fun b -> b = Logic.X) v
+
+let to_bitvec v =
+  if is_fully_defined v then
+    Some (Bitvec.init (Array.length v) (fun i -> v.(i) = Logic.One))
+  else None
+
+let to_bitvec_exn v =
+  match to_bitvec v with
+  | Some bv -> bv
+  | None -> failwith "Lvec.to_bitvec_exn: vector contains X or Z bits"
+
+let resolve a b =
+  if Array.length a <> Array.length b then invalid_arg "Lvec.resolve: width mismatch";
+  Array.map2 Logic.resolve a b
+
+let resolve_all ~width:w drivers = List.fold_left resolve (all_z w) drivers
+
+let pull_up v = Array.map (fun b -> if b = Logic.Z then Logic.One else b) v
+
+let equal a b = Array.length a = Array.length b && Array.for_all2 Logic.equal a b
+
+let of_string s =
+  let n = String.length s in
+  check_width n;
+  Array.init n (fun i -> Logic.of_char s.[n - 1 - i])
+
+let to_string v =
+  let n = Array.length v in
+  String.init n (fun i -> Logic.to_char v.(n - 1 - i))
+
+let pp ppf v = Format.pp_print_string ppf (to_string v)

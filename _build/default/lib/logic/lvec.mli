@@ -1,0 +1,46 @@
+(** Four-valued vectors: the value type of tri-state bus nets such as the
+    PCI AD lines, where several drivers contribute and undriven nets float
+    to [Z] (or to a pulled-up [One] at the net level). *)
+
+type t
+
+val make : int -> Logic.t -> t
+(** [make w v] is a width-[w] vector with every bit equal to [v]. *)
+
+val all_z : int -> t
+val all_x : int -> t
+val width : t -> int
+val get : t -> int -> Logic.t
+(** LSB first. @raise Invalid_argument if out of range. *)
+
+val set : t -> int -> Logic.t -> t
+(** Functional update. *)
+
+val init : int -> (int -> Logic.t) -> t
+val of_bitvec : Bitvec.t -> t
+val to_bitvec : t -> Bitvec.t option
+(** [Some] iff every bit is driven ([Zero]/[One]). *)
+
+val to_bitvec_exn : t -> Bitvec.t
+(** @raise Failure when some bit is [X] or [Z]. *)
+
+val is_fully_defined : t -> bool
+val has_x : t -> bool
+val resolve : t -> t -> t
+(** Bitwise {!Logic.resolve}; widths must match. *)
+
+val resolve_all : width:int -> t list -> t
+(** Resolves a list of drivers; an empty list gives all-[Z]. *)
+
+val pull_up : t -> t
+(** Replaces every [Z] bit with [One] — models the PCI sustained tri-state
+    pull-ups that keep control lines deasserted when nobody drives them. *)
+
+val equal : t -> t -> bool
+val of_string : string -> t
+(** MSB first, e.g. ["10zx"]. *)
+
+val to_string : t -> string
+(** MSB first. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/osss/barrier.ml: Global_object

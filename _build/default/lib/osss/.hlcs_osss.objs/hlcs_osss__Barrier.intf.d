@@ -1,0 +1,1 @@
+lib/osss/barrier.mli: Hlcs_engine

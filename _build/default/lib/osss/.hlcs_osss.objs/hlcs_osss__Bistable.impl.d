@@ -1,0 +1,1 @@
+lib/osss/bistable.ml: Global_object

@@ -1,0 +1,1 @@
+lib/osss/bistable.mli: Global_object Hlcs_engine

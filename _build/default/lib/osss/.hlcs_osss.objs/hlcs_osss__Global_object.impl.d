@@ -1,0 +1,1 @@
+lib/osss/global_object.ml: Hlcs_engine List Policy

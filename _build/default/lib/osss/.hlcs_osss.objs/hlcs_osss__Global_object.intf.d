@@ -1,0 +1,1 @@
+lib/osss/global_object.mli: Hlcs_engine Policy

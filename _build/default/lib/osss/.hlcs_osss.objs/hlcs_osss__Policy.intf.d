@@ -1,0 +1,1 @@
+lib/osss/policy.mli: Format

@@ -1,0 +1,1 @@
+lib/osss/shared_fifo.ml: Global_object List Option

@@ -1,0 +1,1 @@
+lib/osss/shared_register.ml: Global_object

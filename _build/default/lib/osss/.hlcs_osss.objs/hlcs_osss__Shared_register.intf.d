@@ -1,0 +1,1 @@
+lib/osss/shared_register.mli: Global_object Hlcs_engine Policy

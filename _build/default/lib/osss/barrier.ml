@@ -1,0 +1,32 @@
+(* Two-phase barrier state: [arriving] counts the processes that reached
+   the barrier, [leaving] counts those still inside after release.  An
+   arrival is guarded on "the previous round fully drained"; the departure
+   is guarded on "everyone arrived". *)
+
+type state = { arrived : int; draining : int; rounds : int }
+
+type t = { go : state Global_object.t; n : int }
+
+let create kernel ~name ~parties =
+  if parties < 1 then invalid_arg "Barrier.create: parties must be >= 1";
+  {
+    go = Global_object.create kernel ~name { arrived = 0; draining = 0; rounds = 0 };
+    n = parties;
+  }
+
+let await t =
+  (* phase 1: register arrival, blocked while the previous round drains *)
+  Global_object.call t.go ~meth:"arrive"
+    ~guard:(fun st -> st.draining = 0)
+    (fun st ->
+      let arrived = st.arrived + 1 in
+      if arrived = t.n then
+        ({ arrived = 0; draining = t.n; rounds = st.rounds + 1 }, ())
+      else ({ st with arrived }, ()));
+  (* phase 2: leave once the round is complete *)
+  Global_object.call t.go ~meth:"leave"
+    ~guard:(fun st -> st.draining > 0)
+    (fun st -> ({ st with draining = st.draining - 1 }, ()))
+
+let rounds_completed t = (Global_object.peek t.go).rounds
+let parties t = t.n

@@ -1,0 +1,16 @@
+(** An N-way synchronisation barrier built from one global object — a
+    two-phase counter whose guards keep late arrivals of the next round
+    from overtaking the current one.  Demonstrates that the guarded-method
+    semantics is strong enough to express classic synchronisation without
+    any new kernel primitives. *)
+
+type t
+
+val create : Hlcs_engine.Kernel.t -> name:string -> parties:int -> t
+(** @raise Invalid_argument if [parties < 1]. *)
+
+val await : t -> unit
+(** Blocks until all [parties] processes of the current round arrived. *)
+
+val rounds_completed : t -> int
+val parties : t -> int

@@ -1,0 +1,16 @@
+type t = bool Global_object.t
+
+let create kernel ~name = Global_object.create kernel ~name false
+let obj t = t
+let connect = Global_object.connect
+
+let always _ = true
+
+let set t = Global_object.call t ~meth:"set" ~guard:always (fun _ -> (true, ()))
+let reset t = Global_object.call t ~meth:"reset" ~guard:always (fun _ -> (false, ()))
+
+let get_state t =
+  Global_object.call t ~meth:"get_state" ~guard:always (fun st -> (st, st))
+
+let wait_until_set t =
+  Global_object.call t ~meth:"wait_until_set" ~guard:(fun st -> st) (fun st -> (st, ()))

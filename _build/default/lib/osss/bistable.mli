@@ -1,0 +1,24 @@
+(** The paper's Figure-1 example: a shared bistable implemented as a global
+    object.  Instances placed in different modules and connected observe one
+    another's [set]/[reset] through the shared state space. *)
+
+type t
+
+val create : Hlcs_engine.Kernel.t -> name:string -> t
+(** Initial state is [false]. *)
+
+val obj : t -> bool Global_object.t
+val connect : t -> t -> unit
+
+val set : t -> unit
+(** Guarded method (guard [true]): drive the state to one. *)
+
+val reset : t -> unit
+
+val get_state : t -> bool
+(** Guarded method (guard [true]): observe the shared state. *)
+
+val wait_until_set : t -> unit
+(** A call guarded on the state itself: blocks the caller until some
+    connected instance performs {!set} — the blocking behaviour the paper
+    exploits for synchronisation. *)

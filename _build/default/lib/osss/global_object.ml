@@ -1,0 +1,174 @@
+module Kernel = Hlcs_engine.Kernel
+module Time = Hlcs_engine.Time
+
+type grant_info = {
+  gi_object : string;
+  gi_method : string;
+  gi_caller : Kernel.proc_id;
+  gi_wait : Time.t;
+  gi_time : Time.t;
+}
+
+type 'st pending = { preq : Policy.request; pguard : 'st -> bool }
+
+(* Connected instances share a [core]; [connect] unions cores through
+   [redirect] pointers with path compression, so every instance observes
+   the same state, queue and arbiter. *)
+type 'st core = {
+  co_name : string;
+  co_kernel : Kernel.t;
+  co_policy : Policy.t;
+  mutable co_state : 'st;
+  mutable co_pending : 'st pending list;  (** in arrival order *)
+  retry : Kernel.event;
+  mutable co_seq : int;
+  mutable co_last_granted : int;
+  mutable co_busy : bool;
+  mutable co_calls : int;
+  mutable co_total_wait : Time.t;
+  mutable co_max_wait : Time.t;
+  mutable co_hooks : (grant_info -> unit) list;
+  mutable co_redirect : 'st core option;
+}
+
+type 'st t = { mutable root : 'st core }
+
+let rec find c =
+  match c.co_redirect with
+  | None -> c
+  | Some parent ->
+      let root = find parent in
+      c.co_redirect <- Some root;
+      root
+
+let core t =
+  let c = find t.root in
+  t.root <- c;
+  c
+
+let create kernel ~name ?(policy = Policy.Fcfs) init =
+  {
+    root =
+      {
+        co_name = name;
+        co_kernel = kernel;
+        co_policy = policy;
+        co_state = init;
+        co_pending = [];
+        retry = Kernel.make_event kernel (name ^ ".retry");
+        co_seq = 0;
+        co_last_granted = -1;
+        co_busy = false;
+        co_calls = 0;
+        co_total_wait = Time.zero;
+        co_max_wait = Time.zero;
+        co_hooks = [];
+        co_redirect = None;
+      };
+  }
+
+let name t = (core t).co_name
+let kernel t = (core t).co_kernel
+let policy t = (core t).co_policy
+
+let connect a b =
+  let ca = core a and cb = core b in
+  if ca != cb then begin
+    if ca.co_pending <> [] || cb.co_pending <> [] then
+      invalid_arg "Global_object.connect: cannot connect objects with queued callers";
+    cb.co_redirect <- Some ca;
+    ca.co_hooks <- ca.co_hooks @ cb.co_hooks;
+    b.root <- ca
+  end
+
+let connected a b = core a == core b
+
+let record_grant c ~meth ~caller ~enqueued_at =
+  let now = Kernel.now c.co_kernel in
+  let waited = Time.sub now enqueued_at in
+  c.co_calls <- c.co_calls + 1;
+  c.co_total_wait <- Time.add c.co_total_wait waited;
+  if Time.compare waited c.co_max_wait > 0 then c.co_max_wait <- waited;
+  let info =
+    {
+      gi_object = c.co_name;
+      gi_method = meth;
+      gi_caller = caller;
+      gi_wait = waited;
+      gi_time = now;
+    }
+  in
+  List.iter (fun f -> f info) c.co_hooks
+
+(* A caller owns the grant when the object is free, and the arbiter picks
+   its request among all queued requests whose guards hold on the current
+   state. *)
+let chosen c seq =
+  (not c.co_busy)
+  &&
+  let eligible =
+    List.filter_map
+      (fun p -> if p.pguard c.co_state then Some p.preq else None)
+      c.co_pending
+  in
+  match Policy.select c.co_policy ~last_granted:c.co_last_granted eligible with
+  | Some winner -> winner.Policy.rq_seq = seq
+  | None -> false
+
+let execute c ~meth ~caller ~enqueued_at body =
+  c.co_busy <- true;
+  let state', result = body c.co_state in
+  c.co_state <- state';
+  c.co_busy <- false;
+  c.co_last_granted <- caller;
+  record_grant c ~meth ~caller ~enqueued_at;
+  (* The state may have unblocked other guards: re-evaluate next delta. *)
+  Kernel.notify_delta c.retry;
+  result
+
+let call t ~meth ?(priority = 0) ~guard body =
+  let c = core t in
+  let caller = Kernel.current_proc c.co_kernel in
+  let seq = c.co_seq in
+  c.co_seq <- seq + 1;
+  let req =
+    { preq = { Policy.rq_seq = seq; rq_caller = caller; rq_priority = priority };
+      pguard = guard }
+  in
+  c.co_pending <- c.co_pending @ [ req ];
+  let enqueued_at = Kernel.now c.co_kernel in
+  (* Arbitration happens at the next delta boundary: even an uncontended
+     call costs one delta, like the synthesised handshake costs a cycle. *)
+  Kernel.notify_delta c.retry;
+  let rec attempt () =
+    Kernel.wait c.retry;
+    if chosen c seq then begin
+      c.co_pending <-
+        List.filter (fun p -> p.preq.Policy.rq_seq <> seq) c.co_pending;
+      execute c ~meth ~caller ~enqueued_at body
+    end
+    else attempt ()
+  in
+  attempt ()
+
+let try_call t ~meth ~guard body =
+  let c = core t in
+  if (not c.co_busy) && guard c.co_state then begin
+    let caller =
+      (* try_call may be used from elaboration code too *)
+      match Kernel.current_proc c.co_kernel with
+      | pid -> pid
+      | exception Failure _ -> -1
+    in
+    let now = Kernel.now c.co_kernel in
+    Some (execute c ~meth ~caller ~enqueued_at:now body)
+  end
+  else None
+
+let peek t = (core t).co_state
+let poke t st = (core t).co_state <- st
+let on_grant t f = (core t).co_hooks <- f :: (core t).co_hooks
+let calls_granted t = (core t).co_calls
+let total_wait t = (core t).co_total_wait
+let max_wait t = (core t).co_max_wait
+let pending_calls t = List.length (core t).co_pending

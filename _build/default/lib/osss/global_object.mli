@@ -1,0 +1,78 @@
+(** SystemC+ / OSSS {e global objects}: the paper's high-level communication
+    primitive.
+
+    A global object encapsulates a state space and a set of {e guarded
+    methods}.  Several instances placed in different modules can be
+    {!connect}ed, after which they share one state space: "a change in the
+    state space of an object is reflected in the state space of the others".
+    A call whose guard is false suspends the caller until the guard becomes
+    true; simultaneous calls are queued and granted one at a time according
+    to the object's {!Policy.t}.
+
+    Method bodies are atomic state transformers ['st -> 'st * 'a]: they run
+    in zero simulated time while the object is held, which is exactly the
+    synthesisable subset (single-cycle method bodies) the ODETTE tool
+    accepts. *)
+
+type 'st t
+
+type grant_info = {
+  gi_object : string;
+  gi_method : string;
+  gi_caller : Hlcs_engine.Kernel.proc_id;
+  gi_wait : Hlcs_engine.Time.t;  (** time between call and grant *)
+  gi_time : Hlcs_engine.Time.t;  (** grant time *)
+}
+
+val create :
+  Hlcs_engine.Kernel.t ->
+  name:string ->
+  ?policy:Policy.t ->
+  'st ->
+  'st t
+(** [policy] defaults to {!Policy.Fcfs}. *)
+
+val name : 'st t -> string
+val kernel : 'st t -> Hlcs_engine.Kernel.t
+val policy : 'st t -> Policy.t
+
+val connect : 'st t -> 'st t -> unit
+(** Merges the two state spaces (the first object's current state and policy
+    win).  Must happen at elaboration time, i.e. before any call is pending.
+    @raise Invalid_argument if either object has queued callers. *)
+
+val connected : 'st t -> 'st t -> bool
+
+val call :
+  'st t ->
+  meth:string ->
+  ?priority:int ->
+  guard:('st -> bool) ->
+  ('st -> 'st * 'a) ->
+  'a
+(** Blocking guarded call; must run inside a kernel process.  Suspends until
+    the guard holds and the arbiter grants this caller, then applies the
+    body atomically.  A call always costs at least one delta cycle, modelling
+    the synchronisation the synthesised handshake performs. *)
+
+val try_call :
+  'st t -> meth:string -> guard:('st -> bool) -> ('st -> 'st * 'a) -> 'a option
+(** Non-blocking probe: executes immediately if the object is free and the
+    guard holds, bypassing the queue; [None] otherwise. *)
+
+val peek : 'st t -> 'st
+(** Testing/debug access to the current shared state (not synthesisable). *)
+
+val poke : 'st t -> 'st -> unit
+(** Testing/debug override of the shared state (not synthesisable). *)
+
+val on_grant : 'st t -> (grant_info -> unit) -> unit
+(** Observation hook fired at every granted call (used for traces and the
+    latency benchmarks). *)
+
+(** {1 Statistics} *)
+
+val calls_granted : 'st t -> int
+val total_wait : 'st t -> Hlcs_engine.Time.t
+val max_wait : 'st t -> Hlcs_engine.Time.t
+val pending_calls : 'st t -> int

@@ -1,0 +1,43 @@
+type t = Fcfs | Static_priority | Round_robin
+
+type request = { rq_seq : int; rq_caller : int; rq_priority : int }
+
+let min_by better = function
+  | [] -> None
+  | first :: rest ->
+      Some (List.fold_left (fun acc r -> if better r acc then r else acc) first rest)
+
+let select policy ~last_granted eligible =
+  match policy with
+  | Fcfs -> min_by (fun a b -> a.rq_seq < b.rq_seq) eligible
+  | Static_priority ->
+      let better a b =
+        a.rq_priority > b.rq_priority
+        || (a.rq_priority = b.rq_priority && a.rq_seq < b.rq_seq)
+      in
+      min_by better eligible
+  | Round_robin ->
+      (* Grant the eligible caller with the smallest identity strictly above
+         the last grantee, wrapping around: a textbook rotating-priority
+         arbiter. *)
+      let after = List.filter (fun r -> r.rq_caller > last_granted) eligible in
+      let pool = if after = [] then eligible else after in
+      min_by
+        (fun a b ->
+          a.rq_caller < b.rq_caller
+          || (a.rq_caller = b.rq_caller && a.rq_seq < b.rq_seq))
+        pool
+
+let to_string = function
+  | Fcfs -> "fcfs"
+  | Static_priority -> "priority"
+  | Round_robin -> "round-robin"
+
+let of_string = function
+  | "fcfs" -> Some Fcfs
+  | "priority" -> Some Static_priority
+  | "round-robin" | "rr" -> Some Round_robin
+  | _ -> None
+
+let all = [ Fcfs; Static_priority; Round_robin ]
+let pp ppf p = Format.pp_print_string ppf (to_string p)

@@ -1,0 +1,26 @@
+(** Scheduling algorithms for concurrent guarded-method calls on a shared
+    global object.  The paper specifies that simultaneous calls "are queued
+    and scheduled according to a user defined algorithm"; these are the
+    three algorithms the library ships (and synthesises). *)
+
+type t =
+  | Fcfs  (** grant in arrival order *)
+  | Static_priority  (** highest caller priority first, arrival order ties *)
+  | Round_robin  (** rotate grants across caller identities *)
+
+type request = {
+  rq_seq : int;  (** arrival order, unique and increasing *)
+  rq_caller : int;  (** process identity *)
+  rq_priority : int;  (** larger = more urgent (Static_priority only) *)
+}
+
+val select : t -> last_granted:int -> request list -> request option
+(** [select policy ~last_granted eligible] picks the next request to grant
+    among [eligible] (all guards already true), or [None] when the list is
+    empty.  [last_granted] is the caller granted most recently (-1
+    initially), used by [Round_robin]. *)
+
+val to_string : t -> string
+val of_string : string -> t option
+val all : t list
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,44 @@
+(* State = queue contents, oldest first.  Append on put keeps bodies O(n)
+   for the small capacities used in interface buffers. *)
+
+type 'a t = { fifo : 'a list Global_object.t; cap : int }
+
+let create kernel ~name ~capacity ?policy () =
+  if capacity < 1 then invalid_arg "Shared_fifo.create: capacity must be >= 1";
+  { fifo = Global_object.create kernel ~name ?policy []; cap = capacity }
+
+let obj t = t.fifo
+
+let connect a b =
+  if a.cap <> b.cap then invalid_arg "Shared_fifo.connect: capacity mismatch";
+  Global_object.connect a.fifo b.fifo
+
+let put t ?priority x =
+  Global_object.call t.fifo ~meth:"put" ?priority
+    ~guard:(fun q -> List.length q < t.cap)
+    (fun q -> (q @ [ x ], ()))
+
+let get t ?priority () =
+  Global_object.call t.fifo ~meth:"get" ?priority
+    ~guard:(fun q -> q <> [])
+    (fun q ->
+      match q with
+      | x :: rest -> (rest, x)
+      | [] -> assert false)
+
+let try_put t x =
+  Global_object.try_call t.fifo ~meth:"put"
+    ~guard:(fun q -> List.length q < t.cap)
+    (fun q -> (q @ [ x ], ()))
+  |> Option.is_some
+
+let try_get t =
+  Global_object.try_call t.fifo ~meth:"get"
+    ~guard:(fun q -> q <> [])
+    (fun q ->
+      match q with
+      | x :: rest -> (rest, x)
+      | [] -> assert false)
+
+let length t = List.length (Global_object.peek t.fifo)
+let capacity t = t.cap

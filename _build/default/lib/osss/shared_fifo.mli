@@ -1,0 +1,28 @@
+(** A bounded FIFO as a global object — the canonical OSSS shared-resource
+    example, and the shape of the command buffer inside the paper's bus
+    interface: [put] is guarded on "not full", [get] on "not empty", giving
+    blocking producer/consumer semantics for free. *)
+
+type 'a t
+
+val create :
+  Hlcs_engine.Kernel.t ->
+  name:string ->
+  capacity:int ->
+  ?policy:Policy.t ->
+  unit ->
+  'a t
+
+val obj : 'a t -> 'a list Global_object.t
+val connect : 'a t -> 'a t -> unit
+
+val put : 'a t -> ?priority:int -> 'a -> unit
+(** Blocks while the FIFO is full. *)
+
+val get : 'a t -> ?priority:int -> unit -> 'a
+(** Blocks while the FIFO is empty. *)
+
+val try_put : 'a t -> 'a -> bool
+val try_get : 'a t -> 'a option
+val length : 'a t -> int
+val capacity : 'a t -> int

@@ -1,0 +1,19 @@
+type 'a t = 'a Global_object.t
+
+let create kernel ~name ?policy init = Global_object.create kernel ~name ?policy init
+let obj t = t
+let connect = Global_object.connect
+
+let always _ = true
+
+let write t ?priority v =
+  Global_object.call t ~meth:"write" ?priority ~guard:always (fun _ -> (v, ()))
+
+let read t ?priority () =
+  Global_object.call t ~meth:"read" ?priority ~guard:always (fun st -> (st, st))
+
+let wait_for t ?priority pred =
+  Global_object.call t ~meth:"wait_for" ?priority ~guard:pred (fun st -> (st, st))
+
+let modify t ?priority f =
+  Global_object.call t ~meth:"modify" ?priority ~guard:always (fun st -> (f st, st))

@@ -1,0 +1,25 @@
+(** A shared register as a global object: unconditional read/write plus
+    guarded waits on its value — the "status register" idiom used between
+    an application and an interface (e.g. polling a done flag without any
+    signal-level coding). *)
+
+type 'a t
+
+val create :
+  Hlcs_engine.Kernel.t -> name:string -> ?policy:Policy.t -> 'a -> 'a t
+
+val obj : 'a t -> 'a Global_object.t
+val connect : 'a t -> 'a t -> unit
+
+val write : 'a t -> ?priority:int -> 'a -> unit
+(** Guarded method with guard [true]: never blocks (beyond arbitration). *)
+
+val read : 'a t -> ?priority:int -> unit -> 'a
+
+val wait_for : 'a t -> ?priority:int -> ('a -> bool) -> 'a
+(** Blocks the caller until the predicate holds; returns the satisfying
+    value.  The predicate is the method's guard, re-evaluated whenever a
+    connected instance writes. *)
+
+val modify : 'a t -> ?priority:int -> ('a -> 'a) -> 'a
+(** Atomic read-modify-write; returns the previous value. *)

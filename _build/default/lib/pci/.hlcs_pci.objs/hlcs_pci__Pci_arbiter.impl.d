@@ -1,0 +1,1 @@
+lib/pci/pci_arbiter.ml: Array Hlcs_engine Pci_bus

@@ -1,0 +1,1 @@
+lib/pci/pci_arbiter.mli: Hlcs_engine Pci_bus

@@ -1,0 +1,1 @@
+lib/pci/pci_bus.ml: Array Hlcs_engine Hlcs_logic Printf

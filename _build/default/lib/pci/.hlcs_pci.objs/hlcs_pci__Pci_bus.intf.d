@@ -1,0 +1,1 @@
+lib/pci/pci_bus.mli: Hlcs_engine

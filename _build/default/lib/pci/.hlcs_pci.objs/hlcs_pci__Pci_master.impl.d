@@ -1,0 +1,1 @@
+lib/pci/pci_master.ml: Array Hlcs_engine Hlcs_logic List Pci_bus Pci_types Printf

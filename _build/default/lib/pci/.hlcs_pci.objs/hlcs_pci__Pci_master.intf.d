@@ -1,0 +1,1 @@
+lib/pci/pci_master.mli: Hlcs_engine Pci_bus Pci_types

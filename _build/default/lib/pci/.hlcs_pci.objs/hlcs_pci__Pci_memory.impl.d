@@ -1,0 +1,1 @@
+lib/pci/pci_memory.ml: Array List Pci_types Printf

@@ -1,0 +1,1 @@
+lib/pci/pci_monitor.ml: Format Hlcs_engine Hlcs_logic List Option Pci_bus Pci_master Pci_types

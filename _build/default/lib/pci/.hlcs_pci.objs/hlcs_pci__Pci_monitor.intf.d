@@ -1,0 +1,1 @@
+lib/pci/pci_monitor.mli: Format Hlcs_engine Pci_bus Pci_types

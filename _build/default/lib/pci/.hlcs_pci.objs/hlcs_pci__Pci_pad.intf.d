@@ -1,0 +1,1 @@
+lib/pci/pci_pad.mli: Hlcs_engine Hlcs_logic

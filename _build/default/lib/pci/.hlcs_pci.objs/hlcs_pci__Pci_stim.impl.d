@@ -1,0 +1,1 @@
+lib/pci/pci_stim.ml: List Pci_memory Pci_types Random

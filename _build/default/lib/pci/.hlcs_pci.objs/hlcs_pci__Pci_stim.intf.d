@@ -1,0 +1,1 @@
+lib/pci/pci_stim.mli: Pci_memory Pci_types

@@ -1,0 +1,1 @@
+lib/pci/pci_target.ml: Hlcs_engine Hlcs_logic Option Pci_bus Pci_memory Pci_types

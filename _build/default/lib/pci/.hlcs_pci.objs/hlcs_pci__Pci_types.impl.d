@@ -1,0 +1,1 @@
+lib/pci/pci_types.ml: Format List Printf String

@@ -1,0 +1,43 @@
+module Kernel = Hlcs_engine.Kernel
+module Signal = Hlcs_engine.Signal
+module Clock = Hlcs_engine.Clock
+
+type t = { mutable owner : int; mutable grants : int }
+
+let create kernel ~bus =
+  let n = Pci_bus.masters bus in
+  let t = { owner = 0; grants = 0 } in
+  let requesting i = not (Signal.read bus.Pci_bus.req_n.(i)) in
+  let set_grant i =
+    Array.iteri (fun j g -> Signal.write g (j <> i)) bus.Pci_bus.gnt_n
+  in
+  let body () =
+    set_grant t.owner;
+    let rec loop () =
+      Clock.wait_rising bus.Pci_bus.clock;
+      let idle =
+        Pci_bus.bit bus.Pci_bus.frame_n && Pci_bus.bit bus.Pci_bus.irdy_n
+      in
+      if idle && not (requesting t.owner) then begin
+        (* rotate to the next requester, if any; otherwise stay parked *)
+        let rec find k =
+          if k > n then None
+          else
+            let cand = (t.owner + k) mod n in
+            if requesting cand then Some cand else find (k + 1)
+        in
+        match find 1 with
+        | Some next when next <> t.owner ->
+            t.owner <- next;
+            t.grants <- t.grants + 1;
+            set_grant next
+        | Some _ | None -> ()
+      end;
+      loop ()
+    in
+    loop ()
+  in
+  ignore (Kernel.spawn kernel ~name:"pci_arbiter" body);
+  t
+
+let grants_issued t = t.grants

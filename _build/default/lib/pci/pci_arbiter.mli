@@ -1,0 +1,8 @@
+(** The central PCI bus arbiter: a rotating-priority grant over the REQ#
+    lines, re-evaluated only while the bus is idle so a grant never changes
+    under a running transaction.  Parks the grant on the last owner. *)
+
+type t
+
+val create : Hlcs_engine.Kernel.t -> bus:Pci_bus.t -> t
+val grants_issued : t -> int

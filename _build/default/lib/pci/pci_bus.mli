@@ -1,0 +1,35 @@
+(** The bus fabric: the resolved (tri-state, pulled-up) nets of the
+    simplified PCI bus, plus per-master request/grant lines.  Control lines
+    are active-low ("_n"); undriven control nets read as deasserted ([One])
+    thanks to the pull-ups. *)
+
+type t = {
+  clock : Hlcs_engine.Clock.t;
+  frame_n : Hlcs_engine.Resolved.t;
+  irdy_n : Hlcs_engine.Resolved.t;
+  trdy_n : Hlcs_engine.Resolved.t;
+  devsel_n : Hlcs_engine.Resolved.t;
+  stop_n : Hlcs_engine.Resolved.t;
+  ad : Hlcs_engine.Resolved.t;  (** 32 bits, no pull-up (floats to Z) *)
+  cbe : Hlcs_engine.Resolved.t;  (** 4 bits *)
+  par : Hlcs_engine.Resolved.t;
+  req_n : bool Hlcs_engine.Signal.t array;  (** one per master, driven by masters *)
+  gnt_n : bool Hlcs_engine.Signal.t array;  (** one per master, driven by the arbiter *)
+}
+
+val create :
+  Hlcs_engine.Kernel.t -> clock:Hlcs_engine.Clock.t -> masters:int -> t
+
+val masters : t -> int
+
+val bit : Hlcs_engine.Resolved.t -> bool
+(** Reads a one-bit control net as a boolean; [X] and (pulled) [Z] read as
+    true, i.e. deasserted for active-low lines. *)
+
+val asserted : Hlcs_engine.Resolved.t -> bool
+(** [asserted net] for an active-low line: the net reads a defined Zero. *)
+
+val trace_to_vcd : Hlcs_engine.Vcd.t -> t -> unit
+(** Registers clk, FRAME#, IRDY#, TRDY#, DEVSEL#, STOP#, AD, C/BE, PAR and
+    the request/grant lines with a VCD writer (the paper's Figure-4
+    waveform set). *)

@@ -1,0 +1,179 @@
+module Kernel = Hlcs_engine.Kernel
+module Signal = Hlcs_engine.Signal
+module Resolved = Hlcs_engine.Resolved
+module Clock = Hlcs_engine.Clock
+module Logic = Hlcs_logic.Logic
+module Lvec = Hlcs_logic.Lvec
+module Bitvec = Hlcs_logic.Bitvec
+
+let devsel_timeout = 5
+
+type t = {
+  bus : Pci_bus.t;
+  index : int;
+  d_frame : Resolved.driver;
+  d_irdy : Resolved.driver;
+  d_ad : Resolved.driver;
+  d_cbe : Resolved.driver;
+  d_par : Resolved.driver;
+  (* what we drove on AD/CBE in the current cycle, for PAR generation *)
+  mutable par_pending : (int * int) option;
+}
+
+type outcome = {
+  out_data : int list;
+  out_retries : int;
+  out_disconnects : int;
+  out_aborted : bool;
+}
+
+let create _kernel ~bus ~index =
+  if index < 0 || index >= Pci_bus.masters bus then
+    invalid_arg "Pci_master.create: bad master index";
+  let name part = Printf.sprintf "master%d.%s" index part in
+  {
+    bus;
+    index;
+    d_frame = Resolved.make_driver bus.Pci_bus.frame_n (name "frame");
+    d_irdy = Resolved.make_driver bus.Pci_bus.irdy_n (name "irdy");
+    d_ad = Resolved.make_driver bus.Pci_bus.ad (name "ad");
+    d_cbe = Resolved.make_driver bus.Pci_bus.cbe (name "cbe");
+    d_par = Resolved.make_driver bus.Pci_bus.par (name "par");
+    par_pending = None;
+  }
+
+let lv1 b = Lvec.of_bitvec (Bitvec.of_int ~width:1 (if b then 1 else 0))
+let lv ~width n = Lvec.of_bitvec (Bitvec.of_int ~width n)
+
+let lvec_to_int v =
+  match Lvec.to_bitvec v with Some bv -> Some (Bitvec.to_int bv) | None -> None
+
+(* PAR protects the AD/CBE lanes we drove, one clock later. *)
+let step_parity t ~now_driving =
+  (match t.par_pending with
+  | Some (ad, cbe) -> Resolved.drive t.d_par (lv1 (Pci_types.parity32_4 ~ad ~cbe))
+  | None -> Resolved.release t.d_par);
+  t.par_pending <- now_driving
+
+let sample = Pci_bus.asserted
+
+let execute t (req : Pci_types.request) =
+  let bus = t.bus in
+  let clk = bus.Pci_bus.clock in
+  let is_write = Pci_types.command_is_write req.Pci_types.rq_command in
+  let cbe_cmd = Pci_types.cbe_of_command req.Pci_types.rq_command in
+  let retries = ref 0 and disconnects = ref 0 in
+  let read_acc = ref [] in
+  let release_all () =
+    Resolved.release t.d_frame;
+    Resolved.release t.d_irdy;
+    Resolved.release t.d_ad;
+    Resolved.release t.d_cbe;
+    step_parity t ~now_driving:None
+  in
+  let deassert_then_release () =
+    Resolved.drive t.d_frame (lv1 true);
+    Resolved.drive t.d_irdy (lv1 true);
+    Resolved.release t.d_ad;
+    Resolved.release t.d_cbe;
+    step_parity t ~now_driving:None;
+    Clock.wait_rising clk;
+    step_parity t ~now_driving:None;
+    release_all ()
+  in
+  (* One bus transaction starting at [addr] for [words] data phases
+     ([data] supplies write words).  Returns how it ended. *)
+  let attempt addr words data =
+    (* arbitration: REQ# until granted with the bus idle *)
+    Signal.write bus.Pci_bus.req_n.(t.index) false;
+    let rec wait_grant () =
+      Clock.wait_rising clk;
+      step_parity t ~now_driving:None;
+      let granted = not (Signal.read bus.Pci_bus.gnt_n.(t.index)) in
+      let idle = Pci_bus.bit bus.Pci_bus.frame_n && Pci_bus.bit bus.Pci_bus.irdy_n in
+      if not (granted && idle) then wait_grant ()
+    in
+    wait_grant ();
+    (* address phase *)
+    Resolved.drive t.d_frame (lv1 false);
+    Resolved.drive t.d_ad (lv ~width:32 addr);
+    Resolved.drive t.d_cbe (lv ~width:4 cbe_cmd);
+    step_parity t ~now_driving:(Some (addr, cbe_cmd));
+    Clock.wait_rising clk;
+    (* data phases *)
+    let rec phase k data devsel_seen timeout =
+      let last = k = words - 1 in
+      let driving =
+        if is_write then begin
+          let word = match data with w :: _ -> w | [] -> 0 in
+          Resolved.drive t.d_ad (lv ~width:32 word);
+          Resolved.drive t.d_cbe (lv ~width:4 0);
+          Some (word, 0)
+        end
+        else begin
+          Resolved.release t.d_ad;
+          Resolved.drive t.d_cbe (lv ~width:4 0);
+          None
+        end
+      in
+      Resolved.drive t.d_irdy (lv1 false);
+      (* FRAME# stays asserted while more data phases follow *)
+      Resolved.drive t.d_frame (lv1 last);
+      step_parity t ~now_driving:driving;
+      let rec wait_completion devsel_seen timeout =
+        Clock.wait_rising clk;
+        step_parity t ~now_driving:driving;
+        let trdy = sample bus.Pci_bus.trdy_n in
+        let stop = sample bus.Pci_bus.stop_n in
+        let devsel = devsel_seen || sample bus.Pci_bus.devsel_n in
+        if (not devsel) && timeout >= devsel_timeout then `Abort
+        else if stop && not trdy then `Retry
+        else if trdy then begin
+          if not is_write then begin
+            match lvec_to_int (Resolved.read bus.Pci_bus.ad) with
+            | Some w -> read_acc := w :: !read_acc
+            | None -> read_acc := 0 :: !read_acc
+          end;
+          if stop then `Transferred_and_stopped else `Transferred
+        end
+        else wait_completion devsel (timeout + 1)
+      in
+      match wait_completion devsel_seen timeout with
+      | `Abort -> `Abort
+      | `Retry -> `Retry (k, data)
+      | `Transferred_and_stopped ->
+          if last then `Done
+          else `Disconnected (k + 1, match data with _ :: tl -> tl | [] -> [])
+      | `Transferred ->
+          if last then `Done
+          else phase (k + 1) (match data with _ :: tl -> tl | [] -> []) true 0
+    in
+    let result = phase 0 data false 0 in
+    (match result with
+    | `Done | `Retry _ | `Disconnected _ | `Abort -> deassert_then_release ());
+    result
+  in
+  let rec run addr words data =
+    if words = 0 then { out_data = List.rev !read_acc; out_retries = !retries;
+                        out_disconnects = !disconnects; out_aborted = false }
+    else
+      match attempt addr words data with
+      | `Done ->
+          Signal.write bus.Pci_bus.req_n.(t.index) true;
+          { out_data = List.rev !read_acc; out_retries = !retries;
+            out_disconnects = !disconnects; out_aborted = false }
+      | `Abort ->
+          Signal.write bus.Pci_bus.req_n.(t.index) true;
+          { out_data = List.rev !read_acc; out_retries = !retries;
+            out_disconnects = !disconnects; out_aborted = true }
+      | `Retry (k, data_left) ->
+          incr retries;
+          run (addr + (4 * k)) (words - k) data_left
+      | `Disconnected (k, data_left) ->
+          incr disconnects;
+          run (addr + (4 * k)) (words - k) data_left
+  in
+  let words = max 1 req.Pci_types.rq_length in
+  let outcome = run req.Pci_types.rq_address words req.Pci_types.rq_data in
+  Signal.write bus.Pci_bus.req_n.(t.index) true;
+  outcome

@@ -1,0 +1,27 @@
+(** A hand-written (native) pin-level PCI bus master.
+
+    This is the reference initiator used to validate the target, the
+    arbiter and the monitor independently of the synthesis flow, and the
+    engine behind multi-master traffic in the tests.  The paper's actual
+    library element — the synthesisable interface — lives in
+    [Hlcs_interface.Pci_master_design]; both speak exactly the same
+    protocol. *)
+
+type t
+
+val create : Hlcs_engine.Kernel.t -> bus:Pci_bus.t -> index:int -> t
+(** [index] selects the REQ#/GNT# pair. *)
+
+type outcome = {
+  out_data : int list;  (** words read (empty for writes) *)
+  out_retries : int;  (** target Retry responses absorbed *)
+  out_disconnects : int;  (** burst disconnects absorbed *)
+  out_aborted : bool;  (** true when the transfer ended in master-abort *)
+}
+
+val execute : t -> Pci_types.request -> outcome
+(** Performs the complete request on the bus (re-issuing after Retry,
+    resuming after Disconnect).  Must run inside a kernel process. *)
+
+val devsel_timeout : int
+(** Cycles the master waits for DEVSEL# before aborting. *)

@@ -1,0 +1,48 @@
+type t = { words : int array }
+
+let create ~size_bytes =
+  if size_bytes < 4 then invalid_arg "Pci_memory.create: size too small";
+  { words = Array.make ((size_bytes + 3) / 4) 0 }
+
+let size_bytes mem = 4 * Array.length mem.words
+
+let index mem byte_addr =
+  if byte_addr land 3 <> 0 then
+    invalid_arg (Printf.sprintf "Pci_memory: unaligned address 0x%x" byte_addr);
+  let i = byte_addr lsr 2 in
+  if i < 0 || i >= Array.length mem.words then
+    invalid_arg (Printf.sprintf "Pci_memory: address 0x%x out of range" byte_addr);
+  i
+
+let read32 mem addr = mem.words.(index mem addr)
+
+let write32 mem addr v = mem.words.(index mem addr) <- Pci_types.mask32 v
+
+let write32_be mem addr ~byte_enables v =
+  let i = index mem addr in
+  let old_word = mem.words.(i) in
+  let lane k = 0xFF lsl (8 * k) in
+  let merged =
+    List.fold_left
+      (fun acc k ->
+        if byte_enables land (1 lsl k) <> 0 then acc lor (v land lane k)
+        else acc lor (old_word land lane k))
+      0 [ 0; 1; 2; 3 ]
+  in
+  mem.words.(i) <- Pci_types.mask32 merged
+
+(* xorshift-style mixing: deterministic but uncorrelated-looking contents *)
+let fill_pattern mem ~seed =
+  let state = ref (seed lor 1) in
+  Array.iteri
+    (fun i _ ->
+      let x = !state in
+      let x = x lxor (x lsl 13) in
+      let x = x lxor (x lsr 7) in
+      let x = x lxor (x lsl 17) in
+      state := x;
+      mem.words.(i) <- Pci_types.mask32 (x lxor (i * 0x9E3779B9)))
+    mem.words
+
+let equal a b = a.words = b.words
+let copy mem = { words = Array.copy mem.words }

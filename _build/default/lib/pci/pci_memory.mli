@@ -1,0 +1,25 @@
+(** Word-addressable backing store of a PCI target: a plain 32-bit-word
+    memory with byte-enable writes, shared between the pin-accurate target
+    model and the functional (TLM) model so both configurations observe
+    identical contents. *)
+
+type t
+
+val create : size_bytes:int -> t
+(** [size_bytes] is rounded up to a whole number of 32-bit words. *)
+
+val size_bytes : t -> int
+
+val read32 : t -> int -> int
+(** [read32 mem byte_addr]: word at the (word-aligned) byte address.
+    @raise Invalid_argument when out of range or unaligned. *)
+
+val write32 : t -> int -> int -> unit
+val write32_be : t -> int -> byte_enables:int -> int -> unit
+(** [byte_enables] bit [i] set = byte lane [i] written. *)
+
+val fill_pattern : t -> seed:int -> unit
+(** Deterministic pseudo-random contents, for test initialisation. *)
+
+val equal : t -> t -> bool
+val copy : t -> t

@@ -1,0 +1,26 @@
+(** A passive bus watcher: reconstructs the transaction stream from the pin
+    activity (the transaction-level trace used by the verification harness)
+    and checks protocol rules, reporting violations with their time stamps.
+
+    Checked rules:
+    - the command code driven during an address phase decodes;
+    - AD is fully driven during address phases and during completed data
+      transfers;
+    - a data transfer (IRDY# and TRDY# low) only happens under DEVSEL#;
+    - DEVSEL# arrives within the master-abort window or the master backs
+      off;
+    - PAR matches the AD/C-BE lanes of the previous cycle whenever both are
+      defined;
+    - IRDY# is never asserted outside a transaction. *)
+
+type violation = { v_time : Hlcs_engine.Time.t; v_rule : string; v_detail : string }
+
+type t
+
+val create : Hlcs_engine.Kernel.t -> bus:Pci_bus.t -> t
+val transactions : t -> Pci_types.transaction list
+(** Completed (and aborted/retried) bus transactions, in order. *)
+
+val violations : t -> violation list
+val data_transfers : t -> int
+val pp_violation : Format.formatter -> violation -> unit

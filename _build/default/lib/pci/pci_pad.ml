@@ -1,0 +1,57 @@
+module Kernel = Hlcs_engine.Kernel
+module Signal = Hlcs_engine.Signal
+module Resolved = Hlcs_engine.Resolved
+module Logic = Hlcs_logic.Logic
+module Lvec = Hlcs_logic.Lvec
+module Bitvec = Hlcs_logic.Bitvec
+
+let connect_out kernel ~net ~data ?enable () =
+  let driver = Resolved.make_driver net ("pad." ^ Signal.name data) in
+  let forward () =
+    let enabled =
+      match enable with None -> true | Some e -> not (Bitvec.is_zero (Signal.read e))
+    in
+    if enabled then Resolved.drive driver (Lvec.of_bitvec (Signal.read data))
+    else Resolved.release driver
+  in
+  let body () =
+    forward ();
+    let events =
+      match enable with
+      | None -> [ Signal.changed data ]
+      | Some e -> [ Signal.changed data; Signal.changed e ]
+    in
+    let rec loop () =
+      Kernel.wait_any events;
+      forward ();
+      loop ()
+    in
+    loop ()
+  in
+  ignore (Kernel.spawn kernel ~name:("pad_out." ^ Signal.name data) body)
+
+let connect_in kernel ~net ~signal ?(undefined_as = false) () =
+  let width = Resolved.width net in
+  let forward () =
+    let v = Resolved.read net in
+    let bv =
+      Bitvec.init width (fun i ->
+          match Logic.to_bool (Lvec.get v i) with
+          | Some b -> b
+          | None -> undefined_as)
+    in
+    Signal.write signal bv
+  in
+  let body () =
+    forward ();
+    let rec loop () =
+      Kernel.wait (Resolved.changed net);
+      forward ();
+      loop ()
+    in
+    loop ()
+  in
+  ignore (Kernel.spawn kernel ~name:("pad_in." ^ Signal.name signal) body)
+
+let connect_in_bit kernel ~net ~signal () =
+  connect_in kernel ~net ~signal ~undefined_as:true ()

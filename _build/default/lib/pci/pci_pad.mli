@@ -1,0 +1,38 @@
+(** Pad ring: glue between the two-valued port signals of a synthesisable
+    design (behavioural or RTL) and the four-valued resolved bus nets.
+
+    Output pads forward a [Bitvec] signal onto a net driver, optionally
+    gated by a one-bit output-enable signal (releasing the net when
+    disabled) — how the AD bus is tri-stated.  Input pads sample a net into
+    a [Bitvec] signal, mapping undriven/unknown bits to a chosen default. *)
+
+val connect_out :
+  Hlcs_engine.Kernel.t ->
+  net:Hlcs_engine.Resolved.t ->
+  data:Hlcs_logic.Bitvec.t Hlcs_engine.Signal.t ->
+  ?enable:Hlcs_logic.Bitvec.t Hlcs_engine.Signal.t ->
+  unit ->
+  unit
+(** Drives [net] with [data] whenever [enable] (if given) reads 1; releases
+    the driver otherwise.  Reacts to changes of either signal. *)
+
+val connect_in :
+  Hlcs_engine.Kernel.t ->
+  net:Hlcs_engine.Resolved.t ->
+  signal:Hlcs_logic.Bitvec.t Hlcs_engine.Signal.t ->
+  ?undefined_as:bool ->
+  unit ->
+  unit
+(** Copies the net into [signal] on every net change; [X]/[Z] bits read as
+    [undefined_as] (default [false]).  For pulled-up control lines the pull
+    already resolves [Z] to one, so the default only matters for true
+    unknowns. *)
+
+val connect_in_bit :
+  Hlcs_engine.Kernel.t ->
+  net:Hlcs_engine.Resolved.t ->
+  signal:Hlcs_logic.Bitvec.t Hlcs_engine.Signal.t ->
+  unit ->
+  unit
+(** One-bit convenience wrapper of {!connect_in} with [undefined_as:true]
+    (active-low control lines default to deasserted). *)

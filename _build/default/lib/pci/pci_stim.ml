@@ -1,0 +1,72 @@
+open Pci_types
+
+let directed_smoke ~base =
+  [
+    { rq_command = Mem_write; rq_address = base; rq_length = 1; rq_data = [ 0xDEADBEEF ] };
+    { rq_command = Mem_read; rq_address = base; rq_length = 1; rq_data = [] };
+    {
+      rq_command = Mem_write_invalidate;
+      rq_address = base + 0x10;
+      rq_length = 4;
+      rq_data = [ 0x11111111; 0x22222222; 0x33333333; 0x44444444 ];
+    };
+    { rq_command = Mem_read_line; rq_address = base + 0x10; rq_length = 4; rq_data = [] };
+  ]
+
+let random ~seed ~count ?(max_burst = 8) ~base ~size_bytes () =
+  if size_bytes < 4 * max_burst then invalid_arg "Pci_stim.random: window too small";
+  let rng = Random.State.make [| seed |] in
+  (* Random.State.int is limited to bounds < 2^30: build 32-bit words from
+     two 16-bit halves. *)
+  let word () = Random.State.int rng 0x10000 lor (Random.State.int rng 0x10000 lsl 16) in
+  let words = size_bytes / 4 in
+  let request _ =
+    let burst = Random.State.int rng 4 = 0 in
+    let len = if burst then 2 + Random.State.int rng (max 1 (max_burst - 1)) else 1 in
+    let len = min len words in
+    let slot = Random.State.int rng (words - len + 1) in
+    let addr = base + (4 * slot) in
+    let write = Random.State.bool rng in
+    let cmd =
+      match (write, burst) with
+      | true, false -> Mem_write
+      | true, true -> Mem_write_invalidate
+      | false, false -> Mem_read
+      | false, true -> Mem_read_line
+    in
+    {
+      rq_command = cmd;
+      rq_address = addr;
+      rq_length = len;
+      rq_data = (if write then List.init len (fun _ -> mask32 (word ())) else []);
+    }
+  in
+  List.init count request
+
+let write_then_read_all script =
+  let reads =
+    List.filter_map
+      (fun r ->
+        if command_is_write r.rq_command then
+          Some
+            {
+              rq_command = (if r.rq_length > 1 then Mem_read_line else Mem_read);
+              rq_address = r.rq_address;
+              rq_length = r.rq_length;
+              rq_data = [];
+            }
+        else None)
+      script
+  in
+  script @ reads
+
+let expected_memory ~size_bytes ~base script =
+  let mem = Pci_memory.create ~size_bytes in
+  List.iter
+    (fun r ->
+      if command_is_write r.rq_command then
+        List.iteri
+          (fun i w -> Pci_memory.write32 mem (r.rq_address - base + (4 * i)) w)
+          r.rq_data)
+    script;
+  mem

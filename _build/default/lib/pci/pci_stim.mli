@@ -1,0 +1,29 @@
+(** Stimulus generation: the "set of stimuli generators that simulate the
+    working conditions of the system" of the paper's executable model.
+    Produces request scripts — directed or seeded-random — that every
+    configuration (TLM, pin-accurate behavioural, post-synthesis RTL) runs
+    identically. *)
+
+val directed_smoke : base:int -> Pci_types.request list
+(** A small fixed scenario: single write, single read-back, a burst write
+    and a burst read — the Figure-4 workload. *)
+
+val random :
+  seed:int ->
+  count:int ->
+  ?max_burst:int ->
+  base:int ->
+  size_bytes:int ->
+  unit ->
+  Pci_types.request list
+(** [count] requests confined to the [base, base+size) window, mixing
+    single/burst reads and writes; deterministic in [seed]. *)
+
+val write_then_read_all : Pci_types.request list -> Pci_types.request list
+(** Reorders/duplicates a script so every written address is eventually read
+    back (used by self-checking tests). *)
+
+val expected_memory :
+  size_bytes:int -> base:int -> Pci_types.request list -> Pci_memory.t
+(** Replays the script's writes on a fresh memory: the golden image a
+    correct system must converge to. *)

@@ -1,0 +1,30 @@
+(** A pin-accurate PCI target device (memory-mapped RAM): one of the
+    "memories, peripherals" IP models of the paper's executable system
+    model.  The target claims addresses inside its window, inserts a
+    configurable DEVSEL# latency and per-data-phase wait states, supports
+    bursts with linear address increment, and can be configured to answer
+    with Retry or to Disconnect long bursts — the fault-injection knobs the
+    test suite uses. *)
+
+type config = {
+  base_address : int;  (** start of the decoded window (word aligned) *)
+  devsel_latency : int;  (** cycles from address phase to DEVSEL#, >= 1 *)
+  wait_states : int;  (** cycles TRDY# is withheld per data phase *)
+  retry_every : int option;
+      (** [Some k]: answer every k-th transaction with Retry first *)
+  disconnect_after : int option;
+      (** [Some n]: disconnect bursts after n data phases *)
+}
+
+val default_config : config
+(** base 0, fast DEVSEL# (1 cycle), no wait states, no retry/disconnect. *)
+
+type t
+
+val create :
+  Hlcs_engine.Kernel.t -> bus:Pci_bus.t -> memory:Pci_memory.t -> config -> t
+(** Spawns the target process on the bus. *)
+
+val memory : t -> Pci_memory.t
+val transactions_claimed : t -> int
+val retries_issued : t -> int

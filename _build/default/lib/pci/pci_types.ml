@@ -1,0 +1,80 @@
+type command =
+  | Mem_read
+  | Mem_write
+  | Config_read
+  | Config_write
+  | Mem_read_line
+  | Mem_write_invalidate
+
+let cbe_of_command = function
+  | Mem_read -> 0b0110
+  | Mem_write -> 0b0111
+  | Config_read -> 0b1010
+  | Config_write -> 0b1011
+  | Mem_read_line -> 0b1110
+  | Mem_write_invalidate -> 0b1111
+
+let command_of_cbe = function
+  | 0b0110 -> Some Mem_read
+  | 0b0111 -> Some Mem_write
+  | 0b1010 -> Some Config_read
+  | 0b1011 -> Some Config_write
+  | 0b1110 -> Some Mem_read_line
+  | 0b1111 -> Some Mem_write_invalidate
+  | _ -> None
+
+let command_is_write = function
+  | Mem_write | Config_write | Mem_write_invalidate -> true
+  | Mem_read | Config_read | Mem_read_line -> false
+
+let command_is_config = function
+  | Config_read | Config_write -> true
+  | Mem_read | Mem_write | Mem_read_line | Mem_write_invalidate -> false
+
+let command_name = function
+  | Mem_read -> "mem_read"
+  | Mem_write -> "mem_write"
+  | Config_read -> "config_read"
+  | Config_write -> "config_write"
+  | Mem_read_line -> "mem_read_line"
+  | Mem_write_invalidate -> "mem_write_invalidate"
+
+let pp_command ppf c = Format.pp_print_string ppf (command_name c)
+
+type termination = Completed | Retry | Disconnect of int | Master_abort
+
+let pp_termination ppf = function
+  | Completed -> Format.pp_print_string ppf "completed"
+  | Retry -> Format.pp_print_string ppf "retry"
+  | Disconnect n -> Format.fprintf ppf "disconnect(%d)" n
+  | Master_abort -> Format.pp_print_string ppf "master-abort"
+
+type transaction = {
+  tx_command : command;
+  tx_address : int;
+  tx_data : int list;
+  tx_termination : termination;
+}
+
+let pp_transaction ppf t =
+  Format.fprintf ppf "%a @@%08x [%s] %a" pp_command t.tx_command t.tx_address
+    (String.concat " " (List.map (Printf.sprintf "%08x") t.tx_data))
+    pp_termination t.tx_termination
+
+let transaction_equal a b = a = b
+
+type request = {
+  rq_command : command;
+  rq_address : int;
+  rq_length : int;
+  rq_data : int list;
+}
+
+let pp_request ppf r =
+  Format.fprintf ppf "%a @@%08x len=%d" pp_command r.rq_command r.rq_address r.rq_length
+
+let mask32 n = n land 0xFFFFFFFF
+
+let parity32_4 ~ad ~cbe =
+  let rec bits n acc = if n = 0 then acc else bits (n lsr 1) (acc lxor (n land 1)) in
+  bits (mask32 ad) (bits (cbe land 0xF) 0) = 1

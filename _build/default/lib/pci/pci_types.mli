@@ -1,0 +1,53 @@
+(** Command encodings and transaction records of the simplified PCI bus the
+    paper's library element handles.  Addresses and data words are plain
+    OCaml [int]s holding 32-bit unsigned values. *)
+
+type command =
+  | Mem_read
+  | Mem_write
+  | Config_read
+  | Config_write
+  | Mem_read_line  (** burst read *)
+  | Mem_write_invalidate  (** burst write *)
+
+val cbe_of_command : command -> int
+(** The 4-bit C/BE# bus command code driven during the address phase. *)
+
+val command_of_cbe : int -> command option
+val command_is_write : command -> bool
+val command_is_config : command -> bool
+val pp_command : Format.formatter -> command -> unit
+
+(** How a transaction ended on the bus. *)
+type termination =
+  | Completed
+  | Retry  (** target terminated with STOP# before any data *)
+  | Disconnect of int  (** target stopped a burst after [n] data phases *)
+  | Master_abort  (** no target claimed the address *)
+
+val pp_termination : Format.formatter -> termination -> unit
+
+type transaction = {
+  tx_command : command;
+  tx_address : int;
+  tx_data : int list;  (** words transferred, in order *)
+  tx_termination : termination;
+}
+
+val pp_transaction : Format.formatter -> transaction -> unit
+val transaction_equal : transaction -> transaction -> bool
+
+(** A requested transfer, before it reaches the bus (the application's
+    view). *)
+type request = {
+  rq_command : command;
+  rq_address : int;
+  rq_length : int;  (** words; 1 for single transfers *)
+  rq_data : int list;  (** write data; [] for reads *)
+}
+
+val pp_request : Format.formatter -> request -> unit
+
+val mask32 : int -> int
+val parity32_4 : ad:int -> cbe:int -> bool
+(** Even parity over the 32 AD and 4 C/BE lines: the PAR line's value. *)

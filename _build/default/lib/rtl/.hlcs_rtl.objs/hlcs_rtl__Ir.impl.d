@@ -1,0 +1,1 @@
+lib/rtl/ir.ml: Format Hashtbl Hlcs_logic List Printf String

@@ -1,0 +1,1 @@
+lib/rtl/opt.ml: Hashtbl Hlcs_logic Ir List

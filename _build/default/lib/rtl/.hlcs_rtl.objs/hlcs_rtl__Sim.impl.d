@@ -1,0 +1,1 @@
+lib/rtl/sim.ml: Array Hashtbl Hlcs_engine Hlcs_logic Ir List

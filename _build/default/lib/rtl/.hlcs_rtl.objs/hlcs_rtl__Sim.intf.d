@@ -1,0 +1,1 @@
+lib/rtl/sim.mli: Hlcs_engine Hlcs_logic Ir

@@ -1,0 +1,1 @@
+lib/rtl/stats.ml: Format Hashtbl Ir List

@@ -1,0 +1,1 @@
+lib/rtl/stats.mli: Format Ir

@@ -1,0 +1,1 @@
+lib/rtl/vhdl.ml: Buffer Format Hlcs_logic Ir List Printf String

@@ -1,0 +1,189 @@
+module Bitvec = Hlcs_logic.Bitvec
+open Ir
+
+(* --- constant folding -------------------------------------------------- *)
+
+let shift_amount bv =
+  match Bitvec.to_int_opt bv with Some n -> n | None -> max_int / 2
+
+let eval_unop op a =
+  match op with
+  | Not -> Bitvec.lognot a
+  | Neg -> Bitvec.neg a
+  | Reduce_or -> Bitvec.of_bool (Bitvec.reduce_or a)
+  | Reduce_and -> Bitvec.of_bool (Bitvec.reduce_and a)
+  | Reduce_xor -> Bitvec.of_bool (Bitvec.reduce_xor a)
+
+let eval_binop op a b =
+  match op with
+  | Add -> Bitvec.add a b
+  | Sub -> Bitvec.sub a b
+  | Mul -> Bitvec.mul a b
+  | And -> Bitvec.logand a b
+  | Or -> Bitvec.logor a b
+  | Xor -> Bitvec.logxor a b
+  | Eq -> Bitvec.of_bool (Bitvec.equal a b)
+  | Ne -> Bitvec.of_bool (not (Bitvec.equal a b))
+  | Lt -> Bitvec.of_bool (Bitvec.compare_unsigned a b < 0)
+  | Le -> Bitvec.of_bool (Bitvec.compare_unsigned a b <= 0)
+  | Gt -> Bitvec.of_bool (Bitvec.compare_unsigned a b > 0)
+  | Ge -> Bitvec.of_bool (Bitvec.compare_unsigned a b >= 0)
+  | Shl -> Bitvec.shift_left a (min (Bitvec.width a) (shift_amount b))
+  | Shr -> Bitvec.shift_right a (min (Bitvec.width a) (shift_amount b))
+  | Concat -> Bitvec.concat a b
+
+(* Structural identity of cheap leaves: safe to treat as the same value. *)
+let same_leaf a b =
+  match (a, b) with
+  | Wire x, Wire y -> x.w_id = y.w_id
+  | Reg x, Reg y -> x.r_id = y.r_id
+  | Input (x, _), Input (y, _) -> x = y
+  | Const x, Const y -> Bitvec.equal x y
+  | _ -> false
+
+let rec fold_expr e =
+  match e with
+  | Const _ | Wire _ | Reg _ | Input _ -> e
+  | Unop (op, x) -> (
+      match fold_expr x with
+      | Const c -> Const (eval_unop op c)
+      | Unop (Not, inner) when op = Not -> inner
+      | x' -> Unop (op, x'))
+  | Binop (op, x, y) -> fold_binop op (fold_expr x) (fold_expr y)
+  | Mux (c, a, b) -> (
+      let c = fold_expr c and a = fold_expr a and b = fold_expr b in
+      match c with
+      | Const v -> if Bitvec.is_zero v then b else a
+      | _ -> if same_leaf a b then a else Mux (c, a, b))
+  | Slice (x, hi, lo) -> (
+      let x = fold_expr x in
+      match x with
+      | Const c -> Const (Bitvec.slice c ~hi ~lo)
+      | _ when lo = 0 && hi = expr_width x - 1 -> x
+      | _ -> Slice (x, hi, lo))
+
+and fold_binop op x y =
+  let w = expr_width x in
+  let is_zero = function Const c -> Bitvec.is_zero c | _ -> false in
+  let is_ones = function Const c -> Bitvec.equal c (Bitvec.ones w) | _ -> false in
+  match (op, x, y) with
+  | _, Const a, Const b -> Const (eval_binop op a b)
+  (* identities *)
+  | Add, a, b when is_zero b -> a
+  | Add, a, b when is_zero a -> b
+  | Sub, a, b when is_zero b -> a
+  | And, a, b when is_zero a || is_zero b -> Const (Bitvec.zero w)
+  | And, a, b when is_ones b -> a
+  | And, a, b when is_ones a -> b
+  | Or, a, b when is_zero b -> a
+  | Or, a, b when is_zero a -> b
+  | Or, a, b when is_ones a || is_ones b -> Const (Bitvec.ones w)
+  | Xor, a, b when is_zero b -> a
+  | Xor, a, b when is_zero a -> b
+  | (Shl | Shr), a, b when is_zero b -> a
+  | And, a, b when same_leaf a b -> a
+  | Or, a, b when same_leaf a b -> a
+  | Xor, a, b when same_leaf a b -> Const (Bitvec.zero w)
+  | Eq, a, b when same_leaf a b -> Const (Bitvec.of_bool true)
+  | Ne, a, b when same_leaf a b -> Const (Bitvec.of_bool false)
+  | _ -> Binop (op, x, y)
+
+let map_design f d =
+  {
+    d with
+    rd_assigns = List.map (fun (w, e) -> (w, f e)) d.rd_assigns;
+    rd_drives = List.map (fun (n, e) -> (n, f e)) d.rd_drives;
+    rd_updates = List.map (fun (r, e) -> (r, f e)) d.rd_updates;
+  }
+
+let constant_fold d = map_design fold_expr d
+
+(* --- copy propagation --------------------------------------------------- *)
+
+let rec subst alias e =
+  match e with
+  | Wire w -> (
+      match Hashtbl.find_opt alias w.w_id with Some e' -> e' | None -> e)
+  | Const _ | Reg _ | Input _ -> e
+  | Unop (op, x) -> Unop (op, subst alias x)
+  | Binop (op, x, y) -> Binop (op, subst alias x, subst alias y)
+  | Mux (c, a, b) -> Mux (subst alias c, subst alias a, subst alias b)
+  | Slice (x, hi, lo) -> Slice (subst alias x, hi, lo)
+
+let propagate_copies d =
+  let alias : (int, expr) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun (w, e) ->
+      match e with
+      | Const _ | Reg _ | Input _ -> Hashtbl.replace alias w.w_id e
+      | Wire _ | Unop _ | Binop _ | Mux _ | Slice _ -> ())
+    d.rd_assigns;
+  (* chase wire -> wire chains through already-resolved aliases *)
+  List.iter
+    (fun (w, e) ->
+      match e with
+      | Wire inner -> (
+          match Hashtbl.find_opt alias inner.w_id with
+          | Some resolved -> Hashtbl.replace alias w.w_id resolved
+          | None -> Hashtbl.replace alias w.w_id e)
+      | Const _ | Reg _ | Input _ | Unop _ | Binop _ | Mux _ | Slice _ -> ())
+    d.rd_assigns;
+  if Hashtbl.length alias = 0 then d
+  else
+    let d = map_design (subst alias) d in
+    (* aliased wires become dead; eliminate_dead removes them *)
+    d
+
+(* --- dead wire elimination ----------------------------------------------- *)
+
+let rec mark live e =
+  match e with
+  | Wire w -> Hashtbl.replace live w.w_id ()
+  | Const _ | Reg _ | Input _ -> ()
+  | Unop (_, x) | Slice (x, _, _) -> mark live x
+  | Binop (_, x, y) ->
+      mark live x;
+      mark live y
+  | Mux (c, a, b) ->
+      mark live c;
+      mark live a;
+      mark live b
+
+let eliminate_dead d =
+  let live : (int, unit) Hashtbl.t = Hashtbl.create 64 in
+  List.iter (fun (_, e) -> mark live e) d.rd_drives;
+  List.iter (fun (_, e) -> mark live e) d.rd_updates;
+  (* transitively: a live wire's assignment keeps its sources live *)
+  let by_id = Hashtbl.create 64 in
+  List.iter (fun (w, e) -> Hashtbl.replace by_id w.w_id e) d.rd_assigns;
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    Hashtbl.iter
+      (fun id () ->
+        match Hashtbl.find_opt by_id id with
+        | Some e ->
+            let before = Hashtbl.length live in
+            mark live e;
+            if Hashtbl.length live <> before then changed := true
+        | None -> ())
+      (Hashtbl.copy live)
+  done;
+  {
+    d with
+    rd_wires = List.filter (fun w -> Hashtbl.mem live w.w_id) d.rd_wires;
+    rd_assigns = List.filter (fun (w, _) -> Hashtbl.mem live w.w_id) d.rd_assigns;
+  }
+
+let optimize d =
+  let pass d = eliminate_dead (propagate_copies (constant_fold d)) in
+  let rec go n d =
+    if n = 0 then d
+    else
+      let d' = pass d in
+      if List.length d'.rd_wires = List.length d.rd_wires
+         && d'.rd_assigns = d.rd_assigns
+      then d'
+      else go (n - 1) d'
+  in
+  go 8 d

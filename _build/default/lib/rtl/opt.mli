@@ -1,0 +1,21 @@
+(** Netlist clean-up passes run after synthesis, mirroring what the
+    downstream "RTL to gate synthesiser" of the paper's flow would do
+    first:
+
+    - {!constant_fold}: algebraic simplification and constant evaluation
+      (identities like [x & 0], [mux(1,a,b)], [~~x], folding of
+      constant-only operators);
+    - {!propagate_copies}: replaces wires that merely alias another wire,
+      register, input or constant;
+    - {!eliminate_dead}: removes wires not reachable from any output or
+      register update.
+
+    All passes preserve the design's observable behaviour exactly (the
+    equivalence test suite runs with them enabled). *)
+
+val constant_fold : Ir.design -> Ir.design
+val propagate_copies : Ir.design -> Ir.design
+val eliminate_dead : Ir.design -> Ir.design
+
+val optimize : Ir.design -> Ir.design
+(** Iterates the three passes to a (bounded) fixpoint. *)

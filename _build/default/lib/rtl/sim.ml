@@ -1,0 +1,145 @@
+module Bitvec = Hlcs_logic.Bitvec
+module Kernel = Hlcs_engine.Kernel
+module Signal = Hlcs_engine.Signal
+module Clock = Hlcs_engine.Clock
+open Ir
+
+type observer = { obs_output : port:string -> value:Bitvec.t -> unit }
+
+let no_observer = { obs_output = (fun ~port:_ ~value:_ -> ()) }
+
+type t = {
+  st_design : design;
+  st_order : (wire * expr) list;  (** assigns in dependency order *)
+  st_wires : Bitvec.t array;  (** by wire id *)
+  st_regs : Bitvec.t array;  (** by reg id *)
+  st_next : Bitvec.t array;
+  st_inputs : (string, Bitvec.t Signal.t) Hashtbl.t;
+  st_outputs : (string, Bitvec.t Signal.t) Hashtbl.t;
+  st_reg_by_name : (string, reg) Hashtbl.t;
+  mutable st_cycles : int;
+}
+
+let shift_amount bv =
+  match Bitvec.to_int_opt bv with Some n -> n | None -> max_int / 2
+
+let rec eval t e =
+  match e with
+  | Const bv -> bv
+  | Wire w -> t.st_wires.(w.w_id)
+  | Reg r -> t.st_regs.(r.r_id)
+  | Input (name, _) -> Signal.read (Hashtbl.find t.st_inputs name)
+  | Unop (op, e) -> (
+      let a = eval t e in
+      match op with
+      | Not -> Bitvec.lognot a
+      | Neg -> Bitvec.neg a
+      | Reduce_or -> Bitvec.of_bool (Bitvec.reduce_or a)
+      | Reduce_and -> Bitvec.of_bool (Bitvec.reduce_and a)
+      | Reduce_xor -> Bitvec.of_bool (Bitvec.reduce_xor a))
+  | Binop (op, x, y) -> (
+      let a = eval t x and b = eval t y in
+      match op with
+      | Add -> Bitvec.add a b
+      | Sub -> Bitvec.sub a b
+      | Mul -> Bitvec.mul a b
+      | And -> Bitvec.logand a b
+      | Or -> Bitvec.logor a b
+      | Xor -> Bitvec.logxor a b
+      | Eq -> Bitvec.of_bool (Bitvec.equal a b)
+      | Ne -> Bitvec.of_bool (not (Bitvec.equal a b))
+      | Lt -> Bitvec.of_bool (Bitvec.compare_unsigned a b < 0)
+      | Le -> Bitvec.of_bool (Bitvec.compare_unsigned a b <= 0)
+      | Gt -> Bitvec.of_bool (Bitvec.compare_unsigned a b > 0)
+      | Ge -> Bitvec.of_bool (Bitvec.compare_unsigned a b >= 0)
+      | Shl -> Bitvec.shift_left a (min (Bitvec.width a) (shift_amount b))
+      | Shr -> Bitvec.shift_right a (min (Bitvec.width a) (shift_amount b))
+      | Concat -> Bitvec.concat a b)
+  | Mux (c, a, b) -> if Bitvec.is_zero (eval t c) then eval t b else eval t a
+  | Slice (e, hi, lo) -> Bitvec.slice (eval t e) ~hi ~lo
+
+let settle t = List.iter (fun (w, e) -> t.st_wires.(w.w_id) <- eval t e) t.st_order
+
+let drive_outputs t observer =
+  List.iter
+    (fun (name, e) ->
+      let v = eval t e in
+      let s = Hashtbl.find t.st_outputs name in
+      if not (Bitvec.equal (Signal.read s) v) then observer.obs_output ~port:name ~value:v;
+      Signal.write s v)
+    t.st_design.rd_drives
+
+let step t observer =
+  (* 1. settle combinational logic on pre-edge inputs and registers *)
+  settle t;
+  (* 2. compute every register's next value from pre-edge state *)
+  List.iter (fun (r, e) -> t.st_next.(r.r_id) <- eval t e) t.st_design.rd_updates;
+  (* 3. commit *)
+  List.iter (fun (r, _) -> t.st_regs.(r.r_id) <- t.st_next.(r.r_id)) t.st_design.rd_updates;
+  (* 4. re-settle and present the post-edge outputs *)
+  settle t;
+  drive_outputs t observer;
+  t.st_cycles <- t.st_cycles + 1
+
+let elaborate kernel ~clock ?(observer = no_observer) design =
+  (match Ir.validate design with
+  | Ok () -> ()
+  | Error (d :: _) -> invalid_arg ("Rtl.Sim.elaborate: " ^ d)
+  | Error [] -> ());
+  let max_wire = List.fold_left (fun m w -> max m (w.w_id + 1)) 0 design.rd_wires in
+  let max_reg = List.fold_left (fun m r -> max m (r.r_id + 1)) 0 design.rd_regs in
+  let t =
+    {
+      st_design = design;
+      st_order = Ir.topo_order design;
+      st_wires = Array.make (max 1 max_wire) (Bitvec.zero 1);
+      st_regs = Array.make (max 1 max_reg) (Bitvec.zero 1);
+      st_next = Array.make (max 1 max_reg) (Bitvec.zero 1);
+      st_inputs = Hashtbl.create 16;
+      st_outputs = Hashtbl.create 16;
+      st_reg_by_name = Hashtbl.create 16;
+      st_cycles = 0;
+    }
+  in
+  List.iter
+    (fun r ->
+      t.st_regs.(r.r_id) <- r.r_init;
+      Hashtbl.replace t.st_reg_by_name r.r_name r)
+    design.rd_regs;
+  List.iter
+    (fun (name, width) ->
+      Hashtbl.replace t.st_inputs name
+        (Signal.create kernel
+           ~name:(design.rd_name ^ "." ^ name)
+           ~eq:Bitvec.equal (Bitvec.zero width)))
+    design.rd_inputs;
+  List.iter
+    (fun (name, width) ->
+      Hashtbl.replace t.st_outputs name
+        (Signal.create kernel
+           ~name:(design.rd_name ^ "." ^ name)
+           ~eq:Bitvec.equal (Bitvec.zero width)))
+    design.rd_outputs;
+  let body () =
+    (* Present reset-state outputs before the first edge. *)
+    settle t;
+    drive_outputs t observer;
+    let rec loop () =
+      Clock.wait_rising clock;
+      step t observer;
+      loop ()
+    in
+    loop ()
+  in
+  ignore (Kernel.spawn kernel ~name:(design.rd_name ^ ".rtl") body);
+  t
+
+let in_port t name = Hashtbl.find t.st_inputs name
+let out_port t name = Hashtbl.find t.st_outputs name
+
+let reg_value t name =
+  let r = Hashtbl.find t.st_reg_by_name name in
+  t.st_regs.(r.r_id)
+
+let reg_names t = List.map (fun r -> r.r_name) t.st_design.rd_regs
+let cycles t = t.st_cycles

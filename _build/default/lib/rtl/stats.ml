@@ -1,0 +1,131 @@
+open Ir
+
+type t = {
+  registers : int;
+  register_bits : int;
+  wires : int;
+  wire_bits : int;
+  adders : int;
+  multipliers : int;
+  comparators : int;
+  logic_ops : int;
+  muxes : int;
+  shifters : int;
+  gate_estimate : int;
+  critical_path : int;
+}
+
+type acc = {
+  mutable adders : int;
+  mutable multipliers : int;
+  mutable comparators : int;
+  mutable logic_ops : int;
+  mutable muxes : int;
+  mutable shifters : int;
+  mutable gates : int;
+}
+
+(* Per-bit gate-equivalent costs of each operator class. *)
+let cost_add = 6
+let cost_mul = 30
+let cost_cmp = 3
+let cost_logic = 1
+let cost_mux = 3
+let cost_shift = 4
+let cost_reg_bit = 6
+
+let rec count acc e =
+  match e with
+  | Const _ | Wire _ | Reg _ | Input _ -> ()
+  | Unop (op, x) ->
+      let w = expr_width x in
+      (match op with
+      | Neg ->
+          acc.adders <- acc.adders + 1;
+          acc.gates <- acc.gates + (cost_add * w)
+      | Not | Reduce_or | Reduce_and | Reduce_xor ->
+          acc.logic_ops <- acc.logic_ops + 1;
+          acc.gates <- acc.gates + (cost_logic * w));
+      count acc x
+  | Binop (op, x, y) ->
+      let w = expr_width x in
+      (match op with
+      | Add | Sub ->
+          acc.adders <- acc.adders + 1;
+          acc.gates <- acc.gates + (cost_add * w)
+      | Mul ->
+          acc.multipliers <- acc.multipliers + 1;
+          acc.gates <- acc.gates + (cost_mul * w)
+      | Eq | Ne | Lt | Le | Gt | Ge ->
+          acc.comparators <- acc.comparators + 1;
+          acc.gates <- acc.gates + (cost_cmp * w)
+      | And | Or | Xor ->
+          acc.logic_ops <- acc.logic_ops + 1;
+          acc.gates <- acc.gates + (cost_logic * w)
+      | Shl | Shr ->
+          acc.shifters <- acc.shifters + 1;
+          acc.gates <- acc.gates + (cost_shift * w)
+      | Concat -> ());
+      count acc x;
+      count acc y
+  | Mux (c, a, b) ->
+      acc.muxes <- acc.muxes + 1;
+      acc.gates <- acc.gates + (cost_mux * expr_width a);
+      count acc c;
+      count acc a;
+      count acc b
+  | Slice (x, _, _) -> count acc x
+
+(* Longest register-to-register path, counted in operator levels; wire
+   levels are resolved along the topological order of the assignments. *)
+let critical_path_of d =
+  let level : (int, int) Hashtbl.t = Hashtbl.create 64 in
+  let rec depth = function
+    | Const _ | Reg _ | Input _ -> 0
+    | Wire w -> ( match Hashtbl.find_opt level w.w_id with Some l -> l | None -> 0)
+    | Unop (_, e) -> 1 + depth e
+    | Binop (Concat, a, b) -> max (depth a) (depth b)
+    | Binop (_, a, b) -> 1 + max (depth a) (depth b)
+    | Mux (c, a, b) -> 1 + max (depth c) (max (depth a) (depth b))
+    | Slice (e, _, _) -> depth e
+  in
+  (match Ir.topo_order d with
+  | order -> List.iter (fun (w, e) -> Hashtbl.replace level w.w_id (depth e)) order
+  | exception Ir.Combinational_cycle _ -> ());
+  let paths =
+    List.map (fun (_, e) -> depth e) d.rd_updates
+    @ List.map (fun (_, e) -> depth e) d.rd_drives
+  in
+  List.fold_left max 0 paths
+
+let of_design d =
+  let acc =
+    { adders = 0; multipliers = 0; comparators = 0; logic_ops = 0; muxes = 0;
+      shifters = 0; gates = 0 }
+  in
+  List.iter (fun (_, e) -> count acc e) d.rd_assigns;
+  List.iter (fun (_, e) -> count acc e) d.rd_drives;
+  List.iter (fun (_, e) -> count acc e) d.rd_updates;
+  let register_bits = List.fold_left (fun n r -> n + r.r_width) 0 d.rd_regs in
+  {
+    registers = List.length d.rd_regs;
+    register_bits;
+    wires = List.length d.rd_wires;
+    wire_bits = List.fold_left (fun n w -> n + w.w_width) 0 d.rd_wires;
+    adders = acc.adders;
+    multipliers = acc.multipliers;
+    comparators = acc.comparators;
+    logic_ops = acc.logic_ops;
+    muxes = acc.muxes;
+    shifters = acc.shifters;
+    gate_estimate = acc.gates + (cost_reg_bit * register_bits);
+    critical_path = critical_path_of d;
+  }
+
+let pp ppf s =
+  Format.fprintf ppf
+    "registers=%d (%d bits) wires=%d (%d bits) adders=%d muls=%d cmps=%d logic=%d muxes=%d shifts=%d ~gates=%d depth=%d"
+    s.registers s.register_bits s.wires s.wire_bits s.adders s.multipliers
+    s.comparators s.logic_ops s.muxes s.shifters s.gate_estimate s.critical_path
+
+let to_string s = Format.asprintf "%a" pp s

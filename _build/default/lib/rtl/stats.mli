@@ -1,0 +1,25 @@
+(** Resource statistics over an {!Ir.design}: the "synthesis results" report
+    of the flow.  Gate counts use a coarse per-bit cost model (sufficient to
+    compare design alternatives — the ablations in DESIGN.md — not to
+    predict a real technology mapping). *)
+
+type t = {
+  registers : int;
+  register_bits : int;
+  wires : int;
+  wire_bits : int;
+  adders : int;  (** Add/Sub/Neg operators *)
+  multipliers : int;
+  comparators : int;
+  logic_ops : int;  (** And/Or/Xor/Not and reductions *)
+  muxes : int;
+  shifters : int;
+  gate_estimate : int;
+  critical_path : int;
+      (** longest register-to-register combinational path, in operator
+          levels (slices and concatenations count as wiring) *)
+}
+
+val of_design : Ir.design -> t
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

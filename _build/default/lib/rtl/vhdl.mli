@@ -1,0 +1,13 @@
+(** Emission of an {!Ir.design} as VHDL-style text: the hand-off artefact of
+    the paper's flow ("the result of the synthesis can then be handed to an
+    RTL to gate synthesiser").  The output follows VHDL-93 structure
+    (entity, architecture, one clocked process, concurrent assignments);
+    operator spellings favour readability over strict tool compliance. *)
+
+val pp_design : Format.formatter -> Ir.design -> unit
+val to_string : Ir.design -> string
+val write_file : string -> Ir.design -> unit
+
+val expr_to_string : Ir.expr -> string
+(** The VHDL-style rendering of one expression (used by diagnostics and
+    the FSM visualiser). *)

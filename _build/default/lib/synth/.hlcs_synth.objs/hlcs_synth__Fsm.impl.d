@@ -1,0 +1,1 @@
+lib/synth/fsm.ml: Array Buffer Hashtbl Hlcs_logic Hlcs_rtl List Printf String

@@ -1,0 +1,1 @@
+lib/synth/fsm.mli: Hlcs_rtl

@@ -1,0 +1,1 @@
+lib/synth/synthesize.ml: Array Format Fsm Hashtbl Hlcs_hlir Hlcs_logic Hlcs_osss Hlcs_rtl List Option Printf

@@ -1,0 +1,1 @@
+lib/synth/synthesize.mli: Format Hlcs_hlir Hlcs_rtl

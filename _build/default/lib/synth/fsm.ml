@@ -1,0 +1,152 @@
+module Ir = Hlcs_rtl.Ir
+module Bitvec = Hlcs_logic.Bitvec
+
+type edge = {
+  e_cond : Ir.expr option;
+  e_commits : (Ir.reg * Ir.expr) list;
+  e_next : int;
+}
+
+type t = { mutable edges : edge list array; mutable count : int }
+
+let create () = { edges = Array.make 8 []; count = 0 }
+
+let fresh_state t =
+  if t.count = Array.length t.edges then begin
+    let bigger = Array.make (2 * t.count) [] in
+    Array.blit t.edges 0 bigger 0 t.count;
+    t.edges <- bigger
+  end;
+  let s = t.count in
+  t.count <- s + 1;
+  s
+
+let add_edge t s e =
+  if s < 0 || s >= t.count then invalid_arg "Fsm.add_edge: unknown state";
+  t.edges.(s) <- t.edges.(s) @ [ e ]
+
+let has_edges t s =
+  if s < 0 || s >= t.count then invalid_arg "Fsm.has_edges: unknown state";
+  t.edges.(s) <> []
+
+let dot_escape s =
+  String.concat "\\\"" (String.split_on_char '"' s)
+
+let to_dot t ~name =
+  let buf = Buffer.create 1024 in
+  Printf.bprintf buf "digraph \"%s\" {\n" (dot_escape name);
+  Printf.bprintf buf "  rankdir=LR;\n  node [shape=circle, fontsize=10];\n";
+  Printf.bprintf buf "  s0 [shape=doublecircle];\n";
+  for s = 0 to t.count - 1 do
+    List.iteri
+      (fun i e ->
+        let label =
+          match e.e_cond with
+          | None -> if i = 0 then "" else "else"
+          | Some c -> dot_escape (Hlcs_rtl.Vhdl.expr_to_string c)
+        in
+        let commits =
+          match List.length e.e_commits with
+          | 0 -> ""
+          | n -> Printf.sprintf " / %d" n
+        in
+        Printf.bprintf buf "  s%d -> s%d [label=\"%s%s\"];\n" s e.e_next label commits)
+      t.edges.(s)
+  done;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let state_count t = t.count
+
+type realized = {
+  rz_state_reg : Ir.reg;
+  rz_in_state : Ir.expr array;
+}
+
+let bits_for n =
+  let rec go b = if 1 lsl b >= n then b else go (b + 1) in
+  max 1 (go 0)
+
+let and_ a b = Ir.Binop (Ir.And, a, b)
+let not_ a = Ir.Unop (Ir.Not, a)
+
+let realize builder ~name t =
+  if t.count = 0 then invalid_arg "Fsm.realize: machine has no states";
+  let width = bits_for t.count in
+  let state_const s = Ir.Const (Bitvec.of_int ~width s) in
+  let state_reg = Ir.fresh_reg builder (name ^ "_state") width in
+  let in_state =
+    Array.init t.count (fun s ->
+        let w = Ir.fresh_wire builder (Printf.sprintf "%s_in_s%d" name s) 1 in
+        Ir.assign builder w (Ir.Binop (Ir.Eq, Ir.Reg state_reg, state_const s));
+        Ir.Wire w)
+  in
+  (* "Taken" wire per edge: in this state, this condition true, and no
+     higher-priority edge of the same state true. *)
+  let taken = Array.make t.count [||] in
+  for s = 0 to t.count - 1 do
+    let edges = Array.of_list t.edges.(s) in
+    let blocked = ref None in
+    taken.(s) <-
+      Array.mapi
+        (fun i e ->
+          let this =
+            match e.e_cond with None -> in_state.(s) | Some c -> and_ in_state.(s) c
+          in
+          let expr = match !blocked with None -> this | Some b -> and_ this (not_ b) in
+          (match (e.e_cond, !blocked) with
+          | None, _ -> () (* later edges are dead; keep blocked as-is *)
+          | Some c, None -> blocked := Some c
+          | Some c, Some b -> blocked := Some (Ir.Binop (Ir.Or, b, c)));
+          let w = Ir.fresh_wire builder (Printf.sprintf "%s_s%d_e%d" name s i) 1 in
+          Ir.assign builder w expr;
+          Ir.Wire w)
+        edges
+  done;
+  (* State register update: first taken edge wins (takens are mutually
+     exclusive by construction, so fold order is irrelevant). *)
+  let next_state = ref (Ir.Reg state_reg) in
+  for s = t.count - 1 downto 0 do
+    List.iteri
+      (fun i e -> next_state := Ir.Mux (taken.(s).(i), state_const e.e_next, !next_state))
+      t.edges.(s)
+  done;
+  Ir.update builder state_reg !next_state;
+  (* Per-register commit muxes. *)
+  let commits : (int, (Ir.expr * Ir.expr) list ref) Hashtbl.t = Hashtbl.create 32 in
+  let regs : (int, Ir.reg) Hashtbl.t = Hashtbl.create 32 in
+  for s = 0 to t.count - 1 do
+    List.iteri
+      (fun i e ->
+        List.iter
+          (fun ((r : Ir.reg), v) ->
+            Hashtbl.replace regs r.Ir.r_id r;
+            let cell =
+              match Hashtbl.find_opt commits r.Ir.r_id with
+              | Some c -> c
+              | None ->
+                  let c = ref [] in
+                  Hashtbl.replace commits r.Ir.r_id c;
+                  c
+            in
+            cell := (taken.(s).(i), v) :: !cell)
+          e.e_commits)
+      t.edges.(s)
+  done;
+  (* Deterministic output order: by register id. *)
+  let per_reg =
+    Hashtbl.fold (fun rid cell acc -> (rid, cell) :: acc) commits []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+  in
+  List.iter
+    (fun (rid, cell) ->
+      let r = Hashtbl.find regs rid in
+      let next =
+        List.fold_left (fun acc (cond, v) -> Ir.Mux (cond, v, acc)) (Ir.Reg r) !cell
+      in
+      Ir.update builder r next)
+    per_reg;
+  { rz_state_reg = state_reg; rz_in_state = in_state }
+
+let in_state rz s = rz.rz_in_state.(s)
+let state_reg rz = rz.rz_state_reg

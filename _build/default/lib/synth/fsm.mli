@@ -1,0 +1,41 @@
+(** Abstract finite-state-machine assembly used while compiling one HLIR
+    process.  States are integers; each state owns an ordered list of exit
+    edges.  Every clock cycle the realised machine takes the first edge
+    whose condition holds (committing that edge's register writes) or stays
+    put.  {!realize} turns the abstract machine into registers, wires and
+    update equations inside an {!Hlcs_rtl.Ir.builder}. *)
+
+type edge = {
+  e_cond : Hlcs_rtl.Ir.expr option;  (** [None] = always taken *)
+  e_commits : (Hlcs_rtl.Ir.reg * Hlcs_rtl.Ir.expr) list;
+  e_next : int;
+}
+
+type t
+
+val create : unit -> t
+val fresh_state : t -> int
+(** States are numbered from 0; state 0 is the reset state. *)
+
+val add_edge : t -> int -> edge -> unit
+(** Appends an edge with lower priority than existing ones. *)
+
+val has_edges : t -> int -> bool
+val state_count : t -> int
+
+val to_dot : t -> name:string -> string
+(** A Graphviz rendering of the machine: one node per state, edges
+    labelled with their conditions and the number of register commits. *)
+
+type realized
+
+val realize : Hlcs_rtl.Ir.builder -> name:string -> t -> realized
+(** Creates the state register (initial value 0), one "in state" wire per
+    state, "edge taken" wires, the state-register update, and one update per
+    committed register (registers committed on several edges get a mux
+    chain). *)
+
+val in_state : realized -> int -> Hlcs_rtl.Ir.expr
+(** The 1-bit expression "the machine is currently in this state". *)
+
+val state_reg : realized -> Hlcs_rtl.Ir.reg

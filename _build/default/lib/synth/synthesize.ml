@@ -1,0 +1,895 @@
+module A = Hlcs_hlir.Ast
+module Typecheck = Hlcs_hlir.Typecheck
+module Ir = Hlcs_rtl.Ir
+module Bitvec = Hlcs_logic.Bitvec
+module Policy = Hlcs_osss.Policy
+
+exception Synthesis_error of string
+
+let err fmt = Format.kasprintf (fun s -> raise (Synthesis_error s)) fmt
+
+type options = { chaining : bool; age_width : int; optimize : bool }
+
+let default_options = { chaining = true; age_width = 16; optimize = true }
+
+type report = {
+  rp_rtl : Ir.design;
+  rp_process_states : (string * int) list;
+  rp_object_channels : (string * int) list;
+  rp_field_regs : (string * (string * string) list) list;
+  rp_array_regs : (string * (string * string list) list) list;
+  rp_fsm_dot : (string * string) list;
+  rp_stats : Hlcs_rtl.Stats.t;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Shared expression helpers                                           *)
+
+let map_unop : A.unop -> Ir.unop = function
+  | A.Not -> Ir.Not
+  | A.Neg -> Ir.Neg
+  | A.Reduce_or -> Ir.Reduce_or
+  | A.Reduce_and -> Ir.Reduce_and
+  | A.Reduce_xor -> Ir.Reduce_xor
+
+let map_binop : A.binop -> Ir.binop = function
+  | A.Add -> Ir.Add
+  | A.Sub -> Ir.Sub
+  | A.Mul -> Ir.Mul
+  | A.And -> Ir.And
+  | A.Or -> Ir.Or
+  | A.Xor -> Ir.Xor
+  | A.Eq -> Ir.Eq
+  | A.Ne -> Ir.Ne
+  | A.Lt -> Ir.Lt
+  | A.Le -> Ir.Le
+  | A.Gt -> Ir.Gt
+  | A.Ge -> Ir.Ge
+  | A.Shl -> Ir.Shl
+  | A.Shr -> Ir.Shr
+  | A.Concat -> Ir.Concat
+
+(* [leaf] resolves Var/Field/Port for the current lowering context. *)
+let rec lower leaf (e : A.expr) : Ir.expr =
+  match e with
+  | A.Const bv -> Ir.Const bv
+  | A.Var _ | A.Field _ | A.Index _ | A.Port _ -> leaf e
+  | A.Unop (op, x) -> Ir.Unop (map_unop op, lower leaf x)
+  | A.Binop (op, x, y) -> Ir.Binop (map_binop op, lower leaf x, lower leaf y)
+  | A.Mux (c, x, y) -> Ir.Mux (lower leaf c, lower leaf x, lower leaf y)
+  | A.Slice (x, hi, lo) -> Ir.Slice (lower leaf x, hi, lo)
+
+let b_true = Ir.Const (Bitvec.of_int ~width:1 1)
+let b_false = Ir.Const (Bitvec.of_int ~width:1 0)
+let and_ a b = Ir.Binop (Ir.And, a, b)
+let or_ a b = Ir.Binop (Ir.Or, a, b)
+let not_ a = Ir.Unop (Ir.Not, a)
+
+let or_list = function [] -> b_false | x :: xs -> List.fold_left or_ x xs
+let and_list = function [] -> b_true | x :: xs -> List.fold_left and_ x xs
+
+let bits_for n =
+  let rec go b = if 1 lsl b >= n then b else go (b + 1) in
+  max 1 (go 0)
+
+(* ------------------------------------------------------------------ *)
+(* Channels: one request/grant lane per (object, method, calling       *)
+(* process).  A process may have several call sites on the same        *)
+(* channel; the argument registers are committed on the edge entering  *)
+(* each call state.                                                    *)
+
+type channel = {
+  ch_id : int;
+  ch_client : int;  (* index of the calling process *)
+  ch_priority : int;
+  ch_meth : A.method_decl;
+  ch_req : Ir.wire;
+  ch_done : Ir.wire;
+  ch_res : Ir.wire option;
+  ch_arg_regs : (string * Ir.reg) list;
+  mutable ch_sites : int list;  (* call states *)
+}
+
+type obj_ctx = {
+  oc_decl : A.object_decl;
+  oc_fields : (string * Ir.reg) list;
+  oc_arrays : (string * Ir.reg array) list;  (* register banks, by element *)
+  mutable oc_channels : channel list;  (* reverse creation order *)
+  mutable oc_next_channel : int;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Per-process compilation state                                       *)
+
+type pstate = {
+  ps_proc : A.process_decl;
+  ps_index : int;
+  ps_fsm : Fsm.t;
+  mutable ps_cur : int;
+  mutable ps_env : (string, Ir.expr) Hashtbl.t;  (* modified locals *)
+  mutable ps_emits : (string, Ir.expr) Hashtbl.t;  (* pending out writes *)
+  mutable ps_pure : bool;
+      (* inside a zero-time If branch: no state may be allocated, even
+         under the one-assignment-per-state option *)
+  ps_local_regs : (string, Ir.reg) Hashtbl.t;
+}
+
+type ctx = {
+  cx_design : A.design;
+  cx_builder : Ir.builder;
+  cx_options : options;
+  cx_objects : (string, obj_ctx) Hashtbl.t;
+  cx_out_regs : (string, Ir.reg) Hashtbl.t;
+  cx_out_writer : (string, string) Hashtbl.t;  (* port -> process *)
+  cx_ports : (string, A.port) Hashtbl.t;
+}
+
+let local_reg ps name = Hashtbl.find ps.ps_local_regs name
+
+let process_leaf cx ps : A.expr -> Ir.expr = function
+  | A.Var name -> (
+      match Hashtbl.find_opt ps.ps_env name with
+      | Some e -> e
+      | None -> Ir.Reg (local_reg ps name))
+  | A.Port name ->
+      let p = Hashtbl.find cx.cx_ports name in
+      Ir.Input (name, p.A.pt_width)
+  | A.Index (name, _) -> err "array %S referenced outside a method" name
+  | A.Field _ | A.Const _ | A.Unop _ | A.Binop _ | A.Mux _ | A.Slice _ ->
+      assert false
+
+let lower_in_process cx ps e = lower (process_leaf cx ps) e
+
+(* Pending register writes accumulated in the current state. *)
+let take_commits cx ps =
+  let commits = ref [] in
+  Hashtbl.iter (fun v e -> commits := (local_reg ps v, e) :: !commits) ps.ps_env;
+  Hashtbl.iter
+    (fun p e -> commits := (Hashtbl.find cx.cx_out_regs p, e) :: !commits)
+    ps.ps_emits;
+  ps.ps_env <- Hashtbl.create 16;
+  ps.ps_emits <- Hashtbl.create 8;
+  (* Deterministic ordering for reproducible netlists. *)
+  List.sort (fun ((a : Ir.reg), _) (b, _) -> compare a.Ir.r_id b.Ir.r_id) !commits
+
+let get_channel cx ps obj_name (meth : A.method_decl) =
+  let oc = Hashtbl.find cx.cx_objects obj_name in
+  let existing =
+    List.find_opt
+      (fun ch -> ch.ch_client = ps.ps_index && ch.ch_meth.A.m_name = meth.A.m_name)
+      oc.oc_channels
+  in
+  match existing with
+  | Some ch -> ch
+  | None ->
+      let b = cx.cx_builder in
+      let base = Printf.sprintf "%s_%s_c%d" obj_name meth.A.m_name ps.ps_index in
+      let ch =
+        {
+          ch_id = oc.oc_next_channel;
+          ch_client = ps.ps_index;
+          ch_priority = ps.ps_proc.A.p_priority;
+          ch_meth = meth;
+          ch_req = Ir.fresh_wire b (base ^ "_req") 1;
+          ch_done = Ir.fresh_wire b (base ^ "_done") 1;
+          ch_res =
+            Option.map
+              (fun w -> Ir.fresh_wire b (base ^ "_res") w)
+              meth.A.m_result_width;
+          ch_arg_regs =
+            List.map
+              (fun (pname, w) ->
+                (pname, Ir.fresh_reg b (Printf.sprintf "%s_arg_%s" base pname) w))
+              meth.A.m_params;
+          ch_sites = [];
+        }
+      in
+      oc.oc_next_channel <- oc.oc_next_channel + 1;
+      oc.oc_channels <- ch :: oc.oc_channels;
+      ch
+
+(* ------------------------------------------------------------------ *)
+(* Statement compilation                                               *)
+
+(* [while c { zero-time stmts; wait 1 }] — the shape of every per-cycle
+   polling loop.  Returns the zero-time prefix. *)
+let rec zero_time stmt =
+  match stmt with
+  | A.Set _ | A.Emit _ -> true
+  | A.If (_, t, e) -> List.for_all zero_time t && List.for_all zero_time e
+  | A.Case (_, arms, default) ->
+      List.for_all (fun (_, body) -> List.for_all zero_time body) arms
+      && List.for_all zero_time default
+  | A.Wait _ | A.Call _ | A.While _ | A.Halt -> false
+
+(* A case statement compiles as a cascade of ifs; the selector is a pure
+   expression, so re-evaluating it per level is sound. *)
+let desugar_case sel arms default =
+  List.fold_right
+    (fun (labels, body) rest ->
+      let cond =
+        match
+          List.map (fun label -> A.Binop (A.Eq, sel, A.Const label)) labels
+        with
+        | [] -> A.Const (Bitvec.of_int ~width:1 0)
+        | first :: more -> List.fold_left (fun acc c -> A.Binop (A.Or, acc, c)) first more
+      in
+      [ A.If (cond, body, rest) ])
+    arms default
+
+let fast_poll_body body =
+  match List.rev body with
+  | A.Wait 1 :: rev_prefix ->
+      let prefix = List.rev rev_prefix in
+      if List.for_all zero_time prefix then Some prefix else None
+  | _ -> None
+
+let rec compile_stmts cx ps stmts = List.iter (compile_stmt cx ps) stmts
+
+and cut cx ps ?cond ?(extra = []) next =
+  let commits = take_commits cx ps @ extra in
+  Fsm.add_edge ps.ps_fsm ps.ps_cur { Fsm.e_cond = cond; e_commits = commits; e_next = next }
+
+(* Open a loop head.  When nothing is pending and the current state is
+   still virgin (fresh after a wait/call/join), the current state becomes
+   the head — so a polling loop that directly follows a [wait] starts
+   sampling at the very next clock edge, one cycle earlier than a separate
+   entry state would allow.  Protocol loops rely on this to catch
+   single-cycle strobes. *)
+and enter_loop_head cx ps =
+  let commits = take_commits cx ps in
+  if commits = [] && not (Fsm.has_edges ps.ps_fsm ps.ps_cur) then ps.ps_cur
+  else begin
+    let s_head = Fsm.fresh_state ps.ps_fsm in
+    Fsm.add_edge ps.ps_fsm ps.ps_cur
+      { Fsm.e_cond = None; e_commits = commits; e_next = s_head };
+    ps.ps_cur <- s_head;
+    s_head
+  end
+
+and compile_stmt cx ps stmt =
+  match stmt with
+  | A.Set (x, e) ->
+      let v = lower_in_process cx ps e in
+      Hashtbl.replace ps.ps_env x v;
+      if (not cx.cx_options.chaining) && not ps.ps_pure then begin
+        let next = Fsm.fresh_state ps.ps_fsm in
+        cut cx ps next;
+        ps.ps_cur <- next
+      end
+  | A.Emit (p, e) ->
+      (match Hashtbl.find_opt cx.cx_out_writer p with
+      | Some owner when owner <> ps.ps_proc.A.p_name ->
+          err "output port %S is driven by both %S and %S" p owner ps.ps_proc.A.p_name
+      | Some _ -> ()
+      | None -> Hashtbl.replace cx.cx_out_writer p ps.ps_proc.A.p_name);
+      Hashtbl.replace ps.ps_emits p (lower_in_process cx ps e)
+  | A.Wait n ->
+      let next = Fsm.fresh_state ps.ps_fsm in
+      cut cx ps next;
+      ps.ps_cur <- next;
+      for _ = 2 to n do
+        let next = Fsm.fresh_state ps.ps_fsm in
+        Fsm.add_edge ps.ps_fsm ps.ps_cur
+          { Fsm.e_cond = None; e_commits = []; e_next = next };
+        ps.ps_cur <- next
+      done
+  | A.Call { co_obj; co_meth; co_args; co_bind } ->
+      let obj =
+        match A.find_object cx.cx_design co_obj with
+        | Some o -> o
+        | None -> assert false (* typechecked *)
+      in
+      let meth =
+        match A.find_method obj co_meth with Some m -> m | None -> assert false
+      in
+      let ch = get_channel cx ps co_obj meth in
+      let arg_values = List.map (lower_in_process cx ps) co_args in
+      let arg_commits =
+        List.map2 (fun (_, r) v -> (r, v)) ch.ch_arg_regs arg_values
+      in
+      let s_call = Fsm.fresh_state ps.ps_fsm in
+      cut cx ps ~extra:arg_commits s_call;
+      ch.ch_sites <- s_call :: ch.ch_sites;
+      let s_next = Fsm.fresh_state ps.ps_fsm in
+      let bind_commits =
+        match (co_bind, ch.ch_res) with
+        | Some x, Some res -> [ (local_reg ps x, Ir.Wire res) ]
+        | Some x, None -> err "call result bound to %S but method has no result" x
+        | None, _ -> []
+      in
+      Fsm.add_edge ps.ps_fsm s_call
+        { Fsm.e_cond = Some (Ir.Wire ch.ch_done); e_commits = bind_commits; e_next = s_next };
+      ps.ps_cur <- s_next
+  | A.If (c, th, el) ->
+      let timed =
+        List.exists A.stmt_takes_time th || List.exists A.stmt_takes_time el
+      in
+      if not timed then compile_pure_if cx ps c th el
+      else begin
+        let cond = lower_in_process cx ps c in
+        let commits = take_commits cx ps in
+        let s_join = Fsm.fresh_state ps.ps_fsm in
+        let s_then = Fsm.fresh_state ps.ps_fsm in
+        let s_else = if el = [] then s_join else Fsm.fresh_state ps.ps_fsm in
+        Fsm.add_edge ps.ps_fsm ps.ps_cur
+          { Fsm.e_cond = Some cond; e_commits = commits; e_next = s_then };
+        Fsm.add_edge ps.ps_fsm ps.ps_cur
+          { Fsm.e_cond = None; e_commits = commits; e_next = s_else };
+        ps.ps_cur <- s_then;
+        compile_stmts cx ps th;
+        cut cx ps s_join;
+        if el <> [] then begin
+          ps.ps_cur <- s_else;
+          compile_stmts cx ps el;
+          cut cx ps s_join
+        end;
+        ps.ps_cur <- s_join
+      end
+  | A.Case (sel, arms, default) -> compile_stmts cx ps (desugar_case sel arms default)
+  | A.While (c, body) -> (
+      match fast_poll_body body with
+      | Some prefix when cx.cx_options.chaining ->
+          (* Polling loop [while c { zero-time work; wait 1 }]: one state
+             that samples the condition every cycle and commits the body's
+             effects on each iteration edge.  This keeps synthesised bus
+             protocols able to react to single-cycle strobes (e.g. TRDY#),
+             exactly like the behavioural process that wakes every clock. *)
+          let s_head = enter_loop_head cx ps in
+          let cond = lower_in_process cx ps c in
+          let s_exit = Fsm.fresh_state ps.ps_fsm in
+          Fsm.add_edge ps.ps_fsm s_head
+            { Fsm.e_cond = Some (not_ cond); e_commits = []; e_next = s_exit };
+          compile_stmts cx ps prefix;
+          assert (ps.ps_cur = s_head);
+          let commits = take_commits cx ps in
+          Fsm.add_edge ps.ps_fsm s_head
+            { Fsm.e_cond = None; e_commits = commits; e_next = s_head };
+          ps.ps_cur <- s_exit
+      | Some _ | None ->
+          let s_head = enter_loop_head cx ps in
+          (* env is empty at the head: the condition reads registers *)
+          let cond = lower_in_process cx ps c in
+          let s_body = Fsm.fresh_state ps.ps_fsm in
+          let s_exit = Fsm.fresh_state ps.ps_fsm in
+          Fsm.add_edge ps.ps_fsm s_head
+            { Fsm.e_cond = Some cond; e_commits = []; e_next = s_body };
+          Fsm.add_edge ps.ps_fsm s_head
+            { Fsm.e_cond = None; e_commits = []; e_next = s_exit };
+          ps.ps_cur <- s_body;
+          compile_stmts cx ps body;
+          cut cx ps s_head;
+          ps.ps_cur <- s_exit)
+  | A.Halt ->
+      let s_halt = Fsm.fresh_state ps.ps_fsm in
+      cut cx ps s_halt;
+      (* statements after halt are dead: park them in an unreachable state *)
+      ps.ps_cur <- Fsm.fresh_state ps.ps_fsm
+
+(* Zero-time conditional: compile both branches symbolically and merge the
+   written names with muxes; no state is allocated. *)
+and compile_pure_if cx ps c th el =
+  let cond = lower_in_process cx ps c in
+  let base_env = ps.ps_env and base_emits = ps.ps_emits in
+  let was_pure = ps.ps_pure in
+  ps.ps_pure <- true;
+  let snapshot h = Hashtbl.copy h in
+  ps.ps_env <- snapshot base_env;
+  ps.ps_emits <- snapshot base_emits;
+  let entry = ps.ps_cur in
+  compile_stmts cx ps th;
+  assert (ps.ps_cur = entry);
+  let env_t = ps.ps_env and emits_t = ps.ps_emits in
+  ps.ps_env <- snapshot base_env;
+  ps.ps_emits <- snapshot base_emits;
+  compile_stmts cx ps el;
+  assert (ps.ps_cur = entry);
+  ps.ps_pure <- was_pure;
+  let env_e = ps.ps_env and emits_e = ps.ps_emits in
+  let merge base default_of t_tbl e_tbl =
+    let merged = Hashtbl.create 16 in
+    let keys = Hashtbl.create 16 in
+    Hashtbl.iter (fun k _ -> Hashtbl.replace keys k ()) t_tbl;
+    Hashtbl.iter (fun k _ -> Hashtbl.replace keys k ()) e_tbl;
+    Hashtbl.iter
+      (fun k () ->
+        let dflt () =
+          match Hashtbl.find_opt base k with Some v -> v | None -> default_of k
+        in
+        let vt = match Hashtbl.find_opt t_tbl k with Some v -> v | None -> dflt () in
+        let ve = match Hashtbl.find_opt e_tbl k with Some v -> v | None -> dflt () in
+        if vt == ve then Hashtbl.replace merged k vt
+        else Hashtbl.replace merged k (Ir.Mux (cond, vt, ve)))
+      keys;
+    (* names untouched by both branches keep their base binding *)
+    Hashtbl.iter
+      (fun k v -> if not (Hashtbl.mem merged k) then Hashtbl.replace merged k v)
+      base;
+    merged
+  in
+  ps.ps_env <- merge base_env (fun v -> Ir.Reg (local_reg ps v)) env_t env_e;
+  ps.ps_emits <-
+    merge base_emits (fun p -> Ir.Reg (Hashtbl.find cx.cx_out_regs p)) emits_t emits_e
+
+(* ------------------------------------------------------------------ *)
+(* Shared-object server synthesis                                      *)
+
+(* An array read becomes a mux tree over the bank, selected by the lowered
+   index; out-of-range indices fall through to the zero default, matching
+   the interpreter. *)
+let rec method_leaf oc ch : A.expr -> Ir.expr = function
+  | A.Field f -> Ir.Reg (List.assoc f oc.oc_fields)
+  | A.Index (name, idx) ->
+      let bank = List.assoc name oc.oc_arrays in
+      let idx = lower (method_leaf oc ch) idx in
+      let iw = Ir.expr_width idx in
+      let width = (bank.(0) : Ir.reg).Ir.r_width in
+      let reachable = if iw >= 30 then Array.length bank else min (Array.length bank) (1 lsl iw) in
+      let acc = ref (Ir.Const (Bitvec.zero width)) in
+      for i = reachable - 1 downto 0 do
+        acc :=
+          Ir.Mux
+            ( Ir.Binop (Ir.Eq, idx, Ir.Const (Bitvec.of_int ~width:iw i)),
+              Ir.Reg bank.(i),
+              !acc )
+      done;
+      !acc
+  | A.Var p -> Ir.Reg (List.assoc p ch.ch_arg_regs)
+  | A.Port p -> err "port %S read inside a method" p
+  | A.Const _ | A.Unop _ | A.Binop _ | A.Mux _ | A.Slice _ -> assert false
+
+let lower_in_method oc ch e = lower (method_leaf oc ch) e
+
+let tag_equals oc tag_value =
+  match oc.oc_decl.A.o_tag with
+  | None -> assert false
+  | Some tf ->
+      let r = List.assoc tf oc.oc_fields in
+      Ir.Binop (Ir.Eq, Ir.Reg r, Ir.Const (Bitvec.of_int ~width:r.Ir.r_width tag_value))
+
+(* Dispatch a per-implementation value over the tag field. *)
+let dispatch oc impls ~of_impl ~default =
+  List.fold_left
+    (fun acc (tag, impl) -> Ir.Mux (tag_equals oc tag, of_impl impl, acc))
+    default impls
+
+let channel_guard oc ch =
+  match ch.ch_meth.A.m_kind with
+  | A.Plain impl -> lower_in_method oc ch impl.A.mi_guard
+  | A.Virtual impls ->
+      dispatch oc impls
+        ~of_impl:(fun impl -> lower_in_method oc ch impl.A.mi_guard)
+        ~default:b_false
+
+let channel_result oc ch =
+  match ch.ch_meth.A.m_result_width with
+  | None -> None
+  | Some w ->
+      let of_impl impl =
+        match impl.A.mi_result with
+        | Some e -> lower_in_method oc ch e
+        | None -> assert false
+      in
+      Some
+        (match ch.ch_meth.A.m_kind with
+        | A.Plain impl -> of_impl impl
+        | A.Virtual impls ->
+            dispatch oc impls ~of_impl ~default:(Ir.Const (Bitvec.zero w)))
+
+(* The value field [f] takes if this channel's call is granted. *)
+let channel_field_value oc ch fname =
+  let freg = List.assoc fname oc.oc_fields in
+  let update_of impl =
+    match List.assoc_opt fname impl.A.mi_updates with
+    | Some e -> Some (lower_in_method oc ch e)
+    | None -> None
+  in
+  match ch.ch_meth.A.m_kind with
+  | A.Plain impl -> update_of impl
+  | A.Virtual impls ->
+      if
+        List.exists
+          (fun (_, impl) -> List.mem_assoc fname impl.A.mi_updates)
+          impls
+      then
+        Some
+          (dispatch oc impls
+             ~of_impl:(fun impl ->
+               match update_of impl with Some e -> e | None -> Ir.Reg freg)
+             ~default:(Ir.Reg freg))
+      else None
+
+(* The value array element [aname.(i)] takes if this channel's call is
+   granted: per impl, fold the element writes in order so the last write to
+   a matching index wins; an index that can never equal [i] is skipped. *)
+let channel_array_element_value oc ch aname i =
+  let bank = List.assoc aname oc.oc_arrays in
+  let elem = Ir.Reg bank.(i) in
+  let apply_impl (impl : A.method_impl) =
+    List.fold_left
+      (fun acc (a, idx, v) ->
+        if a <> aname then acc
+        else
+          let idx' = lower_in_method oc ch idx in
+          let iw = Ir.expr_width idx' in
+          if iw < 30 && i >= 1 lsl iw then acc
+          else
+            Ir.Mux
+              ( Ir.Binop (Ir.Eq, idx', Ir.Const (Bitvec.of_int ~width:iw i)),
+                lower_in_method oc ch v,
+                acc ))
+      elem impl.A.mi_array_updates
+  in
+  let touches (impl : A.method_impl) =
+    List.exists (fun (a, _, _) -> a = aname) impl.A.mi_array_updates
+  in
+  match ch.ch_meth.A.m_kind with
+  | A.Plain impl -> if touches impl then Some (apply_impl impl) else None
+  | A.Virtual impls ->
+      if List.exists (fun (_, impl) -> touches impl) impls then
+        Some (dispatch oc impls ~of_impl:apply_impl ~default:elem)
+      else None
+
+(* Build grant equations for the channels according to the policy. *)
+let build_arbiter cx oc channels eligible =
+  let b = cx.cx_builder in
+  let obj_name = oc.oc_decl.A.o_name in
+  let named_wire name e =
+    let w = Ir.fresh_wire b name 1 in
+    Ir.assign b w e;
+    Ir.Wire w
+  in
+  let clients = List.sort_uniq compare (List.map (fun ch -> ch.ch_client) channels) in
+  match oc.oc_decl.A.o_policy with
+  | Policy.Static_priority ->
+      (* Fixed combinational priority: higher process priority first. *)
+      let order =
+        List.sort
+          (fun a b ->
+            match compare b.ch_priority a.ch_priority with
+            | 0 -> compare a.ch_id b.ch_id
+            | c -> c)
+          channels
+      in
+      let grants = Hashtbl.create 8 in
+      let earlier = ref [] in
+      List.iter
+        (fun ch ->
+          let elig = List.assoc ch.ch_id eligible in
+          let g = and_ elig (not_ (or_list !earlier)) in
+          Hashtbl.replace grants ch.ch_id
+            (named_wire (Printf.sprintf "%s_grant_%d" obj_name ch.ch_id) g);
+          earlier := elig :: !earlier)
+        order;
+      fun ch -> Hashtbl.find grants ch.ch_id
+  | Policy.Fcfs ->
+      (* Oldest pending request wins; age counters saturate. *)
+      let aw = cx.cx_options.age_width in
+      let ages =
+        List.map
+          (fun cl ->
+            (cl, Ir.fresh_reg b (Printf.sprintf "%s_age_c%d" obj_name cl) aw))
+          clients
+      in
+      let beats a b' =
+        (* strict total order on (age, client index) *)
+        let age_a = Ir.Reg (List.assoc a.ch_client ages)
+        and age_b = Ir.Reg (List.assoc b'.ch_client ages) in
+        let older = Ir.Binop (Ir.Gt, age_a, age_b) in
+        let tie = Ir.Binop (Ir.Eq, age_a, age_b) in
+        if a.ch_id < b'.ch_id then or_ older tie else older
+      in
+      let grant_exprs =
+        List.map
+          (fun ch ->
+            let elig = List.assoc ch.ch_id eligible in
+            let wins =
+              List.filter_map
+                (fun other ->
+                  if other.ch_id = ch.ch_id then None
+                  else
+                    Some
+                      (or_
+                         (not_ (List.assoc other.ch_id eligible))
+                         (beats ch other)))
+                channels
+            in
+            ( ch.ch_id,
+              named_wire
+                (Printf.sprintf "%s_grant_%d" obj_name ch.ch_id)
+                (and_ elig (and_list wins)) ))
+          channels
+      in
+      (* Age bookkeeping per client. *)
+      List.iter
+        (fun cl ->
+          let age = List.assoc cl ages in
+          let mine = List.filter (fun ch -> ch.ch_client = cl) channels in
+          let req = or_list (List.map (fun ch -> Ir.Wire ch.ch_req) mine) in
+          let granted = or_list (List.map (fun ch -> List.assoc ch.ch_id grant_exprs) mine) in
+          let maxed =
+            Ir.Binop (Ir.Eq, Ir.Reg age, Ir.Const (Bitvec.ones aw))
+          in
+          let inc =
+            Ir.Mux
+              ( maxed,
+                Ir.Reg age,
+                Ir.Binop (Ir.Add, Ir.Reg age, Ir.Const (Bitvec.of_int ~width:aw 1)) )
+          in
+          let zero = Ir.Const (Bitvec.zero aw) in
+          Ir.update b age (Ir.Mux (granted, zero, Ir.Mux (req, inc, zero))))
+        clients;
+      fun ch -> List.assoc ch.ch_id grant_exprs
+  | Policy.Round_robin ->
+      (* Rotating priority over client identities. *)
+      let pw = bits_for (List.fold_left max 0 clients + 1) in
+      let ptr = Ir.fresh_reg b (obj_name ^ "_rr_ptr") pw in
+      let client_const cl = Ir.Const (Bitvec.of_int ~width:pw cl) in
+      let ordered =
+        List.sort
+          (fun a b ->
+            match compare a.ch_client b.ch_client with
+            | 0 -> compare a.ch_id b.ch_id
+            | c -> c)
+          channels
+      in
+      let hi ch = and_ (List.assoc ch.ch_id eligible)
+          (Ir.Binop (Ir.Gt, client_const ch.ch_client, Ir.Reg ptr))
+      in
+      let any_hi = named_wire (obj_name ^ "_rr_anyhi") (or_list (List.map hi ordered)) in
+      let first_of proj =
+        let earlier = ref [] in
+        List.map
+          (fun ch ->
+            let this = proj ch in
+            let g = and_ this (not_ (or_list !earlier)) in
+            earlier := this :: !earlier;
+            (ch.ch_id, g))
+          ordered
+      in
+      let grant_hi = first_of hi in
+      let grant_lo = first_of (fun ch -> List.assoc ch.ch_id eligible) in
+      let grants =
+        List.map
+          (fun ch ->
+            ( ch.ch_id,
+              named_wire
+                (Printf.sprintf "%s_grant_%d" obj_name ch.ch_id)
+                (Ir.Mux (any_hi, List.assoc ch.ch_id grant_hi, List.assoc ch.ch_id grant_lo))
+            ))
+          ordered
+      in
+      let granted_client =
+        List.fold_left
+          (fun acc ch -> Ir.Mux (List.assoc ch.ch_id grants, client_const ch.ch_client, acc))
+          (Ir.Reg ptr) ordered
+      in
+      Ir.update b ptr granted_client;
+      fun ch -> List.assoc ch.ch_id grants
+
+let build_server cx oc =
+  let b = cx.cx_builder in
+  let channels = List.rev oc.oc_channels in
+  match channels with
+  | [] -> ()  (* unreferenced object: fields hold their reset values *)
+  | _ ->
+      let eligible =
+        List.map
+          (fun ch ->
+            let g = channel_guard oc ch in
+            let w =
+              Ir.fresh_wire b
+                (Printf.sprintf "%s_elig_%d" oc.oc_decl.A.o_name ch.ch_id)
+                1
+            in
+            Ir.assign b w (and_ (Ir.Wire ch.ch_req) g);
+            (ch.ch_id, Ir.Wire w))
+          channels
+      in
+      let grant_of = build_arbiter cx oc channels eligible in
+      List.iter
+        (fun ch ->
+          Ir.assign b ch.ch_done (grant_of ch);
+          match (ch.ch_res, channel_result oc ch) with
+          | Some res_wire, Some res_expr -> Ir.assign b res_wire res_expr
+          | None, None -> ()
+          | Some res_wire, None ->
+              (* method declared with result but no expression: checked *)
+              Ir.assign b res_wire (Ir.Const (Bitvec.zero res_wire.Ir.w_width))
+          | None, Some _ -> assert false)
+        channels;
+      (* Field registers: one mux chain across granting channels. *)
+      List.iter
+        (fun (fname, freg) ->
+          let next =
+            List.fold_left
+              (fun acc ch ->
+                match channel_field_value oc ch fname with
+                | None -> acc
+                | Some v -> Ir.Mux (grant_of ch, v, acc))
+              (Ir.Reg freg) channels
+          in
+          if next <> Ir.Reg freg then Ir.update b freg next)
+        oc.oc_fields;
+      (* Array banks: the same, per element. *)
+      List.iter
+        (fun (aname, bank) ->
+          Array.iteri
+            (fun i reg ->
+              let next =
+                List.fold_left
+                  (fun acc ch ->
+                    match channel_array_element_value oc ch aname i with
+                    | None -> acc
+                    | Some v -> Ir.Mux (grant_of ch, v, acc))
+                  (Ir.Reg reg) channels
+              in
+              if next <> Ir.Reg reg then Ir.update b reg next)
+            bank)
+        oc.oc_arrays
+
+(* ------------------------------------------------------------------ *)
+(* Top level                                                           *)
+
+let synthesize ?(options = default_options) (design : A.design) =
+  Typecheck.check_exn design;
+  let b = Ir.builder design.A.d_name in
+  let cx =
+    {
+      cx_design = design;
+      cx_builder = b;
+      cx_options = options;
+      cx_objects = Hashtbl.create 8;
+      cx_out_regs = Hashtbl.create 8;
+      cx_out_writer = Hashtbl.create 8;
+      cx_ports = Hashtbl.create 8;
+    }
+  in
+  List.iter
+    (fun (p : A.port) ->
+      Hashtbl.replace cx.cx_ports p.A.pt_name p;
+      match p.A.pt_dir with
+      | A.In -> Ir.add_input b p.A.pt_name p.A.pt_width
+      | A.Out ->
+          Ir.add_output b p.A.pt_name p.A.pt_width;
+          let r = Ir.fresh_reg b (p.A.pt_name ^ "_r") p.A.pt_width in
+          Hashtbl.replace cx.cx_out_regs p.A.pt_name r;
+          Ir.drive b p.A.pt_name (Ir.Reg r))
+    design.A.d_ports;
+  List.iter
+    (fun (o : A.object_decl) ->
+      let fields =
+        List.map
+          (fun (fname, w, init) ->
+            (fname, Ir.fresh_reg b ~init (o.A.o_name ^ "_" ^ fname) w))
+          o.A.o_fields
+      in
+      let arrays =
+        List.map
+          (fun (aname, w, depth) ->
+            ( aname,
+              Array.init depth (fun i ->
+                  Ir.fresh_reg b (Printf.sprintf "%s_%s_%d" o.A.o_name aname i) w) ))
+          o.A.o_arrays
+      in
+      Hashtbl.replace cx.cx_objects o.A.o_name
+        {
+          oc_decl = o;
+          oc_fields = fields;
+          oc_arrays = arrays;
+          oc_channels = [];
+          oc_next_channel = 0;
+        })
+    design.A.d_objects;
+  (* Compile processes. *)
+  let process_states =
+    List.mapi
+      (fun index (proc : A.process_decl) ->
+        let ps =
+          {
+            ps_proc = proc;
+            ps_index = index;
+            ps_fsm = Fsm.create ();
+            ps_cur = 0;
+            ps_env = Hashtbl.create 16;
+            ps_emits = Hashtbl.create 8;
+            ps_pure = false;
+            ps_local_regs = Hashtbl.create 16;
+          }
+        in
+        List.iter
+          (fun (n, w, init) ->
+            Hashtbl.replace ps.ps_local_regs n
+              (Ir.fresh_reg b ~init (proc.A.p_name ^ "_" ^ n) w))
+          proc.A.p_locals;
+        ps.ps_cur <- Fsm.fresh_state ps.ps_fsm;
+        compile_stmts cx ps proc.A.p_body;
+        (* terminal state *)
+        let s_end = Fsm.fresh_state ps.ps_fsm in
+        cut cx ps s_end;
+        let realized = Fsm.realize b ~name:proc.A.p_name ps.ps_fsm in
+        (* Wire each channel's request and argument muxing now that the
+           call-site states are known. *)
+        Hashtbl.iter
+          (fun _ oc ->
+            List.iter
+              (fun ch ->
+                if ch.ch_client = index && ch.ch_sites <> [] then begin
+                  let site_exprs =
+                    List.map (fun s -> Fsm.in_state realized s) (List.rev ch.ch_sites)
+                  in
+                  Ir.assign b ch.ch_req (or_list site_exprs)
+                end)
+              oc.oc_channels)
+          cx.cx_objects;
+        (proc.A.p_name, ps.ps_fsm))
+      design.A.d_processes
+  in
+  let fsm_dot =
+    List.map (fun (name, fsm) -> (name, Fsm.to_dot fsm ~name)) process_states
+  in
+  let process_states =
+    List.map (fun (name, fsm) -> (name, Fsm.state_count fsm)) process_states
+  in
+  (* Channels never used by any process would leave dangling wires. *)
+  Hashtbl.iter
+    (fun _ oc ->
+      List.iter
+        (fun ch -> if ch.ch_sites = [] then Ir.assign b ch.ch_req b_false)
+        oc.oc_channels)
+    cx.cx_objects;
+  (* Servers. *)
+  List.iter
+    (fun (o : A.object_decl) -> build_server cx (Hashtbl.find cx.cx_objects o.A.o_name))
+    design.A.d_objects;
+  let rtl = Ir.finish b in
+  let rtl = if options.optimize then Hlcs_rtl.Opt.optimize rtl else rtl in
+  (match Ir.validate rtl with
+  | Ok () -> ()
+  | Error (d :: _) -> err "internal: generated RTL invalid: %s" d
+  | Error [] -> ());
+  let object_channels =
+    List.map
+      (fun (o : A.object_decl) ->
+        ( o.A.o_name,
+          List.length (Hashtbl.find cx.cx_objects o.A.o_name).oc_channels ))
+      design.A.d_objects
+  in
+  let field_regs =
+    List.map
+      (fun (o : A.object_decl) ->
+        let oc = Hashtbl.find cx.cx_objects o.A.o_name in
+        ( o.A.o_name,
+          List.map (fun (fname, (r : Ir.reg)) -> (fname, r.Ir.r_name)) oc.oc_fields ))
+      design.A.d_objects
+  in
+  let array_regs =
+    List.map
+      (fun (o : A.object_decl) ->
+        let oc = Hashtbl.find cx.cx_objects o.A.o_name in
+        ( o.A.o_name,
+          List.map
+            (fun (aname, bank) ->
+              (aname, Array.to_list (Array.map (fun (r : Ir.reg) -> r.Ir.r_name) bank)))
+            oc.oc_arrays ))
+      design.A.d_objects
+  in
+  {
+    rp_rtl = rtl;
+    rp_process_states = process_states;
+    rp_object_channels = object_channels;
+    rp_field_regs = field_regs;
+    rp_array_regs = array_regs;
+    rp_fsm_dot = fsm_dot;
+    rp_stats = Hlcs_rtl.Stats.of_design rtl;
+  }
+
+let pp_report ppf r =
+  Format.fprintf ppf "@[<v>design %s:@," r.rp_rtl.Ir.rd_name;
+  List.iter
+    (fun (n, s) -> Format.fprintf ppf "  process %-24s %3d states@," n s)
+    r.rp_process_states;
+  List.iter
+    (fun (n, c) -> Format.fprintf ppf "  object  %-24s %3d channels@," n c)
+    r.rp_object_channels;
+  Format.fprintf ppf "  %a@]" Hlcs_rtl.Stats.pp r.rp_stats

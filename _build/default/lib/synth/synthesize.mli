@@ -1,0 +1,70 @@
+(** The communication synthesiser — this library's reproduction of the
+    ODETTE tool's synthesis step.
+
+    A checked {!Hlcs_hlir.Ast.design} is compiled to a single-clock
+    {!Hlcs_rtl.Ir.design}:
+
+    - every process becomes a Moore-style FSM (one state per scheduling
+      step; locals and emitted output ports become registers);
+    - every guarded-method call site becomes a request/grant/done handshake:
+      the client latches the arguments, raises a request line and stalls
+      until the object's server grants it and hands back the result;
+    - every global object becomes a {e shared-object server}: field
+      registers, combinational guard evaluation per pending request, an
+      arbiter implementing the object's scheduling policy (FCFS via age
+      counters, static priority, or a rotating round-robin pointer), and
+      single-cycle method datapaths;
+    - a [`Virtual`] method synthesises to a dispatch mux over the object's
+      tag field — the hardware-oriented polymorphism of SystemC+.
+
+    The synthesised netlist is behaviourally equivalent to the interpreter
+    at the transaction level (same per-port emission sequences, same
+    per-process call/result sequences, same final object states); cycle
+    counts differ because high-level statements execute in zero time.
+
+    {b Output-stability discipline}: trace equivalence assumes each output
+    port is emitted at most once per scheduling step (between two
+    time-consuming statements).  A behavioural model overwrites same-delta
+    emissions so only the last value is ever visible, whereas the FSM
+    commits registers at every state boundary; a port written by two
+    sites with no wait between them therefore shows a transient
+    intermediate value at RT level.  Write-once-per-step is the same rule
+    industrial behavioural synthesis imposes on I/O. *)
+
+exception Synthesis_error of string
+
+type options = {
+  chaining : bool;
+      (** [true] (default): consecutive assignments share one FSM state,
+          chained combinationally.  [false]: one assignment per state —
+          smaller logic depth, more states (the ablation of DESIGN.md). *)
+  age_width : int;  (** width of the FCFS age counters (default 16) *)
+  optimize : bool;
+      (** run the {!Hlcs_rtl.Opt} clean-up passes on the generated netlist
+          (default [true]) *)
+}
+
+val default_options : options
+
+type report = {
+  rp_rtl : Hlcs_rtl.Ir.design;
+  rp_process_states : (string * int) list;  (** FSM states per process *)
+  rp_object_channels : (string * int) list;
+      (** request channels (call sites grouped by method and caller) per
+          object *)
+  rp_field_regs : (string * (string * string) list) list;
+      (** object -> (field, RTL register name); lets verification read the
+          post-synthesis object state back out of the netlist *)
+  rp_array_regs : (string * (string * string list) list) list;
+      (** object -> (array, element register names in index order) *)
+  rp_fsm_dot : (string * string) list;
+      (** process -> Graphviz rendering of its compiled FSM *)
+  rp_stats : Hlcs_rtl.Stats.t;
+}
+
+val synthesize : ?options:options -> Hlcs_hlir.Ast.design -> report
+(** @raise Synthesis_error on designs outside the synthesisable subset
+    (e.g. an output port driven by two processes).
+    @raise Hlcs_hlir.Typecheck.Type_error on ill-typed designs. *)
+
+val pp_report : Format.formatter -> report -> unit

@@ -1,0 +1,1 @@
+lib/verify/coverage.ml: Format Hashtbl List Printf

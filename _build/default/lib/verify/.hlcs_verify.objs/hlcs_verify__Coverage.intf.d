@@ -1,0 +1,1 @@
+lib/verify/coverage.mli: Format

@@ -1,0 +1,1 @@
+lib/verify/equiv.ml: Format Hlcs_engine Hlcs_hlir Hlcs_logic Hlcs_rtl Hlcs_synth List String Trace Unix

@@ -1,0 +1,1 @@
+lib/verify/equiv.mli: Format Hlcs_engine Hlcs_hlir Hlcs_logic Hlcs_synth

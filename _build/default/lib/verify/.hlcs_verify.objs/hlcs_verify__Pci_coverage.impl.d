@@ -1,0 +1,1 @@
+lib/verify/pci_coverage.ml: Coverage Hlcs_pci List

@@ -1,0 +1,1 @@
+lib/verify/pci_coverage.mli: Coverage Hlcs_pci

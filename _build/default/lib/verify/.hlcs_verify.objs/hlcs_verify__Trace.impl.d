@@ -1,0 +1,1 @@
+lib/verify/trace.ml: Format Hashtbl Hlcs_hlir Hlcs_logic Hlcs_rtl List

@@ -1,0 +1,1 @@
+lib/verify/trace.mli: Format Hlcs_hlir Hlcs_logic Hlcs_rtl

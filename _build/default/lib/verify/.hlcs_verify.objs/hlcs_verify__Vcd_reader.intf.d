@@ -1,0 +1,1 @@
+lib/verify/vcd_reader.mli:

@@ -1,0 +1,1 @@
+lib/verify/wave_diff.ml: Format List Vcd_reader

@@ -1,0 +1,1 @@
+lib/verify/wave_diff.mli: Format Vcd_reader

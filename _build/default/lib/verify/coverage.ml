@@ -1,0 +1,81 @@
+type point = {
+  pt_name : string;
+  pt_bins : (string, int ref) Hashtbl.t;  (* declared bins *)
+  pt_unexpected : (string, int ref) Hashtbl.t;
+}
+
+type t = { mutable pts : point list }
+
+let create () = { pts = [] }
+
+let point t ~name ~bins =
+  if bins = [] then invalid_arg "Coverage.point: no bins";
+  if List.exists (fun p -> p.pt_name = name) t.pts then
+    invalid_arg (Printf.sprintf "Coverage.point: duplicate point %S" name);
+  let pt_bins = Hashtbl.create (List.length bins) in
+  List.iter
+    (fun b ->
+      if Hashtbl.mem pt_bins b then
+        invalid_arg (Printf.sprintf "Coverage.point: duplicate bin %S" b);
+      Hashtbl.replace pt_bins b (ref 0))
+    bins;
+  let p = { pt_name = name; pt_bins; pt_unexpected = Hashtbl.create 4 } in
+  t.pts <- t.pts @ [ p ];
+  p
+
+let hit p bin =
+  match Hashtbl.find_opt p.pt_bins bin with
+  | Some cell -> incr cell
+  | None -> (
+      match Hashtbl.find_opt p.pt_unexpected bin with
+      | Some cell -> incr cell
+      | None -> Hashtbl.replace p.pt_unexpected bin (ref 1))
+
+let bin_count p bin =
+  match Hashtbl.find_opt p.pt_bins bin with
+  | Some cell -> !cell
+  | None -> ( match Hashtbl.find_opt p.pt_unexpected bin with Some c -> !c | None -> 0)
+
+let points t = List.map (fun p -> p.pt_name) t.pts
+
+let sorted_bins h =
+  Hashtbl.fold (fun b c acc -> (b, !c) :: acc) h [] |> List.sort compare
+
+let holes t =
+  List.concat_map
+    (fun p ->
+      List.filter_map
+        (fun (b, c) -> if c = 0 then Some (p.pt_name, b) else None)
+        (sorted_bins p.pt_bins))
+    t.pts
+
+let unexpected t =
+  List.concat_map
+    (fun p -> List.map (fun (b, c) -> (p.pt_name, b, c)) (sorted_bins p.pt_unexpected))
+    t.pts
+
+let ratio t =
+  let total = ref 0 and hit = ref 0 in
+  List.iter
+    (fun p ->
+      Hashtbl.iter
+        (fun _ c ->
+          incr total;
+          if !c > 0 then incr hit)
+        p.pt_bins)
+    t.pts;
+  if !total = 0 then 1.0 else float_of_int !hit /. float_of_int !total
+
+let report t = List.map (fun p -> (p.pt_name, sorted_bins p.pt_bins)) t.pts
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>coverage %.1f%%@," (100.0 *. ratio t);
+  List.iter
+    (fun (name, bins) ->
+      Format.fprintf ppf "  %s:@," name;
+      List.iter (fun (b, c) -> Format.fprintf ppf "    %-16s %d@," b c) bins)
+    (report t);
+  List.iter
+    (fun (p, b, c) -> Format.fprintf ppf "  UNEXPECTED %s/%s hit %d times@," p b c)
+    (unexpected t);
+  Format.fprintf ppf "@]"

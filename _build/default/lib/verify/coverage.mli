@@ -1,0 +1,33 @@
+(** Functional-coverage collection: named cover points with declared bins,
+    hit counting, and hole reporting — the metric a verification plan uses
+    to decide when the stimuli are good enough (the paper validates "at
+    least with respect to the test set adopted"; coverage quantifies that
+    test set). *)
+
+type t
+type point
+
+val create : unit -> t
+
+val point : t -> name:string -> bins:string list -> point
+(** Declares a cover point with its expected bins.
+    @raise Invalid_argument on duplicate point names or empty bins. *)
+
+val hit : point -> string -> unit
+(** Records a hit.  Hits on undeclared bins are counted separately (they
+    indicate a modelling gap, not coverage). *)
+
+val bin_count : point -> string -> int
+val points : t -> string list
+
+val holes : t -> (string * string) list
+(** (point, bin) pairs never hit. *)
+
+val unexpected : t -> (string * string * int) list
+(** Hits on bins that were never declared. *)
+
+val ratio : t -> float
+(** Declared bins hit / declared bins, in [0, 1]; 1.0 for an empty model. *)
+
+val report : t -> (string * (string * int) list) list
+val pp : Format.formatter -> t -> unit

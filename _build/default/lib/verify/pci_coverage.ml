@@ -1,0 +1,37 @@
+module Pci_types = Hlcs_pci.Pci_types
+
+let command_bins =
+  [ "mem_read"; "mem_write"; "mem_read_line"; "mem_write_invalidate" ]
+
+let termination_bins = [ "completed"; "retry"; "disconnect"; "master-abort" ]
+let burst_bins = [ "single"; "short(2-4)"; "long(5+)" ]
+
+let model cov =
+  ( Coverage.point cov ~name:"bus_command" ~bins:command_bins,
+    Coverage.point cov ~name:"termination" ~bins:termination_bins,
+    Coverage.point cov ~name:"burst_length" ~bins:burst_bins )
+
+let sample (commands, terminations, bursts) (tx : Pci_types.transaction) =
+  (let open Pci_types in
+   match tx.tx_command with
+   | Mem_read -> Coverage.hit commands "mem_read"
+   | Mem_write -> Coverage.hit commands "mem_write"
+   | Mem_read_line -> Coverage.hit commands "mem_read_line"
+   | Mem_write_invalidate -> Coverage.hit commands "mem_write_invalidate"
+   | Config_read -> Coverage.hit commands "config_read"
+   | Config_write -> Coverage.hit commands "config_write");
+  (match tx.Pci_types.tx_termination with
+  | Pci_types.Completed -> Coverage.hit terminations "completed"
+  | Pci_types.Retry -> Coverage.hit terminations "retry"
+  | Pci_types.Disconnect _ -> Coverage.hit terminations "disconnect"
+  | Pci_types.Master_abort -> Coverage.hit terminations "master-abort");
+  match List.length tx.Pci_types.tx_data with
+  | 0 | 1 -> Coverage.hit bursts "single"
+  | n when n <= 4 -> Coverage.hit bursts "short(2-4)"
+  | _ -> Coverage.hit bursts "long(5+)"
+
+let of_transactions txs =
+  let cov = Coverage.create () in
+  let pts = model cov in
+  List.iter (sample pts) txs;
+  cov

@@ -1,0 +1,15 @@
+(** The coverage model of the PCI bus-interface verification plan: bus
+    command kinds, termination kinds, and burst-length classes, sampled
+    from the protocol monitor's reconstructed transactions. *)
+
+val model : Coverage.t -> Coverage.point * Coverage.point * Coverage.point
+(** Declares the three cover points (commands, terminations, burst
+    lengths) on the given collector and returns them. *)
+
+val sample :
+  Coverage.point * Coverage.point * Coverage.point ->
+  Hlcs_pci.Pci_types.transaction ->
+  unit
+
+val of_transactions : Hlcs_pci.Pci_types.transaction list -> Coverage.t
+(** Builds the model and samples every transaction. *)

@@ -1,0 +1,70 @@
+module Bitvec = Hlcs_logic.Bitvec
+
+type call_record = {
+  cr_proc : string;
+  cr_obj : string;
+  cr_meth : string;
+  cr_args : Bitvec.t list;
+  cr_result : Bitvec.t option;
+}
+
+type t = {
+  ports : (string, Bitvec.t list ref) Hashtbl.t;  (* histories, newest first *)
+  mutable call_log : call_record list;  (* newest first *)
+  mutable emits : int;
+}
+
+let create () = { ports = Hashtbl.create 16; call_log = []; emits = 0 }
+
+let init_port t name ~width =
+  Hashtbl.replace t.ports name (ref [ Bitvec.zero width ])
+
+let record_port t name value =
+  t.emits <- t.emits + 1;
+  let cell =
+    match Hashtbl.find_opt t.ports name with
+    | Some c -> c
+    | None ->
+        let c = ref [] in
+        Hashtbl.replace t.ports name c;
+        c
+  in
+  match !cell with
+  | last :: _ when Bitvec.equal last value -> ()
+  | _ -> cell := value :: !cell
+
+let observer t =
+  {
+    Hlcs_hlir.Interp.obs_emit =
+      (fun ~proc:_ ~port:_ ~value:_ -> t.emits <- t.emits + 1);
+    obs_call =
+      (fun ~proc ~obj ~meth ~args ~result ->
+        t.call_log <-
+          { cr_proc = proc; cr_obj = obj; cr_meth = meth; cr_args = args;
+            cr_result = result }
+          :: t.call_log);
+  }
+
+let rtl_observer t =
+  { Hlcs_rtl.Sim.obs_output = (fun ~port ~value -> record_port t port value) }
+
+let port_history t name =
+  match Hashtbl.find_opt t.ports name with
+  | Some cell -> List.rev !cell
+  | None -> []
+
+let port_names t =
+  Hashtbl.fold (fun name _ acc -> name :: acc) t.ports [] |> List.sort compare
+
+let calls t = List.rev t.call_log
+let calls_of t ~proc = List.filter (fun c -> c.cr_proc = proc) (calls t)
+let emit_count t = t.emits
+
+let pp_call ppf c =
+  let pp_args =
+    Format.pp_print_list ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ") Bitvec.pp
+  in
+  Format.fprintf ppf "%s: %s.%s(%a)" c.cr_proc c.cr_obj c.cr_meth pp_args c.cr_args;
+  match c.cr_result with
+  | Some r -> Format.fprintf ppf " = %a" Bitvec.pp r
+  | None -> ()

@@ -1,0 +1,47 @@
+(** Transaction-level traces: the observable behaviour both the behavioural
+    and the post-synthesis models must agree on.
+
+    Per output port the trace is the {e value-change history}: it starts at
+    the port's reset value and appends every committed change — the
+    cycle-insensitive normal form in which a zero-time interpreter run and
+    a clocked RTL run are comparable.  Guarded-method calls (visible only
+    behaviourally) are recorded per calling process. *)
+
+type call_record = {
+  cr_proc : string;
+  cr_obj : string;
+  cr_meth : string;
+  cr_args : Hlcs_logic.Bitvec.t list;
+  cr_result : Hlcs_logic.Bitvec.t option;
+}
+
+type t
+
+val create : unit -> t
+
+val observer : t -> Hlcs_hlir.Interp.observer
+(** Records guarded-method calls from a behavioural run.  Port histories
+    must come from committed signal changes (see {!record_port}), not from
+    raw [Emit] statements: two writes in one delta cycle commit once, and
+    only the committed value is architecturally visible. *)
+
+val record_port : t -> string -> Hlcs_logic.Bitvec.t -> unit
+(** Appends a committed value to a port's history (consecutive duplicates
+    are collapsed). *)
+
+val rtl_observer : t -> Hlcs_rtl.Sim.observer
+(** Records output changes from an RTL run. *)
+
+val init_port : t -> string -> width:int -> unit
+(** Declares a port and its reset value (zero); call once per output port
+    before running. *)
+
+val port_history : t -> string -> Hlcs_logic.Bitvec.t list
+(** Reset value followed by every change, oldest first.  Unknown ports
+    yield the empty list. *)
+
+val port_names : t -> string list
+val calls : t -> call_record list
+val calls_of : t -> proc:string -> call_record list
+val emit_count : t -> int
+val pp_call : Format.formatter -> call_record -> unit

@@ -1,0 +1,106 @@
+type var = { v_name : string; v_width : int; mutable v_changes : (int * string) list }
+
+type t = {
+  by_id : (string, var) Hashtbl.t;
+  by_name : (string, var) Hashtbl.t;
+  mutable last_time : int;
+}
+
+let fail fmt = Printf.ksprintf failwith fmt
+
+let tokens_of_line line =
+  String.split_on_char ' ' line |> List.filter (fun s -> s <> "")
+
+(* normalise a vector value: strip redundant leading zeros but keep one
+   digit, so "b0010" and "b10" compare equal *)
+let normalise value =
+  if String.length value > 1 && (value.[0] = 'b' || value.[0] = 'B') then begin
+    let digits = String.sub value 1 (String.length value - 1) in
+    let rec skip i =
+      if i >= String.length digits - 1 then i
+      else if digits.[i] = '0' then skip (i + 1)
+      else i
+    in
+    "b" ^ String.sub digits (skip 0) (String.length digits - skip 0)
+  end
+  else value
+
+let load path =
+  let t = { by_id = Hashtbl.create 32; by_name = Hashtbl.create 32; last_time = 0 } in
+  let ic = open_in path in
+  let in_header = ref true in
+  let now = ref 0 in
+  (try
+     while true do
+       let line = String.trim (input_line ic) in
+       if line = "" then ()
+       else if !in_header then begin
+         match tokens_of_line line with
+         | "$var" :: _kind :: width :: id :: rest ->
+             let name =
+               match rest with
+               | name :: _ -> name
+               | [] -> fail "vcd %s: malformed $var" path
+             in
+             let width =
+               try int_of_string width with Failure _ -> fail "vcd %s: bad width" path
+             in
+             let var = { v_name = name; v_width = width; v_changes = [] } in
+             Hashtbl.replace t.by_id id var;
+             Hashtbl.replace t.by_name name var
+         | "$enddefinitions" :: _ -> in_header := false
+         | _ -> ()
+       end
+       else if line.[0] = '#' then begin
+         now := int_of_string (String.sub line 1 (String.length line - 1));
+         t.last_time <- max t.last_time !now
+       end
+       else if line.[0] = '$' then () (* $dumpvars / $end *)
+       else if line.[0] = 'b' || line.[0] = 'B' then begin
+         match tokens_of_line line with
+         | [ value; id ] -> (
+             match Hashtbl.find_opt t.by_id id with
+             | Some var -> var.v_changes <- (!now, normalise value) :: var.v_changes
+             | None -> fail "vcd %s: change for undeclared id %s" path id)
+         | _ -> fail "vcd %s: malformed vector change %S" path line
+       end
+       else begin
+         (* scalar change: value char followed directly by the id *)
+         let value = String.make 1 line.[0] in
+         let id = String.sub line 1 (String.length line - 1) in
+         match Hashtbl.find_opt t.by_id id with
+         | Some var -> var.v_changes <- (!now, value) :: var.v_changes
+         | None -> fail "vcd %s: change for undeclared id %s" path id
+       end
+     done
+   with End_of_file -> close_in ic);
+  t
+
+let signal_names t =
+  Hashtbl.fold (fun name _ acc -> name :: acc) t.by_name [] |> List.sort compare
+
+let find t name =
+  match Hashtbl.find_opt t.by_name name with
+  | Some v -> v
+  | None -> raise Not_found
+
+let width t name = (find t name).v_width
+let changes t name = List.rev (find t name).v_changes
+
+let value_sequence t name =
+  (* zero-width glitches (several commits at one timestamp, e.g. the
+     one-delta X overlap when a bus changes drivers) are unobservable by
+     any clocked device: keep only the last value per timestamp *)
+  let rec settle = function
+    | (ta, _) :: ((tb, _) :: _ as rest) when ta = tb -> settle rest
+    | (_, v) :: rest -> v :: settle rest
+    | [] -> []
+  in
+  let rec dedup = function
+    | a :: b :: rest when a = b -> dedup (b :: rest)
+    | a :: rest -> a :: dedup rest
+    | [] -> []
+  in
+  dedup (settle (changes t name))
+
+let final_time t = t.last_time

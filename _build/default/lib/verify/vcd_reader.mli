@@ -1,0 +1,28 @@
+(** A reader for Value Change Dump files (the subset emitted by
+    {!Hlcs_engine.Vcd}, which is plain IEEE-1364 VCD): header with variable
+    definitions, then timestamped value changes.  Used by {!Wave_diff} to
+    compare pre- and post-synthesis waveforms the way the paper's step-3
+    validation does. *)
+
+type t
+
+val load : string -> t
+(** @raise Failure on malformed input, [Sys_error] on IO errors. *)
+
+val signal_names : t -> string list
+(** Sorted declared names. *)
+
+val width : t -> string -> int
+(** @raise Not_found for unknown signals. *)
+
+val changes : t -> string -> (int * string) list
+(** [(time, value)] pairs in time order, including the [$dumpvars] initial
+    value at time 0.  Values are the VCD strings (e.g. ["1"],
+    ["b1010zz"]). *)
+
+val value_sequence : t -> string -> string list
+(** The signal's value history with consecutive duplicates collapsed —
+    the time-abstracted trace two implementations of different speeds can
+    agree on. *)
+
+val final_time : t -> int

@@ -1,0 +1,44 @@
+type signal_verdict = {
+  sv_name : string;
+  sv_equal : bool;
+  sv_a : string list;
+  sv_b : string list;
+}
+
+type report = {
+  rp_signals : signal_verdict list;
+  rp_only_a : string list;
+  rp_only_b : string list;
+}
+
+let compare_waves a b =
+  let names_a = Vcd_reader.signal_names a and names_b = Vcd_reader.signal_names b in
+  let shared = List.filter (fun n -> List.mem n names_b) names_a in
+  let verdict name =
+    let sa = Vcd_reader.value_sequence a name and sb = Vcd_reader.value_sequence b name in
+    { sv_name = name; sv_equal = sa = sb; sv_a = sa; sv_b = sb }
+  in
+  {
+    rp_signals = List.map verdict shared;
+    rp_only_a = List.filter (fun n -> not (List.mem n names_b)) names_a;
+    rp_only_b = List.filter (fun n -> not (List.mem n names_a)) names_b;
+  }
+
+let compare_files pa pb = compare_waves (Vcd_reader.load pa) (Vcd_reader.load pb)
+
+let consistent ?(ignore = []) report =
+  List.for_all
+    (fun v -> v.sv_equal || List.mem v.sv_name ignore)
+    report.rp_signals
+
+let pp_report ppf r =
+  Format.fprintf ppf "@[<v>";
+  List.iter
+    (fun v ->
+      Format.fprintf ppf "%-16s %s (%d vs %d values)@," v.sv_name
+        (if v.sv_equal then "consistent" else "DIFFERS")
+        (List.length v.sv_a) (List.length v.sv_b))
+    r.rp_signals;
+  List.iter (fun n -> Format.fprintf ppf "%-16s only in first file@," n) r.rp_only_a;
+  List.iter (fun n -> Format.fprintf ppf "%-16s only in second file@," n) r.rp_only_b;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,29 @@
+(** Time-abstracted waveform comparison: the paper's step-3 check ("the
+    resulting model was again simulated to check behavior consistency")
+    performed on the wave dumps themselves.
+
+    Two runs of different speeds (zero-time behavioural vs clocked RTL)
+    cannot agree on time stamps, but for every signal they can agree on
+    the {e sequence} of values it takes.  This module compares those
+    sequences per signal. *)
+
+type signal_verdict = {
+  sv_name : string;
+  sv_equal : bool;
+  sv_a : string list;  (** value sequence in the first file *)
+  sv_b : string list;
+}
+
+type report = {
+  rp_signals : signal_verdict list;  (** signals present in both files *)
+  rp_only_a : string list;
+  rp_only_b : string list;
+}
+
+val compare_files : string -> string -> report
+val compare_waves : Vcd_reader.t -> Vcd_reader.t -> report
+
+val consistent : ?ignore:string list -> report -> bool
+(** All shared signals (minus [ignore]) have equal value sequences. *)
+
+val pp_report : Format.formatter -> report -> unit

@@ -1,0 +1,1 @@
+test/test_arrays.ml: Alcotest Hlcs_engine Hlcs_hlir Hlcs_logic Hlcs_verify List String

@@ -1,0 +1,1 @@
+test/test_bitvec.ml: Alcotest Array Fun Hlcs_logic List Printf QCheck2 QCheck_alcotest

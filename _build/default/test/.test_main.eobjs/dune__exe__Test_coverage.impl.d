@@ -1,0 +1,1 @@
+test/test_coverage.ml: Alcotest Format Hlcs_engine Hlcs_interface Hlcs_pci Hlcs_verify List System

@@ -1,0 +1,1 @@
+test/test_flow.ml: Alcotest Filename Hlcs Hlcs_pci Hlcs_rtl Hlcs_synth List Sys Unix

@@ -1,0 +1,1 @@
+test/test_hlir.ml: Alcotest Hlcs_engine Hlcs_hlir Hlcs_logic List Printf String

@@ -1,0 +1,1 @@
+test/test_kernel.ml: Alcotest Filename Hlcs_engine Hlcs_logic List String Sys

@@ -1,0 +1,1 @@
+test/test_lint.ml: Alcotest Format Hlcs_hlir Hlcs_interface Hlcs_pci List String

@@ -1,0 +1,1 @@
+test/test_logic.ml: Alcotest Bitvec Hlcs_logic List Logic Lvec

@@ -1,0 +1,1 @@
+test/test_misc.ml: Alcotest Format Hlcs Hlcs_engine Hlcs_logic Hlcs_pci List String

@@ -1,0 +1,1 @@
+test/test_opt.ml: Alcotest Hlcs_engine Hlcs_interface Hlcs_logic Hlcs_pci Hlcs_rtl Hlcs_synth List Printf

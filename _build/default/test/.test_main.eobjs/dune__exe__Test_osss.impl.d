@@ -1,0 +1,1 @@
+test/test_osss.ml: Alcotest Hlcs_engine Hlcs_osss List Option Printf QCheck2 QCheck_alcotest

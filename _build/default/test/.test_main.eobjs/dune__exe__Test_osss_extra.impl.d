@@ -1,0 +1,1 @@
+test/test_osss_extra.ml: Alcotest Array Hlcs_engine Hlcs_osss List Printf

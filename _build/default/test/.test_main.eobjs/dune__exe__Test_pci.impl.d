@@ -1,0 +1,1 @@
+test/test_pci.ml: Alcotest Format Hlcs_engine Hlcs_logic Hlcs_pci List Pci_arbiter Pci_bus Pci_master Pci_memory Pci_monitor Pci_stim Pci_target Pci_types QCheck2 QCheck_alcotest

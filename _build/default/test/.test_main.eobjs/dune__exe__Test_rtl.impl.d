@@ -1,0 +1,1 @@
+test/test_rtl.ml: Alcotest Hlcs_engine Hlcs_logic Hlcs_rtl List Printf String

@@ -1,0 +1,1 @@
+test/test_synth.ml: Alcotest Hlcs_engine Hlcs_hlir Hlcs_logic Hlcs_osss Hlcs_rtl Hlcs_synth Hlcs_verify List Printf QCheck2 QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_wavediff.ml: Alcotest Filename Fun Hlcs_engine Hlcs_interface Hlcs_logic Hlcs_pci Hlcs_verify List Printf Sys System

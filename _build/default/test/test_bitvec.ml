@@ -1,0 +1,188 @@
+(* Bit vectors: unit cases for the edges and qcheck properties for the
+   arithmetic/logic laws, cross-checked against OCaml int semantics on
+   widths small enough to embed. *)
+
+module Bitvec = Hlcs_logic.Bitvec
+
+let bv = Alcotest.testable Bitvec.pp Bitvec.equal
+
+(* --- unit ------------------------------------------------------------ *)
+
+let check_construction () =
+  Alcotest.check bv "zero" (Bitvec.of_int ~width:8 0) (Bitvec.zero 8);
+  Alcotest.check bv "ones" (Bitvec.of_int ~width:8 255) (Bitvec.ones 8);
+  Alcotest.check bv "neg wraps" (Bitvec.ones 8) (Bitvec.of_int ~width:8 (-1));
+  Alcotest.(check int) "to_int" 0xAB (Bitvec.to_int (Bitvec.of_int ~width:8 0xAB));
+  Alcotest.(check int) "truncation" 0xCD (Bitvec.to_int (Bitvec.of_int ~width:8 0xABCD));
+  Alcotest.check_raises "width 0" (Invalid_argument "Bitvec: width must be >= 1")
+    (fun () -> ignore (Bitvec.zero 0))
+
+let check_wide () =
+  (* widths beyond one limb and beyond an OCaml int *)
+  let v = Bitvec.ones 100 in
+  Alcotest.(check int) "popcount" 100 (Bitvec.popcount v);
+  Alcotest.(check bool) "to_int_opt overflows" true (Bitvec.to_int_opt v = None);
+  let one = Bitvec.of_int ~width:100 1 in
+  Alcotest.check bv "ones + 1 = 0" (Bitvec.zero 100) (Bitvec.add v one);
+  Alcotest.check bv "0 - 1 = ones" v (Bitvec.sub (Bitvec.zero 100) one);
+  let shifted = Bitvec.shift_left one 99 in
+  Alcotest.(check bool) "msb set" true (Bitvec.bit shifted 99);
+  Alcotest.(check int) "only one bit" 1 (Bitvec.popcount shifted)
+
+let check_strings () =
+  Alcotest.check bv "verilog bin" (Bitvec.of_int ~width:6 0b101010)
+    (Bitvec.of_string "6'b101010");
+  Alcotest.check bv "verilog hex" (Bitvec.of_int ~width:16 0xBEEF)
+    (Bitvec.of_string "16'hbeef");
+  Alcotest.check bv "verilog dec" (Bitvec.of_int ~width:8 42) (Bitvec.of_string "8'd42");
+  Alcotest.check bv "plain 0x" (Bitvec.of_int ~width:8 0xA5) (Bitvec.of_string "0xA5");
+  Alcotest.check bv "underscores" (Bitvec.of_int ~width:8 0xA5)
+    (Bitvec.of_string "8'b1010_0101");
+  Alcotest.(check string) "to bin" "1010" (Bitvec.to_bin_string (Bitvec.of_string "4'b1010"));
+  Alcotest.(check string) "to hex" "0fe" (Bitvec.to_hex_string (Bitvec.of_string "12'h0fe"));
+  Alcotest.check_raises "garbage" (Invalid_argument "Bitvec.of_string: \"6'q10\"")
+    (fun () -> ignore (Bitvec.of_string "6'q10"))
+
+let check_slice_concat () =
+  let v = Bitvec.of_string "8'b11010010" in
+  Alcotest.check bv "slice" (Bitvec.of_string "4'b0100") (Bitvec.slice v ~hi:5 ~lo:2);
+  Alcotest.check bv "bit slice" (Bitvec.of_string "1'b1") (Bitvec.slice v ~hi:7 ~lo:7);
+  let hi = Bitvec.of_string "4'hA" and lo = Bitvec.of_string "4'h5" in
+  Alcotest.check bv "concat" (Bitvec.of_string "8'hA5") (Bitvec.concat hi lo);
+  Alcotest.check bv "resize up" (Bitvec.of_string "8'h05") (Bitvec.resize lo 8);
+  Alcotest.check bv "resize down" (Bitvec.of_string "2'b01") (Bitvec.resize lo 2);
+  Alcotest.check bv "sign extend neg" (Bitvec.of_string "8'hFA")
+    (Bitvec.sign_extend hi 8);
+  Alcotest.check bv "sign extend pos" (Bitvec.of_string "8'h05")
+    (Bitvec.sign_extend lo 8)
+
+let check_signed () =
+  let v = Bitvec.of_int ~width:8 (-3) in
+  Alcotest.(check int) "signed read" (-3) (Bitvec.to_signed_int v);
+  Alcotest.(check int) "unsigned read" 253 (Bitvec.to_int v);
+  Alcotest.(check int) "signed compare" (-1)
+    (Bitvec.compare_signed v (Bitvec.of_int ~width:8 1));
+  Alcotest.(check int) "unsigned compare" 1
+    (Bitvec.compare_unsigned v (Bitvec.of_int ~width:8 1));
+  Alcotest.check bv "asr" (Bitvec.of_int ~width:8 (-2))
+    (Bitvec.shift_right_arith (Bitvec.of_int ~width:8 (-3)) 1)
+
+let check_reductions () =
+  Alcotest.(check bool) "or zero" false (Bitvec.reduce_or (Bitvec.zero 70));
+  Alcotest.(check bool) "or some" true (Bitvec.reduce_or (Bitvec.of_int ~width:70 4));
+  Alcotest.(check bool) "and ones" true (Bitvec.reduce_and (Bitvec.ones 70));
+  Alcotest.(check bool) "and not" false
+    (Bitvec.reduce_and (Bitvec.sub (Bitvec.ones 70) (Bitvec.of_int ~width:70 1)));
+  Alcotest.(check bool) "xor parity" true (Bitvec.reduce_xor (Bitvec.of_int ~width:8 0b0111))
+
+let check_width_discipline () =
+  let a = Bitvec.zero 8 and b = Bitvec.zero 9 in
+  Alcotest.check_raises "add mismatch" (Invalid_argument "Bitvec.add: width mismatch")
+    (fun () -> ignore (Bitvec.add a b));
+  Alcotest.check_raises "mul mismatch" (Invalid_argument "Bitvec.mul: width mismatch")
+    (fun () -> ignore (Bitvec.mul a b));
+  Alcotest.check_raises "slice range"
+    (Invalid_argument "Bitvec.slice: [8:0] out of range for width 8") (fun () ->
+      ignore (Bitvec.slice a ~hi:8 ~lo:0))
+
+(* --- properties -------------------------------------------------------- *)
+
+let gen_width = QCheck2.Gen.int_range 1 62
+let gen_wide_width = QCheck2.Gen.int_range 1 200
+
+(* a random vector of the given width, one random bool per bit *)
+let gen_bv width =
+  QCheck2.Gen.map
+    (fun bits ->
+      let a = Array.of_list bits in
+      Bitvec.init width (fun i -> a.(i)))
+    (QCheck2.Gen.list_size (QCheck2.Gen.return width) QCheck2.Gen.bool)
+
+let gen_pair = QCheck2.Gen.(gen_width >>= fun w -> pair (gen_bv w) (gen_bv w))
+let gen_wide_pair = QCheck2.Gen.(gen_wide_width >>= fun w -> pair (gen_bv w) (gen_bv w))
+
+let mask w n = n land ((1 lsl w) - 1)
+
+let prop name gen f = QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count:300 ~name gen f)
+
+let int_model_props =
+  (* compare against int arithmetic on embeddable widths *)
+  let gen =
+    QCheck2.Gen.(
+      int_range 1 30 >>= fun w ->
+      pair (return w) (pair (int_bound ((1 lsl w) - 1)) (int_bound ((1 lsl w) - 1))))
+  in
+  [
+    prop "add matches int model" gen (fun (w, (x, y)) ->
+        Bitvec.to_int (Bitvec.add (Bitvec.of_int ~width:w x) (Bitvec.of_int ~width:w y))
+        = mask w (x + y));
+    prop "sub matches int model" gen (fun (w, (x, y)) ->
+        Bitvec.to_int (Bitvec.sub (Bitvec.of_int ~width:w x) (Bitvec.of_int ~width:w y))
+        = mask w (x - y));
+    prop "mul matches int model" gen (fun (w, (x, y)) ->
+        Bitvec.to_int (Bitvec.mul (Bitvec.of_int ~width:w x) (Bitvec.of_int ~width:w y))
+        = mask w (x * y));
+    prop "compare matches int model" gen (fun (w, (x, y)) ->
+        Bitvec.compare_unsigned (Bitvec.of_int ~width:w x) (Bitvec.of_int ~width:w y)
+        = compare x y);
+    prop "shifts match int model" gen (fun (w, (x, k)) ->
+        let k = k mod (w + 2) in
+        Bitvec.to_int (Bitvec.shift_left (Bitvec.of_int ~width:w x) k) = mask w (x lsl k)
+        && Bitvec.to_int (Bitvec.shift_right (Bitvec.of_int ~width:w x) k) = x lsr k);
+  ]
+
+let algebraic_props =
+  [
+    prop "add commutes" gen_wide_pair (fun (a, b) ->
+        Bitvec.equal (Bitvec.add a b) (Bitvec.add b a));
+    prop "sub inverts add" gen_wide_pair (fun (a, b) ->
+        Bitvec.equal (Bitvec.sub (Bitvec.add a b) b) a);
+    prop "neg is 0 - x" gen_wide_pair (fun (a, _) ->
+        Bitvec.equal (Bitvec.neg a) (Bitvec.sub (Bitvec.zero (Bitvec.width a)) a));
+    prop "mul commutes" gen_pair (fun (a, b) ->
+        Bitvec.equal (Bitvec.mul a b) (Bitvec.mul b a));
+    prop "de morgan" gen_wide_pair (fun (a, b) ->
+        Bitvec.equal
+          (Bitvec.lognot (Bitvec.logand a b))
+          (Bitvec.logor (Bitvec.lognot a) (Bitvec.lognot b)));
+    prop "xor self is zero" gen_wide_pair (fun (a, _) ->
+        Bitvec.is_zero (Bitvec.logxor a a));
+    prop "double negation" gen_wide_pair (fun (a, _) ->
+        Bitvec.equal a (Bitvec.lognot (Bitvec.lognot a)));
+    prop "slice then concat restores" gen_wide_pair (fun (a, _) ->
+        let w = Bitvec.width a in
+        w < 2
+        ||
+        let cut = w / 2 in
+        let hi = Bitvec.slice a ~hi:(w - 1) ~lo:cut and lo = Bitvec.slice a ~hi:(cut - 1) ~lo:0 in
+        Bitvec.equal a (Bitvec.concat hi lo));
+    prop "bin string roundtrip" gen_wide_pair (fun (a, _) ->
+        let s = Printf.sprintf "%d'b%s" (Bitvec.width a) (Bitvec.to_bin_string a) in
+        Bitvec.equal a (Bitvec.of_string s));
+    prop "hex string roundtrip via init" gen_wide_pair (fun (a, _) ->
+        let w = Bitvec.width a in
+        w mod 4 <> 0
+        ||
+        let s = Printf.sprintf "%d'h%s" w (Bitvec.to_hex_string a) in
+        Bitvec.equal a (Bitvec.of_string s));
+    prop "popcount of xor is hamming distance" gen_wide_pair (fun (a, b) ->
+        Bitvec.popcount (Bitvec.logxor a b)
+        = List.length
+            (List.filter Fun.id
+               (List.init (Bitvec.width a) (fun i -> Bitvec.bit a i <> Bitvec.bit b i))));
+  ]
+
+let tests =
+  [
+    ( "bitvec",
+      [
+        Alcotest.test_case "construction" `Quick check_construction;
+        Alcotest.test_case "wide vectors" `Quick check_wide;
+        Alcotest.test_case "string parsing" `Quick check_strings;
+        Alcotest.test_case "slice and concat" `Quick check_slice_concat;
+        Alcotest.test_case "signed views" `Quick check_signed;
+        Alcotest.test_case "reductions" `Quick check_reductions;
+        Alcotest.test_case "width discipline" `Quick check_width_discipline;
+      ]
+      @ int_model_props @ algebraic_props );
+  ]

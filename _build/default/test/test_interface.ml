@@ -1,0 +1,263 @@
+(* The paper's bus-interface pattern: the command word, the guarded-method
+   interface object (native and HLIR renditions), and the three-way
+   consistency of the refinement experiment (TLM / pin-behavioural /
+   post-synthesis RTL) under directed and random workloads, target fault
+   injection and all arbitration policies. *)
+
+module K = Hlcs_engine.Kernel
+module T = Hlcs_engine.Time
+module BV = Hlcs_logic.Bitvec
+open Hlcs_interface
+module Pci_types = Hlcs_pci.Pci_types
+module Pci_stim = Hlcs_pci.Pci_stim
+module Pci_target = Hlcs_pci.Pci_target
+module Pci_memory = Hlcs_pci.Pci_memory
+
+let check_command_encoding () =
+  List.iter
+    (fun op ->
+      let bv = Bus_command.encode ~op ~len:17 ~addr:0xCAFE0040 in
+      Alcotest.(check int) "width" Bus_command.command_width (BV.width bv);
+      match Bus_command.decode bv with
+      | Some (op', len, addr) ->
+          Alcotest.(check bool) "op" true (op = op');
+          Alcotest.(check int) "len" 17 len;
+          Alcotest.(check int) "addr" 0xCAFE0040 addr
+      | None -> Alcotest.fail "decode failed")
+    [ Bus_command.Read; Write; Read_burst; Write_burst ];
+  Alcotest.(check bool) "bad op decode" true
+    (Bus_command.decode (BV.zero Bus_command.command_width) = None);
+  Alcotest.(check bool) "config maps to none" true
+    (Bus_command.of_request
+       { Pci_types.rq_command = Config_read; rq_address = 0; rq_length = 1; rq_data = [] }
+    = None)
+
+let check_native_interface_object () =
+  let k = K.create () in
+  let ifc = Interface_object.Native.create k ~name:"ifc" () in
+  let log = ref [] in
+  let _ =
+    K.spawn k ~name:"app" (fun () ->
+        Interface_object.Native.put_command ifc ~op:Bus_command.Write ~len:1 ~addr:8;
+        (* second command blocks until the engine fetches the first *)
+        Interface_object.Native.put_command ifc ~op:Bus_command.Read ~len:1 ~addr:8;
+        log := "second put done" :: !log)
+  in
+  let _ =
+    K.spawn k ~name:"engine" (fun () ->
+        K.delay k (T.ns 100);
+        let op, len, addr = Interface_object.Native.get_command ifc in
+        log :=
+          Format.asprintf "got %a len=%d addr=%d" Bus_command.pp_op op len addr :: !log)
+  in
+  K.run k;
+  Alcotest.(check (list string))
+    "putCommand guard blocks on pending command"
+    [ "got write len=1 addr=8"; "second put done" ]
+    (List.rev !log)
+
+let check_native_data_path () =
+  let k = K.create () in
+  let ifc = Interface_object.Native.create k ~name:"ifc" () in
+  let got = ref (-1) in
+  let _ =
+    K.spawn k ~name:"app" (fun () ->
+        Interface_object.Native.app_data_put ifc 0x42;
+        got := Interface_object.Native.app_data_get ifc)
+  in
+  let _ =
+    K.spawn k ~name:"engine" (fun () ->
+        let w = Interface_object.Native.eng_data_get ifc in
+        Interface_object.Native.eng_data_put ifc (w + 1))
+  in
+  K.run k;
+  Alcotest.(check int) "data round trip" 0x43 !got
+
+let check_hlir_decl_well_typed () =
+  let d = Pci_master_design.design ~app:(Pci_stim.directed_smoke ~base:0) () in
+  Alcotest.(check (list string)) "design typechecks" []
+    (match Hlcs_hlir.Typecheck.check d with Ok () -> [] | Error l -> l)
+
+let consistency ?(mem_bytes = 512) ?policy ?target ?(max_time = T.us 2_000) script =
+  let a = System.run_tlm ?policy ~mem_bytes ~script () in
+  let b = System.run_pin ?policy ?target ~max_time ~mem_bytes ~script () in
+  let c = System.run_rtl ?policy ?target ~max_time:(T.mul max_time 4) ~mem_bytes ~script () in
+  let issues =
+    List.map (fun s -> "A/B " ^ s) (System.compare_runs a b)
+    @ List.map (fun s -> "B/C " ^ s) (System.compare_runs b c)
+    @ List.map (fun s -> "B/C " ^ s) (System.compare_bus_traces b c)
+    @ List.map
+        (fun v -> Format.asprintf "B violation: %a" Hlcs_pci.Pci_monitor.pp_violation v)
+        b.System.rr_violations
+    @ List.map
+        (fun v -> Format.asprintf "C violation: %a" Hlcs_pci.Pci_monitor.pp_violation v)
+        c.System.rr_violations
+  in
+  (issues, a, b, c)
+
+let assert_consistent ?mem_bytes ?policy ?target ?max_time script =
+  let issues, a, b, c = consistency ?mem_bytes ?policy ?target ?max_time script in
+  Alcotest.(check (list string)) "three-way consistency" [] issues;
+  (a, b, c)
+
+let check_directed_consistency () =
+  let a, b, c = assert_consistent (Pci_stim.directed_smoke ~base:0) in
+  Alcotest.(check int) "five read-backs" 5 (List.length a.System.rr_observed);
+  Alcotest.(check bool) "tlm is fastest (fewest cycles)" true
+    (a.System.rr_cycles < b.System.rr_cycles && b.System.rr_cycles < c.System.rr_cycles)
+
+let check_random_consistency () =
+  let script =
+    Pci_stim.write_then_read_all (Pci_stim.random ~seed:11 ~count:10 ~base:0 ~size_bytes:512 ())
+  in
+  ignore (assert_consistent script)
+
+let check_hostile_target_consistency () =
+  let target =
+    { Pci_target.default_config with
+      devsel_latency = 2;
+      wait_states = 1;
+      retry_every = Some 4;
+      disconnect_after = Some 2;
+    }
+  in
+  let script =
+    Pci_stim.write_then_read_all (Pci_stim.random ~seed:23 ~count:8 ~base:0 ~size_bytes:512 ())
+  in
+  let _, b, _ = assert_consistent ~target script in
+  let retries =
+    List.length
+      (List.filter
+         (fun t -> t.Pci_types.tx_termination = Pci_types.Retry)
+         b.System.rr_transactions)
+  in
+  Alcotest.(check bool) "retries actually exercised" true (retries > 0)
+
+let check_policies_consistency () =
+  List.iter
+    (fun policy ->
+      ignore (assert_consistent ~policy (Pci_stim.directed_smoke ~base:0)))
+    Hlcs_osss.Policy.all
+
+let check_memory_against_golden () =
+  let script =
+    Pci_stim.write_then_read_all (Pci_stim.random ~seed:31 ~count:10 ~base:0 ~size_bytes:512 ())
+  in
+  let _, b, _ = assert_consistent script in
+  (* overlay the writes on the same seeded initial image *)
+  let golden = Pci_memory.create ~size_bytes:512 in
+  Pci_memory.fill_pattern golden ~seed:42;
+  List.iter
+    (fun (r : Pci_types.request) ->
+      if Pci_types.command_is_write r.Pci_types.rq_command then
+        List.iteri (fun i w -> Pci_memory.write32 golden (r.rq_address + (4 * i)) w) r.rq_data)
+    script;
+  Alcotest.(check bool) "pin run converged to the golden image" true
+    (Pci_memory.equal golden b.System.rr_memory)
+
+let check_sram_element_consistency () =
+  (* the second library element: same application, SRAM protocol engine *)
+  let script =
+    Pci_stim.write_then_read_all (Pci_stim.random ~seed:17 ~count:10 ~base:0 ~size_bytes:512 ())
+  in
+  let a = System.run_tlm ~mem_bytes:512 ~script () in
+  let b = Sram_system.run_pin ~max_time:(T.us 2_000) ~mem_bytes:512 ~script () in
+  let c = Sram_system.run_rtl ~max_time:(T.us 8_000) ~mem_bytes:512 ~script () in
+  Alcotest.(check (list string)) "tlm vs sram-behavioural" [] (System.compare_runs a b);
+  Alcotest.(check (list string)) "sram behavioural vs rtl" [] (System.compare_runs b c)
+
+let check_sram_latency_variants () =
+  let script = Pci_stim.directed_smoke ~base:0 in
+  List.iter
+    (fun latency ->
+      let b = Sram_system.run_pin ~latency ~max_time:(T.us 2_000) ~mem_bytes:512 ~script () in
+      let c = Sram_system.run_rtl ~latency ~max_time:(T.us 8_000) ~mem_bytes:512 ~script () in
+      Alcotest.(check (list string))
+        (Printf.sprintf "latency %d consistent" latency)
+        [] (System.compare_runs b c))
+    [ 1; 2; 4 ]
+
+let check_interface_swap () =
+  (* Figure 3's punchline: swapping the pin-accurate element (PCI <-> SRAM)
+     leaves the application's observable behaviour untouched *)
+  let script =
+    Pci_stim.write_then_read_all (Pci_stim.random ~seed:29 ~count:8 ~base:0 ~size_bytes:512 ())
+  in
+  let pci = System.run_pin ~max_time:(T.us 2_000) ~mem_bytes:512 ~script () in
+  let sram = Sram_system.run_pin ~max_time:(T.us 2_000) ~mem_bytes:512 ~script () in
+  Alcotest.(check (list string)) "same observations and memory" []
+    (System.compare_runs pci sram)
+
+let check_dma_design () =
+  let words = 8 and src = 0 and dst = 0x80 in
+  let design = Dma_design.design ~src ~dst ~words () in
+  let b =
+    System.run_pin ~design ~max_time:(T.us 2_000) ~mem_bytes:512 ~script:[] ()
+  in
+  let c =
+    System.run_rtl ~design ~max_time:(T.us 8_000) ~mem_bytes:512 ~script:[] ()
+  in
+  let block mem base = List.init words (fun i -> Pci_memory.read32 mem (base + (4 * i))) in
+  Alcotest.(check (list int)) "behavioural copy correct"
+    (block b.System.rr_memory src)
+    (block b.System.rr_memory dst);
+  Alcotest.(check (list int)) "rtl copy correct"
+    (block c.System.rr_memory src)
+    (block c.System.rr_memory dst);
+  Alcotest.(check (list string)) "dma runs consistent" []
+    (System.compare_runs b c @ System.compare_bus_traces b c);
+  Alcotest.(check int) "two bus transactions per word" (2 * words)
+    (List.length b.System.rr_transactions)
+
+let check_buffered_dma () =
+  (* arrays in action: the staging register file turns the copy into
+     chunked bursts *)
+  let words = 16 and src = 0 and dst = 0x100 and chunk = 8 in
+  let design = Dma_design.buffered_design ~src ~dst ~words ~chunk () in
+  let b = System.run_pin ~design ~max_time:(T.us 2_000) ~mem_bytes:1024 ~script:[] () in
+  let c = System.run_rtl ~design ~max_time:(T.us 8_000) ~mem_bytes:1024 ~script:[] () in
+  let block mem base = List.init words (fun i -> Pci_memory.read32 mem (base + (4 * i))) in
+  Alcotest.(check (list int)) "behavioural copy" (block b.System.rr_memory src)
+    (block b.System.rr_memory dst);
+  Alcotest.(check (list int)) "rtl copy" (block c.System.rr_memory src)
+    (block c.System.rr_memory dst);
+  Alcotest.(check (list string)) "consistent" []
+    (System.compare_runs b c @ System.compare_bus_traces b c);
+  Alcotest.(check int) "two bursts per chunk" (2 * (words / chunk))
+    (List.length b.System.rr_transactions)
+
+let check_vcd_artifacts () =
+  let dir = Filename.temp_file "hlcs" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  let vcd = Filename.concat dir "fig4.vcd" in
+  let script = Pci_stim.directed_smoke ~base:0 in
+  let b = System.run_pin ~vcd ~mem_bytes:256 ~script () in
+  Alcotest.(check bool) "run ok" true (b.System.rr_violations = []);
+  let size = (Unix.stat vcd).Unix.st_size in
+  Alcotest.(check bool) (Printf.sprintf "vcd has content (%d bytes)" size) true (size > 2_000);
+  Sys.remove vcd;
+  Unix.rmdir dir
+
+let tests =
+  [
+    ( "interface",
+      [
+        Alcotest.test_case "command encoding" `Quick check_command_encoding;
+        Alcotest.test_case "native interface object" `Quick check_native_interface_object;
+        Alcotest.test_case "native data path" `Quick check_native_data_path;
+        Alcotest.test_case "hlir declaration typechecks" `Quick check_hlir_decl_well_typed;
+        Alcotest.test_case "directed three-way consistency" `Slow check_directed_consistency;
+        Alcotest.test_case "random three-way consistency" `Slow check_random_consistency;
+        Alcotest.test_case "hostile target consistency" `Slow check_hostile_target_consistency;
+        Alcotest.test_case "all policies consistent" `Slow check_policies_consistency;
+        Alcotest.test_case "memory against golden image" `Slow check_memory_against_golden;
+        Alcotest.test_case "sram element three-way consistency" `Slow
+          check_sram_element_consistency;
+        Alcotest.test_case "sram latency variants" `Slow check_sram_latency_variants;
+        Alcotest.test_case "interface swap (pci vs sram)" `Slow check_interface_swap;
+        Alcotest.test_case "dma block copy design" `Slow check_dma_design;
+        Alcotest.test_case "buffered dma (register-file bursts)" `Slow check_buffered_dma;
+        Alcotest.test_case "figure-4 vcd artifacts" `Quick check_vcd_artifacts;
+      ] );
+  ]

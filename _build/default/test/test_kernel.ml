@@ -1,0 +1,311 @@
+(* The discrete-event kernel: delta-cycle semantics, event notification
+   kinds, signals, resolved nets, clocks and the priority queue. *)
+
+module K = Hlcs_engine.Kernel
+module S = Hlcs_engine.Signal
+module R = Hlcs_engine.Resolved
+module C = Hlcs_engine.Clock
+module T = Hlcs_engine.Time
+module Pq = Hlcs_engine.Pq
+module Logic = Hlcs_logic.Logic
+module Lvec = Hlcs_logic.Lvec
+
+let check_pq_ordering () =
+  let q = Pq.create () in
+  List.iter (fun (k, v) -> Pq.add q k v) [ (5, "a"); (1, "b"); (3, "c"); (1, "d"); (0, "e") ];
+  let popped = List.init 5 (fun _ -> Pq.pop q) in
+  Alcotest.(check (list (pair int string)))
+    "sorted and stable"
+    [ (0, "e"); (1, "b"); (1, "d"); (3, "c"); (5, "a") ]
+    popped;
+  Alcotest.(check bool) "empty" true (Pq.is_empty q)
+
+let check_pq_bulk () =
+  let q = Pq.create () in
+  let n = 1000 in
+  for i = n downto 1 do
+    Pq.add q (i * 7 mod 101) i
+  done;
+  Alcotest.(check int) "length" n (Pq.length q);
+  let prev = ref (-1) in
+  for _ = 1 to n do
+    let k, _ = Pq.pop q in
+    Alcotest.(check bool) "monotone" true (k >= !prev);
+    prev := k
+  done
+
+let check_delta_semantics () =
+  (* a signal write is invisible until the next delta *)
+  let k = K.create () in
+  let s = S.create k ~name:"s" 0 in
+  let seen = ref [] in
+  let _ =
+    K.spawn k ~name:"w" (fun () ->
+        S.write s 1;
+        seen := ("w-after-write", S.read s) :: !seen;
+        K.yield k;
+        seen := ("w-next-delta", S.read s) :: !seen)
+  in
+  K.run k;
+  Alcotest.(check (list (pair string int)))
+    "update phase ordering"
+    [ ("w-after-write", 0); ("w-next-delta", 1) ]
+    (List.rev !seen)
+
+let check_last_write_wins () =
+  let k = K.create () in
+  let s = S.create k ~name:"s" 0 in
+  let commits = ref [] in
+  S.on_commit s (fun _ v -> commits := v :: !commits);
+  let _ =
+    K.spawn k (fun () ->
+        S.write s 1;
+        S.write s 2;
+        S.write s 3)
+  in
+  K.run k;
+  Alcotest.(check (list int)) "single commit, last value" [ 3 ] (List.rev !commits)
+
+let check_no_commit_on_equal () =
+  let k = K.create () in
+  let s = S.create k ~name:"s" 7 in
+  let commits = ref 0 in
+  S.on_commit s (fun _ _ -> incr commits);
+  let _ = K.spawn k (fun () -> S.write s 7) in
+  K.run k;
+  Alcotest.(check int) "no change, no event" 0 !commits
+
+let check_notification_kinds () =
+  let k = K.create () in
+  let ev = K.make_event k "ev" in
+  let log = ref [] in
+  let waiter tag =
+    ignore
+      (K.spawn k ~name:tag (fun () ->
+           K.wait ev;
+           log := (tag, T.to_ps (K.now k)) :: !log))
+  in
+  waiter "delta";
+  let _ =
+    K.spawn k ~name:"notifier" (fun () ->
+        K.notify_delta ev;
+        K.delay k (T.ns 5);
+        K.notify_after ev (T.ns 10))
+  in
+  (* second waiter arrives after the delta notification fired *)
+  let _ =
+    K.spawn k ~name:"spawn-later" (fun () ->
+        K.delay k (T.ns 1);
+        waiter "timed")
+  in
+  K.run k;
+  Alcotest.(check (list (pair string int)))
+    "delta then timed"
+    [ ("delta", 0); ("timed", 15_000) ]
+    (List.rev !log)
+
+let check_immediate_notification () =
+  let k = K.create () in
+  let ev = K.make_event k "ev" in
+  let woke = ref false in
+  let _ = K.spawn k (fun () -> K.wait ev; woke := true) in
+  let _ =
+    K.spawn k (fun () ->
+        K.yield k;
+        (* waiter is now parked *)
+        K.notify_immediate ev)
+  in
+  K.run k;
+  Alcotest.(check bool) "woken in same evaluate phase" true !woke
+
+let check_wait_any_single_resume () =
+  let k = K.create () in
+  let a = K.make_event k "a" and b = K.make_event k "b" in
+  let count = ref 0 in
+  let _ =
+    K.spawn k (fun () ->
+        K.wait_any [ a; b ];
+        incr count)
+  in
+  let _ =
+    K.spawn k (fun () ->
+        K.yield k;
+        K.notify_immediate a;
+        K.notify_immediate b)
+  in
+  K.run k;
+  Alcotest.(check int) "resumed exactly once" 1 !count
+
+let check_delay_ordering () =
+  let k = K.create () in
+  let log = ref [] in
+  let proc tag d =
+    ignore
+      (K.spawn k ~name:tag (fun () ->
+           K.delay k d;
+           log := tag :: !log))
+  in
+  proc "c" (T.ns 30);
+  proc "a" (T.ns 10);
+  proc "b" (T.ns 20);
+  K.run k;
+  Alcotest.(check (list string)) "time order" [ "a"; "b"; "c" ] (List.rev !log);
+  Alcotest.(check int) "final time" 30_000 (T.to_ps (K.now k))
+
+let check_max_time_resume () =
+  let k = K.create () in
+  let hits = ref 0 in
+  let _ =
+    K.spawn k (fun () ->
+        let rec loop () =
+          K.delay k (T.ns 10);
+          incr hits;
+          loop ()
+        in
+        loop ())
+  in
+  K.run ~max_time:(T.ns 55) k;
+  Alcotest.(check int) "paused at horizon" 5 !hits;
+  K.run ~max_time:(T.ns 100) k;
+  Alcotest.(check int) "resumed to new horizon" 10 !hits
+
+let check_process_failure () =
+  let k = K.create () in
+  let _ = K.spawn k ~name:"boom" (fun () -> failwith "exploded") in
+  Alcotest.(check bool) "propagates" true
+    (match K.run k with
+    | () -> false
+    | exception K.Process_failure (name, Failure msg) -> name = "boom" && msg = "exploded"
+    | exception K.Process_failure _ -> false)
+
+let check_starvation_counter () =
+  let k = K.create () in
+  let ev = K.make_event k "never" in
+  let _ = K.spawn k (fun () -> K.wait ev) in
+  let _ = K.spawn k (fun () -> ()) in
+  K.run k;
+  Alcotest.(check int) "one process starved" 1 (K.suspended_processes k)
+
+let check_spawn_method () =
+  let k = K.create () in
+  let ev = K.make_event k "tick" in
+  let runs = ref 0 in
+  let _ = K.spawn_method k ~sensitive:[ ev ] (fun () -> incr runs) in
+  let _ =
+    K.spawn k (fun () ->
+        for _ = 1 to 3 do
+          K.delay k (T.ns 10);
+          K.notify_immediate ev
+        done)
+  in
+  K.run k;
+  (* one initial invocation plus one per notification *)
+  Alcotest.(check int) "initial run + 3 triggers" 4 !runs;
+  Alcotest.(check bool) "empty sensitivity rejected" true
+    (match K.spawn_method k ~sensitive:[] (fun () -> ()) with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+let check_clock () =
+  let k = K.create () in
+  let clk = C.create k ~name:"clk" ~period:(T.ns 10) () in
+  let samples = ref [] in
+  let _ =
+    K.spawn k (fun () ->
+        for _ = 1 to 3 do
+          C.wait_rising clk;
+          samples := (T.to_ps (K.now k), C.cycles clk) :: !samples
+        done;
+        C.wait_falling clk;
+        samples := (T.to_ps (K.now k), -1) :: !samples)
+  in
+  K.run ~max_time:(T.ns 100) k;
+  Alcotest.(check (list (pair int int)))
+    "edges at period boundaries"
+    [ (0, 1); (10_000, 2); (20_000, 3); (25_000, -1) ]
+    (List.rev !samples)
+
+let check_resolved_net () =
+  let k = K.create () in
+  let net = R.create k ~name:"net" ~width:1 ~pull:`Up () in
+  let d1 = R.make_driver net "d1" and d2 = R.make_driver net "d2" in
+  let lv s = Lvec.of_string s in
+  let log = ref [] in
+  let _ =
+    K.spawn k (fun () ->
+        log := ("init", Lvec.to_string (R.read net)) :: !log;
+        R.drive d1 (lv "0");
+        K.yield k;
+        log := ("d1 low", Lvec.to_string (R.read net)) :: !log;
+        R.drive d2 (lv "1");
+        K.yield k;
+        log := ("conflict", Lvec.to_string (R.read net)) :: !log;
+        R.release d1;
+        K.yield k;
+        log := ("d2 only", Lvec.to_string (R.read net)) :: !log;
+        R.release d2;
+        K.yield k;
+        log := ("pulled", Lvec.to_string (R.read net)) :: !log;
+        log := ("raw", Lvec.to_string (R.read_raw net)) :: !log)
+  in
+  K.run k;
+  Alcotest.(check (list (pair string string)))
+    "resolution sequence"
+    [
+      ("init", "1"); ("d1 low", "0"); ("conflict", "x"); ("d2 only", "1");
+      ("pulled", "1"); ("raw", "z");
+    ]
+    (List.rev !log)
+
+let check_vcd_output () =
+  let k = K.create () in
+  let path = Filename.temp_file "hlcs" ".vcd" in
+  let vcd = Hlcs_engine.Vcd.create k ~path in
+  let clk = C.create k ~name:"clk" ~period:(T.ns 10) () in
+  let data = S.create k ~name:"data" ~eq:Hlcs_logic.Bitvec.equal (Hlcs_logic.Bitvec.zero 8) in
+  Hlcs_engine.Vcd.add_bool vcd (C.signal clk);
+  Hlcs_engine.Vcd.add_bitvec vcd data;
+  let _ =
+    K.spawn k (fun () ->
+        C.wait_rising clk;
+        S.write data (Hlcs_logic.Bitvec.of_int ~width:8 0xA5))
+  in
+  K.run ~max_time:(T.ns 40) k;
+  Hlcs_engine.Vcd.close vcd;
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let contents = really_input_string ic len in
+  close_in ic;
+  Sys.remove path;
+  let contains s sub =
+    let n = String.length s and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "header" true (contains contents "$enddefinitions");
+  Alcotest.(check bool) "var defs" true (contains contents "$var wire 8");
+  Alcotest.(check bool) "value change" true (contains contents "b10100101");
+  Alcotest.(check bool) "timestamps" true (contains contents "#10000")
+
+let tests =
+  [
+    ( "kernel",
+      [
+        Alcotest.test_case "priority queue ordering" `Quick check_pq_ordering;
+        Alcotest.test_case "priority queue bulk" `Quick check_pq_bulk;
+        Alcotest.test_case "signal delta semantics" `Quick check_delta_semantics;
+        Alcotest.test_case "last write wins" `Quick check_last_write_wins;
+        Alcotest.test_case "no commit on equal value" `Quick check_no_commit_on_equal;
+        Alcotest.test_case "delta and timed notification" `Quick check_notification_kinds;
+        Alcotest.test_case "immediate notification" `Quick check_immediate_notification;
+        Alcotest.test_case "wait_any resumes once" `Quick check_wait_any_single_resume;
+        Alcotest.test_case "timer ordering" `Quick check_delay_ordering;
+        Alcotest.test_case "run horizon and resume" `Quick check_max_time_resume;
+        Alcotest.test_case "process failure propagates" `Quick check_process_failure;
+        Alcotest.test_case "starvation counter" `Quick check_starvation_counter;
+        Alcotest.test_case "method-style processes" `Quick check_spawn_method;
+        Alcotest.test_case "clock edges and cycles" `Quick check_clock;
+        Alcotest.test_case "resolved net with pull-up" `Quick check_resolved_net;
+        Alcotest.test_case "vcd writer" `Quick check_vcd_output;
+      ] );
+  ]

@@ -1,0 +1,131 @@
+(* The HLIR linter: each rule fires on a crafted offender and stays quiet
+   on the shipped library elements (which must be discipline-clean). *)
+
+open Hlcs_hlir.Builder
+module Lint = Hlcs_hlir.Lint
+
+let rules d = List.map (fun w -> w.Lint.w_rule) (Lint.check d)
+
+let has rule d =
+  Alcotest.(check bool)
+    (rule ^ " fires: " ^ String.concat "," (rules d))
+    true
+    (List.mem rule (rules d))
+
+let quiet d =
+  Alcotest.(check (list string))
+    "no warnings"
+    []
+    (List.map (fun w -> Format.asprintf "%a" Lint.pp_warning w) (Lint.check d))
+
+let c8 = cst ~width:8
+
+let check_output_stability_straight () =
+  has "output-stability"
+    (design "d" ~ports:[ out_port "o" 8 ]
+       ~processes:[ process "p" [ emit "o" (c8 1); emit "o" (c8 2); wait 1 ] ])
+
+let check_output_stability_if_join () =
+  (* a conditional emission followed by an unconditional one in the same
+     zero-time segment: the then-path writes twice *)
+  has "output-stability"
+    (design "d"
+       ~ports:[ in_port "c" 1; out_port "o" 8 ]
+       ~processes:
+         [
+           process "p"
+             [ when_ (port "c") [ emit "o" (c8 1) ]; emit "o" (c8 2); wait 1 ];
+         ])
+
+let check_output_stability_into_loop () =
+  (* an emission flowing into a loop whose first iteration emits the same
+     port before any wait *)
+  has "output-stability"
+    (design "d" ~ports:[ out_port "o" 8 ]
+       ~processes:
+         [
+           process "p" ~locals:[ local "i" 8 ]
+             [
+               emit "o" (c8 9);
+               while_ (var "i" <: c8 5)
+                 [
+                   emit "o" (var "i");
+                   set "i" (var "i" +: c8 1);
+                   wait 1;
+                 ];
+             ];
+         ])
+
+let check_stability_ok_with_wait () =
+  quiet
+    (design "d" ~ports:[ out_port "o" 8 ]
+       ~processes:[ process "p" [ emit "o" (c8 1); wait 1; emit "o" (c8 2); wait 1 ] ])
+
+let check_stability_ok_exclusive_branches () =
+  quiet
+    (design "d"
+       ~ports:[ in_port "i" 1; out_port "o" 8 ]
+       ~processes:
+         [
+           process "p"
+             [ if_ (port "i") [ emit "o" (c8 1) ] [ emit "o" (c8 2) ]; wait 1 ];
+         ])
+
+let check_dead_code () =
+  has "dead-code"
+    (design "d" ~ports:[ out_port "o" 8 ]
+       ~processes:[ process "p" [ halt; emit "o" (c8 1) ] ])
+
+let check_unused_local () =
+  has "unused-local"
+    (design "d"
+       ~processes:[ process "p" ~locals:[ local "ghost" 8 ] [ wait 1 ] ])
+
+let check_unread_field () =
+  has "unread-field"
+    (design "d"
+       ~objects:
+         [
+           object_ "o"
+             ~fields:[ field_decl "write_only" 8 ]
+             ~methods:
+               [
+                 method_ "m" ~params:[ ("x", 8) ] ~guard:ctrue
+                   ~updates:[ ("write_only", var "x") ];
+               ];
+         ])
+
+let check_port_contention () =
+  has "port-contention"
+    (design "d" ~ports:[ out_port "o" 8 ]
+       ~processes:
+         [
+           process "p1" [ emit "o" (c8 1); wait 1 ];
+           process "p2" [ emit "o" (c8 2); wait 1 ];
+         ])
+
+let check_library_elements_clean () =
+  let script = Hlcs_pci.Pci_stim.directed_smoke ~base:0 in
+  quiet (Hlcs_interface.Pci_master_design.design ~app:script ());
+  quiet (Hlcs_interface.Sram_master_design.design ~app:script ())
+
+let tests =
+  [
+    ( "lint",
+      [
+        Alcotest.test_case "double emit, straight line" `Quick check_output_stability_straight;
+        Alcotest.test_case "double emit through an if join" `Quick
+          check_output_stability_if_join;
+        Alcotest.test_case "double emit flowing into a loop" `Quick
+          check_output_stability_into_loop;
+        Alcotest.test_case "emit separated by wait is fine" `Quick check_stability_ok_with_wait;
+        Alcotest.test_case "exclusive branches are fine" `Quick
+          check_stability_ok_exclusive_branches;
+        Alcotest.test_case "dead code after halt" `Quick check_dead_code;
+        Alcotest.test_case "unused local" `Quick check_unused_local;
+        Alcotest.test_case "unread field" `Quick check_unread_field;
+        Alcotest.test_case "port contention" `Quick check_port_contention;
+        Alcotest.test_case "shipped library elements lint clean" `Quick
+          check_library_elements_clean;
+      ] );
+  ]

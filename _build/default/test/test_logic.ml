@@ -1,0 +1,90 @@
+(* Four-valued scalar logic: resolution and operator tables. *)
+
+open Hlcs_logic
+
+let logic = Alcotest.testable Logic.pp Logic.equal
+
+let check_resolve () =
+  let open Logic in
+  Alcotest.check logic "Z yields" One (resolve Z One);
+  Alcotest.check logic "Z yields (sym)" Zero (resolve Zero Z);
+  Alcotest.check logic "agreeing strong" One (resolve One One);
+  Alcotest.check logic "conflict" X (resolve One Zero);
+  Alcotest.check logic "X wins" X (resolve X One);
+  Alcotest.check logic "all-Z list" Z (resolve_all [ Z; Z; Z ]);
+  Alcotest.check logic "empty list" Z (resolve_all []);
+  Alcotest.check logic "one driver" Zero (resolve_all [ Z; Zero; Z ])
+
+let check_resolve_laws () =
+  let values = [ Logic.Zero; Logic.One; Logic.X; Logic.Z ] in
+  List.iter
+    (fun a ->
+      Alcotest.check logic "idempotent" a (Logic.resolve a a);
+      List.iter
+        (fun b ->
+          Alcotest.check logic "commutative" (Logic.resolve a b) (Logic.resolve b a);
+          List.iter
+            (fun c ->
+              Alcotest.check logic "associative"
+                (Logic.resolve a (Logic.resolve b c))
+                (Logic.resolve (Logic.resolve a b) c))
+            values)
+        values)
+    values
+
+let check_gates () =
+  let open Logic in
+  (* dominant values decide even against unknowns *)
+  Alcotest.check logic "0 and X" Zero (logic_and Zero X);
+  Alcotest.check logic "1 or Z" One (logic_or Z One);
+  Alcotest.check logic "1 and 1" One (logic_and One One);
+  Alcotest.check logic "not X" X (logic_not Z);
+  Alcotest.check logic "xor known" One (logic_xor Zero One);
+  Alcotest.check logic "xor unknown" X (logic_xor One Z)
+
+let check_chars () =
+  List.iter
+    (fun c -> Alcotest.(check char) "roundtrip" c Logic.(to_char (of_char c)))
+    [ '0'; '1'; 'x'; 'z' ];
+  Alcotest.check_raises "bad char" (Invalid_argument "Logic.of_char: '9'") (fun () ->
+      ignore (Logic.of_char '9'))
+
+let check_lvec () =
+  let v = Lvec.of_string "10zx" in
+  Alcotest.(check int) "width" 4 (Lvec.width v);
+  Alcotest.check logic "lsb" Logic.X (Lvec.get v 0);
+  Alcotest.check logic "msb" Logic.One (Lvec.get v 3);
+  Alcotest.(check string) "roundtrip" "10zx" (Lvec.to_string v);
+  Alcotest.(check bool) "not defined" false (Lvec.is_fully_defined v);
+  Alcotest.(check bool) "has x" true (Lvec.has_x v);
+  Alcotest.(check bool) "to_bitvec fails" true (Lvec.to_bitvec v = None);
+  let pulled = Lvec.pull_up v in
+  Alcotest.(check string) "pull up" "101x" (Lvec.to_string pulled)
+
+let check_lvec_resolution () =
+  let a = Lvec.of_string "1zz0" and b = Lvec.of_string "z1z0" in
+  Alcotest.(check string) "bitwise resolve" "11z0" (Lvec.to_string (Lvec.resolve a b));
+  let conflict = Lvec.resolve (Lvec.of_string "1") (Lvec.of_string "0") in
+  Alcotest.(check string) "conflict" "x" (Lvec.to_string conflict);
+  let r = Lvec.resolve_all ~width:2 [] in
+  Alcotest.(check string) "no drivers" "zz" (Lvec.to_string r)
+
+let check_lvec_bitvec_roundtrip () =
+  let bv = Bitvec.of_string "8'hA5" in
+  let lv = Lvec.of_bitvec bv in
+  Alcotest.(check bool) "defined" true (Lvec.is_fully_defined lv);
+  Alcotest.(check bool) "roundtrip" true (Bitvec.equal bv (Lvec.to_bitvec_exn lv))
+
+let tests =
+  [
+    ( "logic",
+      [
+        Alcotest.test_case "resolution table" `Quick check_resolve;
+        Alcotest.test_case "resolution laws" `Quick check_resolve_laws;
+        Alcotest.test_case "gate tables" `Quick check_gates;
+        Alcotest.test_case "char conversions" `Quick check_chars;
+        Alcotest.test_case "lvec basics" `Quick check_lvec;
+        Alcotest.test_case "lvec resolution" `Quick check_lvec_resolution;
+        Alcotest.test_case "lvec/bitvec roundtrip" `Quick check_lvec_bitvec_roundtrip;
+      ] );
+  ]

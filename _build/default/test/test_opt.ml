@@ -1,0 +1,149 @@
+(* The RTL clean-up passes: algebraic correctness of the folds, copy
+   propagation, dead-wire removal, and the end-to-end guarantees (area
+   never grows, simulation behaviour identical, validation still holds). *)
+
+module Ir = Hlcs_rtl.Ir
+module Opt = Hlcs_rtl.Opt
+module Stats = Hlcs_rtl.Stats
+module Sim = Hlcs_rtl.Sim
+module Synthesize = Hlcs_synth.Synthesize
+module K = Hlcs_engine.Kernel
+module C = Hlcs_engine.Clock
+module S = Hlcs_engine.Signal
+module T = Hlcs_engine.Time
+module BV = Hlcs_logic.Bitvec
+
+let cst w n = Ir.Const (BV.of_int ~width:w n)
+
+(* a deliberately wasteful design: constants, copies and dead logic *)
+let wasteful () =
+  let b = Ir.builder "wasteful" in
+  Ir.add_input b "i" 8;
+  Ir.add_output b "o" 8;
+  let zero = Ir.fresh_wire b "zero" 8 in
+  Ir.assign b zero (Ir.Binop (Ir.And, cst 8 0xFF, cst 8 0));
+  let copy1 = Ir.fresh_wire b "copy1" 8 in
+  Ir.assign b copy1 (Ir.Input ("i", 8));
+  let copy2 = Ir.fresh_wire b "copy2" 8 in
+  Ir.assign b copy2 (Ir.Wire copy1);
+  let sum = Ir.fresh_wire b "sum" 8 in
+  Ir.assign b sum (Ir.Binop (Ir.Add, Ir.Wire copy2, Ir.Wire zero));
+  let dead = Ir.fresh_wire b "dead" 8 in
+  Ir.assign b dead (Ir.Binop (Ir.Mul, Ir.Wire sum, cst 8 3));
+  let muxed = Ir.fresh_wire b "muxed" 8 in
+  Ir.assign b muxed (Ir.Mux (cst 1 1, Ir.Wire sum, Ir.Wire dead));
+  Ir.drive b "o" (Ir.Wire muxed);
+  Ir.finish b
+
+let check_folds_to_input () =
+  let d = Opt.optimize (wasteful ()) in
+  Alcotest.(check bool) "still valid" true (Ir.validate d = Ok ());
+  (* everything should collapse to o <= i *)
+  Alcotest.(check int) "no wires left" 0 (List.length d.Ir.rd_wires);
+  match d.Ir.rd_drives with
+  | [ ("o", Ir.Input ("i", 8)) ] -> ()
+  | _ -> Alcotest.fail "output not reduced to the input"
+
+let expr_width_out e = Ir.expr_width e
+
+let check_fold_table () =
+  let x = Ir.Input ("x", 8) in
+  let cases =
+    [
+      (Ir.Binop (Ir.Add, x, cst 8 0), x, "x+0");
+      (Ir.Binop (Ir.And, x, cst 8 0), cst 8 0, "x&0");
+      (Ir.Binop (Ir.And, x, cst 8 0xFF), x, "x&ones");
+      (Ir.Binop (Ir.Or, x, cst 8 0), x, "x|0");
+      (Ir.Binop (Ir.Xor, x, x), cst 8 0, "x^x");
+      (Ir.Binop (Ir.Eq, x, x), cst 1 1, "x==x");
+      (Ir.Unop (Ir.Not, Ir.Unop (Ir.Not, x)), x, "~~x");
+      (Ir.Mux (cst 1 0, cst 8 1, x), x, "mux(0,_,x)");
+      (Ir.Mux (Ir.Input ("c", 1), x, x), x, "mux(c,x,x)");
+      (Ir.Slice (x, 7, 0), x, "full slice");
+      (Ir.Binop (Ir.Add, cst 8 200, cst 8 100), cst 8 44, "const add wraps");
+      (Ir.Binop (Ir.Shl, x, cst 4 0), x, "x<<0");
+    ]
+  in
+  (* route each case through a one-wire design so we can reuse the pass *)
+  List.iter
+    (fun (e, expected, label) ->
+      let b = Ir.builder "t" in
+      Ir.add_input b "x" 8;
+      Ir.add_input b "c" 1;
+      let w = expr_width_out e in
+      Ir.add_output b "o" w;
+      Ir.drive b "o" e;
+      let d = Opt.constant_fold (Ir.finish b) in
+      match d.Ir.rd_drives with
+      | [ ("o", got) ] ->
+          Alcotest.(check bool) label true (got = expected)
+      | _ -> Alcotest.fail label)
+    cases
+
+let check_dead_elimination_keeps_used () =
+  let b = Ir.builder "keep" in
+  Ir.add_output b "o" 4;
+  let used = Ir.fresh_wire b "used" 4 in
+  Ir.assign b used (cst 4 5);
+  let dead = Ir.fresh_wire b "dead" 4 in
+  Ir.assign b dead (cst 4 9);
+  let r = Ir.fresh_reg b "r" 4 in
+  Ir.update b r (Ir.Wire used);
+  Ir.drive b "o" (Ir.Reg r);
+  let d = Opt.eliminate_dead (Ir.finish b) in
+  Alcotest.(check (list string)) "only the used wire survives" [ "used" ]
+    (List.map (fun (w : Ir.wire) -> w.Ir.w_name) d.Ir.rd_wires)
+
+let check_behaviour_preserved () =
+  (* simulate the wasteful design optimised and not; outputs must agree *)
+  let run d =
+    let k = K.create () in
+    let clk = C.create k ~name:"clk" ~period:(T.ns 10) () in
+    let sim = Sim.elaborate k ~clock:clk d in
+    let acc = ref [] in
+    let _ =
+      K.spawn k (fun () ->
+          List.iter
+            (fun v ->
+              S.write (Sim.in_port sim "i") (BV.of_int ~width:8 v);
+              C.wait_edges clk 2;
+              acc := BV.to_int (S.read (Sim.out_port sim "o")) :: !acc)
+            [ 3; 200; 77; 0; 255 ])
+    in
+    K.run ~max_time:(T.us 1) k;
+    List.rev !acc
+  in
+  Alcotest.(check (list int)) "same outputs" (run (wasteful ()))
+    (run (Opt.optimize (wasteful ())))
+
+let check_area_reduction_on_real_design () =
+  let design =
+    Hlcs_interface.Pci_master_design.design
+      ~app:(Hlcs_pci.Pci_stim.directed_smoke ~base:0)
+      ()
+  in
+  let opt = Synthesize.synthesize design in
+  let raw =
+    Synthesize.synthesize
+      ~options:{ Synthesize.default_options with optimize = false }
+      design
+  in
+  let gates r = r.Synthesize.rp_stats.Stats.gate_estimate in
+  Alcotest.(check bool)
+    (Printf.sprintf "optimisation reduces the estimate (%d -> %d)" (gates raw) (gates opt))
+    true
+    (gates opt < gates raw)
+
+let tests =
+  [
+    ( "rtl-opt",
+      [
+        Alcotest.test_case "wasteful design collapses" `Quick check_folds_to_input;
+        Alcotest.test_case "fold table" `Quick check_fold_table;
+        Alcotest.test_case "dead elimination keeps used wires" `Quick
+          check_dead_elimination_keeps_used;
+        Alcotest.test_case "behaviour preserved" `Quick check_behaviour_preserved;
+        Alcotest.test_case "area reduction on the interface" `Quick
+          check_area_reduction_on_real_design;
+      ] );
+  ]

@@ -1,0 +1,298 @@
+(* Global objects: guard blocking, state sharing across connected
+   instances, arbitration policies (including fairness properties), the
+   non-blocking probe, and the Figure-1 bistable. *)
+
+module K = Hlcs_engine.Kernel
+module T = Hlcs_engine.Time
+module Go = Hlcs_osss.Global_object
+module Policy = Hlcs_osss.Policy
+module Bistable = Hlcs_osss.Bistable
+module Fifo = Hlcs_osss.Shared_fifo
+
+let always _ = true
+
+let check_guard_blocks () =
+  let k = K.create () in
+  let o = Go.create k ~name:"o" 0 in
+  let order = ref [] in
+  let _ =
+    K.spawn k ~name:"blocked" (fun () ->
+        let v = Go.call o ~meth:"take" ~guard:(fun st -> st > 0) (fun st -> (st - 1, st)) in
+        order := ("take", v) :: !order)
+  in
+  let _ =
+    K.spawn k ~name:"giver" (fun () ->
+        K.delay k (T.ns 50);
+        Go.call o ~meth:"give" ~guard:always (fun _ -> (7, ()));
+        order := ("give", 0) :: !order)
+  in
+  K.run k;
+  Alcotest.(check (list (pair string int)))
+    "blocked until guard true"
+    [ ("give", 0); ("take", 7) ]
+    (List.rev !order)
+
+let check_call_needs_process () =
+  let k = K.create () in
+  let o = Go.create k ~name:"o" 0 in
+  Alcotest.(check bool) "raises outside process" true
+    (match Go.call o ~meth:"m" ~guard:always (fun st -> (st, ())) with
+    | _ -> false
+    | exception Failure _ -> true)
+
+let check_connection_shares_state () =
+  let k = K.create () in
+  let a = Go.create k ~name:"a" 0
+  and b = Go.create k ~name:"b" 0
+  and c = Go.create k ~name:"c" 0 in
+  Go.connect a b;
+  Go.connect b c;
+  Alcotest.(check bool) "a~c" true (Go.connected a c);
+  let _ =
+    K.spawn k (fun () ->
+        Go.call a ~meth:"set" ~guard:always (fun _ -> (42, ()));
+        let via_b = Go.call b ~meth:"get" ~guard:always (fun st -> (st, st)) in
+        Alcotest.(check int) "visible via b" 42 via_b)
+  in
+  K.run k;
+  Alcotest.(check int) "visible via c" 42 (Go.peek c);
+  (* stats are shared too *)
+  Alcotest.(check int) "calls counted on the shared core" 2 (Go.calls_granted c)
+
+let check_connect_rejects_pending () =
+  let k = K.create () in
+  let a = Go.create k ~name:"a" 0 and b = Go.create k ~name:"b" 0 in
+  let _ = K.spawn k (fun () -> ignore (Go.call a ~meth:"m" ~guard:(fun _ -> false) (fun st -> (st, ())))) in
+  K.run k;
+  Alcotest.(check int) "one queued" 1 (Go.pending_calls a);
+  Alcotest.(check bool) "connect refused" true
+    (match Go.connect a b with
+    | () -> false
+    | exception Invalid_argument _ -> true)
+
+let check_mutual_exclusion () =
+  (* n concurrent incrementers: every call must see the object exclusively *)
+  let k = K.create () in
+  let o = Go.create k ~name:"ctr" 0 in
+  let n = 10 and rounds = 50 in
+  for i = 1 to n do
+    ignore
+      (K.spawn k ~name:(Printf.sprintf "p%d" i) (fun () ->
+           for _ = 1 to rounds do
+             Go.call o ~meth:"incr" ~guard:always (fun st -> (st + 1, ()))
+           done))
+  done;
+  K.run k;
+  Alcotest.(check int) "no lost updates" (n * rounds) (Go.peek o);
+  Alcotest.(check int) "grant count" (n * rounds) (Go.calls_granted o)
+
+(* run [n] callers that each make [rounds] calls, returning grant order *)
+let grant_order ~policy ~n ~rounds ~priorities =
+  let k = K.create () in
+  let o = Go.create k ~name:"o" ~policy () in
+  let log = ref [] in
+  Go.on_grant o (fun gi -> log := gi.Go.gi_caller :: !log);
+  let pids =
+    List.init n (fun i ->
+        K.spawn k
+          ~name:(Printf.sprintf "caller%d" i)
+          (fun () ->
+            for _ = 1 to rounds do
+              Go.call o ~meth:"m" ~priority:(List.nth priorities i) ~guard:always
+                (fun st -> (st, ()))
+            done))
+  in
+  K.run k;
+  (pids, List.rev !log)
+
+let check_fcfs_order () =
+  (* all enqueue in the same delta; FCFS must follow arrival (spawn) order
+     for the first round *)
+  let pids, log = grant_order ~policy:Policy.Fcfs ~n:4 ~rounds:1 ~priorities:[ 0; 0; 0; 0 ] in
+  Alcotest.(check (list int)) "arrival order" pids log
+
+let check_priority_order () =
+  let pids, log =
+    grant_order ~policy:Policy.Static_priority ~n:4 ~rounds:1 ~priorities:[ 1; 9; 5; 9 ]
+  in
+  let expected =
+    match pids with
+    | [ p0; p1; p2; p3 ] -> [ p1; p3; p2; p0 ]
+    | _ -> assert false
+  in
+  Alcotest.(check (list int)) "priority order with arrival ties" expected log
+
+let check_round_robin_fairness () =
+  let pids, log =
+    grant_order ~policy:Policy.Round_robin ~n:3 ~rounds:4 ~priorities:[ 0; 0; 0 ]
+  in
+  (* each caller granted exactly [rounds] times *)
+  List.iter
+    (fun pid ->
+      Alcotest.(check int)
+        (Printf.sprintf "caller %d share" pid)
+        4
+        (List.length (List.filter (( = ) pid) log)))
+    pids;
+  (* and no caller is granted twice while others wait *)
+  let rec windows = function
+    | a :: (b :: _ as rest) ->
+        Alcotest.(check bool) "alternation" true (a <> b);
+        windows rest
+    | [ _ ] | [] -> ()
+  in
+  windows log
+
+let check_policy_select_unit () =
+  let rq seq caller priority = { Policy.rq_seq = seq; rq_caller = caller; rq_priority = priority } in
+  let eligible = [ rq 3 10 0; rq 1 11 2; rq 2 12 2 ] in
+  let pick p last = Option.map (fun r -> r.Policy.rq_caller) (Policy.select p ~last_granted:last eligible) in
+  Alcotest.(check (option int)) "fcfs min seq" (Some 11) (pick Policy.Fcfs (-1));
+  Alcotest.(check (option int)) "priority, seq tie-break" (Some 11) (pick Policy.Static_priority (-1));
+  Alcotest.(check (option int)) "rr after 10" (Some 11) (pick Policy.Round_robin 10);
+  Alcotest.(check (option int)) "rr after 11" (Some 12) (pick Policy.Round_robin 11);
+  Alcotest.(check (option int)) "rr wraps" (Some 10) (pick Policy.Round_robin 12);
+  Alcotest.(check (option int)) "empty" None (Option.map (fun r -> r.Policy.rq_caller) (Policy.select Policy.Fcfs ~last_granted:0 []))
+
+(* --- policy properties ------------------------------------------------ *)
+
+let gen_requests =
+  QCheck2.Gen.(
+    list_size (int_range 0 12)
+      (map3
+         (fun seq caller priority ->
+           { Policy.rq_seq = seq; rq_caller = caller; rq_priority = priority })
+         (int_bound 100) (int_bound 8) (int_bound 4)))
+
+(* make seq unique (arrival order is a total order) *)
+let uniquify reqs =
+  List.mapi (fun i r -> { r with Policy.rq_seq = (r.Policy.rq_seq * 16) + i }) reqs
+
+let prop name f =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count:500 ~name
+       QCheck2.Gen.(pair gen_requests (int_range (-1) 8))
+       (fun (reqs, last) -> f (uniquify reqs) last))
+
+let policy_props =
+  [
+    prop "select yields a member, None iff empty" (fun reqs last ->
+        List.for_all
+          (fun p ->
+            match Policy.select p ~last_granted:last reqs with
+            | Some r -> List.memq r reqs
+            | None -> reqs = [])
+          Policy.all);
+    prop "fcfs picks the earliest arrival" (fun reqs last ->
+        match Policy.select Policy.Fcfs ~last_granted:last reqs with
+        | None -> reqs = []
+        | Some r -> List.for_all (fun o -> r.Policy.rq_seq <= o.Policy.rq_seq) reqs);
+    prop "priority picks a maximal priority" (fun reqs last ->
+        match Policy.select Policy.Static_priority ~last_granted:last reqs with
+        | None -> reqs = []
+        | Some r ->
+            List.for_all (fun o -> o.Policy.rq_priority <= r.Policy.rq_priority) reqs);
+    prop "round robin never picks <= last when someone above exists" (fun reqs last ->
+        match Policy.select Policy.Round_robin ~last_granted:last reqs with
+        | None -> reqs = []
+        | Some r ->
+            let above = List.filter (fun o -> o.Policy.rq_caller > last) reqs in
+            if above <> [] then r.Policy.rq_caller > last
+            else List.for_all (fun o -> r.Policy.rq_caller <= o.Policy.rq_caller) reqs);
+  ]
+
+let check_try_call () =
+  let k = K.create () in
+  let o = Go.create k ~name:"o" 1 in
+  Alcotest.(check (option int)) "guard true"
+    (Some 1)
+    (Go.try_call o ~meth:"m" ~guard:(fun st -> st > 0) (fun st -> (st - 1, st)));
+  Alcotest.(check (option int)) "guard now false" None
+    (Go.try_call o ~meth:"m" ~guard:(fun st -> st > 0) (fun st -> (st - 1, st)))
+
+let check_wait_stats () =
+  let k = K.create () in
+  let o = Go.create k ~name:"o" false in
+  let _ =
+    K.spawn k (fun () ->
+        Go.call o ~meth:"wait_set" ~guard:(fun st -> st) (fun st -> (st, ())))
+  in
+  let _ =
+    K.spawn k (fun () ->
+        K.delay k (T.ns 100);
+        Go.call o ~meth:"set" ~guard:always (fun _ -> (true, ())))
+  in
+  K.run k;
+  Alcotest.(check bool) "max wait recorded" true (T.to_ps (Go.max_wait o) >= 100_000)
+
+let check_bistable_figure1 () =
+  (* Figure 1: three connected bistables across "modules" *)
+  let k = K.create () in
+  let b1 = Bistable.create k ~name:"m1.b" in
+  let b2 = Bistable.create k ~name:"m2.b" in
+  let top = Bistable.create k ~name:"top.b" in
+  Bistable.connect b1 top;
+  Bistable.connect top b2;
+  let observed = ref false in
+  let _ = K.spawn k ~name:"module1" (fun () -> Bistable.set b1) in
+  let _ =
+    K.spawn k ~name:"module2" (fun () ->
+        Bistable.wait_until_set b2;
+        observed := Bistable.get_state b2)
+  in
+  K.run k;
+  Alcotest.(check bool) "set observed through the shared state space" true !observed
+
+let check_fifo_backpressure () =
+  let k = K.create () in
+  let fifo : int Fifo.t = Fifo.create k ~name:"q" ~capacity:3 () in
+  let produced = ref 0 and consumed = ref [] in
+  let _ =
+    K.spawn k ~name:"producer" (fun () ->
+        for i = 1 to 20 do
+          Fifo.put fifo i;
+          incr produced;
+          (* capacity bounds outstanding items *)
+          assert (!produced - List.length !consumed <= 4)
+        done)
+  in
+  let _ =
+    K.spawn k ~name:"consumer" (fun () ->
+        for _ = 1 to 20 do
+          consumed := Fifo.get fifo () :: !consumed
+        done)
+  in
+  K.run k;
+  Alcotest.(check (list int)) "order preserved" (List.init 20 (fun i -> i + 1))
+    (List.rev !consumed);
+  Alcotest.(check int) "drained" 0 (Fifo.length fifo)
+
+let check_fifo_try_ops () =
+  let k = K.create () in
+  let fifo : string Fifo.t = Fifo.create k ~name:"q" ~capacity:1 () in
+  Alcotest.(check (option string)) "empty" None (Fifo.try_get fifo);
+  Alcotest.(check bool) "put ok" true (Fifo.try_put fifo "x");
+  Alcotest.(check bool) "full" false (Fifo.try_put fifo "y");
+  Alcotest.(check (option string)) "get" (Some "x") (Fifo.try_get fifo)
+
+let tests =
+  [
+    ( "osss",
+      [
+        Alcotest.test_case "guard blocks until true" `Quick check_guard_blocks;
+        Alcotest.test_case "call requires a process" `Quick check_call_needs_process;
+        Alcotest.test_case "connection shares state" `Quick check_connection_shares_state;
+        Alcotest.test_case "connect rejects queued callers" `Quick check_connect_rejects_pending;
+        Alcotest.test_case "mutual exclusion under contention" `Quick check_mutual_exclusion;
+        Alcotest.test_case "fcfs grant order" `Quick check_fcfs_order;
+        Alcotest.test_case "static priority grant order" `Quick check_priority_order;
+        Alcotest.test_case "round robin fairness" `Quick check_round_robin_fairness;
+        Alcotest.test_case "policy select unit" `Quick check_policy_select_unit;
+        Alcotest.test_case "try_call probe" `Quick check_try_call;
+        Alcotest.test_case "wait statistics" `Quick check_wait_stats;
+        Alcotest.test_case "figure 1 bistable" `Quick check_bistable_figure1;
+        Alcotest.test_case "fifo backpressure" `Quick check_fifo_backpressure;
+        Alcotest.test_case "fifo non-blocking ops" `Quick check_fifo_try_ops;
+      ]
+      @ policy_props );
+  ]

@@ -1,0 +1,101 @@
+(* The extra OSSS components: shared registers and the N-way barrier. *)
+
+module K = Hlcs_engine.Kernel
+module T = Hlcs_engine.Time
+module Reg = Hlcs_osss.Shared_register
+module Barrier = Hlcs_osss.Barrier
+
+let check_register_basics () =
+  let k = K.create () in
+  let r = Reg.create k ~name:"r" 0 in
+  let log = ref [] in
+  let _ =
+    K.spawn k ~name:"waiter" (fun () ->
+        let v = Reg.wait_for r (fun v -> v >= 10) in
+        log := ("woke", v) :: !log)
+  in
+  let _ =
+    K.spawn k ~name:"writer" (fun () ->
+        Reg.write r 3;
+        K.delay k (T.ns 10);
+        Reg.write r 12;
+        (* bind first: the call suspends, and [!log] must be read after *)
+        let v = Reg.read r () in
+        log := ("read back", v) :: !log)
+  in
+  K.run k;
+  Alcotest.(check (list (pair string int)))
+    "wait_for released by the satisfying write"
+    [ ("woke", 12); ("read back", 12) ]
+    (List.rev !log)
+
+let check_register_modify_atomic () =
+  let k = K.create () in
+  let r = Reg.create k ~name:"r" 0 in
+  for _ = 1 to 8 do
+    ignore
+      (K.spawn k (fun () ->
+           for _ = 1 to 25 do
+             ignore (Reg.modify r (fun v -> v + 1))
+           done))
+  done;
+  K.run k;
+  Alcotest.(check int) "no lost increments" 200 (Hlcs_osss.Global_object.peek (Reg.obj r))
+
+let check_register_connect () =
+  let k = K.create () in
+  let a = Reg.create k ~name:"a" 0 and b = Reg.create k ~name:"b" 0 in
+  Reg.connect a b;
+  let _ = K.spawn k (fun () -> Reg.write a 7) in
+  K.run k;
+  Alcotest.(check int) "visible via b" 7 (Hlcs_osss.Global_object.peek (Reg.obj b))
+
+let check_barrier () =
+  let k = K.create () in
+  let barrier = Barrier.create k ~name:"bar" ~parties:4 in
+  let finished_rounds = Array.make 4 0 in
+  for i = 0 to 3 do
+    ignore
+      (K.spawn k
+         ~name:(Printf.sprintf "party%d" i)
+         (fun () ->
+           for _ = 1 to 5 do
+             (* desynchronise the arrivals *)
+             K.delay k (T.ns (10 * (i + 1)));
+             Barrier.await barrier;
+             finished_rounds.(i) <- finished_rounds.(i) + 1;
+             (* nobody can be more than one round ahead of anybody *)
+             Array.iter
+               (fun other -> assert (abs (finished_rounds.(i) - other) <= 1))
+               finished_rounds
+           done))
+  done;
+  K.run k;
+  Alcotest.(check (array int)) "all parties did all rounds" [| 5; 5; 5; 5 |] finished_rounds;
+  Alcotest.(check int) "rounds counted" 5 (Barrier.rounds_completed barrier)
+
+let check_barrier_single_party () =
+  let k = K.create () in
+  let barrier = Barrier.create k ~name:"bar" ~parties:1 in
+  let done_ = ref false in
+  let _ =
+    K.spawn k (fun () ->
+        Barrier.await barrier;
+        Barrier.await barrier;
+        done_ := true)
+  in
+  K.run k;
+  Alcotest.(check bool) "never blocks alone" true !done_;
+  Alcotest.(check int) "two rounds" 2 (Barrier.rounds_completed barrier)
+
+let tests =
+  [
+    ( "osss-extra",
+      [
+        Alcotest.test_case "shared register wait_for" `Quick check_register_basics;
+        Alcotest.test_case "shared register atomic modify" `Quick check_register_modify_atomic;
+        Alcotest.test_case "shared register connect" `Quick check_register_connect;
+        Alcotest.test_case "barrier synchronises rounds" `Quick check_barrier;
+        Alcotest.test_case "degenerate one-party barrier" `Quick check_barrier_single_party;
+      ] );
+  ]
