@@ -1,0 +1,21 @@
+# Convenience targets; dune is the real build system.
+
+.PHONY: all build test lint check clean
+
+all: build
+
+build:
+	dune build
+
+test:
+	dune runtest
+
+# CI gate: shipped library elements must carry no analysis warnings at
+# either the HLIR or the netlist level (same as `dune build @lint`).
+lint:
+	dune build @lint
+
+check: build test lint
+
+clean:
+	dune clean

@@ -2,6 +2,7 @@
 
      hlcs_cli flow     run the paper's complete design flow (Figure 2)
      hlcs_cli synth    synthesise the PCI interface, dump reports/VHDL
+     hlcs_cli lint     static analysis over the shipped library elements
      hlcs_cli waves    produce the Figure-4 VCD waveforms
      hlcs_cli latency  the FW1 method-call latency series
 
@@ -147,6 +148,117 @@ let synth_cmd =
     (Cmd.info "synth" ~doc:"Synthesise the PCI interface to RT level.")
     Term.(const run $ script_term $ policy $ vhdl $ pretty $ chaining $ fsm_dot $ lint)
 
+(* --- lint --------------------------------------------------------------- *)
+
+module Diag = Hlcs_analysis.Diag
+module Analyze = Hlcs_analysis.Analyze
+module Fixtures = Hlcs_analysis.Fixtures
+
+let lint_cmd =
+  (* a target is either a shipped library element (analysed at the HLIR
+     level, then synthesised and re-analysed at the netlist level) or one
+     of the seeded demo fixtures showing each analysis firing *)
+  let lint_design ~config name design =
+    let hlir = Analyze.design ~config design in
+    if Analyze.errors hlir <> [] then [ (name, hlir) ]
+    else
+      let report = Synthesize.synthesize design in
+      [ (name, hlir @ Analyze.rtl ~config report.Synthesize.rp_rtl) ]
+  in
+  let lint_netlist ~config name netlist = [ (name, Analyze.rtl ~config netlist) ] in
+  let targets script =
+    [
+      ("pci", fun config -> lint_design ~config "pci" (Pci_master_design.design ~app:script ()));
+      ("sram", fun config -> lint_design ~config "sram" (Sram_master_design.design ~app:script ()));
+      ( "dma",
+        fun config ->
+          lint_design ~config "dma" (Dma_design.design ~src:0 ~dst:64 ~words:8 ())
+          @ lint_design ~config "dma-buffered"
+              (Dma_design.buffered_design ~src:0 ~dst:64 ~words:8 ~chunk:4 ()) );
+      ( "demo-deadlock",
+        fun config -> [ ("demo-deadlock", Analyze.design ~config (Fixtures.deadlock_design ())) ] );
+      ( "demo-starvation",
+        fun config ->
+          [ ("demo-starvation", Analyze.design ~config (Fixtures.starvation_design ())) ] );
+      ( "demo-multidriver",
+        fun config -> lint_netlist ~config "demo-multidriver" (Fixtures.multi_driver_netlist ()) );
+      ( "demo-combloop",
+        fun config -> lint_netlist ~config "demo-combloop" (Fixtures.comb_loop_netlist ()) );
+      ( "demo-xsource",
+        fun config -> lint_netlist ~config "demo-xsource" (Fixtures.x_source_netlist ()) );
+    ]
+  in
+  let run script names format strict disabled info =
+    let config =
+      {
+        Diag.disabled_rules = disabled;
+        Diag.min_severity = (if info then Diag.Info else Diag.Warning);
+      }
+    in
+    let available = targets script in
+    let names = if names = [] then [ "pci"; "sram"; "dma" ] else names in
+    match
+      List.find_opt (fun n -> not (List.mem_assoc n available)) names
+    with
+    | Some bad ->
+        `Error
+          ( false,
+            Printf.sprintf "unknown target %S (expected %s)" bad
+              (String.concat "|" (List.map fst available)) )
+    | None ->
+        let results =
+          List.concat_map (fun n -> (List.assoc n available) config) names
+        in
+        (match format with
+        | `Text ->
+            List.iter
+              (fun (name, diags) ->
+                print_string (Diag.render_text ~header:name diags))
+              results
+        | `Json ->
+            print_endline
+              ("[" ^ String.concat ",\n " (List.map (fun (name, diags) -> Diag.render_json ~name diags) results)
+             ^ "]"));
+        exit (Diag.exit_code ~strict (List.concat_map snd results))
+  in
+  let names =
+    Arg.(
+      value & pos_all string []
+      & info [] ~docv:"TARGET"
+          ~doc:
+            "Designs to analyse: pci, sram, dma (default: all three), or the seeded \
+             demos demo-deadlock, demo-starvation, demo-multidriver, demo-combloop, \
+             demo-xsource.")
+  in
+  let format =
+    Arg.(
+      value
+      & opt (enum [ ("text", `Text); ("json", `Json) ]) `Text
+      & info [ "format" ] ~docv:"FMT" ~doc:"Output format: text or json.")
+  in
+  let strict =
+    Arg.(
+      value & flag
+      & info [ "strict" ] ~doc:"Exit nonzero on warnings as well as errors.")
+  in
+  let disabled =
+    Arg.(
+      value & opt (list string) []
+      & info [ "disable" ] ~docv:"RULES" ~doc:"Comma-separated rule ids to silence.")
+  in
+  let with_info =
+    Arg.(
+      value & flag
+      & info [ "info" ] ~doc:"Also report info-level diagnostics (style notes).")
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Static analysis: typecheck, lint, guarded-method deadlock and arbitration \
+          checks at the HLIR level; driver, loop, width and X-source checks on the \
+          synthesised netlist.")
+    Term.(ret (const run $ script_term $ names $ format $ strict $ disabled $ with_info))
+
 (* --- waves ------------------------------------------------------------- *)
 
 let waves_cmd =
@@ -279,4 +391,6 @@ let () =
         "High-level communication synthesis — reproduction of Bruschi & Bombana (DATE 2004)."
   in
   exit
-    (Cmd.eval (Cmd.group info [ flow_cmd; synth_cmd; waves_cmd; latency_cmd; wavediff_cmd ]))
+    (Cmd.eval
+       (Cmd.group info
+          [ flow_cmd; synth_cmd; lint_cmd; waves_cmd; latency_cmd; wavediff_cmd ]))

@@ -30,9 +30,13 @@ let () =
   in
   let report = Flow.run ~mem_bytes:1024 ~target ~script () in
   Format.printf "%a@." Flow.pp_report report;
-  let b = report.Flow.fl_behavioural and c = report.Flow.fl_rtl in
-  Printf.printf "communication refinement cost: %d cycles behavioural -> %d cycles RTL (%.1fx)\n"
-    b.Hlcs_interface.System.rr_cycles c.Hlcs_interface.System.rr_cycles
-    (float_of_int c.Hlcs_interface.System.rr_cycles
-    /. float_of_int (max 1 b.Hlcs_interface.System.rr_cycles));
+  (match report.Flow.fl_artefacts with
+  | None -> print_endline "static analysis rejected the design; no simulations run"
+  | Some a ->
+      let b = a.Flow.fl_behavioural and c = a.Flow.fl_rtl in
+      Printf.printf
+        "communication refinement cost: %d cycles behavioural -> %d cycles RTL (%.1fx)\n"
+        b.Hlcs_interface.System.rr_cycles c.Hlcs_interface.System.rr_cycles
+        (float_of_int c.Hlcs_interface.System.rr_cycles
+        /. float_of_int (max 1 b.Hlcs_interface.System.rr_cycles)));
   exit (if report.Flow.fl_ok then 0 else 1)

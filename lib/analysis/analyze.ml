@@ -1,0 +1,10 @@
+let design ?(config = Diag.default_config) d =
+  Diag.filter config (Hlir_analysis.analyze d)
+
+let rtl ?(config = Diag.default_config) d =
+  Diag.filter config (Rtl_analysis.analyze d)
+
+let errors diags =
+  List.filter (fun (d : Diag.t) -> d.Diag.d_severity = Diag.Error) diags
+
+let clean diags = errors diags = []

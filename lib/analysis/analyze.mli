@@ -1,0 +1,18 @@
+(** The subsystem's front door: run every applicable analysis over a
+    design and hand back filtered {!Diag} lists.
+
+    [design] covers the behavioural level (typecheck, lint, guard
+    deadlock, arbitration starvation); [rtl] covers the netlist level
+    (multi-driver, combinational loops, widths, X sources, latch-order
+    reads, dead logic).  The full pipeline over a unit under design is
+    [design d] before synthesis and [rtl (synthesize d).rp_rtl] after —
+    exactly what {!Hlcs.Flow} and [hlcs_cli lint] do. *)
+
+val design : ?config:Diag.config -> Hlcs_hlir.Ast.design -> Diag.t list
+val rtl : ?config:Diag.config -> Hlcs_rtl.Ir.design -> Diag.t list
+
+val errors : Diag.t list -> Diag.t list
+(** The error-severity subset. *)
+
+val clean : Diag.t list -> bool
+(** No error-severity diagnostics ([warning]/[info] allowed). *)

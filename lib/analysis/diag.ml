@@ -1,0 +1,153 @@
+type severity = Error | Warning | Info
+
+let severity_to_string = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Info -> "info"
+
+let severity_rank = function Error -> 2 | Warning -> 1 | Info -> 0
+let compare_severity a b = compare (severity_rank a) (severity_rank b)
+
+type location = {
+  loc_design : string;
+  loc_scope : string option;
+  loc_path : string option;
+}
+
+type t = {
+  d_rule : string;
+  d_severity : severity;
+  d_loc : location;
+  d_message : string;
+}
+
+let make ?(severity = Warning) ?scope ?path ~design ~rule message =
+  {
+    d_rule = rule;
+    d_severity = severity;
+    d_loc = { loc_design = design; loc_scope = scope; loc_path = path };
+    d_message = message;
+  }
+
+let location_to_string loc =
+  let base =
+    match loc.loc_scope with
+    | None -> loc.loc_design
+    | Some s -> loc.loc_design ^ "." ^ s
+  in
+  match loc.loc_path with None -> base | Some p -> base ^ " @ " ^ p
+
+let pp ppf d =
+  Format.fprintf ppf "%s[%s] %s: %s"
+    (severity_to_string d.d_severity)
+    d.d_rule
+    (location_to_string d.d_loc)
+    d.d_message
+
+(* ------------------------------------------------------------------ *)
+(* configuration                                                       *)
+
+type config = { disabled_rules : string list; min_severity : severity }
+
+let default_config = { disabled_rules = []; min_severity = Info }
+let rule_enabled config rule = not (List.mem rule config.disabled_rules)
+
+let filter config diags =
+  List.filter
+    (fun d ->
+      rule_enabled config d.d_rule
+      && compare_severity d.d_severity config.min_severity >= 0)
+    diags
+
+(* ------------------------------------------------------------------ *)
+(* aggregation                                                         *)
+
+type counts = { n_errors : int; n_warnings : int; n_infos : int }
+
+let count diags =
+  List.fold_left
+    (fun c d ->
+      match d.d_severity with
+      | Error -> { c with n_errors = c.n_errors + 1 }
+      | Warning -> { c with n_warnings = c.n_warnings + 1 }
+      | Info -> { c with n_infos = c.n_infos + 1 })
+    { n_errors = 0; n_warnings = 0; n_infos = 0 }
+    diags
+
+let exit_code ?(strict = false) diags =
+  let c = count diags in
+  if c.n_errors > 0 then 1 else if strict && c.n_warnings > 0 then 1 else 0
+
+(* ------------------------------------------------------------------ *)
+(* rendering                                                           *)
+
+let sorted diags =
+  (* errors first; otherwise keep emission order (stable sort) *)
+  List.stable_sort (fun a b -> compare_severity b.d_severity a.d_severity) diags
+
+let summary_line c =
+  Printf.sprintf "%d error(s), %d warning(s), %d info(s)" c.n_errors c.n_warnings
+    c.n_infos
+
+let pp_counts ppf c = Format.pp_print_string ppf (summary_line c)
+
+let render_text ?header diags =
+  let buf = Buffer.create 256 in
+  (match header with
+  | Some h ->
+      Buffer.add_string buf h;
+      Buffer.add_char buf '\n'
+  | None -> ());
+  List.iter
+    (fun d -> Buffer.add_string buf (Format.asprintf "%a@." pp d))
+    (sorted diags);
+  Buffer.add_string buf (summary_line (count diags));
+  Buffer.add_char buf '\n';
+  Buffer.contents buf
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let json_string s = "\"" ^ json_escape s ^ "\""
+let json_opt = function None -> "null" | Some s -> json_string s
+
+let json_of_diag d =
+  Printf.sprintf
+    "{\"rule\": %s, \"severity\": %s, \"design\": %s, \"scope\": %s, \"path\": %s, \
+     \"message\": %s}"
+    (json_string d.d_rule)
+    (json_string (severity_to_string d.d_severity))
+    (json_string d.d_loc.loc_design)
+    (json_opt d.d_loc.loc_scope)
+    (json_opt d.d_loc.loc_path)
+    (json_string d.d_message)
+
+let json_of_diags diags =
+  "[" ^ String.concat ", " (List.map json_of_diag (sorted diags)) ^ "]"
+
+let render_json ?name diags =
+  let c = count diags in
+  let counts =
+    Printf.sprintf "{\"errors\": %d, \"warnings\": %d, \"infos\": %d}" c.n_errors
+      c.n_warnings c.n_infos
+  in
+  match name with
+  | None ->
+      Printf.sprintf "{\"diagnostics\": %s, \"counts\": %s}" (json_of_diags diags)
+        counts
+  | Some n ->
+      Printf.sprintf "{\"design\": %s, \"diagnostics\": %s, \"counts\": %s}"
+        (json_string n) (json_of_diags diags) counts

@@ -1,0 +1,101 @@
+open Hlcs_hlir.Builder
+module Ir = Hlcs_rtl.Ir
+
+(* ------------------------------------------------------------------ *)
+(* the crossed two-object rendezvous: each process first takes a token
+   the other process is supposed to give *)
+
+let token name =
+  object_ name
+    ~fields:[ field_decl "full" 1 ]
+    ~methods:
+      [
+        method_ "take" ~guard:(field "full") ~updates:[ ("full", cfalse) ];
+        method_ "give" ~guard:(inv (field "full")) ~updates:[ ("full", ctrue) ];
+      ]
+
+let deadlock_design () =
+  design "crossed_rendezvous"
+    ~objects:[ token "left"; token "right" ]
+    ~processes:
+      [
+        process "p1" [ call "left" "take" []; call "right" "give" []; halt ];
+        process "p2" [ call "right" "take" []; call "left" "give" []; halt ];
+      ]
+
+(* the healthy mirror image: each process gives before it takes, so the
+   wait-for cycle is broken by a prior enabling call *)
+let rendezvous_ok_design () =
+  design "handshake_rendezvous"
+    ~objects:[ token "left"; token "right" ]
+    ~processes:
+      [
+        process "p1" [ call "right" "give" []; call "left" "take" []; halt ];
+        process "p2" [ call "left" "give" []; call "right" "take" []; halt ];
+      ]
+
+(* a single process blocked on a guard nothing writes *)
+let unsatisfiable_guard_design () =
+  design "orphan_guard"
+    ~objects:
+      [
+        object_ "latch"
+          ~fields:[ field_decl "ready" 1 ]
+          ~methods:
+            [ method_ "take" ~guard:(field "ready") ~updates:[ ("ready", cfalse) ] ];
+      ]
+    ~processes:[ process "p" [ call "latch" "take" []; halt ] ]
+
+(* a design starvation-prone under static priority *)
+let starvation_design () =
+  let ctr =
+    object_ "ctr" ~policy:Hlcs_osss.Policy.Static_priority
+      ~fields:[ field_decl "n" 8 ]
+      ~methods:
+        [ method_ "bump" ~guard:ctrue ~updates:[ ("n", field "n" +: cst ~width:8 1) ] ]
+  in
+  design "priority_contention" ~objects:[ ctr ]
+    ~processes:
+      [
+        process "hog" ~priority:7 [ while_ ctrue [ call "ctr" "bump" []; wait 1 ] ];
+        process "meek" ~priority:0 [ while_ ctrue [ call "ctr" "bump" []; wait 1 ] ];
+      ]
+
+(* ------------------------------------------------------------------ *)
+(* RTL fixtures.  [Ir.wire] is private and the builder (rightly) refuses
+   double assignment, so the multi-driver netlist is built clean and the
+   conflicting driver spliced into the design record afterwards.        *)
+
+let multi_driver_netlist () =
+  let b = Ir.builder "multi_driver_demo" in
+  Ir.add_input b "a" 8;
+  Ir.add_input b "b" 8;
+  Ir.add_output b "o" 8;
+  let w = Ir.fresh_wire b "bus" 8 in
+  Ir.assign b w (Ir.Input ("a", 8));
+  Ir.drive b "o" (Ir.Wire w);
+  let d = Ir.finish b in
+  { d with Ir.rd_assigns = d.Ir.rd_assigns @ [ (w, Ir.Input ("b", 8)) ] }
+
+let comb_loop_netlist () =
+  let b = Ir.builder "comb_loop_demo" in
+  Ir.add_input b "i" 1;
+  Ir.add_output b "o" 1;
+  let a = Ir.fresh_wire b "a" 1 in
+  let c = Ir.fresh_wire b "b" 1 in
+  Ir.assign b a (Ir.Unop (Ir.Not, Ir.Wire c));
+  Ir.assign b c (Ir.Binop (Ir.And, Ir.Wire a, Ir.Input ("i", 1)));
+  Ir.drive b "o" (Ir.Wire a);
+  Ir.finish b
+
+let x_source_netlist () =
+  let b = Ir.builder "x_source_demo" in
+  Ir.add_input b "i" 4;
+  Ir.add_output b "o" 4;
+  Ir.add_output b "floating" 1;
+  let good = Ir.fresh_wire b "good" 4 in
+  let ghost = Ir.fresh_wire b "ghost" 4 in
+  Ir.assign b good (Ir.Binop (Ir.Xor, Ir.Input ("i", 4), Ir.Wire ghost));
+  Ir.drive b "o" (Ir.Wire good);
+  (* "floating" deliberately left undriven; "ghost" never assigned *)
+  Ir.finish b

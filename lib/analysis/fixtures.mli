@@ -1,0 +1,29 @@
+(** Seeded offender designs: each fixture trips exactly one headline
+    analysis, and its healthy twin (where provided) stays clean.  Shared
+    by the test suite and the [hlcs_cli lint --demo] targets, so the CLI
+    output and the unit expectations can never drift apart. *)
+
+val deadlock_design : unit -> Hlcs_hlir.Ast.design
+(** Two token objects, two processes, each taking the token the other is
+    about to give: a circular wait [guard-deadlock] reports with a
+    witness cycle. *)
+
+val rendezvous_ok_design : unit -> Hlcs_hlir.Ast.design
+(** The same objects with give-before-take ordering: clean. *)
+
+val unsatisfiable_guard_design : unit -> Hlcs_hlir.Ast.design
+(** A process blocked on a guard no other method writes. *)
+
+val starvation_design : unit -> Hlcs_hlir.Ast.design
+(** A static-priority object hammered from an infinite loop by the
+    top-priority caller: [arbitration-starvation]. *)
+
+val multi_driver_netlist : unit -> Hlcs_rtl.Ir.design
+(** One wire, two drivers: [rtl-multi-driver]. *)
+
+val comb_loop_netlist : unit -> Hlcs_rtl.Ir.design
+(** [a = not b; b = a and i]: [rtl-comb-loop]. *)
+
+val x_source_netlist : unit -> Hlcs_rtl.Ir.design
+(** An unassigned wire feeding logic and an undriven output:
+    [rtl-x-source]. *)

@@ -1,0 +1,47 @@
+(** Static analysis of behavioural (HLIR) designs, emitted through
+    {!Diag}: the legacy {!Hlcs_hlir.Typecheck} errors and
+    {!Hlcs_hlir.Lint} warnings re-expressed as structured diagnostics,
+    plus the two analyses specific to guarded-method communication.
+
+    {b Guard deadlock} ([guard-deadlock], error).  A blocking guarded
+    method releases its caller only when some other method writes the
+    state its guard reads.  The detector computes, per process, the first
+    call (in pre-order) whose guard is {e false on the initial object
+    state} and whose guard fields no earlier call of that process could
+    have written — the point where the process statically wedges — and
+    builds the wait-for graph: blocked process [P] waits on every process
+    that calls an {e enabler} (a method of the same object writing the
+    guard's fields) of [P]'s blocked method.  Three shapes are reported:
+    a guard no other method can ever enable; a guard whose enablers only
+    the blocked process itself calls; and a strongly connected component
+    of mutually waiting processes (the witness cycle is printed).  A
+    cycle is dismissed when one of its members performed an enabling call
+    before blocking — the classic healthy rendezvous (command put before
+    result get), which is how the shipped PCI/SRAM/DMA elements stay
+    clean while the crossed two-object rendezvous of
+    {!Fixtures.deadlock_design} is caught.
+
+    {b Arbitration starvation} ([arbitration-starvation], warning), per
+    policy: FCFS and round-robin grants are starvation-free by
+    construction; under static priority, a top-priority process calling
+    the object from a non-terminating loop can starve every
+    lower-priority caller — the paper's FW1 contention concern, raised
+    statically. *)
+
+val rule_typecheck : string
+val rule_deadlock : string
+val rule_starvation : string
+
+val typecheck_diags : Hlcs_hlir.Ast.design -> Diag.t list
+(** {!Hlcs_hlir.Typecheck.check} as [typecheck]-rule error diagnostics. *)
+
+val lint_diags : Hlcs_hlir.Ast.design -> Diag.t list
+(** {!Hlcs_hlir.Lint.check} as diagnostics; [port-contention] is promoted
+    to error severity (the synthesiser rejects such designs), every other
+    lint rule keeps warning severity. *)
+
+val deadlock_diags : Hlcs_hlir.Ast.design -> Diag.t list
+val starvation_diags : Hlcs_hlir.Ast.design -> Diag.t list
+
+val analyze : Hlcs_hlir.Ast.design -> Diag.t list
+(** All of the above, in order: typecheck, lint, deadlock, starvation. *)

@@ -1,6 +1,8 @@
 module System = Hlcs_interface.System
 module Synthesize = Hlcs_synth.Synthesize
 module Time = Hlcs_engine.Time
+module Diag = Hlcs_analysis.Diag
+module Analyze = Hlcs_analysis.Analyze
 
 type stage = {
   sg_name : string;
@@ -9,13 +11,18 @@ type stage = {
   sg_wall_seconds : float;
 }
 
-type report = {
-  fl_stages : stage list;
-  fl_ok : bool;
+type artefacts = {
   fl_tlm : System.run_report;
   fl_behavioural : System.run_report;
   fl_rtl : System.run_report;
   fl_synthesis : Synthesize.report;
+}
+
+type report = {
+  fl_stages : stage list;
+  fl_ok : bool;
+  fl_diags : Diag.t list;
+  fl_artefacts : artefacts option;
 }
 
 let timed f =
@@ -23,66 +30,90 @@ let timed f =
   let r = f () in
   (r, Unix.gettimeofday () -. t0)
 
+let stage name ok detail wall =
+  { sg_name = name; sg_ok = ok; sg_detail = detail; sg_wall_seconds = wall }
+
 let run ?(mem_bytes = 1024) ?mem_seed ?target ?policy ?options ?vcd_prefix ?max_time
     ~script () =
   let vcd suffix = Option.map (fun p -> p ^ "_" ^ suffix ^ ".vcd") vcd_prefix in
-  let tlm, t_tlm =
-    timed (fun () -> System.run_tlm ?mem_seed ?policy ~mem_bytes ~script ())
+  let uud = Hlcs_interface.Pci_master_design.design ?policy ~app:script () in
+  (* static analysis gates the rest of the flow: a design that typechecks
+     badly or can deadlock fails here, before any simulation is paid for *)
+  let design_diags, t_analysis = timed (fun () -> Analyze.design uud) in
+  let analysis_ok = Analyze.clean design_diags in
+  let analysis_stage =
+    stage "static analysis"
+      analysis_ok
+      (Format.asprintf "%a over %s" Diag.pp_counts (Diag.count design_diags)
+         uud.Hlcs_hlir.Ast.d_name)
+      t_analysis
   in
-  let behav, t_behav =
-    timed (fun () ->
-        System.run_pin ?mem_seed ?policy ?vcd:(vcd "behavioural") ?target ?max_time
-          ~mem_bytes ~script ())
-  in
-  let synthesis, t_synth =
-    timed (fun () ->
-        Synthesize.synthesize ?options
-          (Hlcs_interface.Pci_master_design.design ?policy ~app:script ()))
-  in
-  let rtl, t_rtl =
-    timed (fun () ->
-        System.run_rtl ?mem_seed ?policy ?vcd:(vcd "rtl") ?target ?max_time ?options
-          ~mem_bytes ~script ())
-  in
-  let refinement_issues = System.compare_runs tlm behav in
-  let behav_viols = behav.System.rr_violations in
-  let consistency_issues = System.compare_runs behav rtl in
-  let trace_issues = System.compare_bus_traces behav rtl in
-  let rtl_viols = rtl.System.rr_violations in
-  let stage name ok detail wall =
-    { sg_name = name; sg_ok = ok; sg_detail = detail; sg_wall_seconds = wall }
-  in
-  let stages =
-    [
-      stage "functional model (TLM)" true
-        (Format.asprintf "%a" System.pp_report tlm)
-        t_tlm;
-      stage "executable specification (pin-accurate, behavioural)"
-        (refinement_issues = [] && behav_viols = [])
-        (Format.asprintf "%a; refinement vs TLM: %s" System.pp_report behav
-           (if refinement_issues = [] then "consistent"
-            else String.concat "; " refinement_issues))
-        t_behav;
-      stage "communication synthesis"
-        true
-        (Format.asprintf "%a" Synthesize.pp_report synthesis)
-        t_synth;
-      stage "post-synthesis validation (RT level)"
-        (consistency_issues = [] && trace_issues = [] && rtl_viols = [])
-        (Format.asprintf "%a; consistency vs behavioural: %s" System.pp_report rtl
-           (if consistency_issues = [] && trace_issues = [] then "consistent"
-            else String.concat "; " (consistency_issues @ trace_issues)))
-        t_rtl;
-    ]
-  in
-  {
-    fl_stages = stages;
-    fl_ok = List.for_all (fun s -> s.sg_ok) stages;
-    fl_tlm = tlm;
-    fl_behavioural = behav;
-    fl_rtl = rtl;
-    fl_synthesis = synthesis;
-  }
+  if not analysis_ok then
+    {
+      fl_stages = [ analysis_stage ];
+      fl_ok = false;
+      fl_diags = design_diags;
+      fl_artefacts = None;
+    }
+  else
+    let tlm, t_tlm =
+      timed (fun () -> System.run_tlm ?mem_seed ?policy ~mem_bytes ~script ())
+    in
+    let behav, t_behav =
+      timed (fun () ->
+          System.run_pin ?mem_seed ?policy ?vcd:(vcd "behavioural") ?target ?max_time
+            ~mem_bytes ~script ())
+    in
+    let synthesis, t_synth = timed (fun () -> Synthesize.synthesize ?options uud) in
+    let rtl_diags = Analyze.rtl synthesis.Synthesize.rp_rtl in
+    let rtl, t_rtl =
+      timed (fun () ->
+          System.run_rtl ?mem_seed ?policy ?vcd:(vcd "rtl") ?target ?max_time ?options
+            ~mem_bytes ~script ())
+    in
+    let refinement_issues = System.compare_runs tlm behav in
+    let behav_viols = behav.System.rr_violations in
+    let consistency_issues = System.compare_runs behav rtl in
+    let trace_issues = System.compare_bus_traces behav rtl in
+    let rtl_viols = rtl.System.rr_violations in
+    let stages =
+      [
+        analysis_stage;
+        stage "functional model (TLM)" true
+          (Format.asprintf "%a" System.pp_report tlm)
+          t_tlm;
+        stage "executable specification (pin-accurate, behavioural)"
+          (refinement_issues = [] && behav_viols = [])
+          (Format.asprintf "%a; refinement vs TLM: %s" System.pp_report behav
+             (if refinement_issues = [] then "consistent"
+              else String.concat "; " refinement_issues))
+          t_behav;
+        stage "communication synthesis"
+          (Analyze.clean rtl_diags)
+          (Format.asprintf "%a; netlist checks: %a" Synthesize.pp_report synthesis
+             Diag.pp_counts (Diag.count rtl_diags))
+          t_synth;
+        stage "post-synthesis validation (RT level)"
+          (consistency_issues = [] && trace_issues = [] && rtl_viols = [])
+          (Format.asprintf "%a; consistency vs behavioural: %s" System.pp_report rtl
+             (if consistency_issues = [] && trace_issues = [] then "consistent"
+              else String.concat "; " (consistency_issues @ trace_issues)))
+          t_rtl;
+      ]
+    in
+    {
+      fl_stages = stages;
+      fl_ok = List.for_all (fun s -> s.sg_ok) stages;
+      fl_diags = design_diags @ rtl_diags;
+      fl_artefacts =
+        Some
+          {
+            fl_tlm = tlm;
+            fl_behavioural = behav;
+            fl_rtl = rtl;
+            fl_synthesis = synthesis;
+          };
+    }
 
 let pp_report ppf r =
   Format.fprintf ppf "@[<v>design flow: %s@," (if r.fl_ok then "PASS" else "FAIL");
@@ -92,4 +123,7 @@ let pp_report ppf r =
         (if s.sg_ok then "ok" else "FAILED")
         s.sg_wall_seconds s.sg_detail)
     r.fl_stages;
+  (match List.filter (fun (d : Diag.t) -> d.Diag.d_severity <> Diag.Info) r.fl_diags with
+  | [] -> ()
+  | noisy -> Format.fprintf ppf "diagnostics:@,%s@," (Diag.render_text noisy));
   Format.fprintf ppf "@]"

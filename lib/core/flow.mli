@@ -2,21 +2,30 @@
 
     Given a request script (the specification's workload), the driver runs:
 
+    + {b Static analysis} — the unit under design (application +
+      interface) through {!Hlcs_analysis.Analyze.design}: typecheck,
+      lint, guarded-method deadlock and arbitration-starvation checks.
+      Error-level diagnostics abort the flow here, before any simulation
+      is paid for;
     + {b Functional model} — the application against the TLM interface
       (configuration A), producing the golden application-level
       observations at maximum simulation speed;
     + {b Executable specification} — communication refined to the
       pin-accurate library element, simulated behaviourally against the
       PCI fabric (configuration B); checked against A;
-    + {b Synthesis} — the unit under design (application + interface)
-      pushed through the communication synthesiser;
+    + {b Synthesis} — the unit under design pushed through the
+      communication synthesiser, with the netlist re-analysed
+      ({!Hlcs_analysis.Analyze.rtl}: drivers, combinational loops,
+      widths, X sources);
     + {b Post-synthesis validation} — the RT-level model re-simulated with
       the same stimuli (configuration C); behaviour consistency checked
       against B at the application level {e and} at the bus-transaction
       level, with the protocol monitor arbitrating legality throughout.
 
     The returned report records, per stage, success, wall-clock cost and a
-    human-readable summary — the data behind EXPERIMENTS.md. *)
+    human-readable summary — the data behind EXPERIMENTS.md — plus every
+    diagnostic the analyses emitted.  When the analysis stage fails,
+    [fl_artefacts] is [None]: there is nothing downstream to report. *)
 
 type stage = {
   sg_name : string;
@@ -25,13 +34,20 @@ type stage = {
   sg_wall_seconds : float;
 }
 
-type report = {
-  fl_stages : stage list;
-  fl_ok : bool;
+type artefacts = {
   fl_tlm : Hlcs_interface.System.run_report;
   fl_behavioural : Hlcs_interface.System.run_report;
   fl_rtl : Hlcs_interface.System.run_report;
   fl_synthesis : Hlcs_synth.Synthesize.report;
+}
+
+type report = {
+  fl_stages : stage list;
+  fl_ok : bool;
+  fl_diags : Hlcs_analysis.Diag.t list;
+      (** design-level then netlist-level diagnostics, all severities *)
+  fl_artefacts : artefacts option;
+      (** [None] iff the static-analysis stage failed *)
 }
 
 val run :

@@ -1,10 +1,24 @@
 open Ast
 module SS = Set.Make (String)
 
-type warning = { w_where : string; w_rule : string; w_detail : string }
+type warning = {
+  w_where : string;
+  w_path : string option;
+  w_rule : string;
+  w_detail : string;
+}
 
 let pp_warning ppf w =
-  Format.fprintf ppf "%s: [%s] %s" w.w_where w.w_rule w.w_detail
+  match w.w_path with
+  | None -> Format.fprintf ppf "%s: [%s] %s" w.w_where w.w_rule w.w_detail
+  | Some p -> Format.fprintf ppf "%s @ %s: [%s] %s" w.w_where p w.w_rule w.w_detail
+
+(* ------------------------------------------------------------------ *)
+(* statement paths: [2.while.0.then.1] names the second statement of the
+   then-branch of the first statement of the while body of the third
+   top-level statement.  Built root-first as a reversed segment list.    *)
+
+let path_to_string rev_path = String.concat "." (List.rev rev_path)
 
 (* ------------------------------------------------------------------ *)
 (* expression variable/field usage                                      *)
@@ -20,67 +34,113 @@ let rec expr_uses acc = function
 (* ------------------------------------------------------------------ *)
 (* output stability: ports emitted twice in one zero-time segment       *)
 
-let stability_warnings ~where body warn =
+let stability_warnings ~where body =
+  let out = ref [] in
   let reported = Hashtbl.create 4 in
-  let report port =
+  let report rev_path port =
     if not (Hashtbl.mem reported port) then begin
       Hashtbl.replace reported port ();
-      warn "output-stability"
-        (Printf.sprintf
-           "port %S may be emitted twice without an intervening wait; the RT-level \
-            model will expose the transient value"
-           port)
+      out :=
+        {
+          w_where = where;
+          w_path = Some (path_to_string rev_path);
+          w_rule = "output-stability";
+          w_detail =
+            Printf.sprintf
+              "port %S may be emitted twice without an intervening wait; the RT-level \
+               model will expose the transient value"
+              port;
+        }
+        :: !out
     end
   in
   (* [seg] = ports possibly emitted since the last time-consuming
      statement on some path reaching this point *)
-  let rec walk seg stmt =
+  let rec walk rev_path seg stmt =
     match stmt with
     | Emit (p, _) ->
-        if SS.mem p seg then report p;
+        if SS.mem p seg then report rev_path p;
         SS.add p seg
     | Set _ | Halt -> seg
     | Wait _ | Call _ -> SS.empty
     | If (_, t, e) ->
-        let st = walk_list seg t and se = walk_list seg e in
+        let st = walk_list ("then" :: rev_path) seg t
+        and se = walk_list ("else" :: rev_path) seg e in
         SS.union st se
     | Case (_, arms, default) ->
         List.fold_left
-          (fun acc (_, body) -> SS.union acc (walk_list seg body))
-          (walk_list seg default) arms
+          (fun acc (i, (_, body)) ->
+            SS.union acc (walk_list (Printf.sprintf "case%d" i :: rev_path) seg body))
+          (walk_list ("default" :: rev_path) seg default)
+          (List.mapi (fun i arm -> (i, arm)) arms)
     | While (_, b) ->
         (* One pass through the body: catches collisions within an
            iteration (including against the segment flowing into the
            loop).  Cross-iteration transients that depend on which exit
            path ran are not decidable statically and are left to the
            equivalence checker. *)
-        let s1 = walk_list seg b in
+        let s1 = walk_list ("while" :: rev_path) seg b in
         SS.union seg s1
-  and walk_list seg stmts = List.fold_left walk seg stmts in
-  ignore (walk_list SS.empty body);
-  ignore where
+  and walk_list rev_path seg stmts =
+    List.fold_left
+      (fun (i, seg) stmt -> (i + 1, walk (string_of_int i :: rev_path) seg stmt))
+      (0, seg) stmts
+    |> snd
+  in
+  ignore (walk_list [] SS.empty body);
+  List.rev !out
 
 (* ------------------------------------------------------------------ *)
+(* dead code: statements after [Halt], and after a loop that can never
+   terminate ([While] on a constant-true condition)                     *)
 
-let rec dead_code_warnings ~warn stmts =
-  let rec scan = function
+let is_const_true = function
+  | Const bv -> not (Hlcs_logic.Bitvec.is_zero bv)
+  | _ -> false
+
+let dead_code_warnings ~where body =
+  let out = ref [] in
+  let warn rev_path detail =
+    out :=
+      {
+        w_where = where;
+        w_path = Some (path_to_string rev_path);
+        w_rule = "dead-code";
+        w_detail = detail;
+      }
+      :: !out
+  in
+  let rec scan rev_path i = function
     | [] -> ()
     | Halt :: rest when rest <> [] ->
-        warn "dead-code"
-          (Printf.sprintf "%d statement(s) after halt are unreachable" (List.length rest))
+        warn
+          (string_of_int (i + 1) :: rev_path)
+          (Printf.sprintf "%d statement(s) after halt are unreachable"
+             (List.length rest))
+    | While (c, b) :: rest when is_const_true c && rest <> [] ->
+        scan_list ("while" :: string_of_int i :: rev_path) b;
+        warn
+          (string_of_int (i + 1) :: rev_path)
+          (Printf.sprintf
+             "%d statement(s) after an infinite loop (while true) are unreachable"
+             (List.length rest))
     | stmt :: rest ->
         (match stmt with
         | If (_, t, e) ->
-            dead_code_warnings ~warn t;
-            dead_code_warnings ~warn e
+            scan_list ("then" :: string_of_int i :: rev_path) t;
+            scan_list ("else" :: string_of_int i :: rev_path) e
         | Case (_, arms, default) ->
-            List.iter (fun (_, body) -> dead_code_warnings ~warn body) arms;
-            dead_code_warnings ~warn default
-        | While (_, b) -> dead_code_warnings ~warn b
+            List.iteri
+              (fun j (_, body) ->
+                scan_list (Printf.sprintf "case%d" j :: string_of_int i :: rev_path) body)
+              arms;
+            scan_list ("default" :: string_of_int i :: rev_path) default
+        | While (_, b) -> scan_list ("while" :: string_of_int i :: rev_path) b
         | Set _ | Emit _ | Wait _ | Call _ | Halt -> ());
-        scan rest
-  in
-  scan stmts
+        scan rev_path (i + 1) rest
+  and scan_list rev_path stmts = scan rev_path 0 stmts in
+  scan_list [] body;
+  List.rev !out
 
 let rec stmt_var_usage (reads, writes) = function
   | Set (x, e) -> (expr_uses reads e, SS.add x writes)
@@ -107,9 +167,12 @@ let rec stmt_var_usage (reads, writes) = function
 let process_warnings design proc acc =
   let where = Printf.sprintf "process %s" proc.p_name in
   let out = ref [] in
-  let warn rule detail = out := { w_where = where; w_rule = rule; w_detail = detail } :: !out in
-  stability_warnings ~where proc.p_body warn;
-  dead_code_warnings ~warn proc.p_body;
+  let warn rule detail =
+    out := { w_where = where; w_path = None; w_rule = rule; w_detail = detail } :: !out
+  in
+  let located =
+    stability_warnings ~where proc.p_body @ dead_code_warnings ~where proc.p_body
+  in
   let reads, writes =
     List.fold_left stmt_var_usage (SS.empty, SS.empty) proc.p_body
   in
@@ -119,7 +182,7 @@ let process_warnings design proc acc =
         warn "unused-local" (Printf.sprintf "local %S is never referenced" n))
     proc.p_locals;
   ignore design;
-  acc @ List.rev !out
+  acc @ located @ List.rev !out
 
 let impl_reads acc impl =
   let acc = expr_uses acc impl.mi_guard in
@@ -151,6 +214,7 @@ let object_warnings obj acc =
         out :=
           {
             w_where = where;
+            w_path = None;
             w_rule = "unread-field";
             w_detail = Printf.sprintf "field %S is never read by any method" n;
           }
@@ -168,6 +232,7 @@ let contention_warnings design acc =
             out :=
               {
                 w_where = Printf.sprintf "process %s" pname;
+                w_path = None;
                 w_rule = "port-contention";
                 w_detail =
                   Printf.sprintf "port %S is also emitted by process %S" p other;

@@ -12,12 +12,24 @@
       dynamic equivalence check;
     - {b port contention}: an output port emitted by more than one process
       (rejected later by the synthesiser; diagnosed here with both names);
-    - {b dead code}: statements following [Halt];
+    - {b dead code}: statements following [Halt], and statements following
+      a [While] loop whose condition is constant-true (the loop never
+      terminates, so the tail is unreachable);
     - {b unused locals}: declared but never read nor written;
     - {b unread fields}: object fields no method ever reads (guard, update
-      right-hand side or result). *)
+      right-hand side or result).
 
-type warning = { w_where : string; w_rule : string; w_detail : string }
+    Statement-level rules carry a statement path in [w_path]
+    (e.g. ["1.while.0.then.2"]: statement indices interleaved with the
+    branch taken), so a diagnostic points at the offending statement, not
+    just the enclosing process. *)
+
+type warning = {
+  w_where : string;  (** enclosing process or object *)
+  w_path : string option;  (** statement path within [w_where], if any *)
+  w_rule : string;
+  w_detail : string;
+}
 
 val check : Ast.design -> warning list
 (** Empty = clean.  Warnings are ordered by declaration order. *)

@@ -42,8 +42,7 @@ let design ?policy ~src ~dst ~words () =
 
 (* staging buffer: a register-file object with indexed store/load *)
 let staging_buffer ~chunk =
-  object_ "staging"
-    ~fields:[ field_decl "unused" 1 ]
+  object_ "staging" ~fields:[]
     ~arrays:[ array_decl "buf" ~width:32 ~depth:chunk ]
     ~methods:
       [

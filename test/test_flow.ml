@@ -1,4 +1,4 @@
-(* The end-to-end Figure-2 design flow driver: all four stages must pass,
+(* The end-to-end Figure-2 design flow driver: all five stages must pass,
    and the report must carry the pieces EXPERIMENTS.md documents. *)
 
 module Flow = Hlcs.Flow
@@ -10,9 +10,19 @@ let check_flow_passes () =
   let report = Flow.run ~mem_bytes:256 ~script () in
   if not report.Flow.fl_ok then
     Alcotest.failf "flow failed:@.%a" Flow.pp_report report;
-  Alcotest.(check int) "four stages" 4 (List.length report.Flow.fl_stages);
+  Alcotest.(check int) "five stages" 5 (List.length report.Flow.fl_stages);
+  Alcotest.(check string) "analysis runs first" "static analysis"
+    (List.hd report.Flow.fl_stages).Flow.sg_name;
+  Alcotest.(check (list string)) "no error-level flow diagnostics" []
+    (List.map
+       (fun (d : Hlcs_analysis.Diag.t) -> d.Hlcs_analysis.Diag.d_rule)
+       (Hlcs_analysis.Analyze.errors report.Flow.fl_diags));
   (* the synthesis stage reports the interface's structure *)
-  let synth = report.Flow.fl_synthesis in
+  let synth =
+    match report.Flow.fl_artefacts with
+    | Some a -> a.Flow.fl_synthesis
+    | None -> Alcotest.fail "flow passed but artefacts missing"
+  in
   Alcotest.(check bool) "engine and app compiled" true
     (List.mem_assoc "engine" synth.Synthesize.rp_process_states
     && List.mem_assoc "app" synth.Synthesize.rp_process_states);

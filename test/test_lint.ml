@@ -76,6 +76,50 @@ let check_dead_code () =
     (design "d" ~ports:[ out_port "o" 8 ]
        ~processes:[ process "p" [ halt; emit "o" (c8 1) ] ])
 
+let check_dead_code_after_infinite_loop () =
+  (* statements following [while true] can never run *)
+  has "dead-code"
+    (design "d" ~ports:[ out_port "o" 8 ]
+       ~processes:
+         [
+           process "p"
+             [ while_ ctrue [ emit "o" (c8 1); wait 1 ]; emit "o" (c8 2) ];
+         ])
+
+let check_no_dead_code_after_bounded_loop () =
+  quiet
+    (design "d" ~ports:[ out_port "o" 8 ]
+       ~processes:
+         [
+           process "p" ~locals:[ local "i" 8 ]
+             [
+               while_ (var "i" <: c8 3) [ set "i" (var "i" +: c8 1); wait 1 ];
+               emit "o" (c8 2);
+               wait 1;
+             ];
+         ])
+
+let check_warning_locations () =
+  (* stability and dead-code warnings carry the offending process and a
+     statement path, so a diagnostic is navigable *)
+  let d =
+    design "d" ~ports:[ out_port "o" 8 ]
+      ~processes:
+        [
+          process "q" [ wait 1 ];
+          process "p" [ wait 1; emit "o" (c8 1); emit "o" (c8 2); halt; wait 1 ];
+        ]
+  in
+  let ws = Lint.check d in
+  let stab = List.find (fun w -> w.Lint.w_rule = "output-stability") ws in
+  Alcotest.(check string) "stability names the process" "process p" stab.Lint.w_where;
+  Alcotest.(check (option string)) "stability points at the second emit" (Some "2")
+    stab.Lint.w_path;
+  let dead = List.find (fun w -> w.Lint.w_rule = "dead-code") ws in
+  Alcotest.(check string) "dead-code names the process" "process p" dead.Lint.w_where;
+  Alcotest.(check (option string)) "dead-code points past the halt" (Some "4")
+    dead.Lint.w_path
+
 let check_unused_local () =
   has "unused-local"
     (design "d"
@@ -122,6 +166,12 @@ let tests =
         Alcotest.test_case "exclusive branches are fine" `Quick
           check_stability_ok_exclusive_branches;
         Alcotest.test_case "dead code after halt" `Quick check_dead_code;
+        Alcotest.test_case "dead code after infinite loop" `Quick
+          check_dead_code_after_infinite_loop;
+        Alcotest.test_case "bounded loop tail is reachable" `Quick
+          check_no_dead_code_after_bounded_loop;
+        Alcotest.test_case "warnings carry process and path" `Quick
+          check_warning_locations;
         Alcotest.test_case "unused local" `Quick check_unused_local;
         Alcotest.test_case "unread field" `Quick check_unread_field;
         Alcotest.test_case "port contention" `Quick check_port_contention;
