@@ -1,6 +1,6 @@
 # Convenience targets; dune is the real build system.
 
-.PHONY: all build test lint check clean
+.PHONY: all build test lint check ci bench bench-smoke clean
 
 all: build
 
@@ -16,6 +16,19 @@ lint:
 	dune build @lint
 
 check: build test lint
+
+# Everything a PR must pass, including one pass over every bench series
+# (tiny iteration counts) so the perf code paths are compiled and exercised
+# even when nobody is looking at the numbers.
+ci: build lint test bench-smoke
+
+bench-smoke:
+	dune exec bench/main.exe -- --smoke
+
+# The full wall-clock series (see BENCH_pr2.json for the committed
+# trajectory): min-of-N, one JSON document per run.
+bench:
+	dune exec bench/main.exe -- --json bench.json --label local --repeat 15
 
 clean:
 	dune clean

@@ -310,14 +310,115 @@ let run_benchmarks () =
     rows;
   if Sys.file_exists "bench_fig4.vcd" then Sys.remove "bench_fig4.vcd"
 
+(* ------------------------------------------------------------------ *)
+(* Wall-clock series harness (--json / --smoke)                        *)
+
+(* The same artefacts as the Bechamel group, as plain thunks.  The JSON
+   mode times them with min-of-N wall clock: scheduler noise only ever
+   adds time, so the minimum is a far more stable basis for before/after
+   comparisons than a least-squares estimate on a noisy box. *)
+let series : (string * (unit -> unit)) list =
+  [
+    ("fig1/bistable_roundtrips", fun () -> ignore (run_fig1 ()));
+    (* the longer randomized workload (same as the FIG3 table): the smoke
+       script finishes in ~0.2 ms at the behavioural level, which is inside
+       timer noise for a before/after ratio *)
+    ("fig3/tlm", fun () -> ignore (System.run_tlm ~mem_bytes ~script:random_script ()));
+    ( "fig3/pin_behavioural",
+      fun () -> ignore (System.run_pin ~mem_bytes ~script:random_script ()) );
+    ("fig3/pin_rtl", fun () -> ignore (System.run_rtl ~mem_bytes ~script:random_script ()));
+    ( "fig3/sram_pin",
+      fun () -> ignore (Sram_system.run_pin ~mem_bytes ~script:random_script ()) );
+    ( "fig3/sram_rtl",
+      fun () -> ignore (Sram_system.run_rtl ~mem_bytes ~script:random_script ()) );
+    ( "exp3/equiv_check",
+      fun () ->
+        ignore
+          (Equiv.check ~max_time:(T.us 50)
+             (contention_design ~policy:Policy.Fcfs ~nprocs:3 ~rounds:5)) );
+    ( "fw1/contention_rtl_16",
+      fun () -> ignore (fw1_cycles ~policy:Policy.Round_robin ~nprocs:16 ~rounds:8) );
+  ]
+
+let measure ~repeat f =
+  f ();
+  (* warm-up: fills minor heap, loads code paths *)
+  let runs =
+    Array.init repeat (fun _ ->
+        let t0 = Unix.gettimeofday () in
+        f ();
+        Unix.gettimeofday () -. t0)
+  in
+  let min_s = Array.fold_left min runs.(0) runs in
+  let mean_s = Array.fold_left ( +. ) 0. runs /. float_of_int repeat in
+  (min_s, mean_s, runs)
+
+let run_json ~path ~label ~repeat =
+  let rows =
+    List.map
+      (fun (name, f) ->
+        let min_s, mean_s, runs = measure ~repeat f in
+        Printf.eprintf "%-28s min %8.3f ms  mean %8.3f ms\n%!" name (min_s *. 1e3)
+          (mean_s *. 1e3);
+        Printf.sprintf
+          "    { \"name\": %S, \"min_s\": %.6f, \"mean_s\": %.6f,\n      \"runs_s\": [%s] }"
+          name min_s mean_s
+          (String.concat ", "
+             (Array.to_list (Array.map (Printf.sprintf "%.6f") runs))))
+      series
+  in
+  let oc = open_out path in
+  Printf.fprintf oc "{\n  \"label\": %S,\n  \"repeat\": %d,\n  \"series\": [\n%s\n  ]\n}\n"
+    label repeat
+    (String.concat ",\n" rows);
+  close_out oc;
+  Printf.printf "wrote %s (%d series, repeat=%d)\n" path (List.length series) repeat
+
+(* One quick pass over every series plus the cross-configuration trace
+   check: cheap enough for CI, still exercises all five interfaces. *)
+let run_smoke () =
+  List.iter
+    (fun (name, f) ->
+      let t0 = Unix.gettimeofday () in
+      f ();
+      Printf.printf "smoke %-28s ok (%.1f ms)\n%!" name
+        ((Unix.gettimeofday () -. t0) *. 1e3))
+    series;
+  let a = System.run_tlm ~mem_bytes ~script () in
+  let b = System.run_pin ~mem_bytes ~script () in
+  let c = System.run_rtl ~mem_bytes ~script () in
+  let issues =
+    System.compare_runs a b @ System.compare_runs b c @ System.compare_bus_traces b c
+  in
+  List.iter (fun i -> Printf.printf "smoke MISMATCH: %s\n" i) issues;
+  if issues <> [] then exit 1;
+  print_endline "smoke: all series ran, tlm/pin/rtl observations consistent"
+
 let () =
-  Printf.printf
-    "hlcs benchmark & experiment harness - reproduction of Bruschi & Bombana, DATE 2004\n";
-  table_fig1 ();
-  table_fig3 ();
-  table_fig4 ();
-  table_exp2_area ();
-  table_exp123 ();
-  table_fw1 ();
-  table_ext2_dma ();
-  run_benchmarks ()
+  let json_path = ref "" in
+  let label = ref "dev" in
+  let repeat = ref 9 in
+  let smoke = ref false in
+  Arg.parse
+    [
+      ("--json", Arg.Set_string json_path, "PATH write min-of-N wall-clock series to PATH");
+      ("--label", Arg.Set_string label, "NAME label recorded in the JSON output");
+      ("--repeat", Arg.Set_int repeat, "N timed runs per series (default 9)");
+      ("--smoke", Arg.Set smoke, " single quick pass per series, for CI");
+    ]
+    (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
+    "hlcs bench harness";
+  if !smoke then run_smoke ()
+  else if !json_path <> "" then run_json ~path:!json_path ~label:!label ~repeat:!repeat
+  else begin
+    Printf.printf
+      "hlcs benchmark & experiment harness - reproduction of Bruschi & Bombana, DATE 2004\n";
+    table_fig1 ();
+    table_fig3 ();
+    table_fig4 ();
+    table_exp2_area ();
+    table_exp123 ();
+    table_fw1 ();
+    table_ext2_dma ();
+    run_benchmarks ()
+  end

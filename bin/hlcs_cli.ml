@@ -3,6 +3,7 @@
      hlcs_cli flow     run the paper's complete design flow (Figure 2)
      hlcs_cli synth    synthesise the PCI interface, dump reports/VHDL
      hlcs_cli lint     static analysis over the shipped library elements
+     hlcs_cli profile  simulate one configuration with kernel profiling on
      hlcs_cli waves    produce the Figure-4 VCD waveforms
      hlcs_cli latency  the FW1 method-call latency series
 
@@ -13,6 +14,7 @@ module Synthesize = Hlcs_synth.Synthesize
 module Policy = Hlcs_osss.Policy
 module Pci_stim = Hlcs_pci.Pci_stim
 module Pci_target = Hlcs_pci.Pci_target
+module Obs = Hlcs_obs.Obs
 open Hlcs_interface
 
 (* --- shared options --------------------------------------------------- *)
@@ -75,9 +77,9 @@ let script_term =
 (* --- flow -------------------------------------------------------------- *)
 
 let flow_cmd =
-  let run script mem_bytes target policy vcd_prefix =
+  let run script mem_bytes target policy vcd_prefix profile =
     let report =
-      Hlcs.Flow.run ~mem_bytes ~target ~policy ?vcd_prefix ~script ()
+      Hlcs.Flow.run ~mem_bytes ~target ~policy ?vcd_prefix ~profile ~script ()
     in
     Format.printf "%a@." Hlcs.Flow.pp_report report;
     if report.Hlcs.Flow.fl_ok then `Ok () else `Error (false, "flow failed")
@@ -87,10 +89,18 @@ let flow_cmd =
       value & opt (some string) None
       & info [ "vcd" ] ~docv:"PREFIX" ~doc:"Dump waveforms to PREFIX_{behavioural,rtl}.vcd.")
   in
+  let profile =
+    Arg.(
+      value & flag
+      & info [ "profile" ]
+          ~doc:"Profile each simulation run (kernel counters and phase times).")
+  in
   Cmd.v
     (Cmd.info "flow" ~doc:"Run the paper's complete design flow (Figure 2).")
     Term.(
-      ret (const run $ script_term $ mem_bytes $ target_term $ policy $ vcd_prefix))
+      ret
+        (const run $ script_term $ mem_bytes $ target_term $ policy $ vcd_prefix
+       $ profile))
 
 (* --- synth ------------------------------------------------------------- *)
 
@@ -259,6 +269,67 @@ let lint_cmd =
           synthesised netlist.")
     Term.(ret (const run $ script_term $ names $ format $ strict $ disabled $ with_info))
 
+(* --- profile ------------------------------------------------------------ *)
+
+let profile_cmd =
+  let run script mem_bytes target policy which format deterministic =
+    let rr =
+      match which with
+      | `Tlm -> System.run_tlm ~policy ~profile:true ~mem_bytes ~script ()
+      | `Pin -> System.run_pin ~policy ~target ~profile:true ~mem_bytes ~script ()
+      | `Rtl -> System.run_rtl ~policy ~target ~profile:true ~mem_bytes ~script ()
+      | `Sram_pin -> Sram_system.run_pin ~policy ~profile:true ~mem_bytes ~script ()
+      | `Sram_rtl -> Sram_system.run_rtl ~policy ~profile:true ~mem_bytes ~script ()
+    in
+    match rr.System.rr_profile with
+    | None -> `Error (false, "profiling produced no snapshot")
+    | Some sn ->
+        let wall = not deterministic in
+        (match format with
+        | `Text -> print_string (Obs.render_text ~wall sn)
+        | `Json -> print_endline (Obs.render_json ~wall sn));
+        `Ok ()
+  in
+  let which =
+    let designs =
+      [
+        ("tlm", `Tlm);
+        ("pin", `Pin);
+        ("rtl", `Rtl);
+        ("sram-pin", `Sram_pin);
+        ("sram-rtl", `Sram_rtl);
+      ]
+    in
+    Arg.(
+      value
+      & pos 0 (enum designs) `Rtl
+      & info [] ~docv:"DESIGN"
+          ~doc:"Configuration to profile: tlm, pin, rtl (default), sram-pin or sram-rtl.")
+  in
+  let format =
+    Arg.(
+      value
+      & opt (enum [ ("text", `Text); ("json", `Json) ]) `Text
+      & info [ "format" ] ~docv:"FMT" ~doc:"Output format: text or json.")
+  in
+  let deterministic =
+    Arg.(
+      value & flag
+      & info [ "deterministic" ]
+          ~doc:
+            "Omit wall-clock and phase times, leaving only the deterministic \
+             counters (stable output for a fixed seed).")
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:
+         "Simulate one configuration with kernel profiling enabled and report \
+          scheduler counters and per-phase times.")
+    Term.(
+      ret
+        (const run $ script_term $ mem_bytes $ target_term $ policy $ which $ format
+       $ deterministic))
+
 (* --- waves ------------------------------------------------------------- *)
 
 let waves_cmd =
@@ -393,4 +464,4 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ flow_cmd; synth_cmd; lint_cmd; waves_cmd; latency_cmd; wavediff_cmd ]))
+          [ flow_cmd; synth_cmd; lint_cmd; profile_cmd; waves_cmd; latency_cmd; wavediff_cmd ]))

@@ -34,7 +34,7 @@ let stage name ok detail wall =
   { sg_name = name; sg_ok = ok; sg_detail = detail; sg_wall_seconds = wall }
 
 let run ?(mem_bytes = 1024) ?mem_seed ?target ?policy ?options ?vcd_prefix ?max_time
-    ~script () =
+    ?profile ~script () =
   let vcd suffix = Option.map (fun p -> p ^ "_" ^ suffix ^ ".vcd") vcd_prefix in
   let uud = Hlcs_interface.Pci_master_design.design ?policy ~app:script () in
   (* static analysis gates the rest of the flow: a design that typechecks
@@ -57,19 +57,19 @@ let run ?(mem_bytes = 1024) ?mem_seed ?target ?policy ?options ?vcd_prefix ?max_
     }
   else
     let tlm, t_tlm =
-      timed (fun () -> System.run_tlm ?mem_seed ?policy ~mem_bytes ~script ())
+      timed (fun () -> System.run_tlm ?mem_seed ?policy ?profile ~mem_bytes ~script ())
     in
     let behav, t_behav =
       timed (fun () ->
           System.run_pin ?mem_seed ?policy ?vcd:(vcd "behavioural") ?target ?max_time
-            ~mem_bytes ~script ())
+            ?profile ~mem_bytes ~script ())
     in
     let synthesis, t_synth = timed (fun () -> Synthesize.synthesize ?options uud) in
     let rtl_diags = Analyze.rtl synthesis.Synthesize.rp_rtl in
     let rtl, t_rtl =
       timed (fun () ->
           System.run_rtl ?mem_seed ?policy ?vcd:(vcd "rtl") ?target ?max_time ?options
-            ~mem_bytes ~script ())
+            ?profile ~mem_bytes ~script ())
     in
     let refinement_issues = System.compare_runs tlm behav in
     let behav_viols = behav.System.rr_violations in
@@ -126,4 +126,13 @@ let pp_report ppf r =
   (match List.filter (fun (d : Diag.t) -> d.Diag.d_severity <> Diag.Info) r.fl_diags with
   | [] -> ()
   | noisy -> Format.fprintf ppf "diagnostics:@,%s@," (Diag.render_text noisy));
+  (match r.fl_artefacts with
+  | None -> ()
+  | Some a ->
+      List.iter
+        (fun (rr : System.run_report) ->
+          match rr.System.rr_profile with
+          | None -> ()
+          | Some sn -> Format.fprintf ppf "%s" (Hlcs_obs.Obs.render_text sn))
+        [ a.fl_tlm; a.fl_behavioural; a.fl_rtl ]);
   Format.fprintf ppf "@]"

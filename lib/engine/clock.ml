@@ -20,21 +20,35 @@ let create kernel ~name ~period ?(start = Time.zero) () =
       cycle = 0;
     }
   in
-  let rec tick () =
-    Signal.write clk.signal true;
-    clk.cycle <- clk.cycle + 1;
-    Kernel.notify_delta clk.rising_ev;
-    Kernel.delay kernel half;
-    Signal.write clk.signal false;
-    Kernel.notify_delta clk.falling_ev;
-    Kernel.delay kernel (Time.sub period half);
-    tick ()
+  (* The generator is a self-rearming method process on a private timed
+     event: each activation toggles the level and re-arms the timer, with
+     no coroutine suspension (continuation capture, timer-event and waiter
+     allocation) per half-cycle.  Phase placement matches the coroutine it
+     replaces: the timer fires in the timed-notify phase and the toggle
+     runs in the following evaluate. *)
+  let tick_ev = Kernel.make_event kernel (name ^ ".tick") in
+  let started = ref (Time.compare start Time.zero <= 0) in
+  let high = ref false in
+  let tick () =
+    if not !started then begin
+      started := true;
+      Kernel.notify_after tick_ev start
+    end
+    else if !high then begin
+      high := false;
+      Signal.write clk.signal false;
+      Kernel.notify_delta clk.falling_ev;
+      Kernel.notify_after tick_ev (Time.sub period half)
+    end
+    else begin
+      high := true;
+      Signal.write clk.signal true;
+      clk.cycle <- clk.cycle + 1;
+      Kernel.notify_delta clk.rising_ev;
+      Kernel.notify_after tick_ev half
+    end
   in
-  let body () =
-    if Time.compare start Time.zero > 0 then Kernel.delay kernel start;
-    tick ()
-  in
-  ignore (Kernel.spawn kernel ~name:(name ^ ".gen") body);
+  ignore (Kernel.spawn_method kernel ~name:(name ^ ".gen") ~sensitive:[ tick_ev ] tick);
   clk
 
 let signal c = c.signal

@@ -1,0 +1,50 @@
+(* A growable ring-buffer FIFO.  [Stdlib.Queue] allocates a linked cell per
+   push; the kernel pushes one activation per process wake, so on the
+   simulation hot path that is an allocation per activation.  The ring
+   reuses its backing array across deltas and only allocates on growth.
+
+   [pop] overwrites the vacated slot with the dummy so the ring never
+   retains a reference to a popped element (closures capture continuations
+   here — keeping them live would delay reclaiming whole process stacks). *)
+
+type 'a t = {
+  dummy : 'a;
+  mutable data : 'a array;
+  mutable head : int;
+  mutable len : int;
+}
+
+let create ~dummy = { dummy; data = Array.make 16 dummy; head = 0; len = 0 }
+
+let length q = q.len
+let is_empty q = q.len = 0
+
+let grow q =
+  let cap = Array.length q.data in
+  let data = Array.make (2 * cap) q.dummy in
+  let tail_run = min q.len (cap - q.head) in
+  Array.blit q.data q.head data 0 tail_run;
+  Array.blit q.data 0 data tail_run (q.len - tail_run);
+  q.data <- data;
+  q.head <- 0
+
+let push q x =
+  if q.len = Array.length q.data then grow q;
+  let cap = Array.length q.data in
+  let i = q.head + q.len in
+  q.data.(if i >= cap then i - cap else i) <- x;
+  q.len <- q.len + 1
+
+let pop q =
+  if q.len = 0 then invalid_arg "Fifo.pop: empty";
+  let x = q.data.(q.head) in
+  q.data.(q.head) <- q.dummy;
+  let h = q.head + 1 in
+  q.head <- (if h = Array.length q.data then 0 else h);
+  q.len <- q.len - 1;
+  x
+
+let clear q =
+  Array.fill q.data 0 (Array.length q.data) q.dummy;
+  q.head <- 0;
+  q.len <- 0

@@ -1,0 +1,19 @@
+(** Growable ring-buffer FIFO for the scheduler's runnable queue.
+
+    Unlike {!Stdlib.Queue} it performs no per-element allocation: the
+    backing array is reused across delta cycles and grows geometrically.
+    The [dummy] element fills vacated and unused slots so popped values
+    are not retained. *)
+
+type 'a t
+
+val create : dummy:'a -> 'a t
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+val push : 'a t -> 'a -> unit
+
+val pop : 'a t -> 'a
+(** Removes and returns the oldest element.
+    @raise Invalid_argument when empty. *)
+
+val clear : 'a t -> unit

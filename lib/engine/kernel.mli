@@ -31,6 +31,57 @@ val now : t -> Time.t
 val delta_count : t -> int
 (** Total number of delta cycles executed so far. *)
 
+(** {1 Observability}
+
+    The kernel keeps cheap always-on counters of scheduler activity (plain
+    integer bumps on the hot path) and, when explicitly enabled, wall-clock
+    accounting per scheduler phase.  {!Hlcs_obs} renders both. *)
+
+module Counters : sig
+  type t = {
+    mutable deltas : int;  (** delta cycles, including timed phases *)
+    mutable timesteps : int;  (** advances of simulated time *)
+    mutable activations : int;  (** process steps run in evaluate phases *)
+    mutable updates : int;  (** update-phase commit callbacks run *)
+    mutable immediate_notifies : int;
+    mutable delta_notifies : int;
+    mutable timed_notifies : int;  (** timed events fired *)
+    mutable signal_writes : int;  (** {!Signal.write} calls *)
+    mutable signal_changes : int;  (** committed signal value changes *)
+    mutable net_drives : int;  (** {!Resolved.drive}/[release] calls *)
+    mutable net_changes : int;  (** committed resolved-net changes *)
+    mutable peak_runnable : int;  (** peak evaluate-queue depth *)
+    mutable peak_timed : int;  (** peak timed-event-queue depth *)
+  }
+
+  val create : unit -> t
+  val copy : t -> t
+end
+
+val counters : t -> Counters.t
+(** The kernel's live counter record; channel implementations bump it
+    directly.  Treat it as read-only outside the engine. *)
+
+val counters_snapshot : t -> Counters.t
+(** An independent copy, safe to keep across further simulation. *)
+
+type phase_times = {
+  pt_evaluate : float;  (** seconds spent running processes *)
+  pt_update : float;  (** seconds committing channel writes *)
+  pt_notify : float;  (** seconds firing delta + timed notifications *)
+  pt_run : float;  (** total seconds inside {!run} *)
+}
+
+val enable_profiling : t -> clock:(unit -> float) -> unit
+(** Starts accumulating per-phase wall-clock time, sampled with [clock]
+    (e.g. [Unix.gettimeofday]).  Off by default; when off the hot path
+    performs no timing calls. *)
+
+val disable_profiling : t -> unit
+
+val phase_times : t -> phase_times option
+(** [None] unless profiling is enabled. *)
+
 (** {1 Events} *)
 
 val make_event : t -> string -> event

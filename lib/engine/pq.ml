@@ -1,67 +1,106 @@
-(* Classic array-backed binary heap; stability comes from a monotonically
-   increasing sequence number used as a tie-break. *)
+(* A two-level structure: a binary min-heap of *distinct* keys plus one
+   FIFO bucket of values per key.  The kernel's timed-event queue adds and
+   drains many entries sharing a timestamp (every process waking at the
+   same clock edge); with per-entry heap nodes each of those costs a
+   sift-down, with buckets the heap is touched once per distinct timestamp
+   and every entry beyond the first is an O(1) array append/cursor
+   advance.  Stability (FIFO among equal keys — the delta-semantics
+   invariant) falls out of the bucket being an append-only array. *)
 
-type 'a entry = { key : int; seq : int; value : 'a }
-
-type 'a t = {
-  mutable data : 'a entry array;
-  mutable size : int;
-  mutable next_seq : int;
+type 'a bucket = {
+  mutable items : 'a array;
+  mutable blen : int;  (** number of items appended *)
+  mutable cursor : int;  (** next item to pop *)
 }
 
-let create () = { data = [||]; size = 0; next_seq = 0 }
+type 'a t = {
+  mutable keys : int array;  (** min-heap of the distinct keys present *)
+  mutable ksize : int;
+  buckets : (int, 'a bucket) Hashtbl.t;
+  mutable size : int;  (** total entries across all buckets *)
+}
+
+let create () = { keys = [||]; ksize = 0; buckets = Hashtbl.create 16; size = 0 }
 let is_empty q = q.size = 0
 let length q = q.size
 
-let less a b = a.key < b.key || (a.key = b.key && a.seq < b.seq)
+(* --- int heap ------------------------------------------------------- *)
 
-let grow q entry =
-  let cap = Array.length q.data in
-  if q.size = cap then begin
-    let data = Array.make (max 16 (2 * cap)) entry in
-    Array.blit q.data 0 data 0 q.size;
-    q.data <- data
-  end
-
-let add q key value =
-  let entry = { key; seq = q.next_seq; value } in
-  q.next_seq <- q.next_seq + 1;
-  grow q entry;
-  q.data.(q.size) <- entry;
-  q.size <- q.size + 1;
-  (* sift up *)
-  let i = ref (q.size - 1) in
-  while !i > 0 && less q.data.(!i) q.data.((!i - 1) / 2) do
+let heap_push q k =
+  let cap = Array.length q.keys in
+  if q.ksize = cap then begin
+    let keys = Array.make (max 16 (2 * cap)) k in
+    Array.blit q.keys 0 keys 0 q.ksize;
+    q.keys <- keys
+  end;
+  q.keys.(q.ksize) <- k;
+  q.ksize <- q.ksize + 1;
+  let i = ref (q.ksize - 1) in
+  while !i > 0 && q.keys.(!i) < q.keys.((!i - 1) / 2) do
     let p = (!i - 1) / 2 in
-    let tmp = q.data.(p) in
-    q.data.(p) <- q.data.(!i);
-    q.data.(!i) <- tmp;
+    let tmp = q.keys.(p) in
+    q.keys.(p) <- q.keys.(!i);
+    q.keys.(!i) <- tmp;
     i := p
   done
 
-let min_key q = if q.size = 0 then raise Not_found else q.data.(0).key
-
-let pop q =
-  if q.size = 0 then raise Not_found;
-  let top = q.data.(0) in
-  q.size <- q.size - 1;
-  if q.size > 0 then begin
-    q.data.(0) <- q.data.(q.size);
-    (* sift down *)
+let heap_pop_root q =
+  q.ksize <- q.ksize - 1;
+  if q.ksize > 0 then begin
+    q.keys.(0) <- q.keys.(q.ksize);
     let i = ref 0 in
     let continue = ref true in
     while !continue do
       let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
       let smallest = ref !i in
-      if l < q.size && less q.data.(l) q.data.(!smallest) then smallest := l;
-      if r < q.size && less q.data.(r) q.data.(!smallest) then smallest := r;
+      if l < q.ksize && q.keys.(l) < q.keys.(!smallest) then smallest := l;
+      if r < q.ksize && q.keys.(r) < q.keys.(!smallest) then smallest := r;
       if !smallest = !i then continue := false
       else begin
-        let tmp = q.data.(!smallest) in
-        q.data.(!smallest) <- q.data.(!i);
-        q.data.(!i) <- tmp;
+        let tmp = q.keys.(!smallest) in
+        q.keys.(!smallest) <- q.keys.(!i);
+        q.keys.(!i) <- tmp;
         i := !smallest
       end
     done
+  end
+
+(* --- buckets -------------------------------------------------------- *)
+
+let bucket_push b v =
+  let cap = Array.length b.items in
+  if b.blen = cap then begin
+    let items = Array.make (2 * cap) v in
+    Array.blit b.items 0 items 0 b.blen;
+    b.items <- items
   end;
-  (top.key, top.value)
+  b.items.(b.blen) <- v;
+  b.blen <- b.blen + 1
+
+let add q key value =
+  (match Hashtbl.find_opt q.buckets key with
+  | Some b -> bucket_push b value
+  | None ->
+      let b = { items = Array.make 4 value; blen = 1; cursor = 0 } in
+      Hashtbl.add q.buckets key b;
+      heap_push q key);
+  q.size <- q.size + 1
+
+let min_key q = if q.size = 0 then raise Not_found else q.keys.(0)
+
+let pop q =
+  if q.size = 0 then raise Not_found;
+  let key = q.keys.(0) in
+  let b = Hashtbl.find q.buckets key in
+  let v = b.items.(b.cursor) in
+  b.cursor <- b.cursor + 1;
+  q.size <- q.size - 1;
+  (* the bucket stays live (and appendable) until fully drained, so
+     entries added at the minimum key while it is being drained are
+     popped in the same pass — the kernel relies on this for zero-delay
+     [notify_after] at the current timestep *)
+  if b.cursor = b.blen then begin
+    Hashtbl.remove q.buckets key;
+    heap_pop_root q
+  end;
+  (key, v)

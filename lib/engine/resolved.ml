@@ -5,11 +5,14 @@ type t = {
   rname : string;
   rwidth : int;
   kernel : Kernel.t;
+  ctrs : Kernel.Counters.t;
+  rz : Lvec.t;  (** the all-Z contribution, shared by every [release] *)
   pull : [ `None | `Up ];
   mutable drivers : driver list;
   mutable cur : Lvec.t;
   mutable raw : Lvec.t;
   mutable pending : bool;
+  mutable commit_fn : unit -> unit;  (** preallocated update-phase callback *)
   changed_ev : Kernel.event;
   mutable tracers : (Time.t -> Lvec.t -> unit) list;
 }
@@ -17,33 +20,6 @@ type t = {
 and driver = { net : t; d_name : string; mutable contribution : Lvec.t }
 
 let apply_pull net v = match net.pull with `None -> v | `Up -> Lvec.pull_up v
-
-let create kernel ~name ~width ?(pull = `None) () =
-  if width < 1 then invalid_arg "Resolved.create: width must be >= 1";
-  let net =
-    {
-      rname = name;
-      rwidth = width;
-      kernel;
-      pull;
-      drivers = [];
-      cur = Lvec.all_z width;
-      raw = Lvec.all_z width;
-      pending = false;
-      changed_ev = Kernel.make_event kernel (name ^ ".changed");
-      tracers = [];
-    }
-  in
-  net.cur <- apply_pull net net.cur;
-  net
-
-let name net = net.rname
-let width net = net.rwidth
-
-let make_driver net d_name =
-  let d = { net; d_name; contribution = Lvec.all_z net.rwidth } in
-  net.drivers <- d :: net.drivers;
-  d
 
 let resolve net =
   Lvec.resolve_all ~width:net.rwidth (List.map (fun d -> d.contribution) net.drivers)
@@ -55,15 +31,50 @@ let commit net () =
   net.raw <- raw;
   if not (Lvec.equal net.cur v) then begin
     net.cur <- v;
+    net.ctrs.Kernel.Counters.net_changes <- net.ctrs.Kernel.Counters.net_changes + 1;
     Kernel.notify_delta net.changed_ev;
-    let t = Kernel.now net.kernel in
-    List.iter (fun f -> f t v) net.tracers
+    match net.tracers with
+    | [] -> ()
+    | tracers ->
+        let t = Kernel.now net.kernel in
+        List.iter (fun f -> f t v) tracers
   end
+
+let create kernel ~name ~width ?(pull = `None) () =
+  if width < 1 then invalid_arg "Resolved.create: width must be >= 1";
+  let net =
+    {
+      rname = name;
+      rwidth = width;
+      kernel;
+      ctrs = Kernel.counters kernel;
+      rz = Lvec.all_z width;
+      pull;
+      drivers = [];
+      cur = Lvec.all_z width;
+      raw = Lvec.all_z width;
+      pending = false;
+      commit_fn = ignore;
+      changed_ev = Kernel.make_event kernel (name ^ ".changed");
+      tracers = [];
+    }
+  in
+  net.cur <- apply_pull net net.cur;
+  net.commit_fn <- commit net;
+  net
+
+let name net = net.rname
+let width net = net.rwidth
+
+let make_driver net d_name =
+  let d = { net; d_name; contribution = net.rz } in
+  net.drivers <- d :: net.drivers;
+  d
 
 let schedule net =
   if not net.pending then begin
     net.pending <- true;
-    Kernel.schedule_update net.kernel (commit net)
+    Kernel.schedule_update net.kernel net.commit_fn
   end
 
 let drive d v =
@@ -71,12 +82,23 @@ let drive d v =
     invalid_arg
       (Printf.sprintf "Resolved.drive %s: width %d, expected %d" d.net.rname
          (Lvec.width v) d.net.rwidth);
-  d.contribution <- v;
-  schedule d.net
+  let net = d.net in
+  net.ctrs.Kernel.Counters.net_drives <- net.ctrs.Kernel.Counters.net_drives + 1;
+  (* re-driving the same contribution cannot change the resolved value
+     unless some other driver also changed — and that driver schedules the
+     commit itself *)
+  if not (Lvec.equal d.contribution v) then begin
+    d.contribution <- v;
+    schedule net
+  end
 
 let release d =
-  d.contribution <- Lvec.all_z d.net.rwidth;
-  schedule d.net
+  let net = d.net in
+  net.ctrs.Kernel.Counters.net_drives <- net.ctrs.Kernel.Counters.net_drives + 1;
+  if not (Lvec.equal d.contribution net.rz) then begin
+    d.contribution <- net.rz;
+    schedule net
+  end
 
 let read net = net.cur
 let read_raw net = net.raw

@@ -1,45 +1,61 @@
 type 'a t = {
   sname : string;
   kernel : Kernel.t;
+  ctrs : Kernel.Counters.t;
   eq : 'a -> 'a -> bool;
   mutable cur : 'a;
   mutable nxt : 'a;
   mutable pending : bool;
+  mutable commit_fn : unit -> unit;  (** preallocated update-phase callback *)
   changed_ev : Kernel.event;
   mutable tracers : (Time.t -> 'a -> unit) list;
 }
 
+let commit s () =
+  s.pending <- false;
+  if not (s.eq s.cur s.nxt) then begin
+    s.cur <- s.nxt;
+    s.ctrs.Kernel.Counters.signal_changes <- s.ctrs.Kernel.Counters.signal_changes + 1;
+    Kernel.notify_delta s.changed_ev;
+    match s.tracers with
+    | [] -> ()
+    | tracers ->
+        let t = Kernel.now s.kernel in
+        List.iter (fun f -> f t s.cur) tracers
+  end
+
 let create kernel ~name ?(eq = ( = )) init =
-  {
-    sname = name;
-    kernel;
-    eq;
-    cur = init;
-    nxt = init;
-    pending = false;
-    changed_ev = Kernel.make_event kernel (name ^ ".changed");
-    tracers = [];
-  }
+  let s =
+    {
+      sname = name;
+      kernel;
+      ctrs = Kernel.counters kernel;
+      eq;
+      cur = init;
+      nxt = init;
+      pending = false;
+      commit_fn = ignore;
+      changed_ev = Kernel.make_event kernel (name ^ ".changed");
+      tracers = [];
+    }
+  in
+  s.commit_fn <- commit s;
+  s
 
 let name s = s.sname
 let read s = s.cur
 let changed s = s.changed_ev
 let on_commit s f = s.tracers <- f :: s.tracers
 
-let commit s () =
-  s.pending <- false;
-  if not (s.eq s.cur s.nxt) then begin
-    s.cur <- s.nxt;
-    Kernel.notify_delta s.changed_ev;
-    let t = Kernel.now s.kernel in
-    List.iter (fun f -> f t s.cur) s.tracers
-  end
-
 let write s v =
+  s.ctrs.Kernel.Counters.signal_writes <- s.ctrs.Kernel.Counters.signal_writes + 1;
   s.nxt <- v;
-  if not s.pending then begin
+  (* scheduling a commit for a value equal to the current one would be a
+     guaranteed no-op (last write wins; the commit re-checks [eq]), so the
+     common every-cycle rewrite of an unchanged value costs nothing *)
+  if (not s.pending) && not (s.eq s.cur v) then begin
     s.pending <- true;
-    Kernel.schedule_update s.kernel (commit s)
+    Kernel.schedule_update s.kernel s.commit_fn
   end
 
 let rec wait_value s v =

@@ -1,0 +1,18 @@
+type 'a t = { mutable data : 'a array; mutable len : int }
+
+let create () = { data = [||]; len = 0 }
+let length v = v.len
+let is_empty v = v.len = 0
+
+let push v x =
+  let cap = Array.length v.data in
+  if v.len = cap then begin
+    let data = Array.make (max 16 (2 * cap)) x in
+    Array.blit v.data 0 data 0 v.len;
+    v.data <- data
+  end;
+  v.data.(v.len) <- x;
+  v.len <- v.len + 1
+
+let get v i = v.data.(i)
+let clear v = v.len <- 0

@@ -1,0 +1,18 @@
+(** A reusable growable buffer.  The kernel's per-delta work lists (pending
+    update callbacks, delta-notified events) are Vecs that are drained and
+    cleared every cycle instead of being rebuilt as fresh lists, so the
+    steady-state hot path allocates nothing. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+val push : 'a t -> 'a -> unit
+val get : 'a t -> int -> 'a
+
+val clear : 'a t -> unit
+(** Resets the length to 0.  Capacity is retained, and so are the values in
+    the vacated slots until they are overwritten — acceptable for the
+    kernel's uses (events and persistent commit closures that outlive the
+    cycle anyway). *)

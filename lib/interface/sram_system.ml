@@ -18,7 +18,7 @@ type side = {
   sd_synthesis : Synthesize.report option;
 }
 
-let wire_and_run ~label ~mem_seed ~latency ~max_time ~mem_bytes side =
+let wire_and_run ~label ~mem_seed ~latency ~max_time ~mem_bytes ?profile side =
   let memory = Pci_memory.create ~size_bytes:mem_bytes in
   Pci_memory.fill_pattern memory ~seed:mem_seed;
   let (_ : Sram_device.t) =
@@ -38,9 +38,7 @@ let wire_and_run ~label ~mem_seed ~latency ~max_time ~mem_bytes side =
     Kernel.request_stop side.sd_kernel
   in
   ignore (Kernel.spawn side.sd_kernel ~name:"stopper" stopper);
-  let t0 = Unix.gettimeofday () in
-  Kernel.run ~max_time side.sd_kernel;
-  let wall = Unix.gettimeofday () -. t0 in
+  let wall, prof = System.timed_run ~max_time ?profile ~label side.sd_kernel in
   {
     System.rr_label = label;
     rr_observed = List.rev !obs;
@@ -52,15 +50,16 @@ let wire_and_run ~label ~mem_seed ~latency ~max_time ~mem_bytes side =
     rr_cycles = Clock.cycles side.sd_clock;
     rr_wall_seconds = wall;
     rr_synthesis = side.sd_synthesis;
+    rr_profile = prof;
   }
 
 let run_pin ?(label = "sram-behavioural") ?(mem_seed = 42) ?policy ?(latency = 1)
-    ?(max_time = default_max_time) ~mem_bytes ~script () =
+    ?(max_time = default_max_time) ?profile ~mem_bytes ~script () =
   let kernel = Kernel.create () in
   let clock = Clock.create kernel ~name:"clk" ~period:System.clock_period () in
   let design = Sram_master_design.design ?policy ~app:script () in
   let it = Interp.elaborate kernel ~clock design in
-  wire_and_run ~label ~mem_seed ~latency ~max_time ~mem_bytes
+  wire_and_run ~label ~mem_seed ~latency ~max_time ~mem_bytes ?profile
     {
       sd_kernel = kernel;
       sd_clock = clock;
@@ -70,13 +69,13 @@ let run_pin ?(label = "sram-behavioural") ?(mem_seed = 42) ?policy ?(latency = 1
     }
 
 let run_rtl ?(label = "sram-rtl") ?(mem_seed = 42) ?policy ?(latency = 1)
-    ?(max_time = default_max_time) ?options ~mem_bytes ~script () =
+    ?(max_time = default_max_time) ?options ?profile ~mem_bytes ~script () =
   let design = Sram_master_design.design ?policy ~app:script () in
   let report = Synthesize.synthesize ?options design in
   let kernel = Kernel.create () in
   let clock = Clock.create kernel ~name:"clk" ~period:System.clock_period () in
   let sim = Sim.elaborate kernel ~clock report.Synthesize.rp_rtl in
-  wire_and_run ~label ~mem_seed ~latency ~max_time ~mem_bytes
+  wire_and_run ~label ~mem_seed ~latency ~max_time ~mem_bytes ?profile
     {
       sd_kernel = kernel;
       sd_clock = clock;

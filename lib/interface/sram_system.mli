@@ -10,6 +10,7 @@ val run_pin :
   ?policy:Hlcs_osss.Policy.t ->
   ?latency:int ->
   ?max_time:Hlcs_engine.Time.t ->
+  ?profile:bool ->
   mem_bytes:int ->
   script:Hlcs_pci.Pci_types.request list ->
   unit ->
@@ -23,6 +24,7 @@ val run_rtl :
   ?latency:int ->
   ?max_time:Hlcs_engine.Time.t ->
   ?options:Hlcs_synth.Synthesize.options ->
+  ?profile:bool ->
   mem_bytes:int ->
   script:Hlcs_pci.Pci_types.request list ->
   unit ->

@@ -16,6 +16,7 @@ module Pci_target = Hlcs_pci.Pci_target
 module Pci_arbiter = Hlcs_pci.Pci_arbiter
 module Pci_monitor = Hlcs_pci.Pci_monitor
 module Pci_types = Hlcs_pci.Pci_types
+module Obs = Hlcs_obs.Obs
 
 type run_report = {
   rr_label : string;
@@ -28,19 +29,26 @@ type run_report = {
   rr_cycles : int;
   rr_wall_seconds : float;
   rr_synthesis : Synthesize.report option;
+  rr_profile : Obs.snapshot option;
 }
 
 let clock_period = Time.ns 10
 
-let timed_run ?max_time kernel =
-  let t0 = Unix.gettimeofday () in
-  Kernel.run ?max_time kernel;
-  Unix.gettimeofday () -. t0
+let timed_run ?max_time ?(profile = false) ~label kernel =
+  if profile then begin
+    let (), sn = Obs.profiled ~label kernel (fun () -> Kernel.run ?max_time kernel) in
+    (Option.value ~default:0. sn.Obs.sn_wall_seconds, Some sn)
+  end
+  else begin
+    let t0 = Unix.gettimeofday () in
+    Kernel.run ?max_time kernel;
+    (Unix.gettimeofday () -. t0, None)
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Configuration A: functional                                         *)
 
-let run_tlm ?(label = "tlm") ?(mem_seed = 42) ?policy ~mem_bytes ~script () =
+let run_tlm ?(label = "tlm") ?(mem_seed = 42) ?policy ?profile ~mem_bytes ~script () =
   let kernel = Kernel.create () in
   let clock = Clock.create kernel ~name:"clk" ~period:clock_period () in
   let memory = Pci_memory.create ~size_bytes:mem_bytes in
@@ -50,7 +58,7 @@ let run_tlm ?(label = "tlm") ?(mem_seed = 42) ?policy ~mem_bytes ~script () =
       ~on_done:(fun () -> Kernel.request_stop kernel)
       ()
   in
-  let wall = timed_run ~max_time:(Time.us 100_000) kernel in
+  let wall, prof = timed_run ~max_time:(Time.us 100_000) ?profile ~label kernel in
   {
     rr_label = label;
     rr_observed = Tlm.observed tlm;
@@ -62,86 +70,59 @@ let run_tlm ?(label = "tlm") ?(mem_seed = 42) ?policy ~mem_bytes ~script () =
     rr_cycles = Clock.cycles clock;
     rr_wall_seconds = wall;
     rr_synthesis = None;
+    rr_profile = prof;
   }
 
 (* ------------------------------------------------------------------ *)
 (* Pin-level fabric shared by configurations B and C                   *)
 
-let lv1 b = Lvec.of_bitvec (Bitvec.of_int ~width:1 (if b then 1 else 0))
+(* the two 1-bit net contributions are interned; nothing mutates an Lvec
+   in place, so every single-bit drive reuses these *)
+let lv1_zero = Lvec.of_bitvec (Bitvec.of_int ~width:1 0)
+let lv1_one = Lvec.of_bitvec (Bitvec.of_int ~width:1 1)
+let lv1 b = if b then lv1_one else lv1_zero
+
+(* All glue is stateless forwarding — method processes sensitive to the
+   source's changed event (one initial run to present the reset value),
+   activated without per-wakeup coroutine suspension. *)
 
 (* input-side glue: net (active low) -> active-high Bitvec port signal *)
 let net_to_port kernel net signal =
-  let forward () =
-    Signal.write signal (Bitvec.of_bool (Pci_bus.asserted net))
-  in
-  let body () =
-    forward ();
-    let rec loop () =
-      Kernel.wait (Resolved.changed net);
-      forward ();
-      loop ()
-    in
-    loop ()
-  in
-  ignore (Kernel.spawn kernel ~name:("glue." ^ Signal.name signal) body)
+  ignore
+    (Kernel.spawn_method kernel
+       ~name:("glue." ^ Signal.name signal)
+       ~sensitive:[ Resolved.changed net ]
+       (fun () -> Signal.write signal (Bitvec.of_bool (Pci_bus.asserted net))))
 
 (* gnt_n (bool signal, active low) -> active-high port *)
 let gnt_to_port kernel gnt_n signal =
-  let forward () = Signal.write signal (Bitvec.of_bool (not (Signal.read gnt_n))) in
-  let body () =
-    forward ();
-    let rec loop () =
-      Kernel.wait (Signal.changed gnt_n);
-      forward ();
-      loop ()
-    in
-    loop ()
-  in
-  ignore (Kernel.spawn kernel ~name:"glue.gnt" body)
+  ignore
+    (Kernel.spawn_method kernel ~name:"glue.gnt"
+       ~sensitive:[ Signal.changed gnt_n ]
+       (fun () -> Signal.write signal (Bitvec.of_bool (not (Signal.read gnt_n)))))
 
 (* output-side glue: active-high port -> active-low net, always driven *)
 let port_to_net kernel signal net who =
   let driver = Resolved.make_driver net who in
-  let forward () = Resolved.drive driver (lv1 (Bitvec.is_zero (Signal.read signal))) in
-  let body () =
-    forward ();
-    let rec loop () =
-      Kernel.wait (Signal.changed signal);
-      forward ();
-      loop ()
-    in
-    loop ()
-  in
-  ignore (Kernel.spawn kernel ~name:("glue." ^ who) body)
+  ignore
+    (Kernel.spawn_method kernel ~name:("glue." ^ who)
+       ~sensitive:[ Signal.changed signal ]
+       (fun () -> Resolved.drive driver (lv1 (Bitvec.is_zero (Signal.read signal)))))
 
 (* active-high port -> active-low req_n bool signal *)
 let port_to_req kernel signal req_n =
-  let forward () = Signal.write req_n (Bitvec.is_zero (Signal.read signal)) in
-  let body () =
-    forward ();
-    let rec loop () =
-      Kernel.wait (Signal.changed signal);
-      forward ();
-      loop ()
-    in
-    loop ()
-  in
-  ignore (Kernel.spawn kernel ~name:"glue.req" body)
+  ignore
+    (Kernel.spawn_method kernel ~name:"glue.req"
+       ~sensitive:[ Signal.changed signal ]
+       (fun () -> Signal.write req_n (Bitvec.is_zero (Signal.read signal))))
 
 (* cbe: raw 4-bit code, always driven *)
 let port_to_cbe kernel signal net =
   let driver = Resolved.make_driver net "master.cbe" in
-  let forward () = Resolved.drive driver (Lvec.of_bitvec (Signal.read signal)) in
-  let body () =
-    forward ();
-    let rec loop () =
-      Kernel.wait (Signal.changed signal);
-      forward ();
-      loop ()
-    in
-    loop ()
-  in
-  ignore (Kernel.spawn kernel ~name:"glue.cbe" body)
+  ignore
+    (Kernel.spawn_method kernel ~name:"glue.cbe"
+       ~sensitive:[ Signal.changed signal ]
+       (fun () -> Resolved.drive driver (Lvec.of_bitvec (Signal.read signal))))
 
 type fabric = {
   fb_kernel : Kernel.t;
@@ -214,7 +195,7 @@ let observe_app fb ~out_port =
   ignore (Kernel.spawn fb.fb_kernel ~name:"stopper" stopper);
   obs
 
-let finish_pin ~label ~fabric ~obs ~wall ~synthesis =
+let finish_pin ~label ~fabric ~obs ~wall ~prof ~synthesis =
   Option.iter Vcd.close fabric.fb_vcd;
   {
     rr_label = label;
@@ -227,12 +208,13 @@ let finish_pin ~label ~fabric ~obs ~wall ~synthesis =
     rr_cycles = Clock.cycles fabric.fb_clock;
     rr_wall_seconds = wall;
     rr_synthesis = synthesis;
+    rr_profile = prof;
   }
 
 let default_max_time = Time.us 100_000
 
 let run_pin ?(label = "pin-behavioural") ?mem_seed ?policy ?vcd ?target
-    ?(max_time = default_max_time) ?design ~mem_bytes ~script () =
+    ?(max_time = default_max_time) ?design ?profile ~mem_bytes ~script () =
   let fabric = build_fabric ?vcd ?mem_seed ?target ~mem_bytes () in
   let design =
     match design with
@@ -242,11 +224,11 @@ let run_pin ?(label = "pin-behavioural") ?mem_seed ?policy ?vcd ?target
   let it = Interp.elaborate fabric.fb_kernel ~clock:fabric.fb_clock design in
   connect_pads fabric ~in_port:(Interp.in_port it) ~out_port:(Interp.out_port it);
   let obs = observe_app fabric ~out_port:(Interp.out_port it) in
-  let wall = timed_run ~max_time fabric.fb_kernel in
-  finish_pin ~label ~fabric ~obs ~wall ~synthesis:None
+  let wall, prof = timed_run ~max_time ?profile ~label fabric.fb_kernel in
+  finish_pin ~label ~fabric ~obs ~wall ~prof ~synthesis:None
 
 let run_rtl ?(label = "pin-rtl") ?mem_seed ?policy ?vcd ?target
-    ?(max_time = default_max_time) ?options ?design ~mem_bytes ~script () =
+    ?(max_time = default_max_time) ?options ?design ?profile ~mem_bytes ~script () =
   let design =
     match design with
     | Some d -> d
@@ -259,8 +241,8 @@ let run_rtl ?(label = "pin-rtl") ?mem_seed ?policy ?vcd ?target
   in
   connect_pads fabric ~in_port:(Sim.in_port sim) ~out_port:(Sim.out_port sim);
   let obs = observe_app fabric ~out_port:(Sim.out_port sim) in
-  let wall = timed_run ~max_time fabric.fb_kernel in
-  finish_pin ~label ~fabric ~obs ~wall ~synthesis:(Some report)
+  let wall, prof = timed_run ~max_time ?profile ~label fabric.fb_kernel in
+  finish_pin ~label ~fabric ~obs ~wall ~prof ~synthesis:(Some report)
 
 (* ------------------------------------------------------------------ *)
 (* Consistency checks                                                  *)

@@ -26,15 +26,28 @@ type run_report = {
   rr_cycles : int;  (** clock cycles simulated *)
   rr_wall_seconds : float;  (** host time spent inside [Kernel.run] *)
   rr_synthesis : Hlcs_synth.Synthesize.report option;  (** RTL run only *)
+  rr_profile : Hlcs_obs.Obs.snapshot option;
+      (** [Some] iff the run was invoked with [~profile:true] *)
 }
 
 val clock_period : Hlcs_engine.Time.t
 (** 10 ns — a 100 MHz bus. *)
 
+val timed_run :
+  ?max_time:Hlcs_engine.Time.t ->
+  ?profile:bool ->
+  label:string ->
+  Hlcs_engine.Kernel.t ->
+  float * Hlcs_obs.Obs.snapshot option
+(** Run the kernel and return the wall seconds spent inside it, plus an
+    observability snapshot when [profile] is set.  Shared by every
+    configuration runner (including {!Sram_system}'s). *)
+
 val run_tlm :
   ?label:string ->
   ?mem_seed:int ->
   ?policy:Hlcs_osss.Policy.t ->
+  ?profile:bool ->
   mem_bytes:int ->
   script:Hlcs_pci.Pci_types.request list ->
   unit ->
@@ -48,6 +61,7 @@ val run_pin :
   ?target:Hlcs_pci.Pci_target.config ->
   ?max_time:Hlcs_engine.Time.t ->
   ?design:Hlcs_hlir.Ast.design ->
+  ?profile:bool ->
   mem_bytes:int ->
   script:Hlcs_pci.Pci_types.request list ->
   unit ->
@@ -66,6 +80,7 @@ val run_rtl :
   ?max_time:Hlcs_engine.Time.t ->
   ?options:Hlcs_synth.Synthesize.options ->
   ?design:Hlcs_hlir.Ast.design ->
+  ?profile:bool ->
   mem_bytes:int ->
   script:Hlcs_pci.Pci_types.request list ->
   unit ->

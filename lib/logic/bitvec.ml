@@ -44,7 +44,11 @@ let of_int ~width n =
   go 0 n;
   norm v
 
-let of_bool b = of_int ~width:1 (if b then 1 else 0)
+(* the two 1-bit values are interned: sharing is safe (no mutation escapes
+   the module) and every port/glue forwarding write allocates one *)
+let false_bit = of_int ~width:1 0
+let true_bit = of_int ~width:1 1
+let of_bool b = if b then true_bit else false_bit
 
 let width v = v.w
 
@@ -97,10 +101,26 @@ let map2 op a b =
   if a.w <> b.w then invalid_arg "Bitvec: width mismatch";
   norm { w = a.w; limbs = Array.map2 op a.limbs b.limbs }
 
-let lognot v = norm { w = v.w; limbs = Array.map (fun l -> lnot l land limb_mask) v.limbs }
-let logand = map2 ( land )
-let logor = map2 ( lor )
-let logxor = map2 ( lxor )
+(* Width-1 logical results are returned as the interned bit constants:
+   synthesized control paths (state comparisons, edge-taken wires) are built
+   almost entirely from 1-bit and/or/not nodes, and the simulator evaluates
+   them every delta — the fast path makes those evaluations allocation-free. *)
+
+let lognot v =
+  if v.w = 1 then (if v.limbs.(0) = 0 then true_bit else false_bit)
+  else norm { w = v.w; limbs = Array.map (fun l -> lnot l land limb_mask) v.limbs }
+
+let logand a b =
+  if a.w = 1 && b.w = 1 then (if a.limbs.(0) land b.limbs.(0) = 0 then false_bit else true_bit)
+  else map2 ( land ) a b
+
+let logor a b =
+  if a.w = 1 && b.w = 1 then (if a.limbs.(0) lor b.limbs.(0) = 0 then false_bit else true_bit)
+  else map2 ( lor ) a b
+
+let logxor a b =
+  if a.w = 1 && b.w = 1 then (if a.limbs.(0) lxor b.limbs.(0) = 0 then false_bit else true_bit)
+  else map2 ( lxor ) a b
 
 let reduce_or v = not (is_zero v)
 
@@ -116,6 +136,8 @@ let reduce_xor v = popcount v land 1 = 1
 
 let add a b =
   if a.w <> b.w then invalid_arg "Bitvec.add: width mismatch";
+  if a.w <= limb_bits then { w = a.w; limbs = [| (a.limbs.(0) + b.limbs.(0)) land top_mask a.w |] }
+  else begin
   let r = zero a.w in
   let carry = ref 0 in
   for i = 0 to Array.length r.limbs - 1 do
@@ -124,6 +146,7 @@ let add a b =
     carry := s lsr limb_bits
   done;
   norm r
+  end
 
 let neg v =
   let r = zero v.w in
@@ -135,7 +158,21 @@ let neg v =
   done;
   norm r
 
-let sub a b = add a (neg b)
+let sub a b =
+  if a.w <> b.w then invalid_arg "Bitvec.sub: width mismatch";
+  (* single-limb: [land] on the (possibly negative) difference is exactly the
+     two's-complement truncation to the declared width *)
+  if a.w <= limb_bits then { w = a.w; limbs = [| (a.limbs.(0) - b.limbs.(0)) land top_mask a.w |] }
+  else begin
+  let r = zero a.w in
+  let carry = ref 1 in
+  for i = 0 to Array.length r.limbs - 1 do
+    let s = a.limbs.(i) + (lnot b.limbs.(i) land limb_mask) + !carry in
+    r.limbs.(i) <- s land limb_mask;
+    carry := s lsr limb_bits
+  done;
+  norm r
+  end
 let succ v = add v (of_int ~width:v.w 1)
 
 let mul a b =
@@ -156,13 +193,45 @@ let mul a b =
   done;
   norm r
 
+(* Shifts, slice and concat are limb-wise (two word operations per result
+   limb) rather than bit-wise: they sit on the RTL simulator's expression
+   hot path where a per-bit closure call each would dominate. *)
+
 let shift_left v k =
   if k < 0 then invalid_arg "Bitvec.shift_left: negative shift";
-  if k >= v.w then zero v.w else init v.w (fun i -> i >= k && bit v (i - k))
+  if k >= v.w then zero v.w
+  else begin
+    let r = zero v.w in
+    let off = k / limb_bits and sh = k mod limb_bits in
+    for i = Array.length r.limbs - 1 downto off do
+      let low = (v.limbs.(i - off) lsl sh) land limb_mask in
+      let high =
+        if sh > 0 && i - off - 1 >= 0 then v.limbs.(i - off - 1) lsr (limb_bits - sh)
+        else 0
+      in
+      r.limbs.(i) <- low lor high
+    done;
+    norm r
+  end
 
 let shift_right v k =
   if k < 0 then invalid_arg "Bitvec.shift_right: negative shift";
-  if k >= v.w then zero v.w else init v.w (fun i -> i + k < v.w && bit v (i + k))
+  if k >= v.w then zero v.w
+  else begin
+    let r = zero v.w in
+    let off = k / limb_bits and sh = k mod limb_bits in
+    let vn = Array.length v.limbs in
+    for i = 0 to vn - 1 - off do
+      let low = v.limbs.(i + off) lsr sh in
+      let high =
+        if sh > 0 && i + off + 1 < vn then
+          (v.limbs.(i + off + 1) lsl (limb_bits - sh)) land limb_mask
+        else 0
+      in
+      r.limbs.(i) <- low lor high
+    done;
+    norm r
+  end
 
 let shift_right_arith v k =
   if k < 0 then invalid_arg "Bitvec.shift_right_arith: negative shift";
@@ -173,21 +242,55 @@ let slice v ~hi ~lo =
   if lo < 0 || hi < lo || hi >= v.w then
     invalid_arg
       (Printf.sprintf "Bitvec.slice: [%d:%d] out of range for width %d" hi lo v.w);
-  init (hi - lo + 1) (fun i -> bit v (i + lo))
+  if lo = 0 && hi = v.w - 1 then v
+  else begin
+    let r = zero (hi - lo + 1) in
+    let off = lo / limb_bits and sh = lo mod limb_bits in
+    let vn = Array.length v.limbs in
+    for i = 0 to Array.length r.limbs - 1 do
+      let low = if i + off < vn then v.limbs.(i + off) lsr sh else 0 in
+      let high =
+        if sh > 0 && i + off + 1 < vn then
+          (v.limbs.(i + off + 1) lsl (limb_bits - sh)) land limb_mask
+        else 0
+      in
+      r.limbs.(i) <- low lor high
+    done;
+    norm r
+  end
 
 let concat hi lo =
-  init (hi.w + lo.w) (fun i -> if i < lo.w then bit lo i else bit hi (i - lo.w))
+  let r = zero (hi.w + lo.w) in
+  Array.blit lo.limbs 0 r.limbs 0 (Array.length lo.limbs);
+  let off = lo.w / limb_bits and sh = lo.w mod limb_bits in
+  let rn = Array.length r.limbs in
+  for i = 0 to Array.length hi.limbs - 1 do
+    let base = i + off in
+    r.limbs.(base) <- r.limbs.(base) lor ((hi.limbs.(i) lsl sh) land limb_mask);
+    if sh > 0 && base + 1 < rn then
+      r.limbs.(base + 1) <- r.limbs.(base + 1) lor (hi.limbs.(i) lsr (limb_bits - sh))
+  done;
+  norm r
 
 let resize v w =
   check_width w;
-  init w (fun i -> i < v.w && bit v i)
+  if w = v.w then v
+  else begin
+    let r = zero w in
+    Array.blit v.limbs 0 r.limbs 0 (min (Array.length v.limbs) (Array.length r.limbs));
+    norm r
+  end
 
 let sign_extend v w =
   check_width w;
   let sign = msb v in
   init w (fun i -> if i < v.w then bit v i else sign)
 
-let equal a b = a.w = b.w && Array.for_all2 ( = ) a.limbs b.limbs
+let equal a b =
+  a.w = b.w
+  &&
+  if a.w <= limb_bits then a.limbs.(0) = b.limbs.(0)
+  else Array.for_all2 ( = ) a.limbs b.limbs
 
 let compare_unsigned a b =
   if a.w <> b.w then invalid_arg "Bitvec.compare_unsigned: width mismatch";

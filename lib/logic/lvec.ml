@@ -45,7 +45,27 @@ let resolve a b =
   if Array.length a <> Array.length b then invalid_arg "Lvec.resolve: width mismatch";
   Array.map2 Logic.resolve a b
 
-let resolve_all ~width:w drivers = List.fold_left resolve (all_z w) drivers
+(* Z is the resolution identity, so no driver resolves to all-Z and a
+   single driver resolves to its own contribution (returned shared — no
+   operation mutates an Lvec in place, so aliasing is safe).  Several
+   drivers fold into one accumulator array instead of one per step. *)
+let resolve_all ~width:w drivers =
+  match drivers with
+  | [] -> all_z w
+  | [ d ] ->
+      if Array.length d <> w then invalid_arg "Lvec.resolve_all: width mismatch";
+      d
+  | d :: rest ->
+      if Array.length d <> w then invalid_arg "Lvec.resolve_all: width mismatch";
+      let acc = Array.copy d in
+      List.iter
+        (fun v ->
+          if Array.length v <> w then invalid_arg "Lvec.resolve_all: width mismatch";
+          for i = 0 to w - 1 do
+            acc.(i) <- Logic.resolve acc.(i) v.(i)
+          done)
+        rest;
+      acc
 
 let pull_up v = Array.map (fun b -> if b = Logic.Z then Logic.One else b) v
 

@@ -1,0 +1,141 @@
+(* Observability layer over the simulation kernel: counter snapshots plus
+   optional phase timings, with text/JSON renderers in the house Diag
+   style.  The kernel's counters are always-on plain int bumps; only the
+   phase clock (enabled per run through [profiled]) costs anything, so a
+   snapshot can be taken from any finished run. *)
+
+module Kernel = Hlcs_engine.Kernel
+module Time = Hlcs_engine.Time
+
+type snapshot = {
+  sn_label : string;
+  sn_sim_time : Time.t;
+  sn_wall_seconds : float option;  (** [None] when the run was not timed *)
+  sn_counters : Kernel.Counters.t;  (** a private copy, safe to keep *)
+  sn_phases : Kernel.phase_times option;  (** [Some] iff profiling was on *)
+}
+
+let snapshot ?(label = "sim") ?wall_seconds kernel =
+  {
+    sn_label = label;
+    sn_sim_time = Kernel.now kernel;
+    sn_wall_seconds = wall_seconds;
+    sn_counters = Kernel.counters_snapshot kernel;
+    sn_phases = Kernel.phase_times kernel;
+  }
+
+let profiled ?label kernel f =
+  Kernel.enable_profiling kernel ~clock:Unix.gettimeofday;
+  let t0 = Unix.gettimeofday () in
+  let result = f () in
+  let wall = Unix.gettimeofday () -. t0 in
+  let sn = snapshot ?label ~wall_seconds:wall kernel in
+  Kernel.disable_profiling kernel;
+  (result, sn)
+
+(* counter name, accessor, one-line meaning — the glossary drives both
+   renderers so the documented names cannot drift from the output *)
+let counter_fields :
+    (string * (Kernel.Counters.t -> int) * string) list =
+  let open Kernel.Counters in
+  [
+    ("deltas", (fun c -> c.deltas), "delta cycles executed (evaluate/update rounds)");
+    ("timesteps", (fun c -> c.timesteps), "distinct simulation-time advances");
+    ("activations", (fun c -> c.activations), "process activations (thread resumes + method calls)");
+    ("updates", (fun c -> c.updates), "update-phase commit callbacks run");
+    ("immediate_notifies", (fun c -> c.immediate_notifies), "notify_immediate calls");
+    ("delta_notifies", (fun c -> c.delta_notifies), "events scheduled for the next delta");
+    ("timed_notifies", (fun c -> c.timed_notifies), "timed events fired from the event queue");
+    ("signal_writes", (fun c -> c.signal_writes), "Signal.write calls");
+    ("signal_changes", (fun c -> c.signal_changes), "signal commits that changed the value");
+    ("net_drives", (fun c -> c.net_drives), "resolved-net drive/release calls");
+    ("net_changes", (fun c -> c.net_changes), "resolved-net commits that changed the value");
+    ("peak_runnable", (fun c -> c.peak_runnable), "peak runnable-queue depth at a delta boundary");
+    ("peak_timed", (fun c -> c.peak_timed), "peak timed-event-queue depth");
+  ]
+
+let glossary = List.map (fun (n, _, d) -> (n, d)) counter_fields
+
+let phase_fields (p : Kernel.phase_times) =
+  [
+    ("evaluate", p.Kernel.pt_evaluate);
+    ("update", p.Kernel.pt_update);
+    ("notify", p.Kernel.pt_notify);
+    ("run", p.Kernel.pt_run);
+  ]
+
+(* --- rendering -------------------------------------------------------- *)
+
+(* same escaping rules as Diag's JSON renderer *)
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let json_string s = "\"" ^ json_escape s ^ "\""
+
+(* [wall:false] omits every host-time figure (wall clock and phase times),
+   leaving only the deterministic counters: the mode CLI diff tests rely
+   on *)
+
+let render_text ?(wall = true) sn =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    (Printf.sprintf "profile of %s: %s simulated" sn.sn_label
+       (Format.asprintf "%a" Time.pp sn.sn_sim_time));
+  (match sn.sn_wall_seconds with
+  | Some w when wall -> Buffer.add_string buf (Printf.sprintf ", %.4fs wall" w)
+  | Some _ | None -> ());
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun (name, get, doc) ->
+      Buffer.add_string buf
+        (Printf.sprintf "  %-20s %10d  %s\n" name (get sn.sn_counters) doc))
+    counter_fields;
+  (match sn.sn_phases with
+  | Some p when wall ->
+      Buffer.add_string buf "phase times:\n";
+      List.iter
+        (fun (name, secs) ->
+          Buffer.add_string buf (Printf.sprintf "  %-20s %9.4fs\n" name secs))
+        (phase_fields p)
+  | Some _ | None -> ());
+  Buffer.contents buf
+
+let render_json ?(wall = true) sn =
+  let counters =
+    String.concat ", "
+      (List.map
+         (fun (name, get, _) -> Printf.sprintf "\"%s\": %d" name (get sn.sn_counters))
+         counter_fields)
+  in
+  let optional =
+    (match sn.sn_wall_seconds with
+    | Some w when wall -> [ Printf.sprintf "\"wall_seconds\": %.6f" w ]
+    | Some _ | None -> [])
+    @
+    match sn.sn_phases with
+    | Some p when wall ->
+        [
+          Printf.sprintf "\"phase_seconds\": {%s}"
+            (String.concat ", "
+               (List.map
+                  (fun (name, secs) -> Printf.sprintf "\"%s\": %.6f" name secs)
+                  (phase_fields p)));
+        ]
+    | Some _ | None -> []
+  in
+  Printf.sprintf "{\"label\": %s, \"sim_time_ps\": %d, \"counters\": {%s}%s}"
+    (json_string sn.sn_label) (Time.to_ps sn.sn_sim_time) counters
+    (match optional with [] -> "" | o -> ", " ^ String.concat ", " o)

@@ -1,0 +1,43 @@
+(** Observability snapshots over {!Hlcs_engine.Kernel}.
+
+    The kernel counts scheduler work (deltas, activations, updates,
+    notifications, signal/net traffic, queue peaks) unconditionally —
+    plain integer bumps with no measurable cost.  Per-phase wall-clock
+    attribution is opt-in via {!profiled}, which installs a clock for the
+    duration of one run and removes it afterwards, so an unprofiled
+    simulation never pays for a time source. *)
+
+type snapshot = {
+  sn_label : string;
+  sn_sim_time : Hlcs_engine.Time.t;
+  sn_wall_seconds : float option;  (** [None] when the run was not timed *)
+  sn_counters : Hlcs_engine.Kernel.Counters.t;  (** private copy *)
+  sn_phases : Hlcs_engine.Kernel.phase_times option;
+      (** [Some] iff profiling was enabled during the run *)
+}
+
+val snapshot :
+  ?label:string -> ?wall_seconds:float -> Hlcs_engine.Kernel.t -> snapshot
+(** Capture the kernel's counters (copied) and, if profiling is enabled,
+    its accumulated phase times. *)
+
+val profiled :
+  ?label:string -> Hlcs_engine.Kernel.t -> (unit -> 'a) -> 'a * snapshot
+(** [profiled kernel f] enables phase profiling (gettimeofday clock), runs
+    [f], snapshots and disables profiling again.  The wall-seconds field
+    covers exactly the call to [f]. *)
+
+val glossary : (string * string) list
+(** Counter name and one-line meaning, in render order — the table behind
+    the EXPERIMENTS.md profiling section. *)
+
+val render_text : ?wall:bool -> snapshot -> string
+(** Aligned counter table with the glossary inline.  [wall:false] omits
+    every host-time figure (wall seconds and phase times), making the
+    output deterministic for a fixed design — the CLI's diff tests rely on
+    that. *)
+
+val render_json : ?wall:bool -> snapshot -> string
+(** One JSON object: label, simulated picoseconds, counters, and (unless
+    [wall:false]) wall/phase seconds.  Same escaping rules as
+    {!Hlcs_analysis.Diag.render_json}. *)

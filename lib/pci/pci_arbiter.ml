@@ -11,33 +11,34 @@ let create kernel ~bus =
   let set_grant i =
     Array.iteri (fun j g -> Signal.write g (j <> i)) bus.Pci_bus.gnt_n
   in
-  let body () =
-    set_grant t.owner;
-    let rec loop () =
-      Clock.wait_rising bus.Pci_bus.clock;
-      let idle =
-        Pci_bus.bit bus.Pci_bus.frame_n && Pci_bus.bit bus.Pci_bus.irdy_n
-      in
-      if idle && not (requesting t.owner) then begin
-        (* rotate to the next requester, if any; otherwise stay parked *)
-        let rec find k =
-          if k > n then None
-          else
-            let cand = (t.owner + k) mod n in
-            if requesting cand then Some cand else find (k + 1)
-        in
-        match find 1 with
-        | Some next when next <> t.owner ->
-            t.owner <- next;
-            t.grants <- t.grants + 1;
-            set_grant next
-        | Some _ | None -> ()
-      end;
-      loop ()
+  let arbitrate () =
+    let idle =
+      Pci_bus.bit bus.Pci_bus.frame_n && Pci_bus.bit bus.Pci_bus.irdy_n
     in
-    loop ()
+    if idle && not (requesting t.owner) then begin
+      (* rotate to the next requester, if any; otherwise stay parked *)
+      let rec find k =
+        if k > n then None
+        else
+          let cand = (t.owner + k) mod n in
+          if requesting cand then Some cand else find (k + 1)
+      in
+      match find 1 with
+      | Some next when next <> t.owner ->
+          t.owner <- next;
+          t.grants <- t.grants + 1;
+          set_grant next
+      | Some _ | None -> ()
+    end
   in
-  ignore (Kernel.spawn kernel ~name:"pci_arbiter" body);
+  (* method process in place of a wait_rising loop: the initial activation
+     (before any edge) parks the grant on the reset owner, exactly where the
+     coroutine wrote it before its first wait *)
+  let started = ref false in
+  ignore
+    (Kernel.spawn_method kernel ~name:"pci_arbiter"
+       ~sensitive:[ Clock.rising bus.Pci_bus.clock ]
+       (fun () -> if !started then arbitrate () else begin started := true; set_grant t.owner end));
   t
 
 let grants_issued t = t.grants

@@ -35,16 +35,15 @@ let create kernel ~bus =
         t.viols <- { v_time = Kernel.now kernel; v_rule = rule; v_detail = detail } :: t.viols)
       fmt
   in
-  let body () =
-    let clk = bus.Pci_bus.clock in
-    let cur =
-      { cur_cmd = None; cur_addr = 0; cur_data = []; cur_devsel = false;
-        cur_stopped = false; cur_cycles = 0 }
-    in
-    let in_txn = ref false in
-    (* parity check needs last cycle's AD/CBE *)
-    let prev_ad_cbe = ref None in
-    let finalize termination =
+  let clk = bus.Pci_bus.clock in
+  let cur =
+    { cur_cmd = None; cur_addr = 0; cur_data = []; cur_devsel = false;
+      cur_stopped = false; cur_cycles = 0 }
+  in
+  let in_txn = ref false in
+  (* parity check needs last cycle's AD/CBE *)
+  let prev_ad_cbe = ref None in
+  let finalize termination =
       (match cur.cur_cmd with
       | Some cmd ->
           t.txns <-
@@ -62,9 +61,11 @@ let create kernel ~bus =
       cur.cur_stopped <- false;
       cur.cur_cycles <- 0;
       in_txn := false
-    in
-    let rec loop () =
-      Clock.wait_rising clk;
+  in
+  (* one straight-line check per rising edge, with no wait in the middle:
+     a method process sensitive to the edge event gives the same schedule as
+     the wait_rising loop it replaces without a coroutine suspend per cycle *)
+  let check () =
       let frame = Pci_bus.asserted bus.Pci_bus.frame_n in
       let irdy = Pci_bus.asserted bus.Pci_bus.irdy_n in
       let trdy = Pci_bus.asserted bus.Pci_bus.trdy_n in
@@ -139,12 +140,15 @@ let create kernel ~bus =
           violate "DEVSEL" "no DEVSEL# and the master did not abort in time";
           finalize Pci_types.Master_abort
         end
-      end;
-      loop ()
-    in
-    loop ()
+      end
   in
-  ignore (Kernel.spawn kernel ~name:"pci_monitor" body);
+  (* the initial activation precedes any clock edge; skip it, as the
+     coroutine's first wait_rising did *)
+  let started = ref false in
+  ignore
+    (Kernel.spawn_method kernel ~name:"pci_monitor"
+       ~sensitive:[ Clock.rising clk ]
+       (fun () -> if !started then check () else started := true));
   t
 
 let transactions t = List.rev t.txns

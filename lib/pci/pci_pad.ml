@@ -5,6 +5,9 @@ module Logic = Hlcs_logic.Logic
 module Lvec = Hlcs_logic.Lvec
 module Bitvec = Hlcs_logic.Bitvec
 
+(* Pads are stateless forwarders: method processes sensitive to their
+   source, re-invoked per change instead of resumed as coroutines. *)
+
 let connect_out kernel ~net ~data ?enable () =
   let driver = Resolved.make_driver net ("pad." ^ Signal.name data) in
   let forward () =
@@ -14,21 +17,15 @@ let connect_out kernel ~net ~data ?enable () =
     if enabled then Resolved.drive driver (Lvec.of_bitvec (Signal.read data))
     else Resolved.release driver
   in
-  let body () =
-    forward ();
-    let events =
-      match enable with
-      | None -> [ Signal.changed data ]
-      | Some e -> [ Signal.changed data; Signal.changed e ]
-    in
-    let rec loop () =
-      Kernel.wait_any events;
-      forward ();
-      loop ()
-    in
-    loop ()
+  let events =
+    match enable with
+    | None -> [ Signal.changed data ]
+    | Some e -> [ Signal.changed data; Signal.changed e ]
   in
-  ignore (Kernel.spawn kernel ~name:("pad_out." ^ Signal.name data) body)
+  ignore
+    (Kernel.spawn_method kernel
+       ~name:("pad_out." ^ Signal.name data)
+       ~sensitive:events forward)
 
 let connect_in kernel ~net ~signal ?(undefined_as = false) () =
   let width = Resolved.width net in
@@ -42,16 +39,11 @@ let connect_in kernel ~net ~signal ?(undefined_as = false) () =
     in
     Signal.write signal bv
   in
-  let body () =
-    forward ();
-    let rec loop () =
-      Kernel.wait (Resolved.changed net);
-      forward ();
-      loop ()
-    in
-    loop ()
-  in
-  ignore (Kernel.spawn kernel ~name:("pad_in." ^ Signal.name signal) body)
+  ignore
+    (Kernel.spawn_method kernel
+       ~name:("pad_in." ^ Signal.name signal)
+       ~sensitive:[ Resolved.changed net ]
+       forward)
 
 let connect_in_bit kernel ~net ~signal () =
   connect_in kernel ~net ~signal ~undefined_as:true ()

@@ -10,74 +10,122 @@ let no_observer = { obs_output = (fun ~port:_ ~value:_ -> ()) }
 
 type t = {
   st_design : design;
-  st_order : (wire * expr) list;  (** assigns in dependency order *)
   st_wires : Bitvec.t array;  (** by wire id *)
   st_regs : Bitvec.t array;  (** by reg id *)
   st_next : Bitvec.t array;
   st_inputs : (string, Bitvec.t Signal.t) Hashtbl.t;
   st_outputs : (string, Bitvec.t Signal.t) Hashtbl.t;
   st_reg_by_name : (string, reg) Hashtbl.t;
+  mutable st_order : (int * (unit -> Bitvec.t)) array;
+      (** assigns in dependency order: wire slot, compiled rhs *)
+  mutable st_updates : (int * (unit -> Bitvec.t)) array;
+      (** register slot, compiled next-value expression *)
+  mutable st_drives : (string * Bitvec.t Signal.t * (unit -> Bitvec.t)) array;
+  mutable st_in_dirty : bool;
+      (** set by input-signal commits; cleared by [settle].  When clear and
+          no register changed, the wire array still reflects the current
+          (inputs, registers) point and re-settling is a no-op. *)
   mutable st_cycles : int;
 }
 
 let shift_amount bv =
   match Bitvec.to_int_opt bv with Some n -> n | None -> max_int / 2
 
-let rec eval t e =
+(* Expressions are compiled once at elaboration into closure trees: leaf
+   lookups (input signals by name, wire/reg slots) are resolved here rather
+   than on every evaluation — the settle loop is the simulator's hot path
+   and a Hashtbl.find per input reference per delta dominates it. *)
+let rec compile t e =
   match e with
-  | Const bv -> bv
-  | Wire w -> t.st_wires.(w.w_id)
-  | Reg r -> t.st_regs.(r.r_id)
-  | Input (name, _) -> Signal.read (Hashtbl.find t.st_inputs name)
+  | Const bv -> fun () -> bv
+  | Wire w ->
+      let i = w.w_id in
+      fun () -> t.st_wires.(i)
+  | Reg r ->
+      let i = r.r_id in
+      fun () -> t.st_regs.(i)
+  | Input (name, _) ->
+      let s = Hashtbl.find t.st_inputs name in
+      fun () -> Signal.read s
   | Unop (op, e) -> (
-      let a = eval t e in
+      let f = compile t e in
       match op with
-      | Not -> Bitvec.lognot a
-      | Neg -> Bitvec.neg a
-      | Reduce_or -> Bitvec.of_bool (Bitvec.reduce_or a)
-      | Reduce_and -> Bitvec.of_bool (Bitvec.reduce_and a)
-      | Reduce_xor -> Bitvec.of_bool (Bitvec.reduce_xor a))
+      | Not -> fun () -> Bitvec.lognot (f ())
+      | Neg -> fun () -> Bitvec.neg (f ())
+      | Reduce_or -> fun () -> Bitvec.of_bool (Bitvec.reduce_or (f ()))
+      | Reduce_and -> fun () -> Bitvec.of_bool (Bitvec.reduce_and (f ()))
+      | Reduce_xor -> fun () -> Bitvec.of_bool (Bitvec.reduce_xor (f ())))
   | Binop (op, x, y) -> (
-      let a = eval t x and b = eval t y in
+      let f = compile t x and g = compile t y in
       match op with
-      | Add -> Bitvec.add a b
-      | Sub -> Bitvec.sub a b
-      | Mul -> Bitvec.mul a b
-      | And -> Bitvec.logand a b
-      | Or -> Bitvec.logor a b
-      | Xor -> Bitvec.logxor a b
-      | Eq -> Bitvec.of_bool (Bitvec.equal a b)
-      | Ne -> Bitvec.of_bool (not (Bitvec.equal a b))
-      | Lt -> Bitvec.of_bool (Bitvec.compare_unsigned a b < 0)
-      | Le -> Bitvec.of_bool (Bitvec.compare_unsigned a b <= 0)
-      | Gt -> Bitvec.of_bool (Bitvec.compare_unsigned a b > 0)
-      | Ge -> Bitvec.of_bool (Bitvec.compare_unsigned a b >= 0)
-      | Shl -> Bitvec.shift_left a (min (Bitvec.width a) (shift_amount b))
-      | Shr -> Bitvec.shift_right a (min (Bitvec.width a) (shift_amount b))
-      | Concat -> Bitvec.concat a b)
-  | Mux (c, a, b) -> if Bitvec.is_zero (eval t c) then eval t b else eval t a
-  | Slice (e, hi, lo) -> Bitvec.slice (eval t e) ~hi ~lo
+      | Add -> fun () -> Bitvec.add (f ()) (g ())
+      | Sub -> fun () -> Bitvec.sub (f ()) (g ())
+      | Mul -> fun () -> Bitvec.mul (f ()) (g ())
+      | And -> fun () -> Bitvec.logand (f ()) (g ())
+      | Or -> fun () -> Bitvec.logor (f ()) (g ())
+      | Xor -> fun () -> Bitvec.logxor (f ()) (g ())
+      | Eq -> fun () -> Bitvec.of_bool (Bitvec.equal (f ()) (g ()))
+      | Ne -> fun () -> Bitvec.of_bool (not (Bitvec.equal (f ()) (g ())))
+      | Lt -> fun () -> Bitvec.of_bool (Bitvec.compare_unsigned (f ()) (g ()) < 0)
+      | Le -> fun () -> Bitvec.of_bool (Bitvec.compare_unsigned (f ()) (g ()) <= 0)
+      | Gt -> fun () -> Bitvec.of_bool (Bitvec.compare_unsigned (f ()) (g ()) > 0)
+      | Ge -> fun () -> Bitvec.of_bool (Bitvec.compare_unsigned (f ()) (g ()) >= 0)
+      | Shl ->
+          fun () ->
+            let a = f () in
+            Bitvec.shift_left a (min (Bitvec.width a) (shift_amount (g ())))
+      | Shr ->
+          fun () ->
+            let a = f () in
+            Bitvec.shift_right a (min (Bitvec.width a) (shift_amount (g ())))
+      | Concat -> fun () -> Bitvec.concat (f ()) (g ()))
+  | Mux (c, a, b) ->
+      let fc = compile t c and fa = compile t a and fb = compile t b in
+      fun () -> if Bitvec.is_zero (fc ()) then fb () else fa ()
+  | Slice (e, hi, lo) ->
+      let f = compile t e in
+      fun () -> Bitvec.slice (f ()) ~hi ~lo
 
-let settle t = List.iter (fun (w, e) -> t.st_wires.(w.w_id) <- eval t e) t.st_order
+let settle t =
+  let order = t.st_order in
+  for i = 0 to Array.length order - 1 do
+    let slot, f = order.(i) in
+    t.st_wires.(slot) <- f ()
+  done;
+  t.st_in_dirty <- false
 
 let drive_outputs t observer =
-  List.iter
-    (fun (name, e) ->
-      let v = eval t e in
-      let s = Hashtbl.find t.st_outputs name in
+  Array.iter
+    (fun (name, s, f) ->
+      let v = f () in
       if not (Bitvec.equal (Signal.read s) v) then observer.obs_output ~port:name ~value:v;
       Signal.write s v)
-    t.st_design.rd_drives
+    t.st_drives
 
 let step t observer =
-  (* 1. settle combinational logic on pre-edge inputs and registers *)
-  settle t;
+  (* 1. settle combinational logic on pre-edge inputs and registers — unless
+     no input has committed since the last settle, in which case the wires
+     are already exact for the pre-edge point *)
+  if t.st_in_dirty then settle t;
   (* 2. compute every register's next value from pre-edge state *)
-  List.iter (fun (r, e) -> t.st_next.(r.r_id) <- eval t e) t.st_design.rd_updates;
-  (* 3. commit *)
-  List.iter (fun (r, _) -> t.st_regs.(r.r_id) <- t.st_next.(r.r_id)) t.st_design.rd_updates;
+  let ups = t.st_updates in
+  for i = 0 to Array.length ups - 1 do
+    let slot, f = ups.(i) in
+    t.st_next.(slot) <- f ()
+  done;
+  (* 3. commit; if no register actually changed, the settled wires are
+     still valid and the post-edge re-settle can be skipped *)
+  let changed = ref false in
+  for i = 0 to Array.length ups - 1 do
+    let slot, _ = ups.(i) in
+    let v = t.st_next.(slot) in
+    if not (Bitvec.equal t.st_regs.(slot) v) then begin
+      t.st_regs.(slot) <- v;
+      changed := true
+    end
+  done;
   (* 4. re-settle and present the post-edge outputs *)
-  settle t;
+  if !changed then settle t;
   drive_outputs t observer;
   t.st_cycles <- t.st_cycles + 1
 
@@ -91,13 +139,16 @@ let elaborate kernel ~clock ?(observer = no_observer) design =
   let t =
     {
       st_design = design;
-      st_order = Ir.topo_order design;
       st_wires = Array.make (max 1 max_wire) (Bitvec.zero 1);
       st_regs = Array.make (max 1 max_reg) (Bitvec.zero 1);
       st_next = Array.make (max 1 max_reg) (Bitvec.zero 1);
       st_inputs = Hashtbl.create 16;
       st_outputs = Hashtbl.create 16;
       st_reg_by_name = Hashtbl.create 16;
+      st_order = [||];
+      st_updates = [||];
+      st_drives = [||];
+      st_in_dirty = true;
       st_cycles = 0;
     }
   in
@@ -108,10 +159,15 @@ let elaborate kernel ~clock ?(observer = no_observer) design =
     design.rd_regs;
   List.iter
     (fun (name, width) ->
-      Hashtbl.replace t.st_inputs name
-        (Signal.create kernel
-           ~name:(design.rd_name ^ "." ^ name)
-           ~eq:Bitvec.equal (Bitvec.zero width)))
+      let s =
+        Signal.create kernel
+          ~name:(design.rd_name ^ "." ^ name)
+          ~eq:Bitvec.equal (Bitvec.zero width)
+      in
+      (* commit tracers fire only on actual value changes, so the dirty bit
+         is exact: clear means every input still holds its last-settled value *)
+      Signal.on_commit s (fun _ _ -> t.st_in_dirty <- true);
+      Hashtbl.replace t.st_inputs name s)
     design.rd_inputs;
   List.iter
     (fun (name, width) ->
@@ -120,18 +176,33 @@ let elaborate kernel ~clock ?(observer = no_observer) design =
            ~name:(design.rd_name ^ "." ^ name)
            ~eq:Bitvec.equal (Bitvec.zero width)))
     design.rd_outputs;
-  let body () =
-    (* Present reset-state outputs before the first edge. *)
-    settle t;
-    drive_outputs t observer;
-    let rec loop () =
-      Clock.wait_rising clock;
-      step t observer;
-      loop ()
-    in
-    loop ()
-  in
-  ignore (Kernel.spawn kernel ~name:(design.rd_name ^ ".rtl") body);
+  (* compile after the input signals exist: leaves resolve against them *)
+  t.st_order <-
+    Array.of_list
+      (List.map (fun (w, e) -> (w.w_id, compile t e)) (Ir.topo_order design));
+  t.st_updates <-
+    Array.of_list
+      (List.map (fun (r, e) -> (r.r_id, compile t e)) design.rd_updates);
+  t.st_drives <-
+    Array.of_list
+      (List.map
+         (fun (name, e) -> (name, Hashtbl.find t.st_outputs name, compile t e))
+         design.rd_drives);
+  (* A method process sensitive to the clock edge: activations re-invoke a
+     preallocated step instead of resuming a coroutine.  The first
+     activation presents the reset-state outputs before any edge. *)
+  let started = ref false in
+  ignore
+    (Kernel.spawn_method kernel
+       ~name:(design.rd_name ^ ".rtl")
+       ~sensitive:[ Clock.rising clock ]
+       (fun () ->
+         if !started then step t observer
+         else begin
+           started := true;
+           settle t;
+           drive_outputs t observer
+         end));
   t
 
 let in_port t name = Hashtbl.find t.st_inputs name

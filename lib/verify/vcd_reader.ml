@@ -4,6 +4,7 @@ type t = {
   by_id : (string, var) Hashtbl.t;
   by_name : (string, var) Hashtbl.t;
   mutable last_time : int;
+  mutable timescale_ps : int;
 }
 
 let fail fmt = Printf.ksprintf failwith fmt
@@ -25,8 +26,42 @@ let normalise value =
   end
   else value
 
+(* "$timescale 1ps $end" — either inline or with the magnitude and unit as
+   separate tokens.  Timestamps are kept in the file's own unit; the factor
+   lets a consumer rescale to picoseconds. *)
+let parse_timescale path tokens =
+  let magnitude, unit =
+    match tokens with
+    | [ spec ] | [ spec; "$end" ] ->
+        let cut =
+          let n = String.length spec in
+          let rec go i = if i < n && spec.[i] >= '0' && spec.[i] <= '9' then go (i + 1) else i in
+          go 0
+        in
+        (String.sub spec 0 cut, String.sub spec cut (String.length spec - cut))
+    | [ mag; unit ] | [ mag; unit; "$end" ] -> (mag, unit)
+    | _ -> fail "vcd %s: malformed $timescale" path
+  in
+  let mag =
+    match int_of_string_opt magnitude with
+    | Some ((1 | 10 | 100) as m) -> m
+    | Some _ | None -> fail "vcd %s: bad timescale magnitude %S" path magnitude
+  in
+  let per_unit =
+    match unit with
+    | "ps" -> 1
+    | "ns" -> 1_000
+    | "us" -> 1_000_000
+    | "ms" -> 1_000_000_000
+    | "s" -> 1_000_000_000_000
+    | u -> fail "vcd %s: unsupported timescale unit %S" path u
+  in
+  mag * per_unit
+
 let load path =
-  let t = { by_id = Hashtbl.create 32; by_name = Hashtbl.create 32; last_time = 0 } in
+  let t =
+    { by_id = Hashtbl.create 32; by_name = Hashtbl.create 32; last_time = 0; timescale_ps = 1 }
+  in
   let ic = open_in path in
   let in_header = ref true in
   let now = ref 0 in
@@ -48,6 +83,8 @@ let load path =
              let var = { v_name = name; v_width = width; v_changes = [] } in
              Hashtbl.replace t.by_id id var;
              Hashtbl.replace t.by_name name var
+         | "$timescale" :: [] -> () (* multi-line form: spec unhandled, keep 1ps *)
+         | "$timescale" :: rest -> t.timescale_ps <- parse_timescale path rest
          | "$enddefinitions" :: _ -> in_header := false
          | _ -> ()
        end
@@ -104,3 +141,4 @@ let value_sequence t name =
   dedup (settle (changes t name))
 
 let final_time t = t.last_time
+let timescale_ps t = t.timescale_ps

@@ -26,3 +26,8 @@ val value_sequence : t -> string -> string list
     agree on. *)
 
 val final_time : t -> int
+
+val timescale_ps : t -> int
+(** Picoseconds per timestamp unit, from the header's [$timescale]
+    (e.g. 1 for "1ps", 1000 for "1ns").  Defaults to 1 when the header
+    carries no parseable inline timescale. *)

@@ -1,0 +1,132 @@
+(* Vcd writer -> Vcd_reader round trips.
+
+   The waveform file is the flow's validation artefact (Figure 4) and the
+   substrate of Wave_diff, so the writer and the reader must agree on every
+   value kind the engine can dump: booleans, multi-bit vectors, and
+   four-valued resolved nets including X and Z bits, across multiple
+   signals sharing a file, plus the header's timescale. *)
+
+module Kernel = Hlcs_engine.Kernel
+module Signal = Hlcs_engine.Signal
+module Resolved = Hlcs_engine.Resolved
+module Time = Hlcs_engine.Time
+module Vcd = Hlcs_engine.Vcd
+module Vcd_reader = Hlcs_verify.Vcd_reader
+module Bitvec = Hlcs_logic.Bitvec
+module Lvec = Hlcs_logic.Lvec
+
+let with_vcd f =
+  let path = Filename.temp_file "hlcs_test" ".vcd" in
+  Fun.protect ~finally:(fun () -> Sys.remove path) (fun () -> f path)
+
+(* drive a little scenario: a bool toggling each step, a counter vector,
+   and a resolved net that goes driven -> X-contested -> released *)
+let write_scenario path =
+  let k = Kernel.create () in
+  let b = Signal.create k ~name:"flag" false in
+  let v = Signal.create k ~name:"count" ~eq:Bitvec.equal (Bitvec.zero 8) in
+  let net = Resolved.create k ~name:"bus" ~width:4 () in
+  let d1 = Resolved.make_driver net "d1" and d2 = Resolved.make_driver net "d2" in
+  let w = Vcd.create k ~path in
+  Vcd.add_bool w b;
+  Vcd.add_bitvec w v;
+  Vcd.add_lvec w net;
+  ignore
+    (Kernel.spawn k ~name:"stim" (fun () ->
+         Signal.write b true;
+         Signal.write v (Bitvec.of_int ~width:8 0x2a);
+         Resolved.drive d1 (Lvec.of_string "0101");
+         Kernel.delay k (Time.ns 1);
+         Signal.write b false;
+         Signal.write v (Bitvec.of_int ~width:8 0xff);
+         (* contested bit 0: One vs Zero resolves to X *)
+         Resolved.drive d2 (Lvec.of_string "ZZZ0");
+         Kernel.delay k (Time.ns 1);
+         Resolved.release d1;
+         Resolved.release d2));
+  Kernel.run k;
+  Vcd.close w
+
+let check_roundtrip () =
+  with_vcd (fun path ->
+      write_scenario path;
+      let r = Vcd_reader.load path in
+      Alcotest.(check (list string))
+        "all three signals declared" [ "bus"; "count"; "flag" ] (Vcd_reader.signal_names r);
+      Alcotest.(check int) "bool width" 1 (Vcd_reader.width r "flag");
+      Alcotest.(check int) "vector width" 8 (Vcd_reader.width r "count");
+      Alcotest.(check int) "net width" 4 (Vcd_reader.width r "bus");
+      Alcotest.(check int) "engine timescale is 1ps" 1 (Vcd_reader.timescale_ps r);
+      (* the last stamp is the time of the last change, not simulation end *)
+      Alcotest.(check int) "final timestamp" (Time.to_ps (Time.ns 2)) (Vcd_reader.final_time r);
+      (* value_sequence keeps only the settled value per timestamp, so the
+         $dumpvars snapshot (taken lazily at the first change) merges with
+         the first write at t=0 *)
+      Alcotest.(check (list string))
+        "bool history" [ "1"; "0" ]
+        (Vcd_reader.value_sequence r "flag");
+      (* reader normalisation strips redundant leading zeros *)
+      Alcotest.(check (list string))
+        "vector history" [ "b101010"; "b11111111" ]
+        (Vcd_reader.value_sequence r "count");
+      (* driven -> contested (X on the overlapping bit, Z above the driven
+         range) -> released to all-Z *)
+      Alcotest.(check (list string))
+        "net history with X and Z" [ "b101"; "b10x"; "bzzzz" ]
+        (Vcd_reader.value_sequence r "bus"))
+
+let check_changes_timestamps () =
+  with_vcd (fun path ->
+      write_scenario path;
+      let r = Vcd_reader.load path in
+      let times = List.map fst (Vcd_reader.changes r "flag") in
+      Alcotest.(check (list int))
+        "bool change times in ps"
+        [ 0; 0; Time.to_ps (Time.ns 1) ]
+        times)
+
+let check_timescale_parsing () =
+  let cases =
+    [ ("1ps", 1); ("1 ps", 1); ("1ns", 1_000); ("10ns", 10_000); ("100 us", 100_000_000) ]
+  in
+  List.iter
+    (fun (spec, expect_ps) ->
+      let path = Filename.temp_file "hlcs_ts" ".vcd" in
+      Fun.protect
+        ~finally:(fun () -> Sys.remove path)
+        (fun () ->
+          let oc = open_out path in
+          Printf.fprintf oc
+            "$timescale %s $end\n$var wire 1 ! a $end\n$enddefinitions $end\n#0\n0!\n" spec;
+          close_out oc;
+          let r = Vcd_reader.load path in
+          Alcotest.(check int) (Printf.sprintf "timescale %S" spec) expect_ps
+            (Vcd_reader.timescale_ps r)))
+    cases
+
+let check_empty_dump () =
+  (* a file closed before any change still carries a full header and the
+     initial values *)
+  with_vcd (fun path ->
+      let k = Kernel.create () in
+      let b = Signal.create k ~name:"idle" true in
+      let w = Vcd.create k ~path in
+      Vcd.add_bool w b;
+      Vcd.close w;
+      let r = Vcd_reader.load path in
+      Alcotest.(check (list string)) "declared" [ "idle" ] (Vcd_reader.signal_names r);
+      Alcotest.(check (list string)) "initial value only" [ "1" ]
+        (Vcd_reader.value_sequence r "idle"))
+
+let tests =
+  [
+    ( "vcd",
+      [
+        Alcotest.test_case "writer/reader round trip (bool, vector, X/Z net)" `Quick
+          check_roundtrip;
+        Alcotest.test_case "change timestamps survive the round trip" `Quick
+          check_changes_timestamps;
+        Alcotest.test_case "timescale header parsing" `Quick check_timescale_parsing;
+        Alcotest.test_case "header-only dump round trips" `Quick check_empty_dump;
+      ] );
+  ]
