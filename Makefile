@@ -1,6 +1,6 @@
 # Convenience targets; dune is the real build system.
 
-.PHONY: all build test lint check ci bench bench-smoke clean
+.PHONY: all build test lint check ci bench bench-smoke sweep-smoke clean
 
 all: build
 
@@ -20,10 +20,15 @@ check: build test lint
 # Everything a PR must pass, including one pass over every bench series
 # (tiny iteration counts) so the perf code paths are compiled and exercised
 # even when nobody is looking at the numbers.
-ci: build lint test bench-smoke
+ci: build lint test bench-smoke sweep-smoke
 
 bench-smoke:
 	dune exec bench/main.exe -- --smoke
+
+# A small 2-domain batch sweep: exercises the domain pool, the shared
+# synthesis cache and the merged observability snapshot end to end.
+sweep-smoke:
+	dune exec bin/hlcs_cli.exe -- sweep --smoke --jobs 2
 
 # The full wall-clock series (see BENCH_pr2.json for the committed
 # trajectory): min-of-N, one JSON document per run.

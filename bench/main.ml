@@ -25,6 +25,9 @@ module Equiv = Hlcs_verify.Equiv
 module Pci_stim = Hlcs_pci.Pci_stim
 module Pci_types = Hlcs_pci.Pci_types
 module Flow = Hlcs.Flow
+module Sweep = Hlcs.Sweep
+module Synth_cache = Hlcs_synth.Synth_cache
+module Pool = Hlcs_runtime.Pool
 
 let script = Pci_stim.directed_smoke ~base:0
 let mem_bytes = 512
@@ -134,6 +137,30 @@ let fw1_behavioural_wait ~policy ~nprocs ~rounds =
   (T.to_ps (Go.total_wait o) / calls / 10_000, T.to_ps (Go.max_wait o) / 10_000)
 
 (* ------------------------------------------------------------------ *)
+(* EXT3: batch validation throughput (domain pool + synthesis cache)   *)
+
+(* 16 independent end-to-end validations of one design over the
+   environment axis (varying target-memory fill), the workload of
+   `hlcs_cli sweep`.  Uncached sequential execution is the pre-batch
+   baseline: it pays two syntheses per job where the shared cache pays
+   one for the whole sweep. *)
+let sweep_n = 16
+
+let run_sweep ~jobs ~cache () =
+  let scenarios = Sweep.scenarios ~n:sweep_n () in
+  let r = Sweep.run ~jobs ~cache ~scenarios () in
+  if not r.Sweep.sw_ok then failwith "batch sweep failed";
+  r
+
+let batch_configs =
+  [
+    ("seq_uncached", 1, false);
+    ("seq_cached", 1, true);
+    ("par2_cached", 2, true);
+    ("par4_cached", 4, true);
+  ]
+
+(* ------------------------------------------------------------------ *)
 (* Experiment tables                                                   *)
 
 let heading title = Printf.printf "\n=== %s ===\n" title
@@ -238,6 +265,27 @@ let table_fw1 () =
       Printf.printf "  %2d callers: avg=%d max=%d\n" nprocs avg mx)
     [ 1; 4; 16 ]
 
+let table_ext3_batch () =
+  heading "EXT3 - batch validation throughput (16-job sweep, one design, environment axis)";
+  Printf.printf
+    "host domains available: %d (with 1, parallel configurations measure pure\nruntime overhead; the determinism suite proves their outputs identical)\n"
+    (Pool.recommended_jobs ());
+  let base = ref 0. in
+  List.iter
+    (fun (label, jobs, cache) ->
+      let t0 = Unix.gettimeofday () in
+      let r = run_sweep ~jobs ~cache () in
+      let wall = Unix.gettimeofday () -. t0 in
+      if !base = 0. then base := wall;
+      Printf.printf "%-14s jobs=%d %9.3f s %7.2fx vs seq_uncached  cache: %s\n" label
+        jobs wall (!base /. wall)
+        (match r.Sweep.sw_cache with
+        | None -> "off"
+        | Some st ->
+            Printf.sprintf "%d hits / %d misses" st.Synth_cache.hits
+              st.Synth_cache.misses))
+    batch_configs
+
 let table_exp2_area () =
   heading "EXP2 - synthesis results for the PCI interface (units under design)";
   let d = Pci_master_design.design ~app:script () in
@@ -338,6 +386,12 @@ let series : (string * (unit -> unit)) list =
              (contention_design ~policy:Policy.Fcfs ~nprocs:3 ~rounds:5)) );
     ( "fw1/contention_rtl_16",
       fun () -> ignore (fw1_cycles ~policy:Policy.Round_robin ~nprocs:16 ~rounds:8) );
+    (* EXT3: the batch sweep at every configuration, so the committed JSON
+       carries the full scaling picture of the host it ran on *)
+    ("batch/sweep16_seq_uncached", fun () -> ignore (run_sweep ~jobs:1 ~cache:false ()));
+    ("batch/sweep16_seq_cached", fun () -> ignore (run_sweep ~jobs:1 ~cache:true ()));
+    ("batch/sweep16_par2_cached", fun () -> ignore (run_sweep ~jobs:2 ~cache:true ()));
+    ("batch/sweep16_par4_cached", fun () -> ignore (run_sweep ~jobs:4 ~cache:true ()));
   ]
 
 let measure ~repeat f =
@@ -420,5 +474,6 @@ let () =
     table_exp123 ();
     table_fw1 ();
     table_ext2_dma ();
+    table_ext3_batch ();
     run_benchmarks ()
   end

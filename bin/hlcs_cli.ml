@@ -4,6 +4,7 @@
      hlcs_cli synth    synthesise the PCI interface, dump reports/VHDL
      hlcs_cli lint     static analysis over the shipped library elements
      hlcs_cli profile  simulate one configuration with kernel profiling on
+     hlcs_cli sweep    batch-validate a scenario sweep over a domain pool
      hlcs_cli waves    produce the Figure-4 VCD waveforms
      hlcs_cli latency  the FW1 method-call latency series
 
@@ -330,6 +331,102 @@ let profile_cmd =
         (const run $ script_term $ mem_bytes $ target_term $ policy $ which $ format
        $ deterministic))
 
+(* --- sweep -------------------------------------------------------------- *)
+
+let sweep_cmd =
+  let run n jobs seed count mem_bytes policy target vary no_cache profile vcd_dir
+      format deterministic smoke =
+    (* --smoke: the CI-sized sweep — few small jobs, profiling on so the
+       merged snapshot (and its cache counters) is exercised too *)
+    let n, count, profile = if smoke then (4, 4, true) else (n, count, profile) in
+    let scenarios =
+      Hlcs.Sweep.scenarios ~base_seed:seed ~count ~mem_bytes ~policy ~target ~vary
+        ~n ()
+    in
+    let report =
+      Hlcs.Sweep.run ?jobs ~cache:(not no_cache) ~profile ?vcd_dir ~scenarios ()
+    in
+    let wall = not deterministic in
+    (match format with
+    | `Text -> print_string (Hlcs.Sweep.render_text ~wall report)
+    | `Json -> print_endline (Hlcs.Sweep.render_json ~wall report));
+    if report.Hlcs.Sweep.sw_ok then `Ok () else `Error (false, "sweep failed")
+  in
+  let n =
+    Arg.(
+      value & opt int 16
+      & info [ "n"; "sweep" ] ~docv:"N" ~doc:"Number of scenarios (jobs) to run.")
+  in
+  let jobs =
+    Arg.(
+      value & opt (some int) None
+      & info [ "jobs" ] ~docv:"J"
+          ~doc:
+            "Size of the domain pool (default: the runtime's recommended domain \
+             count; 1 = run sequentially in the calling domain).")
+  in
+  let vary =
+    Arg.(
+      value
+      & opt (enum [ ("env", `Environment); ("stimuli", `Stimuli) ]) `Environment
+      & info [ "vary" ] ~docv:"AXIS"
+          ~doc:
+            "Sweep axis: env varies the target-memory contents over one design \
+             (the whole sweep synthesises once); stimuli varies the request \
+             script, giving one design per job.")
+  in
+  let no_cache =
+    Arg.(
+      value & flag
+      & info [ "no-cache" ]
+          ~doc:"Disable the content-hashed synthesis cache (each job synthesises).")
+  in
+  let profile =
+    Arg.(
+      value & flag
+      & info [ "profile" ]
+          ~doc:
+            "Profile every job's simulation runs and report the merged kernel \
+             snapshot (counters summed, peaks maxed) with the cache counters \
+             attached.")
+  in
+  let vcd_dir =
+    Arg.(
+      value & opt (some string) None
+      & info [ "vcd-dir" ] ~docv:"DIR"
+          ~doc:"Dump per-job waveforms to DIR/<job>_{behavioural,rtl}.vcd.")
+  in
+  let format =
+    Arg.(
+      value
+      & opt (enum [ ("text", `Text); ("json", `Json) ]) `Text
+      & info [ "format" ] ~docv:"FMT" ~doc:"Output format: text or json.")
+  in
+  let deterministic =
+    Arg.(
+      value & flag
+      & info [ "deterministic" ]
+          ~doc:
+            "Omit wall-clock figures, leaving only deterministic output (identical \
+             for a fixed sweep regardless of --jobs).")
+  in
+  let smoke =
+    Arg.(
+      value & flag
+      & info [ "smoke" ]
+          ~doc:"CI preset: 4 small profiled jobs (overrides --n and --count).")
+  in
+  Cmd.v
+    (Cmd.info "sweep"
+       ~doc:
+         "Batch-validate the design across a scenario sweep: one complete design \
+          flow per seed, farmed over a pool of domains with a shared \
+          content-hashed synthesis cache.")
+    Term.(
+      ret
+        (const run $ n $ jobs $ seed $ count $ mem_bytes $ policy $ target_term
+       $ vary $ no_cache $ profile $ vcd_dir $ format $ deterministic $ smoke))
+
 (* --- waves ------------------------------------------------------------- *)
 
 let waves_cmd =
@@ -464,4 +561,13 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ flow_cmd; synth_cmd; lint_cmd; profile_cmd; waves_cmd; latency_cmd; wavediff_cmd ]))
+          [
+            flow_cmd;
+            synth_cmd;
+            lint_cmd;
+            profile_cmd;
+            sweep_cmd;
+            waves_cmd;
+            latency_cmd;
+            wavediff_cmd;
+          ]))

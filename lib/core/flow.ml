@@ -34,7 +34,7 @@ let stage name ok detail wall =
   { sg_name = name; sg_ok = ok; sg_detail = detail; sg_wall_seconds = wall }
 
 let run ?(mem_bytes = 1024) ?mem_seed ?target ?policy ?options ?vcd_prefix ?max_time
-    ?profile ~script () =
+    ?cache ?profile ~script () =
   let vcd suffix = Option.map (fun p -> p ^ "_" ^ suffix ^ ".vcd") vcd_prefix in
   let uud = Hlcs_interface.Pci_master_design.design ?policy ~app:script () in
   (* static analysis gates the rest of the flow: a design that typechecks
@@ -64,12 +64,17 @@ let run ?(mem_bytes = 1024) ?mem_seed ?target ?policy ?options ?vcd_prefix ?max_
           System.run_pin ?mem_seed ?policy ?vcd:(vcd "behavioural") ?target ?max_time
             ?profile ~mem_bytes ~script ())
     in
-    let synthesis, t_synth = timed (fun () -> Synthesize.synthesize ?options uud) in
+    let synthesis, t_synth =
+      timed (fun () ->
+          match cache with
+          | Some c -> Hlcs_synth.Synth_cache.synthesize c ?options uud
+          | None -> Synthesize.synthesize ?options uud)
+    in
     let rtl_diags = Analyze.rtl synthesis.Synthesize.rp_rtl in
     let rtl, t_rtl =
       timed (fun () ->
           System.run_rtl ?mem_seed ?policy ?vcd:(vcd "rtl") ?target ?max_time ?options
-            ?profile ~mem_bytes ~script ())
+            ?cache ?profile ~mem_bytes ~script ())
     in
     let refinement_issues = System.compare_runs tlm behav in
     let behav_viols = behav.System.rr_violations in

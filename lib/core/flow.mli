@@ -58,14 +58,19 @@ val run :
   ?options:Hlcs_synth.Synthesize.options ->
   ?vcd_prefix:string ->
   ?max_time:Hlcs_engine.Time.t ->
+  ?cache:Hlcs_synth.Synth_cache.t ->
   ?profile:bool ->
   script:Hlcs_pci.Pci_types.request list ->
   unit ->
   report
 (** [vcd_prefix] (e.g. ["waves/pci"]) dumps [<prefix>_behavioural.vcd] and
     [<prefix>_rtl.vcd] — the paper's Figure-4 artefacts.  [mem_bytes]
-    defaults to 1024.  [profile] attaches an observability snapshot
-    ({!Hlcs_obs.Obs}) to each of the three simulation runs; {!pp_report}
-    renders them after the stage table. *)
+    defaults to 1024.  [cache] memoises both synthesis steps (the netlist
+    handed to analysis and the one simulated at RT level are the same
+    design, so one flow run synthesises once, and a batch of flow runs
+    over one design synthesises once in total — see {!Sweep}).  [profile]
+    attaches an observability snapshot ({!Hlcs_obs.Obs}) to each of the
+    three simulation runs; {!pp_report} renders them after the stage
+    table. *)
 
 val pp_report : Format.formatter -> report -> unit

@@ -1,0 +1,269 @@
+(* Batch sweeps: one Flow.run per scenario, farmed over a domain pool,
+   with one shared synthesis cache.
+
+   Job isolation discipline: everything a job touches is created inside
+   the job (kernels, clocks, memories, VCD writers on per-job paths); the
+   only shared structures are the input scenario array (immutable), the
+   synthesis cache (mutex-protected, stores immutable reports) and the
+   pool's result slots (one writer each).  That is the entire argument
+   for determinism: no job can observe another job's schedule, so the
+   domain count is invisible in every artefact. *)
+
+module Pool = Hlcs_runtime.Pool
+module Synth_cache = Hlcs_synth.Synth_cache
+module Policy = Hlcs_osss.Policy
+module Pci_stim = Hlcs_pci.Pci_stim
+module Pci_target = Hlcs_pci.Pci_target
+module Obs = Hlcs_obs.Obs
+module System = Hlcs_interface.System
+
+type scenario = {
+  sc_name : string;
+  sc_seed : int;
+  sc_mem_seed : int;
+  sc_count : int;
+  sc_mem_bytes : int;
+  sc_policy : Policy.t;
+  sc_target : Pci_target.config;
+}
+
+(* The two sweep axes differ in what they cost downstream.  The request
+   script is compiled *into* the unit under design (the application
+   process replays it), so varying [sc_seed] varies the design and every
+   job pays one synthesis (deduplicated against the flow's second
+   synthesis by the cache).  The memory-fill seed is pure environment —
+   the design is untouched — so an [`Environment] sweep over n jobs hits
+   one cache entry n*2 - 1 times. *)
+let scenarios ?(base_seed = 2004) ?(count = 12) ?(mem_bytes = 512)
+    ?(policy = Policy.Fcfs) ?(target = Pci_target.default_config)
+    ?(vary = `Environment) ~n () =
+  List.init n (fun i ->
+      {
+        sc_name = Printf.sprintf "job%02d" i;
+        sc_seed = (match vary with `Stimuli -> base_seed + i | `Environment -> base_seed);
+        sc_mem_seed = (match vary with `Stimuli -> 42 | `Environment -> 42 + i);
+        sc_count = count;
+        sc_mem_bytes = mem_bytes;
+        sc_policy = policy;
+        sc_target = target;
+      })
+
+type job_report = {
+  jb_scenario : scenario;
+  jb_ok : bool;
+  jb_stages : (string * bool) list;
+  jb_wall_seconds : float;
+  jb_profile : Obs.snapshot option;
+  jb_failure : string option;
+}
+
+type report = {
+  sw_jobs : job_report list;
+  sw_ok : bool;
+  sw_domains : int;
+  sw_wall_seconds : float;
+  sw_cache : Synth_cache.stats option;
+  sw_profile : Obs.snapshot option;
+}
+
+let script_of sc =
+  Pci_stim.write_then_read_all
+    (Pci_stim.random ~seed:sc.sc_seed ~count:sc.sc_count ~base:0
+       ~size_bytes:sc.sc_mem_bytes ())
+
+let job_snapshots (fr : Flow.report) =
+  match fr.Flow.fl_artefacts with
+  | None -> []
+  | Some a ->
+      List.filter_map
+        (fun (rr : System.run_report) -> rr.System.rr_profile)
+        [ a.Flow.fl_tlm; a.Flow.fl_behavioural; a.Flow.fl_rtl ]
+
+let run ?jobs ?chunk ?(cache = true) ?(profile = false) ?vcd_dir ?max_time
+    ~scenarios () =
+  let cache_handle = if cache then Some (Synth_cache.create ()) else None in
+  (match vcd_dir with
+  | Some dir when not (Sys.file_exists dir) -> Unix.mkdir dir 0o755
+  | Some _ | None -> ());
+  let run_one sc =
+    let vcd_prefix = Option.map (fun d -> Filename.concat d sc.sc_name) vcd_dir in
+    let t0 = Unix.gettimeofday () in
+    let fr =
+      Flow.run ~mem_bytes:sc.sc_mem_bytes ~mem_seed:sc.sc_mem_seed
+        ~target:sc.sc_target ~policy:sc.sc_policy ?vcd_prefix ?max_time
+        ?cache:cache_handle ~profile ~script:(script_of sc) ()
+    in
+    let wall = Unix.gettimeofday () -. t0 in
+    {
+      jb_scenario = sc;
+      jb_ok = fr.Flow.fl_ok;
+      jb_stages = List.map (fun s -> (s.Flow.sg_name, s.Flow.sg_ok)) fr.Flow.fl_stages;
+      jb_wall_seconds = wall;
+      jb_profile = Obs.merge_all ~label:sc.sc_name (job_snapshots fr);
+      jb_failure = None;
+    }
+  in
+  let items = Array.of_list scenarios in
+  let domains =
+    let requested =
+      match jobs with None -> Pool.recommended_jobs () | Some j -> j
+    in
+    max 1 (min requested (Array.length items))
+  in
+  let t0 = Unix.gettimeofday () in
+  let outcomes = Pool.map ?jobs ?chunk run_one items in
+  let sweep_wall = Unix.gettimeofday () -. t0 in
+  let job_reports =
+    Array.to_list
+      (Array.mapi
+         (fun i -> function
+           | Pool.Done jb -> jb
+           | Pool.Failed f ->
+               {
+                 jb_scenario = items.(i);
+                 jb_ok = false;
+                 jb_stages = [];
+                 jb_wall_seconds = 0.;
+                 jb_profile = None;
+                 jb_failure = Some f.Pool.f_exn;
+               })
+         outcomes)
+  in
+  let cache_stats = Option.map Synth_cache.stats cache_handle in
+  let merged =
+    Obs.merge_all ~label:"sweep"
+      (List.filter_map (fun jb -> jb.jb_profile) job_reports)
+  in
+  let merged =
+    match (merged, cache_stats) with
+    | Some sn, Some st ->
+        Some
+          (Obs.with_extras sn
+             [
+               ("synth_cache_hits", st.Synth_cache.hits);
+               ("synth_cache_misses", st.Synth_cache.misses);
+             ])
+    | other, _ -> other
+  in
+  {
+    sw_jobs = job_reports;
+    sw_ok = List.for_all (fun jb -> jb.jb_ok) job_reports;
+    sw_domains = domains;
+    sw_wall_seconds = sweep_wall;
+    sw_cache = cache_stats;
+    sw_profile = merged;
+  }
+
+(* --- rendering -------------------------------------------------------- *)
+
+let render_text ?(wall = true) r =
+  let buf = Buffer.create 1024 in
+  (* the domain count is host-execution information, like the wall
+     clocks: [wall:false] omits it so the rendering is identical at any
+     [--jobs] *)
+  Buffer.add_string buf
+    (Printf.sprintf "sweep: %s, %d jobs%s\n"
+       (if r.sw_ok then "PASS" else "FAIL")
+       (List.length r.sw_jobs)
+       (if wall then
+          Printf.sprintf ", %d domains, %.3fs wall" r.sw_domains r.sw_wall_seconds
+        else ""));
+  List.iter
+    (fun jb ->
+      let bad = List.filter (fun (_, ok) -> not ok) jb.jb_stages in
+      Buffer.add_string buf
+        (Printf.sprintf "  %-8s %s  seed %d/mem %d%s%s%s\n" jb.jb_scenario.sc_name
+           (if jb.jb_ok then "ok  " else "FAIL")
+           jb.jb_scenario.sc_seed jb.jb_scenario.sc_mem_seed
+           (if wall then Printf.sprintf "  (%.3fs)" jb.jb_wall_seconds else "")
+           (match bad with
+           | [] -> ""
+           | _ ->
+               "  failed stages: "
+               ^ String.concat ", " (List.map fst bad))
+           (match jb.jb_failure with
+           | None -> ""
+           | Some e -> "  crashed: " ^ e)))
+    r.sw_jobs;
+  (match r.sw_cache with
+  | None -> Buffer.add_string buf "synthesis cache: disabled\n"
+  | Some st ->
+      Buffer.add_string buf
+        (Printf.sprintf "synthesis cache: %d hits, %d misses\n"
+           st.Synth_cache.hits st.Synth_cache.misses));
+  (match r.sw_profile with
+  | None -> ()
+  | Some sn -> Buffer.add_string buf (Obs.render_text ~wall sn));
+  Buffer.contents buf
+
+(* same escaping rules as Diag's JSON renderer *)
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let json_string s = "\"" ^ json_escape s ^ "\""
+
+let render_json ?(wall = true) r =
+  let job jb =
+    let fields =
+      [
+        Printf.sprintf "\"name\": %s" (json_string jb.jb_scenario.sc_name);
+        Printf.sprintf "\"seed\": %d" jb.jb_scenario.sc_seed;
+        Printf.sprintf "\"mem_seed\": %d" jb.jb_scenario.sc_mem_seed;
+        Printf.sprintf "\"ok\": %b" jb.jb_ok;
+        Printf.sprintf "\"stages\": {%s}"
+          (String.concat ", "
+             (List.map
+                (fun (name, ok) -> Printf.sprintf "%s: %b" (json_string name) ok)
+                jb.jb_stages));
+      ]
+      @ (if wall then
+           [ Printf.sprintf "\"wall_seconds\": %.6f" jb.jb_wall_seconds ]
+         else [])
+      @
+      match jb.jb_failure with
+      | None -> []
+      | Some e -> [ Printf.sprintf "\"failure\": %s" (json_string e) ]
+    in
+    "{" ^ String.concat ", " fields ^ "}"
+  in
+  let fields =
+    [
+      Printf.sprintf "\"ok\": %b" r.sw_ok;
+      Printf.sprintf "\"jobs\": %d" (List.length r.sw_jobs);
+    ]
+    @ (if wall then
+         [
+           Printf.sprintf "\"domains\": %d" r.sw_domains;
+           Printf.sprintf "\"wall_seconds\": %.6f" r.sw_wall_seconds;
+         ]
+       else [])
+    @ (match r.sw_cache with
+      | None -> []
+      | Some st ->
+          [
+            Printf.sprintf "\"cache\": {\"hits\": %d, \"misses\": %d}"
+              st.Synth_cache.hits st.Synth_cache.misses;
+          ])
+    @ [
+        Printf.sprintf "\"job_reports\": [%s]"
+          (String.concat ", " (List.map job r.sw_jobs));
+      ]
+    @
+    match r.sw_profile with
+    | None -> []
+    | Some sn -> [ Printf.sprintf "\"profile\": %s" (Obs.render_json ~wall sn) ]
+  in
+  "{" ^ String.concat ", " fields ^ "}"

@@ -1,0 +1,99 @@
+(** Multicore batch-simulation sweeps over the design flow.
+
+    A sweep runs many independent validation jobs — the paper's complete
+    refinement flow ({!Flow.run}: static analysis, TLM, pin-accurate,
+    synthesis, RT-level re-validation) per scenario — across a
+    {!Hlcs_runtime.Pool} of domains, sharing one content-hashed
+    {!Hlcs_synth.Synth_cache} so a 100-job sweep over one design
+    synthesises once.
+
+    Determinism: jobs are fully isolated (one kernel set per job, one VCD
+    file set per job) and results are returned in submission order, so a
+    sweep at [--jobs 4] produces byte-identical artefacts and verdicts to
+    the same sweep at [--jobs 1]; the regression suite asserts this at
+    the VCD-byte level. *)
+
+type scenario = {
+  sc_name : string;  (** job label; also the VCD file prefix under [vcd_dir] *)
+  sc_seed : int;  (** stimulus seed ({!Hlcs_pci.Pci_stim.random}) *)
+  sc_mem_seed : int;  (** target-memory fill seed (pure environment) *)
+  sc_count : int;  (** random bus requests in the script *)
+  sc_mem_bytes : int;
+  sc_policy : Hlcs_osss.Policy.t;
+  sc_target : Hlcs_pci.Pci_target.config;
+}
+
+val scenarios :
+  ?base_seed:int ->
+  ?count:int ->
+  ?mem_bytes:int ->
+  ?policy:Hlcs_osss.Policy.t ->
+  ?target:Hlcs_pci.Pci_target.config ->
+  ?vary:[ `Environment | `Stimuli ] ->
+  n:int ->
+  unit ->
+  scenario list
+(** [n] scenarios over one design configuration (default base seed 2004,
+    count 12, 512 memory bytes, FCFS, default target timing).
+
+    [vary] picks the sweep axis.  [`Environment] (the default) fixes the
+    request script and varies the target-memory fill seed: the unit under
+    design is {e identical} across jobs, so the shared synthesis cache
+    reduces the whole sweep to a single synthesis.  [`Stimuli] varies the
+    request script seed instead — a multi-design regression campaign
+    (the application process replays the script, so each job carries a
+    different design); the cache then deduplicates the flow's two
+    synthesis steps within each job. *)
+
+type job_report = {
+  jb_scenario : scenario;
+  jb_ok : bool;  (** flow verdict; [false] as well when the job crashed *)
+  jb_stages : (string * bool) list;  (** flow stage names and verdicts *)
+  jb_wall_seconds : float;
+  jb_profile : Hlcs_obs.Obs.snapshot option;
+      (** per-job merged kernel snapshot (TLM + behavioural + RTL runs),
+          [Some] iff the sweep ran with [profile] *)
+  jb_failure : string option;  (** exception text if the job crashed *)
+}
+
+type report = {
+  sw_jobs : job_report list;  (** in submission order *)
+  sw_ok : bool;
+  sw_domains : int;  (** domains the pool actually used *)
+  sw_wall_seconds : float;  (** whole-sweep wall clock *)
+  sw_cache : Hlcs_synth.Synth_cache.stats option;
+      (** [None] when the sweep ran with [cache:false] *)
+  sw_profile : Hlcs_obs.Obs.snapshot option;
+      (** merge of every job snapshot, with the cache counters attached
+          as [synth_cache_hits]/[synth_cache_misses] extras *)
+}
+
+val run :
+  ?jobs:int ->
+  ?chunk:int ->
+  ?cache:bool ->
+  ?profile:bool ->
+  ?vcd_dir:string ->
+  ?max_time:Hlcs_engine.Time.t ->
+  scenarios:scenario list ->
+  unit ->
+  report
+(** Runs one {!Flow.run} per scenario.  [jobs] defaults to
+    {!Hlcs_runtime.Pool.recommended_jobs}; [cache] (default [true])
+    shares one synthesis cache across all jobs; [vcd_dir] dumps
+    [<dir>/<sc_name>_{behavioural,rtl}.vcd] per job (the directory is
+    created if missing).  A crashing job is recorded in its
+    [jb_failure] and fails the sweep verdict without aborting the other
+    jobs. *)
+
+val render_text : ?wall:bool -> report -> string
+(** Per-job verdict table plus cache statistics and, when profiled, the
+    merged snapshot.  [wall:false] omits every host-time figure, making
+    the output deterministic for fixed scenarios regardless of [jobs] —
+    the CLI's [--deterministic] mode and the determinism regression rely
+    on that. *)
+
+val render_json : ?wall:bool -> report -> string
+(** One JSON object: sweep verdict, domain count, per-job records, cache
+    stats, merged snapshot.  Same escaping rules as
+    {!Hlcs_analysis.Diag.render_json}. *)

@@ -1,3 +1,12 @@
+(* Domain-safety audit (multicore sweeps): a resolved net is confined to
+   the domain running its [Kernel] — every mutable field ([drivers],
+   [cur], [raw], [pending], [tracers], the counter record) is touched only
+   from process callbacks and [drive]/[release] calls executing under that
+   kernel, and the batch runtime gives each job its own kernels.  The one
+   value that crosses structure boundaries, [rz], is an Lvec shared by
+   every released driver of the net; Lvec treats published arrays as
+   frozen (see lib/logic/lvec.ml), so that sharing is read-only. *)
+
 module Lvec = Hlcs_logic.Lvec
 module Logic = Hlcs_logic.Logic
 

@@ -77,7 +77,10 @@ let run_tlm ?(label = "tlm") ?(mem_seed = 42) ?policy ?profile ~mem_bytes ~scrip
 (* Pin-level fabric shared by configurations B and C                   *)
 
 (* the two 1-bit net contributions are interned; nothing mutates an Lvec
-   in place, so every single-bit drive reuses these *)
+   in place, so every single-bit drive reuses these.  Domain-safety: like
+   Bitvec's interned bits these are built at module initialisation, ahead
+   of any Pool domain spawn, and Lvec's frozen-after-publication
+   discipline makes the cross-job sharing read-only. *)
 let lv1_zero = Lvec.of_bitvec (Bitvec.of_int ~width:1 0)
 let lv1_one = Lvec.of_bitvec (Bitvec.of_int ~width:1 1)
 let lv1 b = if b then lv1_one else lv1_zero
@@ -228,13 +231,18 @@ let run_pin ?(label = "pin-behavioural") ?mem_seed ?policy ?vcd ?target
   finish_pin ~label ~fabric ~obs ~wall ~prof ~synthesis:None
 
 let run_rtl ?(label = "pin-rtl") ?mem_seed ?policy ?vcd ?target
-    ?(max_time = default_max_time) ?options ?design ?profile ~mem_bytes ~script () =
+    ?(max_time = default_max_time) ?options ?design ?cache ?profile ~mem_bytes
+    ~script () =
   let design =
     match design with
     | Some d -> d
     | None -> Pci_master_design.design ?policy ~app:script ()
   in
-  let report = Synthesize.synthesize ?options design in
+  let report =
+    match cache with
+    | Some c -> Hlcs_synth.Synth_cache.synthesize c ?options design
+    | None -> Synthesize.synthesize ?options design
+  in
   let fabric = build_fabric ?vcd ?mem_seed ?target ~mem_bytes () in
   let sim =
     Sim.elaborate fabric.fb_kernel ~clock:fabric.fb_clock report.Synthesize.rp_rtl

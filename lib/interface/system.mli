@@ -80,11 +80,14 @@ val run_rtl :
   ?max_time:Hlcs_engine.Time.t ->
   ?options:Hlcs_synth.Synthesize.options ->
   ?design:Hlcs_hlir.Ast.design ->
+  ?cache:Hlcs_synth.Synth_cache.t ->
   ?profile:bool ->
   mem_bytes:int ->
   script:Hlcs_pci.Pci_types.request list ->
   unit ->
   run_report
+(** [cache] memoises the synthesis step ({!Hlcs_synth.Synth_cache}): a
+    sweep re-running the same design pays for synthesis once. *)
 
 val compare_runs : run_report -> run_report -> string list
 (** Application-level consistency: observations and final memory.  Empty =

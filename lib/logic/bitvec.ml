@@ -45,7 +45,16 @@ let of_int ~width n =
   norm v
 
 (* the two 1-bit values are interned: sharing is safe (no mutation escapes
-   the module) and every port/glue forwarding write allocates one *)
+   the module) and every port/glue forwarding write allocates one.
+
+   Domain-safety audit (multicore sweeps): [limbs] is a mutable array, but
+   it is only ever written while the value is being constructed, before the
+   value is returned — [norm] runs on freshly allocated vectors, never on a
+   published one.  The interned bits are created at module initialisation,
+   before any [Domain.spawn] in the batch runtime, so the spawn edge
+   publishes them and concurrent readers in different domains see frozen
+   data.  Nothing in this module may be changed to mutate a [t] after
+   return without revisiting {!Hlcs_runtime.Pool}. *)
 let false_bit = of_int ~width:1 0
 let true_bit = of_int ~width:1 1
 let of_bool b = if b then true_bit else false_bit

@@ -1,4 +1,13 @@
-(* Stored LSB-first, matching Bitvec's bit order. *)
+(* Stored LSB-first, matching Bitvec's bit order.
+
+   Domain-safety audit (multicore sweeps): an [Lvec.t] is a bare array,
+   but the module treats published values as frozen — [set] copies,
+   [resolve]/[map] allocate, and the only in-place writes ([resolve_all]'s
+   accumulator, [init]) target arrays that have not yet been returned.
+   Values may therefore be shared freely between simulation jobs running
+   on different domains (e.g. the interned all-Z contribution in
+   {!Hlcs_engine.Resolved}); the happens-before edge of [Domain.spawn] /
+   [Domain.join] in {!Hlcs_runtime.Pool} publishes them. *)
 
 type t = Logic.t array
 

@@ -13,6 +13,9 @@ type snapshot = {
   sn_wall_seconds : float option;  (** [None] when the run was not timed *)
   sn_counters : Kernel.Counters.t;  (** a private copy, safe to keep *)
   sn_phases : Kernel.phase_times option;  (** [Some] iff profiling was on *)
+  sn_extras : (string * int) list;
+      (** extra integer gauges from layers above the kernel (e.g. a
+          sweep's synthesis-cache hits); merged by summing per name *)
 }
 
 let snapshot ?(label = "sim") ?wall_seconds kernel =
@@ -22,7 +25,10 @@ let snapshot ?(label = "sim") ?wall_seconds kernel =
     sn_wall_seconds = wall_seconds;
     sn_counters = Kernel.counters_snapshot kernel;
     sn_phases = Kernel.phase_times kernel;
+    sn_extras = [];
   }
+
+let with_extras sn extras = { sn with sn_extras = sn.sn_extras @ extras }
 
 let profiled ?label kernel f =
   Kernel.enable_profiling kernel ~clock:Unix.gettimeofday;
@@ -55,6 +61,69 @@ let counter_fields :
   ]
 
 let glossary = List.map (fun (n, _, d) -> (n, d)) counter_fields
+
+(* --- aggregation ------------------------------------------------------ *)
+
+(* Counters accumulate work (sum across runs); the two [peak_*] fields are
+   high-water marks (max).  Phase times and wall clocks are durations and
+   sum; [None] on one side means "not measured there" and the other side's
+   figure is kept. *)
+let merge_counters (a : Kernel.Counters.t) (b : Kernel.Counters.t) :
+    Kernel.Counters.t =
+  let open Kernel.Counters in
+  {
+    deltas = a.deltas + b.deltas;
+    timesteps = a.timesteps + b.timesteps;
+    activations = a.activations + b.activations;
+    updates = a.updates + b.updates;
+    immediate_notifies = a.immediate_notifies + b.immediate_notifies;
+    delta_notifies = a.delta_notifies + b.delta_notifies;
+    timed_notifies = a.timed_notifies + b.timed_notifies;
+    signal_writes = a.signal_writes + b.signal_writes;
+    signal_changes = a.signal_changes + b.signal_changes;
+    net_drives = a.net_drives + b.net_drives;
+    net_changes = a.net_changes + b.net_changes;
+    peak_runnable = max a.peak_runnable b.peak_runnable;
+    peak_timed = max a.peak_timed b.peak_timed;
+  }
+
+let merge_option f a b =
+  match (a, b) with
+  | None, other | other, None -> other
+  | Some x, Some y -> Some (f x y)
+
+let merge_phases (a : Kernel.phase_times) (b : Kernel.phase_times) :
+    Kernel.phase_times =
+  {
+    Kernel.pt_evaluate = a.Kernel.pt_evaluate +. b.Kernel.pt_evaluate;
+    pt_update = a.Kernel.pt_update +. b.Kernel.pt_update;
+    pt_notify = a.Kernel.pt_notify +. b.Kernel.pt_notify;
+    pt_run = a.Kernel.pt_run +. b.Kernel.pt_run;
+  }
+
+let merge_extras a b =
+  (* sum per name, keeping first-appearance order across both lists *)
+  List.fold_left
+    (fun acc (name, v) ->
+      if List.mem_assoc name acc then
+        List.map (fun (n, x) -> if n = name then (n, x + v) else (n, x)) acc
+      else acc @ [ (name, v) ])
+    a b
+
+let merge a b =
+  {
+    sn_label = a.sn_label;
+    sn_sim_time = Time.add a.sn_sim_time b.sn_sim_time;
+    sn_wall_seconds = merge_option ( +. ) a.sn_wall_seconds b.sn_wall_seconds;
+    sn_counters = merge_counters a.sn_counters b.sn_counters;
+    sn_phases = merge_option merge_phases a.sn_phases b.sn_phases;
+    sn_extras = merge_extras a.sn_extras b.sn_extras;
+  }
+
+let merge_all ~label = function
+  | [] -> None
+  | first :: rest ->
+      Some { (List.fold_left merge first rest) with sn_label = label }
 
 let phase_fields (p : Kernel.phase_times) =
   [
@@ -103,6 +172,10 @@ let render_text ?(wall = true) sn =
       Buffer.add_string buf
         (Printf.sprintf "  %-20s %10d  %s\n" name (get sn.sn_counters) doc))
     counter_fields;
+  List.iter
+    (fun (name, v) ->
+      Buffer.add_string buf (Printf.sprintf "  %-20s %10d\n" name v))
+    sn.sn_extras;
   (match sn.sn_phases with
   | Some p when wall ->
       Buffer.add_string buf "phase times:\n";
@@ -121,9 +194,19 @@ let render_json ?(wall = true) sn =
          counter_fields)
   in
   let optional =
-    (match sn.sn_wall_seconds with
-    | Some w when wall -> [ Printf.sprintf "\"wall_seconds\": %.6f" w ]
-    | Some _ | None -> [])
+    (match sn.sn_extras with
+    | [] -> []
+    | extras ->
+        [
+          Printf.sprintf "\"extras\": {%s}"
+            (String.concat ", "
+               (List.map
+                  (fun (name, v) -> Printf.sprintf "%s: %d" (json_string name) v)
+                  extras));
+        ])
+    @ (match sn.sn_wall_seconds with
+      | Some w when wall -> [ Printf.sprintf "\"wall_seconds\": %.6f" w ]
+      | Some _ | None -> [])
     @
     match sn.sn_phases with
     | Some p when wall ->

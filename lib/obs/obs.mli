@@ -14,6 +14,10 @@ type snapshot = {
   sn_counters : Hlcs_engine.Kernel.Counters.t;  (** private copy *)
   sn_phases : Hlcs_engine.Kernel.phase_times option;
       (** [Some] iff profiling was enabled during the run *)
+  sn_extras : (string * int) list;
+      (** extra integer gauges contributed by layers above the kernel
+          (e.g. a batch sweep's synthesis-cache hit/miss counters);
+          empty for a plain kernel snapshot *)
 }
 
 val snapshot :
@@ -30,6 +34,23 @@ val profiled :
 val glossary : (string * string) list
 (** Counter name and one-line meaning, in render order — the table behind
     the EXPERIMENTS.md profiling section. *)
+
+val with_extras : snapshot -> (string * int) list -> snapshot
+(** Append named integer gauges to the snapshot; both renderers list them
+    after the kernel counters. *)
+
+val merge : snapshot -> snapshot -> snapshot
+(** Aggregate two snapshots into one: counters sum, the [peak_*]
+    high-water marks take the max, phase times, wall seconds and
+    simulated time sum, extras sum per name.  An absent optional on one
+    side ([sn_wall_seconds], [sn_phases]) keeps the other side's figure.
+    The label of the left operand wins — see {!merge_all} to relabel an
+    aggregation.  [merge] is associative, so folding it over the per-job
+    snapshots of a sweep is well-defined regardless of grouping. *)
+
+val merge_all : label:string -> snapshot list -> snapshot option
+(** Fold {!merge} over the snapshots (in order) and relabel the result;
+    [None] on the empty list. *)
 
 val render_text : ?wall:bool -> snapshot -> string
 (** Aligned counter table with the glossary inline.  [wall:false] omits

@@ -1,0 +1,68 @@
+(* Domain-pool batch engine.
+
+   The work queue is a single atomic cursor over the input index space:
+   a worker claims [chunk] consecutive indices per fetch-and-add, runs
+   them, and writes each outcome into its own slot of a preallocated
+   result array.  Index partitioning gives exactly-once execution by
+   construction (two workers can never claim the same index), and the
+   final [Domain.join] on every worker is the happens-before edge that
+   publishes all slot writes to the caller, so the plain (non-atomic)
+   result array is safe under the OCaml memory model. *)
+
+type failure = { f_index : int; f_exn : string; f_backtrace : string }
+type 'a outcome = Done of 'a | Failed of failure
+
+let recommended_jobs () = Domain.recommended_domain_count ()
+
+let run_one f items i =
+  match f items.(i) with
+  | v -> Done v
+  | exception exn ->
+      Failed
+        {
+          f_index = i;
+          f_exn = Printexc.to_string exn;
+          f_backtrace = Printexc.get_backtrace ();
+        }
+
+let map ?jobs ?(chunk = 1) f items =
+  let n = Array.length items in
+  let jobs = match jobs with None -> recommended_jobs () | Some j -> j in
+  if jobs < 1 then invalid_arg "Pool.map: jobs must be >= 1";
+  if chunk < 1 then invalid_arg "Pool.map: chunk must be >= 1";
+  if n = 0 then [||]
+  else if jobs = 1 || n = 1 then Array.init n (run_one f items)
+  else begin
+    let results = Array.make n None in
+    let next = Atomic.make 0 in
+    let worker () =
+      let continue = ref true in
+      while !continue do
+        let start = Atomic.fetch_and_add next chunk in
+        if start >= n then continue := false
+        else
+          for i = start to min n (start + chunk) - 1 do
+            results.(i) <- Some (run_one f items i)
+          done
+      done
+    in
+    let domains = Array.init (min jobs n) (fun _ -> Domain.spawn worker) in
+    Array.iter Domain.join domains;
+    Array.map
+      (function Some r -> r | None -> assert false (* every index was claimed *))
+      results
+  end
+
+let map_list ?jobs ?chunk f items =
+  Array.to_list (map ?jobs ?chunk f (Array.of_list items))
+
+let join_results outcomes =
+  let failures =
+    Array.to_list outcomes
+    |> List.filter_map (function Failed f -> Some f | Done _ -> None)
+  in
+  if failures <> [] then Error failures
+  else
+    Ok
+      (Array.to_list outcomes
+      |> List.map (function Done v -> v | Failed _ -> assert false))

@@ -1,0 +1,52 @@
+(** A fixed-size domain pool for embarrassingly-parallel batch jobs.
+
+    The runtime's unit of work is a pure-ish job: a function applied to
+    one element of an input array, building its own simulation kernels
+    and touching no state shared with other jobs (the engine keeps all
+    scheduler state inside {!Hlcs_engine.Kernel.t}, so one kernel per job
+    is the whole discipline).  {!map} farms the input array over a fixed
+    pool of domains with a chunked work queue and returns the outcomes
+    {e in submission order}, so a parallel sweep is observationally
+    identical to a sequential one.
+
+    Fault isolation: a job that raises does not kill the sweep or the
+    pool — it yields a structured {!failure} record in its slot and every
+    other job still runs exactly once. *)
+
+type failure = {
+  f_index : int;  (** submission index of the job that failed *)
+  f_exn : string;  (** [Printexc.to_string] of the escaping exception *)
+  f_backtrace : string;  (** backtrace captured at the catch site *)
+}
+
+type 'a outcome = Done of 'a | Failed of failure
+
+val recommended_jobs : unit -> int
+(** [Domain.recommended_domain_count ()] — the pool size used when [map]
+    is called without [?jobs]. *)
+
+val map : ?jobs:int -> ?chunk:int -> ('a -> 'b) -> 'a array -> 'b outcome array
+(** [map ~jobs ~chunk f items] applies [f] to every element of [items]
+    across [min jobs (Array.length items)] domains and returns one
+    outcome per element, index-aligned with the input.
+
+    [jobs] defaults to {!recommended_jobs}; [jobs = 1] (or a singleton
+    input) runs everything in the calling domain, spawning nothing — the
+    deterministic baseline.  [chunk] (default 1) is how many consecutive
+    indices a domain claims per queue round-trip; larger chunks amortise
+    the atomic claim for very short jobs.
+
+    Every element is claimed by exactly one domain (the queue is a single
+    atomic cursor over the index space), and the caller only reads the
+    result array after joining every worker, so no job result is ever
+    observed before it is fully published.
+
+    @raise Invalid_argument if [chunk < 1] or [jobs < 1]. *)
+
+val map_list : ?jobs:int -> ?chunk:int -> ('a -> 'b) -> 'a list -> 'b outcome list
+(** {!map} over lists, preserving order. *)
+
+val join_results : 'a outcome array -> ('a list, failure list) result
+(** All-or-nothing view: [Ok] of every payload in submission order when
+    no job failed, otherwise [Error] of the failures (also in submission
+    order). *)

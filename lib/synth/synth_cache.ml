@@ -1,0 +1,94 @@
+(* Content-hashed synthesis memoisation.
+
+   Key = MD5 over (option fields, canonical serialisation of the HLIR
+   design).  The HLIR AST is pure data (no closures, no mutation after
+   construction), so [Marshal] with [No_sharing] is a canonical encoding:
+   structurally equal designs serialise to identical bytes regardless of
+   how much substructure they happen to share in memory.
+
+   Concurrency: one mutex guards the table and the counters.  A miss
+   installs [Pending] and runs the synthesiser *outside* the lock, so
+   lookups for other designs proceed; concurrent requests for the same
+   key wait on the condition variable until the first requester publishes
+   [Ready] (or [Raised]).  Either way they are counted as hits — the
+   synthesiser ran once. *)
+
+type stats = { hits : int; misses : int }
+
+type entry =
+  | Pending
+  | Ready of Synthesize.report
+  | Raised of exn
+
+type t = {
+  lock : Mutex.t;
+  published : Condition.t;
+  table : (string, entry) Hashtbl.t;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let create () =
+  {
+    lock = Mutex.create ();
+    published = Condition.create ();
+    table = Hashtbl.create 16;
+    hits = 0;
+    misses = 0;
+  }
+
+let key ?(options = Synthesize.default_options) design =
+  let opts =
+    Printf.sprintf "chaining=%b;age_width=%d;optimize=%b\x00" options.Synthesize.chaining
+      options.Synthesize.age_width options.Synthesize.optimize
+  in
+  Digest.to_hex
+    (Digest.string (opts ^ Marshal.to_string design [ Marshal.No_sharing ]))
+
+let synthesize t ?options design =
+  let k = key ?options design in
+  Mutex.lock t.lock;
+  let rec resolve () =
+    match Hashtbl.find_opt t.table k with
+    | Some (Ready report) ->
+        t.hits <- t.hits + 1;
+        Mutex.unlock t.lock;
+        report
+    | Some (Raised exn) ->
+        t.hits <- t.hits + 1;
+        Mutex.unlock t.lock;
+        raise exn
+    | Some Pending ->
+        Condition.wait t.published t.lock;
+        resolve ()
+    | None ->
+        Hashtbl.replace t.table k Pending;
+        t.misses <- t.misses + 1;
+        Mutex.unlock t.lock;
+        let outcome =
+          match Synthesize.synthesize ?options design with
+          | report -> Ready report
+          | exception exn -> Raised exn
+        in
+        Mutex.lock t.lock;
+        Hashtbl.replace t.table k outcome;
+        Condition.broadcast t.published;
+        Mutex.unlock t.lock;
+        (match outcome with
+        | Ready report -> report
+        | Raised exn -> raise exn
+        | Pending -> assert false)
+  in
+  resolve ()
+
+let stats t =
+  Mutex.lock t.lock;
+  let s = { hits = t.hits; misses = t.misses } in
+  Mutex.unlock t.lock;
+  s
+
+let size t =
+  Mutex.lock t.lock;
+  let n = Hashtbl.length t.table in
+  Mutex.unlock t.lock;
+  n

@@ -1,0 +1,46 @@
+(** A content-addressed memo table over {!Synthesize.synthesize}.
+
+    Refinement-based validation re-synthesises the same unit under design
+    for every job of a sweep (and the flow driver itself synthesises the
+    design twice per run: once for the netlist analyses, once inside the
+    RT-level simulation).  Synthesis is a pure function of the HLIR
+    design and the synthesis options, so its output can be keyed by
+    content: the cache hashes a canonical serialisation of both and
+    returns the previously computed report on a hit.
+
+    The cached {!Synthesize.report} is immutable after construction
+    (pure-data RTL IR, lists and strings throughout), so one report may
+    be shared freely across domains; the table itself is protected by a
+    mutex and is safe to share between the workers of a
+    {!Hlcs_runtime.Pool} sweep.  A synthesis in flight is represented by
+    a pending entry: concurrent requests for the same key block on it
+    rather than duplicating the work, so an N-job sweep over one design
+    synthesises exactly once regardless of domain count. *)
+
+type t
+
+type stats = {
+  hits : int;  (** requests served from the table (including waits on a
+                   computation already in flight) *)
+  misses : int;  (** requests that had to run the synthesiser *)
+}
+
+val create : unit -> t
+
+val key : ?options:Synthesize.options -> Hlcs_hlir.Ast.design -> string
+(** The content hash: a digest over the canonical (sharing-expanded)
+    serialisation of the design plus every option field.  Structurally
+    equal designs under equal options always collide onto the same key;
+    any change to either yields a fresh key, which is the cache's whole
+    invalidation story. *)
+
+val synthesize : t -> ?options:Synthesize.options -> Hlcs_hlir.Ast.design -> Synthesize.report
+(** Like {!Synthesize.synthesize}, memoised on {!key}.  A synthesis that
+    raises (e.g. {!Synthesize.Synthesis_error}) is cached as a failure
+    and re-raised on later hits — a design outside the synthesisable
+    subset stays outside it. *)
+
+val stats : t -> stats
+
+val size : t -> int
+(** Number of distinct keys resident (completed or in flight). *)
