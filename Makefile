@@ -1,6 +1,6 @@
 # Convenience targets; dune is the real build system.
 
-.PHONY: all build test lint check ci bench bench-smoke sweep-smoke clean
+.PHONY: all build test lint check ci bench bench-smoke sweep-smoke fault-smoke clean
 
 all: build
 
@@ -20,7 +20,7 @@ check: build test lint
 # Everything a PR must pass, including one pass over every bench series
 # (tiny iteration counts) so the perf code paths are compiled and exercised
 # even when nobody is looking at the numbers.
-ci: build lint test bench-smoke sweep-smoke
+ci: build lint test bench-smoke sweep-smoke fault-smoke
 
 bench-smoke:
 	dune exec bench/main.exe -- --smoke
@@ -29,6 +29,13 @@ bench-smoke:
 # synthesis cache and the merged observability snapshot end to end.
 sweep-smoke:
 	dune exec bin/hlcs_cli.exe -- sweep --smoke --jobs 2
+
+# A seeded fault campaign, one cycle through every fault family on 2
+# domains.  Campaign seed 1 is the empirically fully-survivable smoke
+# campaign: any non-zero exit means either an injection regressed or a
+# verdict flipped to inconsistent.
+fault-smoke:
+	dune exec bin/hlcs_cli.exe -- fault --smoke --jobs 2 --fault-seed 1 --deterministic
 
 # The full wall-clock series (see BENCH_pr2.json for the committed
 # trajectory): min-of-N, one JSON document per run.

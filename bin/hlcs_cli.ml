@@ -5,83 +5,31 @@
      hlcs_cli lint     static analysis over the shipped library elements
      hlcs_cli profile  simulate one configuration with kernel profiling on
      hlcs_cli sweep    batch-validate a scenario sweep over a domain pool
+     hlcs_cli fault    seeded fault-injection campaign over the flow
      hlcs_cli waves    produce the Figure-4 VCD waveforms
      hlcs_cli latency  the FW1 method-call latency series
 
-   All commands are deterministic in their --seed. *)
+   All commands are deterministic in their --seed (and the fault campaign
+   additionally in its --fault-seed).  Common flags (--format,
+   --deterministic, --jobs, --seed, ...) are declared once in Cli_common
+   so they parse identically across subcommands. *)
 
 open Cmdliner
+open Cli_common
 module Synthesize = Hlcs_synth.Synthesize
 module Policy = Hlcs_osss.Policy
 module Pci_stim = Hlcs_pci.Pci_stim
-module Pci_target = Hlcs_pci.Pci_target
 module Obs = Hlcs_obs.Obs
 open Hlcs_interface
-
-(* --- shared options --------------------------------------------------- *)
-
-let seed =
-  Arg.(value & opt int 2004 & info [ "seed" ] ~docv:"N" ~doc:"Stimuli random seed.")
-
-let count =
-  Arg.(
-    value & opt int 12
-    & info [ "count" ] ~docv:"N" ~doc:"Number of random bus requests to generate.")
-
-let mem_bytes =
-  Arg.(
-    value & opt int 1024
-    & info [ "mem-bytes" ] ~docv:"BYTES" ~doc:"Size of the target memory window.")
-
-let policy_conv =
-  let parse s =
-    match Policy.of_string s with
-    | Some p -> Ok p
-    | None -> Error (`Msg (Printf.sprintf "unknown policy %S (fcfs|priority|rr)" s))
-  in
-  Arg.conv (parse, Policy.pp)
-
-let policy =
-  Arg.(
-    value & opt policy_conv Policy.Fcfs
-    & info [ "policy" ] ~docv:"POLICY"
-        ~doc:"Arbitration policy of the interface object: fcfs, priority or rr.")
-
-let retry_every =
-  Arg.(
-    value & opt (some int) None
-    & info [ "retry-every" ] ~docv:"K" ~doc:"Make the target Retry every K-th transaction.")
-
-let wait_states =
-  Arg.(
-    value & opt int 0
-    & info [ "wait-states" ] ~docv:"N" ~doc:"Target wait states per data phase.")
-
-let devsel_latency =
-  Arg.(
-    value & opt int 1
-    & info [ "devsel-latency" ] ~docv:"N" ~doc:"Target DEVSEL# latency in cycles (>= 1).")
-
-let target_term =
-  let make retry_every wait_states devsel_latency =
-    { Pci_target.default_config with retry_every; wait_states; devsel_latency }
-  in
-  Term.(const make $ retry_every $ wait_states $ devsel_latency)
-
-let script_term =
-  let make seed count mem_bytes =
-    Pci_stim.write_then_read_all
-      (Pci_stim.random ~seed ~count ~base:0 ~size_bytes:mem_bytes ())
-  in
-  Term.(const make $ seed $ count $ mem_bytes)
 
 (* --- flow -------------------------------------------------------------- *)
 
 let flow_cmd =
   let run script mem_bytes target policy vcd_prefix profile =
-    let report =
-      Hlcs.Flow.run ~mem_bytes ~target ~policy ?vcd_prefix ~profile ~script ()
+    let config =
+      Run_config.make ~mem_bytes ~target ~policy ?vcd_prefix ~profile ()
     in
+    let report = Hlcs.Flow.execute ~config ~script () in
     Format.printf "%a@." Hlcs.Flow.pp_report report;
     if report.Hlcs.Flow.fl_ok then `Ok () else `Error (false, "flow failed")
   in
@@ -241,12 +189,6 @@ let lint_cmd =
              demos demo-deadlock, demo-starvation, demo-multidriver, demo-combloop, \
              demo-xsource.")
   in
-  let format =
-    Arg.(
-      value
-      & opt (enum [ ("text", `Text); ("json", `Json) ]) `Text
-      & info [ "format" ] ~docv:"FMT" ~doc:"Output format: text or json.")
-  in
   let strict =
     Arg.(
       value & flag
@@ -274,11 +216,14 @@ let lint_cmd =
 
 let profile_cmd =
   let run script mem_bytes target policy which format deterministic =
+    let config =
+      Run_config.make ~mem_bytes ~target ~policy ~profile:true ()
+    in
     let rr =
       match which with
-      | `Tlm -> System.run_tlm ~policy ~profile:true ~mem_bytes ~script ()
-      | `Pin -> System.run_pin ~policy ~target ~profile:true ~mem_bytes ~script ()
-      | `Rtl -> System.run_rtl ~policy ~target ~profile:true ~mem_bytes ~script ()
+      | `Tlm -> System.tlm config ~script
+      | `Pin -> System.pin config ~script
+      | `Rtl -> System.rtl config ~script
       | `Sram_pin -> Sram_system.run_pin ~policy ~profile:true ~mem_bytes ~script ()
       | `Sram_rtl -> Sram_system.run_rtl ~policy ~profile:true ~mem_bytes ~script ()
     in
@@ -307,20 +252,6 @@ let profile_cmd =
       & info [] ~docv:"DESIGN"
           ~doc:"Configuration to profile: tlm, pin, rtl (default), sram-pin or sram-rtl.")
   in
-  let format =
-    Arg.(
-      value
-      & opt (enum [ ("text", `Text); ("json", `Json) ]) `Text
-      & info [ "format" ] ~docv:"FMT" ~doc:"Output format: text or json.")
-  in
-  let deterministic =
-    Arg.(
-      value & flag
-      & info [ "deterministic" ]
-          ~doc:
-            "Omit wall-clock and phase times, leaving only the deterministic \
-             counters (stable output for a fixed seed).")
-  in
   Cmd.v
     (Cmd.info "profile"
        ~doc:
@@ -332,6 +263,21 @@ let profile_cmd =
        $ deterministic))
 
 (* --- sweep -------------------------------------------------------------- *)
+
+let sweep_failure report =
+  (* non-zero exit whenever any job carries a failure record or a failed
+     flow, even if the merged snapshot rendered fine *)
+  match Hlcs.Sweep.failed_jobs report with
+  | [] -> `Ok ()
+  | failed ->
+      `Error
+        ( false,
+          Printf.sprintf "sweep failed: %d of %d jobs (%s)" (List.length failed)
+            (List.length report.Hlcs.Sweep.sw_jobs)
+            (String.concat ", "
+               (List.map
+                  (fun jb -> jb.Hlcs.Sweep.jb_scenario.Hlcs.Sweep.sc_name)
+                  failed)) )
 
 let sweep_cmd =
   let run n jobs seed count mem_bytes policy target vary no_cache profile vcd_dir
@@ -350,20 +296,12 @@ let sweep_cmd =
     (match format with
     | `Text -> print_string (Hlcs.Sweep.render_text ~wall report)
     | `Json -> print_endline (Hlcs.Sweep.render_json ~wall report));
-    if report.Hlcs.Sweep.sw_ok then `Ok () else `Error (false, "sweep failed")
+    sweep_failure report
   in
   let n =
     Arg.(
       value & opt int 16
       & info [ "n"; "sweep" ] ~docv:"N" ~doc:"Number of scenarios (jobs) to run.")
-  in
-  let jobs =
-    Arg.(
-      value & opt (some int) None
-      & info [ "jobs" ] ~docv:"J"
-          ~doc:
-            "Size of the domain pool (default: the runtime's recommended domain \
-             count; 1 = run sequentially in the calling domain).")
   in
   let vary =
     Arg.(
@@ -396,20 +334,6 @@ let sweep_cmd =
       & info [ "vcd-dir" ] ~docv:"DIR"
           ~doc:"Dump per-job waveforms to DIR/<job>_{behavioural,rtl}.vcd.")
   in
-  let format =
-    Arg.(
-      value
-      & opt (enum [ ("text", `Text); ("json", `Json) ]) `Text
-      & info [ "format" ] ~docv:"FMT" ~doc:"Output format: text or json.")
-  in
-  let deterministic =
-    Arg.(
-      value & flag
-      & info [ "deterministic" ]
-          ~doc:
-            "Omit wall-clock figures, leaving only deterministic output (identical \
-             for a fixed sweep regardless of --jobs).")
-  in
   let smoke =
     Arg.(
       value & flag
@@ -427,15 +351,76 @@ let sweep_cmd =
         (const run $ n $ jobs $ seed $ count $ mem_bytes $ policy $ target_term
        $ vary $ no_cache $ profile $ vcd_dir $ format $ deterministic $ smoke))
 
+(* --- fault -------------------------------------------------------------- *)
+
+let fault_cmd =
+  let run n jobs seed fault_seed count mem_bytes policy target vcd_dir format
+      deterministic smoke =
+    (* --smoke: the CI-sized campaign — one cycle through the fault
+       families on a small script *)
+    let n, count = if smoke then (8, 4) else (n, count) in
+    let scenarios =
+      Hlcs.Sweep.fault_scenarios ~base_seed:seed ~count ~mem_bytes ~policy
+        ~target ~fault_seed ~n ()
+    in
+    let report = Hlcs.Sweep.run ?jobs ?vcd_dir ~scenarios () in
+    let wall = not deterministic in
+    (match format with
+    | `Text -> print_string (Hlcs.Sweep.render_text ~wall report)
+    | `Json -> print_endline (Hlcs.Sweep.render_json ~wall report));
+    sweep_failure report
+  in
+  let n =
+    Arg.(
+      value & opt int 8
+      & info [ "n"; "scenarios" ] ~docv:"N"
+          ~doc:
+            "Number of fault scenarios (scenario 0 is the fault-free control; \
+             8 cycles once through the fault families).")
+  in
+  let fault_seed =
+    Arg.(
+      value & opt int 7
+      & info [ "fault-seed" ] ~docv:"N"
+          ~doc:
+            "Campaign seed: parametrises every injected fault (deterministic \
+             and replayable at any --jobs).")
+  in
+  let vcd_dir =
+    Arg.(
+      value & opt (some string) None
+      & info [ "vcd-dir" ] ~docv:"DIR"
+          ~doc:"Dump per-scenario waveforms to DIR/<scenario>_{behavioural,rtl}.vcd.")
+  in
+  let smoke =
+    Arg.(
+      value & flag
+      & info [ "smoke" ]
+          ~doc:"CI preset: 8 scenarios on a small script (overrides --n and --count).")
+  in
+  Cmd.v
+    (Cmd.info "fault"
+       ~doc:
+         "Run a seeded fault-injection campaign: kernel glitches and scheduling \
+          jitter, PCI target misbehaviour (wait-stretch, retry, disconnect, \
+          abort), arbiter starvation and interface stalls, each run classified \
+          against the paper's equivalence invariant (survived / degraded / \
+          inconsistent).")
+    Term.(
+      ret
+        (const run $ n $ jobs $ seed $ fault_seed $ count $ mem_bytes $ policy
+       $ target_term $ vcd_dir $ format $ deterministic $ smoke))
+
 (* --- waves ------------------------------------------------------------- *)
 
 let waves_cmd =
   let run mem_bytes target out =
     let script = Pci_stim.directed_smoke ~base:0 in
-    let b =
-      System.run_pin ~vcd:(out ^ "_behavioural.vcd") ~target ~mem_bytes ~script ()
+    let config =
+      Run_config.make ~mem_bytes ~target ~vcd_prefix:out ()
     in
-    let c = System.run_rtl ~vcd:(out ^ "_rtl.vcd") ~target ~mem_bytes ~script () in
+    let b = System.pin config ~script in
+    let c = System.rtl config ~script in
     Format.printf "%a@.%a@." System.pp_report b System.pp_report c;
     List.iter
       (fun tx -> Format.printf "  %a@." Hlcs_pci.Pci_types.pp_transaction tx)
@@ -559,15 +544,15 @@ let () =
         "High-level communication synthesis — reproduction of Bruschi & Bombana (DATE 2004)."
   in
   exit
-    (Cmd.eval
-       (Cmd.group info
-          [
-            flow_cmd;
-            synth_cmd;
-            lint_cmd;
-            profile_cmd;
-            sweep_cmd;
-            waves_cmd;
-            latency_cmd;
-            wavediff_cmd;
-          ]))
+    (Cli_common.eval_group info
+       [
+         flow_cmd;
+         synth_cmd;
+         lint_cmd;
+         profile_cmd;
+         sweep_cmd;
+         fault_cmd;
+         waves_cmd;
+         latency_cmd;
+         wavediff_cmd;
+       ])

@@ -1,6 +1,8 @@
 module System = Hlcs_interface.System
+module Run_config = Hlcs_interface.Run_config
 module Synthesize = Hlcs_synth.Synthesize
 module Time = Hlcs_engine.Time
+module Fault = Hlcs_fault.Fault
 module Diag = Hlcs_analysis.Diag
 module Analyze = Hlcs_analysis.Analyze
 
@@ -23,6 +25,8 @@ type report = {
   fl_ok : bool;
   fl_diags : Diag.t list;
   fl_artefacts : artefacts option;
+  fl_verdict : Fault.verdict option;
+  fl_fault : Fault.stats option;
 }
 
 let timed f =
@@ -33,10 +37,12 @@ let timed f =
 let stage name ok detail wall =
   { sg_name = name; sg_ok = ok; sg_detail = detail; sg_wall_seconds = wall }
 
-let run ?(mem_bytes = 1024) ?mem_seed ?target ?policy ?options ?vcd_prefix ?max_time
-    ?cache ?profile ~script () =
-  let vcd suffix = Option.map (fun p -> p ^ "_" ^ suffix ^ ".vcd") vcd_prefix in
-  let uud = Hlcs_interface.Pci_master_design.design ?policy ~app:script () in
+let execute ?(config = Run_config.default) ~script () =
+  let faulty = not (Fault.is_empty config.Run_config.rc_faults) in
+  let uud =
+    Hlcs_interface.Pci_master_design.design ?policy:config.Run_config.rc_policy
+      ~app:script ()
+  in
   (* static analysis gates the rest of the flow: a design that typechecks
      badly or can deadlock fails here, before any simulation is paid for *)
   let design_diags, t_analysis = timed (fun () -> Analyze.design uud) in
@@ -54,33 +60,51 @@ let run ?(mem_bytes = 1024) ?mem_seed ?target ?policy ?options ?vcd_prefix ?max_
       fl_ok = false;
       fl_diags = design_diags;
       fl_artefacts = None;
+      fl_verdict = None;
+      fl_fault = None;
     }
   else
-    let tlm, t_tlm =
-      timed (fun () -> System.run_tlm ?mem_seed ?policy ?profile ~mem_bytes ~script ())
-    in
-    let behav, t_behav =
-      timed (fun () ->
-          System.run_pin ?mem_seed ?policy ?vcd:(vcd "behavioural") ?target ?max_time
-            ?profile ~mem_bytes ~script ())
-    in
+    let tlm, t_tlm = timed (fun () -> System.tlm config ~script) in
+    let behav, t_behav = timed (fun () -> System.pin config ~script) in
     let synthesis, t_synth =
       timed (fun () ->
-          match cache with
-          | Some c -> Hlcs_synth.Synth_cache.synthesize c ?options uud
-          | None -> Synthesize.synthesize ?options uud)
+          match config.Run_config.rc_cache with
+          | Some c ->
+              Hlcs_synth.Synth_cache.synthesize c
+                ?options:config.Run_config.rc_synth_options uud
+          | None ->
+              Synthesize.synthesize ?options:config.Run_config.rc_synth_options
+                uud)
     in
     let rtl_diags = Analyze.rtl synthesis.Synthesize.rp_rtl in
-    let rtl, t_rtl =
-      timed (fun () ->
-          System.run_rtl ?mem_seed ?policy ?vcd:(vcd "rtl") ?target ?max_time ?options
-            ?cache ?profile ~mem_bytes ~script ())
-    in
+    let rtl, t_rtl = timed (fun () -> System.rtl config ~script) in
     let refinement_issues = System.compare_runs tlm behav in
     let behav_viols = behav.System.rr_violations in
     let consistency_issues = System.compare_runs behav rtl in
     let trace_issues = System.compare_bus_traces behav rtl in
     let rtl_viols = rtl.System.rr_violations in
+    let fault_stats =
+      match
+        List.filter_map
+          (fun (rr : System.run_report) -> rr.System.rr_fault)
+          [ tlm; behav; rtl ]
+      with
+      | [] -> None
+      | first :: rest -> Some (List.fold_left Fault.merge_stats first rest)
+    in
+    let verdict =
+      if not faulty then None
+      else
+        Some
+          (Fault.classify ~plan:config.Run_config.rc_faults
+             ~spec_vs_synth:(consistency_issues @ trace_issues)
+             ~tlm_vs_spec:refinement_issues
+             (Option.value ~default:(Fault.stats ()) fault_stats))
+    in
+    (* Under an injected fault, divergence from the TLM golden reference
+       and monitor violations are expected symptoms, not flow failures:
+       the fault-verdict stage is then the arbiter (the paper's invariant,
+       spec vs synthesised model, is what it refuses to forgive). *)
     let stages =
       [
         analysis_stage;
@@ -88,7 +112,7 @@ let run ?(mem_bytes = 1024) ?mem_seed ?target ?policy ?options ?vcd_prefix ?max_
           (Format.asprintf "%a" System.pp_report tlm)
           t_tlm;
         stage "executable specification (pin-accurate, behavioural)"
-          (refinement_issues = [] && behav_viols = [])
+          (faulty || (refinement_issues = [] && behav_viols = []))
           (Format.asprintf "%a; refinement vs TLM: %s" System.pp_report behav
              (if refinement_issues = [] then "consistent"
               else String.concat "; " refinement_issues))
@@ -99,12 +123,22 @@ let run ?(mem_bytes = 1024) ?mem_seed ?target ?policy ?options ?vcd_prefix ?max_
              Diag.pp_counts (Diag.count rtl_diags))
           t_synth;
         stage "post-synthesis validation (RT level)"
-          (consistency_issues = [] && trace_issues = [] && rtl_viols = [])
+          (faulty || (consistency_issues = [] && trace_issues = [] && rtl_viols = []))
           (Format.asprintf "%a; consistency vs behavioural: %s" System.pp_report rtl
              (if consistency_issues = [] && trace_issues = [] then "consistent"
               else String.concat "; " (consistency_issues @ trace_issues)))
           t_rtl;
       ]
+      @
+      match verdict with
+      | None -> []
+      | Some v ->
+          [
+            stage "fault verdict" (Fault.verdict_ok v)
+              (Format.asprintf "%a under plan: %s" Fault.pp_verdict v
+                 (Fault.summary config.Run_config.rc_faults))
+              0.;
+          ]
     in
     {
       fl_stages = stages;
@@ -118,7 +152,18 @@ let run ?(mem_bytes = 1024) ?mem_seed ?target ?policy ?options ?vcd_prefix ?max_
             fl_rtl = rtl;
             fl_synthesis = synthesis;
           };
+      fl_verdict = verdict;
+      fl_fault = fault_stats;
     }
+
+(* Deprecated optional-argument wrapper over [execute]. *)
+let run ?(mem_bytes = 1024) ?mem_seed ?target ?policy ?options ?vcd_prefix
+    ?max_time ?cache ?profile ?faults ~script () =
+  let config =
+    Run_config.make ~mem_bytes ?mem_seed ?target ?policy ?synth_options:options
+      ?vcd_prefix ?max_time ?cache ?profile ?faults ()
+  in
+  execute ~config ~script ()
 
 let pp_report ppf r =
   Format.fprintf ppf "@[<v>design flow: %s@," (if r.fl_ok then "PASS" else "FAIL");
@@ -131,6 +176,14 @@ let pp_report ppf r =
   (match List.filter (fun (d : Diag.t) -> d.Diag.d_severity <> Diag.Info) r.fl_diags with
   | [] -> ()
   | noisy -> Format.fprintf ppf "diagnostics:@,%s@," (Diag.render_text noisy));
+  (match r.fl_fault with
+  | None -> ()
+  | Some st ->
+      List.iter
+        (fun (e : Fault.event) ->
+          Format.fprintf ppf "fault event: %a %s: %s@," Time.pp e.Fault.ev_time
+            e.Fault.ev_label e.Fault.ev_detail)
+        (Fault.events st));
   (match r.fl_artefacts with
   | None -> ()
   | Some a ->

@@ -20,7 +20,16 @@
     + {b Post-synthesis validation} — the RT-level model re-simulated with
       the same stimuli (configuration C); behaviour consistency checked
       against B at the application level {e and} at the bus-transaction
-      level, with the protocol monitor arbitrating legality throughout.
+      level, with the protocol monitor arbitrating legality throughout;
+    + {b Fault verdict} (only when the config carries a fault plan) — the
+      run classified by {!Hlcs_fault.Fault.classify}: divergence from the
+      TLM golden reference or exhausted guarded calls degrade the run
+      ([Degraded], survivable); disagreement between the executable
+      specification and the synthesised model breaks the paper's
+      equivalence invariant ([Inconsistent], fails the flow).  Under a
+      fault plan, monitor violations and TLM divergence do {e not} fail
+      the earlier stages — they are expected symptoms; the verdict stage
+      is the arbiter.
 
     The returned report records, per stage, success, wall-clock cost and a
     human-readable summary — the data behind EXPERIMENTS.md — plus every
@@ -48,7 +57,25 @@ type report = {
       (** design-level then netlist-level diagnostics, all severities *)
   fl_artefacts : artefacts option;
       (** [None] iff the static-analysis stage failed *)
+  fl_verdict : Hlcs_fault.Fault.verdict option;
+      (** [Some] iff the config carried a non-empty fault plan *)
+  fl_fault : Hlcs_fault.Fault.stats option;
+      (** merged fault statistics of the three runs, [Some] iff faulty *)
 }
+
+val execute :
+  ?config:Hlcs_interface.Run_config.t ->
+  script:Hlcs_pci.Pci_types.request list ->
+  unit ->
+  report
+(** The primary entry point: one {!Hlcs_interface.Run_config.t} describes
+    the whole run ([config] defaults to {!Hlcs_interface.Run_config.default}).
+    A VCD prefix in the config dumps [<prefix>_behavioural.vcd] and
+    [<prefix>_rtl.vcd] — the paper's Figure-4 artefacts.  A cache in the
+    config memoises both synthesis steps (the netlist handed to analysis
+    and the one simulated at RT level are the same design, so one flow run
+    synthesises once, and a batch of flow runs over one design
+    synthesises once in total — see {!Sweep}). *)
 
 val run :
   ?mem_bytes:int ->
@@ -60,17 +87,12 @@ val run :
   ?max_time:Hlcs_engine.Time.t ->
   ?cache:Hlcs_synth.Synth_cache.t ->
   ?profile:bool ->
+  ?faults:Hlcs_fault.Fault.plan ->
   script:Hlcs_pci.Pci_types.request list ->
   unit ->
   report
-(** [vcd_prefix] (e.g. ["waves/pci"]) dumps [<prefix>_behavioural.vcd] and
-    [<prefix>_rtl.vcd] — the paper's Figure-4 artefacts.  [mem_bytes]
-    defaults to 1024.  [cache] memoises both synthesis steps (the netlist
-    handed to analysis and the one simulated at RT level are the same
-    design, so one flow run synthesises once, and a batch of flow runs
-    over one design synthesises once in total — see {!Sweep}).  [profile]
-    attaches an observability snapshot ({!Hlcs_obs.Obs}) to each of the
-    three simulation runs; {!pp_report} renders them after the stage
-    table. *)
+(** @deprecated The optional-argument wrapper over {!execute}: builds a
+    {!Hlcs_interface.Run_config.t} from the arguments and defers.  Use
+    {!execute} in new code. *)
 
 val pp_report : Format.formatter -> report -> unit

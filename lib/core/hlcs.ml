@@ -1,0 +1,10 @@
+(** The library's front door: every subsystem under one namespace.
+
+    [Hlcs.Run_config] describes a simulation run, [Hlcs.System] executes
+    one configuration, [Hlcs.Flow] drives the paper's complete refinement
+    flow, [Hlcs.Sweep] batches flows across a domain pool (fault
+    campaigns included, via [Hlcs.Fault]). *)
+
+include Hlcs_api
+module Flow = Flow
+module Sweep = Sweep

@@ -1,4 +1,4 @@
-(* Batch sweeps: one Flow.run per scenario, farmed over a domain pool,
+(* Batch sweeps: one Flow.execute per scenario, farmed over a domain pool,
    with one shared synthesis cache.
 
    Job isolation discipline: everything a job touches is created inside
@@ -7,15 +7,19 @@
    synthesis cache (mutex-protected, stores immutable reports) and the
    pool's result slots (one writer each).  That is the entire argument
    for determinism: no job can observe another job's schedule, so the
-   domain count is invisible in every artefact. *)
+   domain count is invisible in every artefact.  Fault injection keeps
+   the property: every perturbation is a deterministic function of the
+   scenario's plan, which lives in the immutable input array. *)
 
 module Pool = Hlcs_runtime.Pool
 module Synth_cache = Hlcs_synth.Synth_cache
 module Policy = Hlcs_osss.Policy
 module Pci_stim = Hlcs_pci.Pci_stim
 module Pci_target = Hlcs_pci.Pci_target
+module Fault = Hlcs_fault.Fault
 module Obs = Hlcs_obs.Obs
 module System = Hlcs_interface.System
+module Run_config = Hlcs_interface.Run_config
 
 type scenario = {
   sc_name : string;
@@ -25,6 +29,7 @@ type scenario = {
   sc_mem_bytes : int;
   sc_policy : Policy.t;
   sc_target : Pci_target.config;
+  sc_faults : Fault.plan;
 }
 
 (* The two sweep axes differ in what they cost downstream.  The request
@@ -46,7 +51,27 @@ let scenarios ?(base_seed = 2004) ?(count = 12) ?(mem_bytes = 512)
         sc_mem_bytes = mem_bytes;
         sc_policy = policy;
         sc_target = target;
+        sc_faults = Fault.empty;
       })
+
+(* The fault axis: one design, one environment, [n] seeded fault plans
+   from [Fault.scenarios] (slot 0 is always the fault-free control). *)
+let fault_scenarios ?(base_seed = 2004) ?(count = 12) ?(mem_bytes = 512)
+    ?(policy = Policy.Fcfs) ?(target = Pci_target.default_config)
+    ?(fault_seed = 7) ~n () =
+  List.map
+    (fun (name, plan) ->
+      {
+        sc_name = name;
+        sc_seed = base_seed;
+        sc_mem_seed = 42;
+        sc_count = count;
+        sc_mem_bytes = mem_bytes;
+        sc_policy = policy;
+        sc_target = target;
+        sc_faults = plan;
+      })
+    (Fault.scenarios ~seed:fault_seed ~n)
 
 type job_report = {
   jb_scenario : scenario;
@@ -55,6 +80,7 @@ type job_report = {
   jb_wall_seconds : float;
   jb_profile : Obs.snapshot option;
   jb_failure : string option;
+  jb_verdict : Fault.verdict option;
 }
 
 type report = {
@@ -65,6 +91,9 @@ type report = {
   sw_cache : Synth_cache.stats option;
   sw_profile : Obs.snapshot option;
 }
+
+let failed_jobs r =
+  List.filter (fun jb -> (not jb.jb_ok) || jb.jb_failure <> None) r.sw_jobs
 
 let script_of sc =
   Pci_stim.write_then_read_all
@@ -88,11 +117,12 @@ let run ?jobs ?chunk ?(cache = true) ?(profile = false) ?vcd_dir ?max_time
   let run_one sc =
     let vcd_prefix = Option.map (fun d -> Filename.concat d sc.sc_name) vcd_dir in
     let t0 = Unix.gettimeofday () in
-    let fr =
-      Flow.run ~mem_bytes:sc.sc_mem_bytes ~mem_seed:sc.sc_mem_seed
+    let config =
+      Run_config.make ~mem_bytes:sc.sc_mem_bytes ~mem_seed:sc.sc_mem_seed
         ~target:sc.sc_target ~policy:sc.sc_policy ?vcd_prefix ?max_time
-        ?cache:cache_handle ~profile ~script:(script_of sc) ()
+        ?cache:cache_handle ~profile ~faults:sc.sc_faults ()
     in
+    let fr = Flow.execute ~config ~script:(script_of sc) () in
     let wall = Unix.gettimeofday () -. t0 in
     {
       jb_scenario = sc;
@@ -101,6 +131,7 @@ let run ?jobs ?chunk ?(cache = true) ?(profile = false) ?vcd_dir ?max_time
       jb_wall_seconds = wall;
       jb_profile = Obs.merge_all ~label:sc.sc_name (job_snapshots fr);
       jb_failure = None;
+      jb_verdict = fr.Flow.fl_verdict;
     }
   in
   let items = Array.of_list scenarios in
@@ -126,6 +157,7 @@ let run ?jobs ?chunk ?(cache = true) ?(profile = false) ?vcd_dir ?max_time
                  jb_wall_seconds = 0.;
                  jb_profile = None;
                  jb_failure = Some f.Pool.f_exn;
+                 jb_verdict = None;
                })
          outcomes)
   in
@@ -147,7 +179,12 @@ let run ?jobs ?chunk ?(cache = true) ?(profile = false) ?vcd_dir ?max_time
   in
   {
     sw_jobs = job_reports;
-    sw_ok = List.for_all (fun jb -> jb.jb_ok) job_reports;
+    (* a job with a failure record can never pass the sweep, whatever its
+       stage list or the merged snapshot look like *)
+    sw_ok =
+      List.for_all
+        (fun jb -> jb.jb_ok && jb.jb_failure = None)
+        job_reports;
     sw_domains = domains;
     sw_wall_seconds = sweep_wall;
     sw_cache = cache_stats;
@@ -155,6 +192,11 @@ let run ?jobs ?chunk ?(cache = true) ?(profile = false) ?vcd_dir ?max_time
   }
 
 (* --- rendering -------------------------------------------------------- *)
+
+let verdict_suffix jb =
+  match jb.jb_verdict with
+  | None -> ""
+  | Some v -> Printf.sprintf "  verdict: %s" (Format.asprintf "%a" Fault.pp_verdict v)
 
 let render_text ?(wall = true) r =
   let buf = Buffer.create 1024 in
@@ -172,10 +214,14 @@ let render_text ?(wall = true) r =
     (fun jb ->
       let bad = List.filter (fun (_, ok) -> not ok) jb.jb_stages in
       Buffer.add_string buf
-        (Printf.sprintf "  %-8s %s  seed %d/mem %d%s%s%s\n" jb.jb_scenario.sc_name
+        (Printf.sprintf "  %-16s %s  seed %d/mem %d%s%s%s%s%s\n"
+           jb.jb_scenario.sc_name
            (if jb.jb_ok then "ok  " else "FAIL")
            jb.jb_scenario.sc_seed jb.jb_scenario.sc_mem_seed
            (if wall then Printf.sprintf "  (%.3fs)" jb.jb_wall_seconds else "")
+           (if Fault.is_empty jb.jb_scenario.sc_faults then ""
+            else "  faults: " ^ Fault.summary jb.jb_scenario.sc_faults)
+           (verdict_suffix jb)
            (match bad with
            | [] -> ""
            | _ ->
@@ -215,6 +261,12 @@ let json_escape s =
 
 let json_string s = "\"" ^ json_escape s ^ "\""
 
+let verdict_json v =
+  Printf.sprintf "{\"label\": %s, \"ok\": %b, \"details\": [%s]}"
+    (json_string (Fault.verdict_label v))
+    (Fault.verdict_ok v)
+    (String.concat ", " (List.map json_string (Fault.verdict_details v)))
+
 let render_json ?(wall = true) r =
   let job jb =
     let fields =
@@ -229,6 +281,15 @@ let render_json ?(wall = true) r =
                 (fun (name, ok) -> Printf.sprintf "%s: %b" (json_string name) ok)
                 jb.jb_stages));
       ]
+      @ (if Fault.is_empty jb.jb_scenario.sc_faults then []
+         else
+           [
+             Printf.sprintf "\"faults\": %s"
+               (json_string (Fault.summary jb.jb_scenario.sc_faults));
+           ])
+      @ (match jb.jb_verdict with
+        | None -> []
+        | Some v -> [ Printf.sprintf "\"verdict\": %s" (verdict_json v) ])
       @ (if wall then
            [ Printf.sprintf "\"wall_seconds\": %.6f" jb.jb_wall_seconds ]
          else [])

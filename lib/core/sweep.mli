@@ -1,17 +1,23 @@
 (** Multicore batch-simulation sweeps over the design flow.
 
     A sweep runs many independent validation jobs — the paper's complete
-    refinement flow ({!Flow.run}: static analysis, TLM, pin-accurate,
+    refinement flow ({!Flow.execute}: static analysis, TLM, pin-accurate,
     synthesis, RT-level re-validation) per scenario — across a
     {!Hlcs_runtime.Pool} of domains, sharing one content-hashed
     {!Hlcs_synth.Synth_cache} so a 100-job sweep over one design
     synthesises once.
 
+    Besides the environment and stimuli axes, a sweep can fan a {e fault}
+    axis ({!fault_scenarios}): seeded {!Hlcs_fault.Fault.plan}s injected
+    into otherwise identical jobs, each classified by the flow's fault
+    verdict against the paper's equivalence invariant.
+
     Determinism: jobs are fully isolated (one kernel set per job, one VCD
     file set per job) and results are returned in submission order, so a
     sweep at [--jobs 4] produces byte-identical artefacts and verdicts to
     the same sweep at [--jobs 1]; the regression suite asserts this at
-    the VCD-byte level. *)
+    the VCD-byte level, fault campaigns included (every injection is a
+    deterministic function of the scenario's plan). *)
 
 type scenario = {
   sc_name : string;  (** job label; also the VCD file prefix under [vcd_dir] *)
@@ -21,6 +27,7 @@ type scenario = {
   sc_mem_bytes : int;
   sc_policy : Hlcs_osss.Policy.t;
   sc_target : Hlcs_pci.Pci_target.config;
+  sc_faults : Hlcs_fault.Fault.plan;  (** {!Hlcs_fault.Fault.empty} = none *)
 }
 
 val scenarios :
@@ -33,8 +40,8 @@ val scenarios :
   n:int ->
   unit ->
   scenario list
-(** [n] scenarios over one design configuration (default base seed 2004,
-    count 12, 512 memory bytes, FCFS, default target timing).
+(** [n] fault-free scenarios over one design configuration (default base
+    seed 2004, count 12, 512 memory bytes, FCFS, default target timing).
 
     [vary] picks the sweep axis.  [`Environment] (the default) fixes the
     request script and varies the target-memory fill seed: the unit under
@@ -45,6 +52,21 @@ val scenarios :
     different design); the cache then deduplicates the flow's two
     synthesis steps within each job. *)
 
+val fault_scenarios :
+  ?base_seed:int ->
+  ?count:int ->
+  ?mem_bytes:int ->
+  ?policy:Hlcs_osss.Policy.t ->
+  ?target:Hlcs_pci.Pci_target.config ->
+  ?fault_seed:int ->
+  n:int ->
+  unit ->
+  scenario list
+(** The fault axis: one design, one environment, the first [n] seeded
+    plans of campaign [fault_seed] ({!Hlcs_fault.Fault.scenarios} — slot 0
+    is always the fault-free control run).  Identical design across jobs,
+    so the synthesis cache still collapses the campaign to one synthesis. *)
+
 type job_report = {
   jb_scenario : scenario;
   jb_ok : bool;  (** flow verdict; [false] as well when the job crashed *)
@@ -54,11 +76,15 @@ type job_report = {
       (** per-job merged kernel snapshot (TLM + behavioural + RTL runs),
           [Some] iff the sweep ran with [profile] *)
   jb_failure : string option;  (** exception text if the job crashed *)
+  jb_verdict : Hlcs_fault.Fault.verdict option;
+      (** the flow's fault verdict, [Some] iff the scenario carried a
+          non-empty plan (and the job did not crash) *)
 }
 
 type report = {
   sw_jobs : job_report list;  (** in submission order *)
   sw_ok : bool;
+      (** every job passed {e and} no job carries a failure record *)
   sw_domains : int;  (** domains the pool actually used *)
   sw_wall_seconds : float;  (** whole-sweep wall clock *)
   sw_cache : Hlcs_synth.Synth_cache.stats option;
@@ -67,6 +93,11 @@ type report = {
       (** merge of every job snapshot, with the cache counters attached
           as [synth_cache_hits]/[synth_cache_misses] extras *)
 }
+
+val failed_jobs : report -> job_report list
+(** Jobs that failed their flow or crashed ([jb_failure] set).  Non-empty
+    exactly when [sw_ok] is false; the CLI exits non-zero on it even when
+    the merged snapshot rendered fine. *)
 
 val run :
   ?jobs:int ->
@@ -78,7 +109,7 @@ val run :
   scenarios:scenario list ->
   unit ->
   report
-(** Runs one {!Flow.run} per scenario.  [jobs] defaults to
+(** Runs one {!Flow.execute} per scenario.  [jobs] defaults to
     {!Hlcs_runtime.Pool.recommended_jobs}; [cache] (default [true])
     shares one synthesis cache across all jobs; [vcd_dir] dumps
     [<dir>/<sc_name>_{behavioural,rtl}.vcd] per job (the directory is
@@ -87,13 +118,13 @@ val run :
     jobs. *)
 
 val render_text : ?wall:bool -> report -> string
-(** Per-job verdict table plus cache statistics and, when profiled, the
-    merged snapshot.  [wall:false] omits every host-time figure, making
-    the output deterministic for fixed scenarios regardless of [jobs] —
-    the CLI's [--deterministic] mode and the determinism regression rely
-    on that. *)
+(** Per-job verdict table (fault plans and verdicts included) plus cache
+    statistics and, when profiled, the merged snapshot.  [wall:false]
+    omits every host-time figure, making the output deterministic for
+    fixed scenarios regardless of [jobs] — the CLI's [--deterministic]
+    mode and the determinism regression rely on that. *)
 
 val render_json : ?wall:bool -> report -> string
-(** One JSON object: sweep verdict, domain count, per-job records, cache
-    stats, merged snapshot.  Same escaping rules as
-    {!Hlcs_analysis.Diag.render_json}. *)
+(** One JSON object: sweep verdict, domain count, per-job records (with
+    fault plan summaries and structured verdicts), cache stats, merged
+    snapshot.  Same escaping rules as {!Hlcs_analysis.Diag.render_json}. *)

@@ -98,6 +98,7 @@ and t = {
   timed : event Pq.t;
   ctrs : Counters.t;
   mutable profile : prof option;
+  mutable jitter : (int -> int) option;
   mutable next_pid : int;
   mutable current : proc option;
   mutable stop : bool;
@@ -121,6 +122,7 @@ let create () =
     timed = Pq.create ();
     ctrs = Counters.create ();
     profile = None;
+    jitter = None;
     next_pid = 0;
     current = None;
     stop = false;
@@ -137,6 +139,22 @@ let enable_profiling t ~clock =
     Some { pr_clock = clock; pr_evaluate = 0.; pr_update = 0.; pr_notify = 0.; pr_run = 0. }
 
 let disable_profiling t = t.profile <- None
+
+let set_activation_jitter t f = t.jitter <- f
+
+(* Rotating the runnable queue at an evaluate-phase boundary reorders the
+   activations within that phase without dropping or duplicating any: the
+   SystemC standard leaves this order unspecified, so a correct model must
+   tolerate every rotation.  Inactive (the default) this is one mutable
+   load per phase. *)
+let apply_jitter t pending =
+  match t.jitter with
+  | Some f when pending > 1 ->
+      let k = f pending mod pending in
+      for _ = 1 to k do
+        Fifo.push t.runnable (Fifo.pop t.runnable)
+      done
+  | Some _ | None -> ()
 
 let phase_times t =
   match t.profile with
@@ -319,6 +337,7 @@ let run_plain ?max_time t =
       (* evaluate *)
       let pending = Fifo.length t.runnable in
       if pending > c.Counters.peak_runnable then c.Counters.peak_runnable <- pending;
+      apply_jitter t pending;
       while not (Fifo.is_empty t.runnable) && not t.stop do
         let step = Fifo.pop t.runnable in
         t.current <- None;
@@ -378,6 +397,7 @@ let run_profiled ?max_time t (p : prof) =
       let t0 = prof_now () in
       let pending = Fifo.length t.runnable in
       if pending > c.Counters.peak_runnable then c.Counters.peak_runnable <- pending;
+      apply_jitter t pending;
       while not (Fifo.is_empty t.runnable) && not t.stop do
         let step = Fifo.pop t.runnable in
         t.current <- None;

@@ -82,6 +82,17 @@ val disable_profiling : t -> unit
 val phase_times : t -> phase_times option
 (** [None] unless profiling is enabled. *)
 
+val set_activation_jitter : t -> (int -> int) option -> unit
+(** Installs (or removes, with [None]) an activation-order perturbation:
+    at the start of each evaluate phase with [n > 1] runnable processes,
+    the hook is called with [n] and the runnable queue is rotated by its
+    result modulo [n].  Every process still runs exactly once per phase —
+    only the order changes, which the SystemC semantics leave unspecified
+    anyway — so this is a legality-preserving stressor: a model whose
+    behaviour changes under jitter has a process-order race.  Used by
+    {!Hlcs_fault} with a seeded generator; deterministic for a fixed hook.
+    Off by default (one mutable load per phase). *)
+
 (** {1 Events} *)
 
 val make_event : t -> string -> event

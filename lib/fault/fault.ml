@@ -1,0 +1,369 @@
+(* Seed-deterministic fault injection over the simulation stack.
+
+   Three layers, mirroring where the paper's artefacts can break:
+   - kernel: scheduled stuck-at/X glitches on named nets and seeded
+     activation-order jitter (the SystemC scheduler's freedom, exercised
+     adversarially);
+   - interface: PCI target wait-state stretching, retry/disconnect/abort
+     responses and arbiter grant starvation, plus the guarded-call
+     timeout/retry policy the application uses to degrade gracefully;
+   - campaign: named scenario plans fanned across a sweep, each run
+     classified by a structured verdict against the paper's equivalence
+     invariant.
+
+   Everything here is a pure description plus deterministic helpers: the
+   gluing to a concrete bus fabric lives in Hlcs_interface.System, so this
+   library only depends on the engine. *)
+
+module Kernel = Hlcs_engine.Kernel
+module Clock = Hlcs_engine.Clock
+module Time = Hlcs_engine.Time
+module Resolved = Hlcs_engine.Resolved
+module Lvec = Hlcs_logic.Lvec
+module Logic = Hlcs_logic.Logic
+
+(* --- deterministic generator ------------------------------------------ *)
+
+(* splitmix64: tiny, stateful, and completely determined by its seed —
+   the property every fault campaign replays on.  Not Random.State, whose
+   algorithm is allowed to change across OCaml releases. *)
+module Rng = struct
+  type t = { mutable state : int64 }
+
+  let create seed = { state = Int64.of_int seed }
+
+  let next t =
+    let open Int64 in
+    t.state <- add t.state 0x9E3779B97F4A7C15L;
+    let z = t.state in
+    let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+    let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+    logxor z (shift_right_logical z 31)
+
+  let int t bound =
+    if bound <= 0 then invalid_arg "Fault.Rng.int: bound must be positive";
+    Int64.to_int (Int64.rem (Int64.logand (next t) Int64.max_int)
+                    (Int64.of_int bound))
+
+  let bool t = Int64.logand (next t) 1L = 1L
+end
+
+(* --- fault plans ------------------------------------------------------- *)
+
+type glitch_kind = Stuck_zero | Stuck_one | Stuck_x
+
+type glitch = {
+  gl_net : string;
+  gl_kind : glitch_kind;
+  gl_from_cycle : int;
+  gl_cycles : int;
+}
+
+type target_faults = {
+  tf_extra_wait_states : int;
+  tf_retry_every : int option;
+  tf_disconnect_after : int option;
+  tf_abort_every : int option;
+}
+
+type starvation = { sv_from_cycle : int; sv_cycles : int }
+
+type guard_policy = { gp_timeout : Time.t; gp_retries : int; gp_backoff : Time.t }
+
+type stall = { st_command : int; st_cycles : int }
+
+type plan = {
+  fp_seed : int;
+  fp_glitches : glitch list;
+  fp_jitter : bool;
+  fp_target : target_faults;
+  fp_starvation : starvation option;
+  fp_stall : stall option;
+  fp_guard : guard_policy option;
+}
+
+let no_target_faults =
+  {
+    tf_extra_wait_states = 0;
+    tf_retry_every = None;
+    tf_disconnect_after = None;
+    tf_abort_every = None;
+  }
+
+let empty =
+  {
+    fp_seed = 0;
+    fp_glitches = [];
+    fp_jitter = false;
+    fp_target = no_target_faults;
+    fp_starvation = None;
+    fp_stall = None;
+    fp_guard = None;
+  }
+
+let is_empty p =
+  p.fp_glitches = [] && (not p.fp_jitter)
+  && p.fp_target = no_target_faults
+  && p.fp_starvation = None && p.fp_stall = None && p.fp_guard = None
+
+let default_guard =
+  { gp_timeout = Time.ns 400; gp_retries = 4; gp_backoff = Time.ns 100 }
+
+let glitch_kind_label = function
+  | Stuck_zero -> "stuck-0"
+  | Stuck_one -> "stuck-1"
+  | Stuck_x -> "stuck-x"
+
+let summary p =
+  if is_empty p then "none"
+  else
+    let parts = ref [] in
+    let add s = parts := s :: !parts in
+    List.iter
+      (fun g ->
+        add
+          (Printf.sprintf "glitch(%s %s @%d+%d)" g.gl_net
+             (glitch_kind_label g.gl_kind) g.gl_from_cycle g.gl_cycles))
+      p.fp_glitches;
+    if p.fp_jitter then add "jitter";
+    let t = p.fp_target in
+    if t.tf_extra_wait_states > 0 then
+      add (Printf.sprintf "wait+%d" t.tf_extra_wait_states);
+    (match t.tf_retry_every with
+    | Some k -> add (Printf.sprintf "retry/%d" k)
+    | None -> ());
+    (match t.tf_disconnect_after with
+    | Some n -> add (Printf.sprintf "disconnect@%d" n)
+    | None -> ());
+    (match t.tf_abort_every with
+    | Some k -> add (Printf.sprintf "abort/%d" k)
+    | None -> ());
+    (match p.fp_starvation with
+    | Some s -> add (Printf.sprintf "starve(@%d+%d)" s.sv_from_cycle s.sv_cycles)
+    | None -> ());
+    (match p.fp_stall with
+    | Some s -> add (Printf.sprintf "stall(cmd%d+%d)" s.st_command s.st_cycles)
+    | None -> ());
+    (match p.fp_guard with
+    | Some g ->
+        add
+          (Printf.sprintf "guard(%dns,%d retries)"
+             (Time.to_ps g.gp_timeout / 1000)
+             g.gp_retries)
+    | None -> ());
+    String.concat " " (List.rev !parts)
+
+(* --- run-time statistics ---------------------------------------------- *)
+
+type event = { ev_time : Time.t; ev_label : string; ev_detail : string }
+
+type stats = {
+  mutable fs_glitches : int;
+  mutable fs_jitter_rotations : int;
+  mutable fs_timeouts : int;
+  mutable fs_retries : int;
+  mutable fs_recoveries : int;
+  mutable fs_exhaustions : int;
+  mutable fs_starved_cycles : int;
+  mutable fs_stalled_cycles : int;
+  mutable fs_events : event list;  (* newest first *)
+}
+
+let stats () =
+  {
+    fs_glitches = 0;
+    fs_jitter_rotations = 0;
+    fs_timeouts = 0;
+    fs_retries = 0;
+    fs_recoveries = 0;
+    fs_exhaustions = 0;
+    fs_starved_cycles = 0;
+    fs_stalled_cycles = 0;
+    fs_events = [];
+  }
+
+let record st ~time ~label ~detail =
+  st.fs_events <- { ev_time = time; ev_label = label; ev_detail = detail } :: st.fs_events
+
+let events st = List.rev st.fs_events
+
+let counters st =
+  [
+    ("fault_glitches", st.fs_glitches);
+    ("fault_jitter_rotations", st.fs_jitter_rotations);
+    ("fault_timeouts", st.fs_timeouts);
+    ("fault_retries", st.fs_retries);
+    ("fault_recoveries", st.fs_recoveries);
+    ("fault_exhaustions", st.fs_exhaustions);
+    ("fault_starved_cycles", st.fs_starved_cycles);
+    ("fault_stalled_cycles", st.fs_stalled_cycles);
+  ]
+
+let merge_stats a b =
+  {
+    fs_glitches = a.fs_glitches + b.fs_glitches;
+    fs_jitter_rotations = a.fs_jitter_rotations + b.fs_jitter_rotations;
+    fs_timeouts = a.fs_timeouts + b.fs_timeouts;
+    fs_retries = a.fs_retries + b.fs_retries;
+    fs_recoveries = a.fs_recoveries + b.fs_recoveries;
+    fs_exhaustions = a.fs_exhaustions + b.fs_exhaustions;
+    fs_starved_cycles = a.fs_starved_cycles + b.fs_starved_cycles;
+    fs_stalled_cycles = a.fs_stalled_cycles + b.fs_stalled_cycles;
+    fs_events = b.fs_events @ a.fs_events;
+  }
+
+(* --- kernel-level injection ------------------------------------------- *)
+
+let jitter_hook ~seed st =
+  let rng = Rng.create (seed lxor 0x6A09E667) in
+  fun pending ->
+    let k = Rng.int rng pending in
+    if k > 0 then st.fs_jitter_rotations <- st.fs_jitter_rotations + 1;
+    k
+
+let install_jitter kernel ~plan st =
+  if plan.fp_jitter then
+    Kernel.set_activation_jitter kernel
+      (Some (jitter_hook ~seed:plan.fp_seed st))
+
+let glitch_value kind width =
+  match kind with
+  | Stuck_zero -> Lvec.make width Logic.Zero
+  | Stuck_one -> Lvec.make width Logic.One
+  | Stuck_x -> Lvec.all_x width
+
+let inject_glitches kernel ~clock ~resolve st glitches =
+  List.iter
+    (fun g ->
+      match resolve g.gl_net with
+      | None ->
+          record st ~time:Time.zero ~label:"glitch-skipped"
+            ~detail:(Printf.sprintf "no net named %s in this fabric" g.gl_net)
+      | Some net ->
+          let value = glitch_value g.gl_kind (Resolved.width net) in
+          let driver = Resolved.make_driver net ("fault." ^ g.gl_net) in
+          let body () =
+            if g.gl_from_cycle > 0 then Clock.wait_edges clock g.gl_from_cycle;
+            st.fs_glitches <- st.fs_glitches + 1;
+            record st ~time:(Kernel.now kernel) ~label:"glitch-on"
+              ~detail:
+                (Printf.sprintf "%s %s for %d cycles" g.gl_net
+                   (glitch_kind_label g.gl_kind) g.gl_cycles);
+            Resolved.drive driver value;
+            Clock.wait_edges clock (max 1 g.gl_cycles);
+            Resolved.release driver;
+            record st ~time:(Kernel.now kernel) ~label:"glitch-off"
+              ~detail:g.gl_net
+          in
+          ignore (Kernel.spawn kernel ~name:("fault.glitch." ^ g.gl_net) body))
+    glitches
+
+(* --- verdicts ---------------------------------------------------------- *)
+
+type verdict =
+  | Clean
+  | Survived
+  | Degraded of string list
+  | Inconsistent of string list
+
+let verdict_label = function
+  | Clean -> "clean"
+  | Survived -> "survived"
+  | Degraded _ -> "degraded"
+  | Inconsistent _ -> "inconsistent"
+
+let verdict_ok = function
+  | Clean | Survived | Degraded _ -> true
+  | Inconsistent _ -> false
+
+let verdict_details = function
+  | Clean | Survived -> []
+  | Degraded ds | Inconsistent ds -> ds
+
+(* The paper's invariant is behaviour consistency between the executable
+   specification (pin-level behavioural) and the post-synthesis model:
+   breaking it is the only Inconsistent outcome.  Divergence from the TLM
+   golden reference under an injected fault is survivable degradation —
+   the abort path trades data for liveness by design. *)
+let classify ~plan ~spec_vs_synth ~tlm_vs_spec st =
+  if is_empty plan then
+    if spec_vs_synth = [] && tlm_vs_spec = [] then Clean
+    else Inconsistent (tlm_vs_spec @ spec_vs_synth)
+  else if spec_vs_synth <> [] then Inconsistent spec_vs_synth
+  else if tlm_vs_spec <> [] then Degraded tlm_vs_spec
+  else if st.fs_exhaustions > 0 then
+    Degraded [ Printf.sprintf "%d guarded calls exhausted their retries" st.fs_exhaustions ]
+  else Survived
+
+let pp_verdict ppf v =
+  match verdict_details v with
+  | [] -> Format.pp_print_string ppf (verdict_label v)
+  | ds ->
+      Format.fprintf ppf "%s (%s)" (verdict_label v) (String.concat "; " ds)
+
+(* --- campaign scenarios ------------------------------------------------ *)
+
+(* Deterministic scenario fan-out: scenario [i] of a campaign is fully
+   determined by [seed] and [i], cycling through the fault families with
+   seeded parameters.  The first slot is always the fault-free control run
+   so every campaign re-proves the baseline it perturbs. *)
+let scenario ~seed i =
+  let rng = Rng.create ((seed * 1_000_003) + i) in
+  let base = { empty with fp_seed = (seed * 31) + i } in
+  match i mod 8 with
+  | 0 -> ("baseline", base)
+  | 1 ->
+      ( "wait-stretch",
+        {
+          base with
+          fp_target =
+            { no_target_faults with tf_extra_wait_states = 1 + Rng.int rng 3 };
+        } )
+  | 2 ->
+      ( "retry",
+        {
+          base with
+          fp_target = { no_target_faults with tf_retry_every = Some (2 + Rng.int rng 3) };
+        } )
+  | 3 ->
+      ( "disconnect",
+        {
+          base with
+          fp_target =
+            { no_target_faults with tf_disconnect_after = Some (1 + Rng.int rng 2) };
+        } )
+  | 4 ->
+      ( "abort-recovery",
+        {
+          base with
+          fp_target = { no_target_faults with tf_abort_every = Some (2 + Rng.int rng 2) };
+          fp_stall = Some { st_command = 1; st_cycles = 60 + Rng.int rng 40 };
+          fp_guard = Some default_guard;
+        } )
+  | 5 ->
+      ( "glitch",
+        {
+          base with
+          fp_glitches =
+            [
+              {
+                gl_net = (if Rng.bool rng then "par" else "trdy_n");
+                gl_kind = (if Rng.bool rng then Stuck_one else Stuck_x);
+                gl_from_cycle = 10 + Rng.int rng 30;
+                gl_cycles = 1 + Rng.int rng 3;
+              };
+            ];
+        } )
+  | 6 ->
+      ( "starvation",
+        {
+          base with
+          fp_starvation =
+            Some { sv_from_cycle = 8 + Rng.int rng 16; sv_cycles = 12 + Rng.int rng 20 };
+        } )
+  | _ -> ("jitter", { base with fp_jitter = true })
+
+let scenarios ~seed ~n =
+  List.init n (fun i ->
+      let name, plan = scenario ~seed i in
+      (Printf.sprintf "%02d-%s" i name, plan))

@@ -1,0 +1,200 @@
+(** Seed-deterministic fault injection across the simulation stack.
+
+    A fault {!plan} is a pure description of perturbations at three layers:
+
+    - {e kernel}: scheduled stuck-at/X {!glitch}es on named resolved nets,
+      and seeded activation-order jitter (exercising the process ordering
+      the SystemC semantics leave unspecified);
+    - {e interface}: PCI target misbehaviour ({!target_faults}: stretched
+      wait states, retry, disconnect, target-abort via ignored claims),
+      arbiter grant {!starvation} windows, engine {!stall}s, and the
+      {!guard_policy} with which the application bounds its guarded calls;
+    - {e campaign}: the seeded {!scenarios} generator fans named plans
+      across a sweep, and {!classify} turns each run's comparisons into a
+      structured {!verdict} against the paper's equivalence invariant.
+
+    Every perturbation is a deterministic function of the plan (and its
+    seed), so any fault run replays bit-identically — the property the
+    campaign tests assert across worker counts. *)
+
+(** {1 Deterministic generator} *)
+
+module Rng : sig
+  type t
+
+  val create : int -> t
+  (** splitmix64 seeded from an [int]; independent of [Stdlib.Random], so
+      streams are stable across OCaml releases. *)
+
+  val next : t -> int64
+  val int : t -> int -> int
+  (** Uniform in [\[0, bound)]. @raise Invalid_argument if [bound <= 0]. *)
+
+  val bool : t -> bool
+end
+
+(** {1 Plans} *)
+
+type glitch_kind = Stuck_zero | Stuck_one | Stuck_x
+
+type glitch = {
+  gl_net : string;  (** resolved-net name within the fabric, e.g. ["par"] *)
+  gl_kind : glitch_kind;
+  gl_from_cycle : int;  (** first clock edge at which the fault drives *)
+  gl_cycles : int;  (** duration in clock cycles (at least 1) *)
+}
+
+type target_faults = {
+  tf_extra_wait_states : int;  (** added to the target's configured waits *)
+  tf_retry_every : int option;  (** issue Retry every [k]-th transaction *)
+  tf_disconnect_after : int option;  (** Disconnect after [n] data phases *)
+  tf_abort_every : int option;
+      (** ignore the claim of every [k]-th transaction, forcing the master
+          into a master-abort (the paper's bus recovers by flooding the
+          read with all-ones) *)
+}
+
+type starvation = {
+  sv_from_cycle : int;
+  sv_cycles : int;  (** window during which the arbiter grants nobody *)
+}
+
+type guard_policy = {
+  gp_timeout : Hlcs_engine.Time.t;
+  gp_retries : int;
+  gp_backoff : Hlcs_engine.Time.t;
+}
+(** Bounds applied to the application's guarded interface calls (via
+    {!Hlcs_osss.Global_object.call_with_timeout}); turns a dead interface
+    into a structured timeout instead of a hang. *)
+
+type stall = {
+  st_command : int;  (** 0-based index of the command to stall before *)
+  st_cycles : int;
+}
+(** Makes the interface engine pause before serving command [st_command],
+    long enough for the application's guard timeout to fire. *)
+
+type plan = {
+  fp_seed : int;  (** drives jitter and any seeded choice during the run *)
+  fp_glitches : glitch list;
+  fp_jitter : bool;
+  fp_target : target_faults;
+  fp_starvation : starvation option;
+  fp_stall : stall option;
+  fp_guard : guard_policy option;
+}
+
+val empty : plan
+(** No perturbation at all; a run under [empty] must be byte-identical to
+    a run with no fault machinery attached. *)
+
+val is_empty : plan -> bool
+val no_target_faults : target_faults
+
+val default_guard : guard_policy
+(** 400 ns timeout, 4 retries, 100 ns linear backoff — enough to ride out
+    every survivable scenario produced by {!scenarios}. *)
+
+val summary : plan -> string
+(** Compact one-line rendering, ["none"] for {!empty}. *)
+
+val glitch_kind_label : glitch_kind -> string
+
+(** {1 Run-time statistics}
+
+    A mutable record threaded through one simulation run; the injection
+    helpers and the interface layer bump it, and {!counters} renders it as
+    observation extras. *)
+
+type event = {
+  ev_time : Hlcs_engine.Time.t;
+  ev_label : string;
+  ev_detail : string;
+}
+
+type stats = {
+  mutable fs_glitches : int;
+  mutable fs_jitter_rotations : int;
+  mutable fs_timeouts : int;
+  mutable fs_retries : int;
+  mutable fs_recoveries : int;  (** timed-out calls that later succeeded *)
+  mutable fs_exhaustions : int;  (** calls that ran out of retries *)
+  mutable fs_starved_cycles : int;
+  mutable fs_stalled_cycles : int;
+  mutable fs_events : event list;  (** newest first; use {!events} *)
+}
+
+val stats : unit -> stats
+val record :
+  stats -> time:Hlcs_engine.Time.t -> label:string -> detail:string -> unit
+
+val events : stats -> event list
+(** Chronological order. *)
+
+val counters : stats -> (string * int) list
+(** Stable key/value rendering for observation extras. *)
+
+val merge_stats : stats -> stats -> stats
+
+(** {1 Kernel-level injection} *)
+
+val jitter_hook : seed:int -> stats -> int -> int
+(** [jitter_hook ~seed st] is a rotation generator for
+    {!Hlcs_engine.Kernel.set_activation_jitter}; deterministic in [seed]. *)
+
+val install_jitter : Hlcs_engine.Kernel.t -> plan:plan -> stats -> unit
+(** Installs the seeded jitter hook iff [plan.fp_jitter]. *)
+
+val inject_glitches :
+  Hlcs_engine.Kernel.t ->
+  clock:Hlcs_engine.Clock.t ->
+  resolve:(string -> Hlcs_engine.Resolved.t option) ->
+  stats ->
+  glitch list ->
+  unit
+(** Spawns one process per glitch: wait [gl_from_cycle] edges, drive the
+    resolved net named [gl_net] (through a dedicated driver) with the
+    stuck value for [gl_cycles] edges, then release.  A net the fabric
+    cannot [resolve] is recorded as a skipped event, not an error. *)
+
+(** {1 Verdicts} *)
+
+type verdict =
+  | Clean  (** no fault injected, everything consistent *)
+  | Survived  (** faults injected, all three configurations still agree *)
+  | Degraded of string list
+      (** pin-level and RTL agree with each other but diverge from the TLM
+          golden reference, or guarded calls exhausted their retries: the
+          design survived by degrading, the flow invariant still holds *)
+  | Inconsistent of string list
+      (** the executable spec and the synthesised model disagree: the
+          paper's equivalence invariant is broken *)
+
+val verdict_label : verdict -> string
+val verdict_ok : verdict -> bool
+(** Everything except [Inconsistent]. *)
+
+val verdict_details : verdict -> string list
+val pp_verdict : Format.formatter -> verdict -> unit
+
+val classify :
+  plan:plan ->
+  spec_vs_synth:string list ->
+  tlm_vs_spec:string list ->
+  stats ->
+  verdict
+(** [spec_vs_synth] are the diagnostics from comparing the pin-level
+    behavioural run against the RTL run (the invariant); [tlm_vs_spec]
+    from comparing TLM against pin-level. *)
+
+(** {1 Campaign scenarios} *)
+
+val scenario : seed:int -> int -> string * plan
+(** The [i]-th scenario of campaign [seed]: deterministic, cycling through
+    the fault families (baseline, wait-stretch, retry, disconnect,
+    abort-recovery, glitch, starvation, jitter) with seeded parameters.
+    Index 0 is always the fault-free baseline. *)
+
+val scenarios : seed:int -> n:int -> (string * plan) list
+(** First [n] scenarios, names prefixed with their index. *)

@@ -106,4 +106,31 @@ module Native = struct
     Go.call t ~meth:"reset"
       ~guard:(fun _ -> true)
       (fun _ -> ({ pending = None; wr_data = None; rd_data = None }, ()))
+
+  (* Bounded variants of the blocking application-side calls, built on
+     [Global_object.call_with_timeout]: a dead or stalled engine surfaces
+     as [Error timeout_info] instead of hanging the application.  Fault
+     campaigns drive these through [Tlm] with a [Fault.guard_policy]. *)
+
+  let put_command_bounded t ~timeout ?retries ?backoff ?on_timeout ~op ~len
+      ~addr () =
+    Go.call_with_timeout t ~meth:"put_command" ~timeout ?retries ?backoff
+      ?on_timeout
+      ~guard:(fun st -> st.pending = None)
+      (fun st -> ({ st with pending = Some (op, len, addr) }, ()))
+
+  let app_data_get_bounded t ~timeout ?retries ?backoff ?on_timeout () =
+    Go.call_with_timeout t ~meth:"app_data_get" ~timeout ?retries ?backoff
+      ?on_timeout
+      ~guard:(fun st -> st.rd_data <> None)
+      (fun st ->
+        match st.rd_data with
+        | Some x -> ({ st with rd_data = None }, x)
+        | None -> assert false)
+
+  let app_data_put_bounded t ~timeout ?retries ?backoff ?on_timeout x =
+    Go.call_with_timeout t ~meth:"app_data_put" ~timeout ?retries ?backoff
+      ?on_timeout
+      ~guard:(fun st -> st.wr_data = None)
+      (fun st -> ({ st with wr_data = Some x }, ()))
 end

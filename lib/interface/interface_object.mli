@@ -37,4 +37,41 @@ module Native : sig
   val eng_data_put : t -> int -> unit
   val app_data_get : t -> int
   val reset : t -> unit
+
+  (** {2 Bounded calls}
+
+      The same application-side calls with a timeout/retry budget
+      ({!Hlcs_osss.Global_object.call_with_timeout}): a stalled engine
+      yields [Error] with the structured timeout record instead of a
+      hang.  Used by fault campaigns via {!Tlm}'s guard policy. *)
+
+  val put_command_bounded :
+    t ->
+    timeout:Hlcs_engine.Time.t ->
+    ?retries:int ->
+    ?backoff:Hlcs_engine.Time.t ->
+    ?on_timeout:(int -> unit) ->
+    op:Bus_command.op ->
+    len:int ->
+    addr:int ->
+    unit ->
+    (unit, Hlcs_osss.Global_object.timeout_info) result
+
+  val app_data_get_bounded :
+    t ->
+    timeout:Hlcs_engine.Time.t ->
+    ?retries:int ->
+    ?backoff:Hlcs_engine.Time.t ->
+    ?on_timeout:(int -> unit) ->
+    unit ->
+    (int, Hlcs_osss.Global_object.timeout_info) result
+
+  val app_data_put_bounded :
+    t ->
+    timeout:Hlcs_engine.Time.t ->
+    ?retries:int ->
+    ?backoff:Hlcs_engine.Time.t ->
+    ?on_timeout:(int -> unit) ->
+    int ->
+    (unit, Hlcs_osss.Global_object.timeout_info) result
 end

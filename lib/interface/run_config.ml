@@ -1,0 +1,86 @@
+module Time = Hlcs_engine.Time
+module Policy = Hlcs_osss.Policy
+module Synthesize = Hlcs_synth.Synthesize
+module Synth_cache = Hlcs_synth.Synth_cache
+module Pci_target = Hlcs_pci.Pci_target
+module Fault = Hlcs_fault.Fault
+
+type t = {
+  rc_mem_bytes : int;
+  rc_mem_seed : int;
+  rc_policy : Policy.t option;
+  rc_target : Pci_target.config;
+  rc_synth_options : Synthesize.options option;
+  rc_vcd_prefix : string option;
+  rc_max_time : Time.t;
+  rc_profile : bool;
+  rc_cache : Synth_cache.t option;
+  rc_faults : Fault.plan;
+}
+
+let default =
+  {
+    rc_mem_bytes = 1024;
+    rc_mem_seed = 42;
+    rc_policy = None;
+    rc_target = Pci_target.default_config;
+    rc_synth_options = None;
+    rc_vcd_prefix = None;
+    rc_max_time = Time.us 100_000;
+    rc_profile = false;
+    rc_cache = None;
+    rc_faults = Fault.empty;
+  }
+
+let with_mem_bytes rc_mem_bytes t = { t with rc_mem_bytes }
+let with_mem_seed rc_mem_seed t = { t with rc_mem_seed }
+let with_policy p t = { t with rc_policy = Some p }
+let with_target rc_target t = { t with rc_target }
+let with_synth_options o t = { t with rc_synth_options = Some o }
+let with_vcd_prefix p t = { t with rc_vcd_prefix = Some p }
+let with_max_time rc_max_time t = { t with rc_max_time }
+let with_profile rc_profile t = { t with rc_profile }
+let with_cache c t = { t with rc_cache = Some c }
+let with_faults rc_faults t = { t with rc_faults }
+
+let vcd_file t suffix =
+  Option.map (fun p -> p ^ "_" ^ suffix ^ ".vcd") t.rc_vcd_prefix
+
+(* merge the plan's target faults onto the configured target: the plan
+   perturbs whatever environment the run was going to use *)
+let effective_target t =
+  let f = t.rc_faults.Fault.fp_target in
+  let tgt = t.rc_target in
+  {
+    tgt with
+    Pci_target.wait_states = tgt.Pci_target.wait_states + f.Fault.tf_extra_wait_states;
+    retry_every =
+      (match f.Fault.tf_retry_every with
+      | Some _ as r -> r
+      | None -> tgt.Pci_target.retry_every);
+    disconnect_after =
+      (match f.Fault.tf_disconnect_after with
+      | Some _ as d -> d
+      | None -> tgt.Pci_target.disconnect_after);
+    ignore_every =
+      (match f.Fault.tf_abort_every with
+      | Some _ as a -> a
+      | None -> tgt.Pci_target.ignore_every);
+  }
+
+(* Build-style setters taking labelled optionals in one shot, for callers
+   migrating from the old optional-argument API. *)
+let make ?mem_bytes ?mem_seed ?policy ?target ?synth_options ?vcd_prefix
+    ?max_time ?profile ?cache ?faults () =
+  let t = default in
+  let t = match mem_bytes with Some v -> with_mem_bytes v t | None -> t in
+  let t = match mem_seed with Some v -> with_mem_seed v t | None -> t in
+  let t = match policy with Some v -> with_policy v t | None -> t in
+  let t = match target with Some v -> with_target v t | None -> t in
+  let t = match synth_options with Some v -> with_synth_options v t | None -> t in
+  let t = match vcd_prefix with Some v -> with_vcd_prefix v t | None -> t in
+  let t = match max_time with Some v -> with_max_time v t | None -> t in
+  let t = match profile with Some v -> with_profile v t | None -> t in
+  let t = match cache with Some v -> with_cache v t | None -> t in
+  let t = match faults with Some v -> with_faults v t | None -> t in
+  t

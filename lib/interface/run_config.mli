@@ -1,0 +1,61 @@
+(** The one record that configures a simulation run.
+
+    Every knob the configuration runners ({!System.tlm}, {!System.pin},
+    {!System.rtl}), the flow driver and the sweep used to take as a cloud
+    of optional arguments lives here instead: build one with {!default}
+    and the [with_*] setters (or {!make}), pass it everywhere.  The old
+    optional-argument entry points remain as thin wrappers over this
+    record and should not be used in new code. *)
+
+type t = {
+  rc_mem_bytes : int;  (** target memory size *)
+  rc_mem_seed : int;  (** target memory fill pattern seed *)
+  rc_policy : Hlcs_osss.Policy.t option;  (** interface arbitration policy *)
+  rc_target : Hlcs_pci.Pci_target.config;
+  rc_synth_options : Hlcs_synth.Synthesize.options option;
+  rc_vcd_prefix : string option;
+      (** e.g. ["waves/pci"] dumps [<prefix>_<suffix>.vcd] per pin-level run *)
+  rc_max_time : Hlcs_engine.Time.t;  (** simulation watchdog *)
+  rc_profile : bool;  (** attach {!Hlcs_obs.Obs} snapshots *)
+  rc_cache : Hlcs_synth.Synth_cache.t option;  (** synthesis memoisation *)
+  rc_faults : Hlcs_fault.Fault.plan;  (** {!Hlcs_fault.Fault.empty} = none *)
+}
+
+val default : t
+(** 1024 memory bytes, seed 42, default target, 100 ms watchdog, no VCD,
+    no profiling, no cache, no faults. *)
+
+val with_mem_bytes : int -> t -> t
+val with_mem_seed : int -> t -> t
+val with_policy : Hlcs_osss.Policy.t -> t -> t
+val with_target : Hlcs_pci.Pci_target.config -> t -> t
+val with_synth_options : Hlcs_synth.Synthesize.options -> t -> t
+val with_vcd_prefix : string -> t -> t
+val with_max_time : Hlcs_engine.Time.t -> t -> t
+val with_profile : bool -> t -> t
+val with_cache : Hlcs_synth.Synth_cache.t -> t -> t
+val with_faults : Hlcs_fault.Fault.plan -> t -> t
+
+val make :
+  ?mem_bytes:int ->
+  ?mem_seed:int ->
+  ?policy:Hlcs_osss.Policy.t ->
+  ?target:Hlcs_pci.Pci_target.config ->
+  ?synth_options:Hlcs_synth.Synthesize.options ->
+  ?vcd_prefix:string ->
+  ?max_time:Hlcs_engine.Time.t ->
+  ?profile:bool ->
+  ?cache:Hlcs_synth.Synth_cache.t ->
+  ?faults:Hlcs_fault.Fault.plan ->
+  unit ->
+  t
+(** All-optionals constructor over {!default}; the bridge the deprecated
+    wrappers use. *)
+
+val vcd_file : t -> string -> string option
+(** [vcd_file t suffix] is [<prefix>_<suffix>.vcd] when a prefix is set. *)
+
+val effective_target : t -> Hlcs_pci.Pci_target.config
+(** [rc_target] with the fault plan's {!Hlcs_fault.Fault.target_faults}
+    merged on top (extra wait states added; retry/disconnect/abort
+    injections overriding when the plan sets them). *)

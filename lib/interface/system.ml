@@ -16,6 +16,7 @@ module Pci_target = Hlcs_pci.Pci_target
 module Pci_arbiter = Hlcs_pci.Pci_arbiter
 module Pci_monitor = Hlcs_pci.Pci_monitor
 module Pci_types = Hlcs_pci.Pci_types
+module Fault = Hlcs_fault.Fault
 module Obs = Hlcs_obs.Obs
 
 type run_report = {
@@ -30,9 +31,11 @@ type run_report = {
   rr_wall_seconds : float;
   rr_synthesis : Synthesize.report option;
   rr_profile : Obs.snapshot option;
+  rr_fault : Fault.stats option;
 }
 
 let clock_period = Time.ns 10
+let default_max_time = Time.us 100_000
 
 let timed_run ?max_time ?(profile = false) ~label kernel =
   if profile then begin
@@ -45,20 +48,43 @@ let timed_run ?max_time ?(profile = false) ~label kernel =
     (Unix.gettimeofday () -. t0, None)
   end
 
+(* A non-empty fault plan gets a stats record (threaded into the report);
+   an empty plan gets nothing at all, so a faultless run is bit-for-bit
+   the run the machinery predates. *)
+let fault_state (config : Run_config.t) =
+  if Fault.is_empty config.Run_config.rc_faults then None
+  else Some (Fault.stats ())
+
+(* attach the fault counters to a profile snapshot when both exist *)
+let profile_with_faults prof fstats =
+  match (prof, fstats) with
+  | Some sn, Some st -> Some (Obs.with_extras sn (Fault.counters st))
+  | other, _ -> other
+
 (* ------------------------------------------------------------------ *)
 (* Configuration A: functional                                         *)
 
-let run_tlm ?(label = "tlm") ?(mem_seed = 42) ?policy ?profile ~mem_bytes ~script () =
+let tlm ?(label = "tlm") (config : Run_config.t) ~script =
+  let plan = config.Run_config.rc_faults in
+  let fstats = fault_state config in
   let kernel = Kernel.create () in
+  (match fstats with
+  | Some st -> Fault.install_jitter kernel ~plan st
+  | None -> ());
   let clock = Clock.create kernel ~name:"clk" ~period:clock_period () in
-  let memory = Pci_memory.create ~size_bytes:mem_bytes in
-  Pci_memory.fill_pattern memory ~seed:mem_seed;
+  let memory = Pci_memory.create ~size_bytes:config.Run_config.rc_mem_bytes in
+  Pci_memory.fill_pattern memory ~seed:config.Run_config.rc_mem_seed;
   let tlm =
-    Tlm.spawn kernel ~clock ~memory ?policy ~script
+    Tlm.spawn kernel ~clock ~memory ?policy:config.Run_config.rc_policy
+      ?stall:plan.Fault.fp_stall ?guard:plan.Fault.fp_guard
+      ?fault_stats:fstats ~script
       ~on_done:(fun () -> Kernel.request_stop kernel)
       ()
   in
-  let wall, prof = timed_run ~max_time:(Time.us 100_000) ?profile ~label kernel in
+  let wall, prof =
+    timed_run ~max_time:config.Run_config.rc_max_time
+      ~profile:config.Run_config.rc_profile ~label kernel
+  in
   {
     rr_label = label;
     rr_observed = Tlm.observed tlm;
@@ -70,7 +96,8 @@ let run_tlm ?(label = "tlm") ?(mem_seed = 42) ?policy ?profile ~mem_bytes ~scrip
     rr_cycles = Clock.cycles clock;
     rr_wall_seconds = wall;
     rr_synthesis = None;
-    rr_profile = prof;
+    rr_profile = profile_with_faults prof fstats;
+    rr_fault = fstats;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -136,15 +163,30 @@ type fabric = {
   fb_vcd : Vcd.t option;
 }
 
-let build_fabric ?vcd ?(mem_seed = 42) ?(target = Pci_target.default_config) ~mem_bytes
-    () =
+(* name -> resolved net, for kernel-level glitch injection on the bus *)
+let resolve_net bus name =
+  match name with
+  | "frame_n" -> Some bus.Pci_bus.frame_n
+  | "irdy_n" -> Some bus.Pci_bus.irdy_n
+  | "trdy_n" -> Some bus.Pci_bus.trdy_n
+  | "devsel_n" -> Some bus.Pci_bus.devsel_n
+  | "stop_n" -> Some bus.Pci_bus.stop_n
+  | "ad" -> Some bus.Pci_bus.ad
+  | "cbe" -> Some bus.Pci_bus.cbe
+  | "par" -> Some bus.Pci_bus.par
+  | _ -> None
+
+let build_fabric ?vcd ?(mem_seed = 42) ?(target = Pci_target.default_config)
+    ?arbiter_starve ~mem_bytes () =
   let kernel = Kernel.create () in
   let clock = Clock.create kernel ~name:"clk" ~period:clock_period () in
   let bus = Pci_bus.create kernel ~clock ~masters:1 in
   let memory = Pci_memory.create ~size_bytes:mem_bytes in
   Pci_memory.fill_pattern memory ~seed:mem_seed;
   let (_ : Pci_target.t) = Pci_target.create kernel ~bus ~memory target in
-  let (_ : Pci_arbiter.t) = Pci_arbiter.create kernel ~bus in
+  let (_ : Pci_arbiter.t) =
+    Pci_arbiter.create ?starve:arbiter_starve kernel ~bus
+  in
   let monitor = Pci_monitor.create kernel ~bus in
   let vcd =
     Option.map
@@ -162,6 +204,28 @@ let build_fabric ?vcd ?(mem_seed = 42) ?(target = Pci_target.default_config) ~me
     fb_monitor = monitor;
     fb_vcd = vcd;
   }
+
+(* one fabric from the unified configuration, with the plan's kernel- and
+   interface-level faults armed; [vcd] is the already-resolved dump path *)
+let fabric_of_config (config : Run_config.t) ~vcd fstats =
+  let plan = config.Run_config.rc_faults in
+  let fabric =
+    build_fabric ?vcd
+      ~mem_seed:config.Run_config.rc_mem_seed
+      ~target:(Run_config.effective_target config)
+      ?arbiter_starve:
+        (Option.map
+           (fun s -> (s.Fault.sv_from_cycle, s.Fault.sv_cycles))
+           plan.Fault.fp_starvation)
+      ~mem_bytes:config.Run_config.rc_mem_bytes ()
+  in
+  (match fstats with
+  | Some st ->
+      Fault.install_jitter fabric.fb_kernel ~plan st;
+      Fault.inject_glitches fabric.fb_kernel ~clock:fabric.fb_clock
+        ~resolve:(resolve_net fabric.fb_bus) st plan.Fault.fp_glitches
+  | None -> ());
+  fabric
 
 (* connect the design's ports (behavioural or RTL, resolved by name through
    [in_port]/[out_port]) to the bus fabric *)
@@ -198,7 +262,7 @@ let observe_app fb ~out_port =
   ignore (Kernel.spawn fb.fb_kernel ~name:"stopper" stopper);
   obs
 
-let finish_pin ~label ~fabric ~obs ~wall ~prof ~synthesis =
+let finish_pin ~label ~fabric ~obs ~wall ~prof ~synthesis ~fstats =
   Option.iter Vcd.close fabric.fb_vcd;
   {
     rr_label = label;
@@ -211,46 +275,88 @@ let finish_pin ~label ~fabric ~obs ~wall ~prof ~synthesis =
     rr_cycles = Clock.cycles fabric.fb_clock;
     rr_wall_seconds = wall;
     rr_synthesis = synthesis;
-    rr_profile = prof;
+    rr_profile = profile_with_faults prof fstats;
+    rr_fault = fstats;
   }
 
-let default_max_time = Time.us 100_000
-
-let run_pin ?(label = "pin-behavioural") ?mem_seed ?policy ?vcd ?target
-    ?(max_time = default_max_time) ?design ?profile ~mem_bytes ~script () =
-  let fabric = build_fabric ?vcd ?mem_seed ?target ~mem_bytes () in
+let pin_with_vcd ~label ~vcd ?design (config : Run_config.t) ~script =
+  let fstats = fault_state config in
+  let fabric = fabric_of_config config ~vcd fstats in
   let design =
     match design with
     | Some d -> d
-    | None -> Pci_master_design.design ?policy ~app:script ()
+    | None ->
+        Pci_master_design.design ?policy:config.Run_config.rc_policy
+          ~app:script ()
   in
   let it = Interp.elaborate fabric.fb_kernel ~clock:fabric.fb_clock design in
   connect_pads fabric ~in_port:(Interp.in_port it) ~out_port:(Interp.out_port it);
   let obs = observe_app fabric ~out_port:(Interp.out_port it) in
-  let wall, prof = timed_run ~max_time ?profile ~label fabric.fb_kernel in
-  finish_pin ~label ~fabric ~obs ~wall ~prof ~synthesis:None
+  let wall, prof =
+    timed_run ~max_time:config.Run_config.rc_max_time
+      ~profile:config.Run_config.rc_profile ~label fabric.fb_kernel
+  in
+  finish_pin ~label ~fabric ~obs ~wall ~prof ~synthesis:None ~fstats
 
-let run_rtl ?(label = "pin-rtl") ?mem_seed ?policy ?vcd ?target
-    ?(max_time = default_max_time) ?options ?design ?cache ?profile ~mem_bytes
-    ~script () =
+let pin ?(label = "pin-behavioural") ?design config ~script =
+  pin_with_vcd ~label ~vcd:(Run_config.vcd_file config "behavioural") ?design
+    config ~script
+
+let rtl_with_vcd ~label ~vcd ?design (config : Run_config.t) ~script =
   let design =
     match design with
     | Some d -> d
-    | None -> Pci_master_design.design ?policy ~app:script ()
+    | None ->
+        Pci_master_design.design ?policy:config.Run_config.rc_policy
+          ~app:script ()
   in
   let report =
-    match cache with
-    | Some c -> Hlcs_synth.Synth_cache.synthesize c ?options design
-    | None -> Synthesize.synthesize ?options design
+    match config.Run_config.rc_cache with
+    | Some c ->
+        Hlcs_synth.Synth_cache.synthesize c
+          ?options:config.Run_config.rc_synth_options design
+    | None -> Synthesize.synthesize ?options:config.Run_config.rc_synth_options design
   in
-  let fabric = build_fabric ?vcd ?mem_seed ?target ~mem_bytes () in
+  let fstats = fault_state config in
+  let fabric = fabric_of_config config ~vcd fstats in
   let sim =
     Sim.elaborate fabric.fb_kernel ~clock:fabric.fb_clock report.Synthesize.rp_rtl
   in
   connect_pads fabric ~in_port:(Sim.in_port sim) ~out_port:(Sim.out_port sim);
   let obs = observe_app fabric ~out_port:(Sim.out_port sim) in
-  let wall, prof = timed_run ~max_time ?profile ~label fabric.fb_kernel in
-  finish_pin ~label ~fabric ~obs ~wall ~prof ~synthesis:(Some report)
+  let wall, prof =
+    timed_run ~max_time:config.Run_config.rc_max_time
+      ~profile:config.Run_config.rc_profile ~label fabric.fb_kernel
+  in
+  finish_pin ~label ~fabric ~obs ~wall ~prof ~synthesis:(Some report) ~fstats
+
+let rtl ?(label = "pin-rtl") ?design config ~script =
+  rtl_with_vcd ~label ~vcd:(Run_config.vcd_file config "rtl") ?design config
+    ~script
+
+(* ------------------------------------------------------------------ *)
+(* Deprecated optional-argument wrappers (pre-Run_config API).  The old
+   [?vcd] took the exact dump path, not a prefix, so the wrappers bypass
+   [Run_config.vcd_file]. *)
+
+let run_tlm ?label ?mem_seed ?policy ?profile ~mem_bytes ~script () =
+  let config = Run_config.make ~mem_bytes ?mem_seed ?policy ?profile () in
+  tlm ?label config ~script
+
+let run_pin ?(label = "pin-behavioural") ?mem_seed ?policy ?vcd ?target
+    ?max_time ?design ?profile ~mem_bytes ~script () =
+  let config =
+    Run_config.make ~mem_bytes ?mem_seed ?policy ?target ?max_time ?profile ()
+  in
+  pin_with_vcd ~label ~vcd ?design config ~script
+
+let run_rtl ?(label = "pin-rtl") ?mem_seed ?policy ?vcd ?target ?max_time
+    ?options ?design ?cache ?profile ~mem_bytes ~script () =
+  let config =
+    Run_config.make ~mem_bytes ?mem_seed ?policy ?target ?max_time
+      ?synth_options:options ?cache ?profile ()
+  in
+  rtl_with_vcd ~label ~vcd ?design config ~script
 
 (* ------------------------------------------------------------------ *)
 (* Consistency checks                                                  *)

@@ -1,19 +1,28 @@
 (** Assembly and execution of the three configurations of the paper's
     communication-refinement experiment (Figures 2/3):
 
-    - {!run_tlm} — configuration A: application + functional interface,
+    - {!tlm} — configuration A: application + functional interface,
       no bus;
-    - {!run_pin} — configuration B: the executable specification — the
+    - {!pin} — configuration B: the executable specification — the
       behavioural HLIR interface driving the pin-level PCI bus fabric
       (target, arbiter, protocol monitor);
-    - {!run_rtl} — configuration C: the post-synthesis model — the same
+    - {!rtl} — configuration C: the post-synthesis model — the same
       design pushed through the synthesiser and re-simulated at RT level
       against the same bus fabric.
 
-    All three replay the same request script; their application-level
-    observations (sequence-tagged read-back words) and final memories must
-    agree, and the two pin-level runs must also agree on the bus
-    transaction trace. *)
+    All three take one {!Run_config.t} and replay the same request script;
+    their application-level observations (sequence-tagged read-back words)
+    and final memories must agree, and the two pin-level runs must also
+    agree on the bus transaction trace.
+
+    When the configuration carries a non-empty {!Hlcs_fault.Fault.plan},
+    the runners arm its perturbations — activation jitter on the kernel,
+    net glitches / target misbehaviour / arbiter starvation on the fabric,
+    engine stall and guarded-call bounds on the TLM side — and thread a
+    {!Hlcs_fault.Fault.stats} record into the report ([rr_fault]).  An
+    {e empty} plan allocates nothing and perturbs nothing: the run is
+    byte-identical to one made through the pre-fault code path, which the
+    regression suite asserts at the VCD level. *)
 
 type run_report = {
   rr_label : string;
@@ -27,11 +36,16 @@ type run_report = {
   rr_wall_seconds : float;  (** host time spent inside [Kernel.run] *)
   rr_synthesis : Hlcs_synth.Synthesize.report option;  (** RTL run only *)
   rr_profile : Hlcs_obs.Obs.snapshot option;
-      (** [Some] iff the run was invoked with [~profile:true] *)
+      (** [Some] iff the run was invoked with profiling on; fault counters
+          are attached as extras when faults were injected *)
+  rr_fault : Hlcs_fault.Fault.stats option;
+      (** [Some] iff the run's fault plan was non-empty *)
 }
 
 val clock_period : Hlcs_engine.Time.t
 (** 10 ns — a 100 MHz bus. *)
+
+val default_max_time : Hlcs_engine.Time.t
 
 val timed_run :
   ?max_time:Hlcs_engine.Time.t ->
@@ -43,6 +57,44 @@ val timed_run :
     observability snapshot when [profile] is set.  Shared by every
     configuration runner (including {!Sram_system}'s). *)
 
+(** {1 Primary API — one {!Run_config.t} per run} *)
+
+val tlm :
+  ?label:string ->
+  Run_config.t ->
+  script:Hlcs_pci.Pci_types.request list ->
+  run_report
+(** Configuration A.  Honours the config's memory, policy, watchdog,
+    profiling, and the fault plan's jitter/stall/guard components. *)
+
+val pin :
+  ?label:string ->
+  ?design:Hlcs_hlir.Ast.design ->
+  Run_config.t ->
+  script:Hlcs_pci.Pci_types.request list ->
+  run_report
+(** Configuration B.  [design] overrides the unit under design (it must
+    expose the {!Pci_master_design} pin ports plus [rd_obs]/[app_done]);
+    by default the PCI interface with an application generated from
+    [script] is used — with an override, [script] is ignored.  A VCD
+    prefix in the config dumps [<prefix>_behavioural.vcd]. *)
+
+val rtl :
+  ?label:string ->
+  ?design:Hlcs_hlir.Ast.design ->
+  Run_config.t ->
+  script:Hlcs_pci.Pci_types.request list ->
+  run_report
+(** Configuration C: synthesise (through the config's cache when set) and
+    re-simulate at RT level.  A VCD prefix dumps [<prefix>_rtl.vcd]. *)
+
+(** {1 Deprecated wrappers}
+
+    The pre-{!Run_config} optional-argument entry points, kept so existing
+    callers keep compiling; they build a config and defer to the primary
+    API.  [?vcd] is the exact dump path (not a prefix).  New code should
+    use {!tlm}/{!pin}/{!rtl}. *)
+
 val run_tlm :
   ?label:string ->
   ?mem_seed:int ->
@@ -52,6 +104,7 @@ val run_tlm :
   script:Hlcs_pci.Pci_types.request list ->
   unit ->
   run_report
+(** @deprecated Use {!tlm} with a {!Run_config.t}. *)
 
 val run_pin :
   ?label:string ->
@@ -66,10 +119,7 @@ val run_pin :
   script:Hlcs_pci.Pci_types.request list ->
   unit ->
   run_report
-(** [design] overrides the unit under design (it must expose the
-    {!Pci_master_design} pin ports plus [rd_obs]/[app_done]); by default
-    the PCI interface with an application generated from [script] is
-    used.  With an override, [script] is ignored. *)
+(** @deprecated Use {!pin} with a {!Run_config.t}. *)
 
 val run_rtl :
   ?label:string ->
@@ -86,8 +136,9 @@ val run_rtl :
   script:Hlcs_pci.Pci_types.request list ->
   unit ->
   run_report
-(** [cache] memoises the synthesis step ({!Hlcs_synth.Synth_cache}): a
-    sweep re-running the same design pays for synthesis once. *)
+(** @deprecated Use {!rtl} with a {!Run_config.t}. *)
+
+(** {1 Consistency checks} *)
 
 val compare_runs : run_report -> run_report -> string list
 (** Application-level consistency: observations and final memory.  Empty =

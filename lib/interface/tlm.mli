@@ -21,16 +21,32 @@ val spawn :
   memory:Hlcs_pci.Pci_memory.t ->
   ?timing:timing ->
   ?policy:Hlcs_osss.Policy.t ->
+  ?stall:Hlcs_fault.Fault.stall ->
+  ?guard:Hlcs_fault.Fault.guard_policy ->
+  ?fault_stats:Hlcs_fault.Fault.stats ->
   script:Hlcs_pci.Pci_types.request list ->
   ?on_done:(unit -> unit) ->
   unit ->
   t
 (** Creates the native interface object, the functional engine and the
     application process replaying [script].  [on_done] fires when the
-    application has completed all requests. *)
+    application has completed all requests.
+
+    Fault-injection hooks: [stall] freezes the engine for a window before
+    it fetches the given command; [guard] makes the application issue its
+    blocking calls through the bounded
+    {!Interface_object.Native.put_command_bounded} family, so a stalled
+    engine produces counted timeouts, retries and (when the budget rides
+    out the stall) recoveries instead of a hang — all tallied into
+    [fault_stats].  When the budget is exhausted the application abandons
+    the rest of the script ({!gave_up}) and still fires [on_done]. *)
 
 val observed : t -> (int * int) list
 (** (sequence, word) pairs read back by the application, oldest first. *)
 
 val commands_served : t -> int
 val interface_object : t -> Interface_object.Native.t
+
+val gave_up : t -> bool
+(** The application abandoned the script after a bounded call exhausted
+    its retry budget. *)

@@ -151,6 +151,72 @@ let call t ~meth ?(priority = 0) ~guard body =
   in
   attempt ()
 
+type timeout_info = {
+  ti_object : string;
+  ti_method : string;
+  ti_attempts : int;
+  ti_waited : Time.t;
+}
+
+(* Bounded-timeout variant of [call]: each attempt arms a timer alongside
+   the retry event; an attempt that is not granted by its deadline is
+   withdrawn from the queue (so an abandoned caller never wins a stale
+   grant), backed off, and re-issued at the back of the arrival order.
+   Exhaustion returns the structured record instead of blocking forever —
+   the degradation path fault campaigns rely on. *)
+let call_with_timeout t ~meth ?(priority = 0) ~timeout ?(retries = 0)
+    ?(backoff = Time.zero) ?(on_timeout = fun (_ : int) -> ()) ~guard body =
+  if Time.compare timeout Time.zero <= 0 then
+    invalid_arg "Global_object.call_with_timeout: timeout must be positive";
+  let c = core t in
+  let caller = Kernel.current_proc c.co_kernel in
+  let started = Kernel.now c.co_kernel in
+  let rec attempt_call attempt =
+    let seq = c.co_seq in
+    c.co_seq <- seq + 1;
+    let req =
+      { preq = { Policy.rq_seq = seq; rq_caller = caller; rq_priority = priority };
+        pguard = guard }
+    in
+    c.co_pending <- c.co_pending @ [ req ];
+    let enqueued_at = Kernel.now c.co_kernel in
+    let deadline = Time.add enqueued_at timeout in
+    let timer = Kernel.make_event c.co_kernel (c.co_name ^ ".timeout" ) in
+    Kernel.notify_after timer timeout;
+    Kernel.notify_delta c.retry;
+    let rec await () =
+      Kernel.wait_any [ c.retry; timer ];
+      if chosen c seq then begin
+        c.co_pending <-
+          List.filter (fun p -> p.preq.Policy.rq_seq <> seq) c.co_pending;
+        Ok (execute c ~meth ~caller ~enqueued_at body)
+      end
+      else if Time.compare (Kernel.now c.co_kernel) deadline >= 0 then begin
+        (* withdraw: this attempt must never be granted after it gave up *)
+        c.co_pending <-
+          List.filter (fun p -> p.preq.Policy.rq_seq <> seq) c.co_pending;
+        on_timeout attempt;
+        if attempt < retries then begin
+          (* linear backoff: attempt k sleeps k*backoff before re-issuing *)
+          if Time.compare backoff Time.zero > 0 then
+            Kernel.delay c.co_kernel (Time.mul backoff (attempt + 1));
+          attempt_call (attempt + 1)
+        end
+        else
+          Error
+            {
+              ti_object = c.co_name;
+              ti_method = meth;
+              ti_attempts = attempt + 1;
+              ti_waited = Time.sub (Kernel.now c.co_kernel) started;
+            }
+      end
+      else await ()
+    in
+    await ()
+  in
+  attempt_call 0
+
 let try_call t ~meth ~guard body =
   let c = core t in
   if (not c.co_busy) && guard c.co_state then begin

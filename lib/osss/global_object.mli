@@ -55,6 +55,37 @@ val call :
     body atomically.  A call always costs at least one delta cycle, modelling
     the synchronisation the synthesised handshake performs. *)
 
+type timeout_info = {
+  ti_object : string;
+  ti_method : string;
+  ti_attempts : int;  (** attempts made, including the first *)
+  ti_waited : Hlcs_engine.Time.t;  (** time between first enqueue and giving up *)
+}
+(** The structured verdict of an exhausted {!call_with_timeout}: what a
+    robust application reports instead of hanging on a dead interface. *)
+
+val call_with_timeout :
+  'st t ->
+  meth:string ->
+  ?priority:int ->
+  timeout:Hlcs_engine.Time.t ->
+  ?retries:int ->
+  ?backoff:Hlcs_engine.Time.t ->
+  ?on_timeout:(int -> unit) ->
+  guard:('st -> bool) ->
+  ('st -> 'st * 'a) ->
+  ('a, timeout_info) result
+(** {!call} with a bounded wait: an attempt not granted within [timeout]
+    is withdrawn from the queue (it can never win a stale grant), reported
+    through [on_timeout] (called with the 0-based attempt number), and —
+    up to [retries] times — re-issued after a linearly growing backoff
+    ([backoff], [2*backoff], ...).  When every attempt expires the call returns
+    [Error] with the structured {!timeout_info} instead of blocking, which
+    is how fault campaigns keep the application responsive under
+    interface-level faults.  [retries] defaults to 0 (single attempt),
+    [backoff] to zero (immediate re-issue).
+    @raise Invalid_argument if [timeout] is not positive. *)
+
 val try_call :
   'st t -> meth:string -> guard:('st -> bool) -> ('st -> 'st * 'a) -> 'a option
 (** Non-blocking probe: executes immediately if the object is free and the

@@ -2,20 +2,51 @@ module Kernel = Hlcs_engine.Kernel
 module Signal = Hlcs_engine.Signal
 module Clock = Hlcs_engine.Clock
 
-type t = { mutable owner : int; mutable grants : int }
+type t = {
+  mutable owner : int;
+  mutable grants : int;
+  mutable starved : int;
+  mutable parked : bool;  (* grant lines currently assert [owner] *)
+}
 
-let create kernel ~bus =
+let create ?starve kernel ~bus =
   let n = Pci_bus.masters bus in
-  let t = { owner = 0; grants = 0 } in
+  let t = { owner = 0; grants = 0; starved = 0; parked = true } in
   let requesting i = not (Signal.read bus.Pci_bus.req_n.(i)) in
+  let any_requesting () =
+    let rec go i = i < n && (requesting i || go (i + 1)) in
+    go 0
+  in
   let set_grant i =
-    Array.iteri (fun j g -> Signal.write g (j <> i)) bus.Pci_bus.gnt_n
+    Array.iteri (fun j g -> Signal.write g (j <> i)) bus.Pci_bus.gnt_n;
+    t.parked <- true
+  in
+  let clear_grants () =
+    Array.iter (fun g -> Signal.write g true) bus.Pci_bus.gnt_n;
+    t.parked <- false
+  in
+  let starving () =
+    match starve with
+    | None -> false
+    | Some (from, len) ->
+        let c = Clock.cycles bus.Pci_bus.clock in
+        c >= from && c < from + len
   in
   let arbitrate () =
     let idle =
       Pci_bus.bit bus.Pci_bus.frame_n && Pci_bus.bit bus.Pci_bus.irdy_n
     in
-    if idle && not (requesting t.owner) then begin
+    if starving () then begin
+      (* fault injection: grant nobody for the window.  The grant is only
+         withdrawn while the bus is idle, so a running transaction always
+         completes — starvation delays masters, it never corrupts them. *)
+      if idle && t.parked then clear_grants ();
+      if any_requesting () then t.starved <- t.starved + 1
+    end
+    else if not t.parked then
+      (* window over: re-park the grant where it was *)
+      set_grant t.owner
+    else if idle && not (requesting t.owner) then begin
       (* rotate to the next requester, if any; otherwise stay parked *)
       let rec find k =
         if k > n then None
@@ -42,3 +73,4 @@ let create kernel ~bus =
   t
 
 let grants_issued t = t.grants
+let starved_cycles t = t.starved

@@ -1,8 +1,20 @@
 (** The central PCI bus arbiter: a rotating-priority grant over the REQ#
     lines, re-evaluated only while the bus is idle so a grant never changes
-    under a running transaction.  Parks the grant on the last owner. *)
+    under a running transaction.  Parks the grant on the last owner.
+
+    The optional [starve] window is a fault-injection knob: during clock
+    cycles [\[from, from+len)] the arbiter withdraws every grant (only
+    while the bus is idle), so requesting masters stall until the window
+    closes and the parked grant returns. *)
 
 type t
 
-val create : Hlcs_engine.Kernel.t -> bus:Pci_bus.t -> t
+val create :
+  ?starve:int * int -> Hlcs_engine.Kernel.t -> bus:Pci_bus.t -> t
+(** [starve] is [(from_cycle, cycles)]. *)
+
 val grants_issued : t -> int
+
+val starved_cycles : t -> int
+(** Cycles inside the starvation window at which at least one master was
+    requesting and nobody held a grant. *)

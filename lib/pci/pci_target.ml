@@ -11,6 +11,7 @@ type config = {
   wait_states : int;
   retry_every : int option;
   disconnect_after : int option;
+  ignore_every : int option;
 }
 
 let default_config =
@@ -20,6 +21,7 @@ let default_config =
     wait_states = 0;
     retry_every = None;
     disconnect_after = None;
+    ignore_every = None;
   }
 
 type t = {
@@ -27,9 +29,13 @@ type t = {
   mem : Pci_memory.t;
   mutable claimed : int;
   mutable retried : int;
+  mutable ignored : int;
   mutable just_retried : bool;
       (* a retried transaction's re-issue is always accepted, so retry
          injection can never livelock a master *)
+  mutable just_ignored : bool;
+      (* two consecutive decodes are never both ignored, for the same
+         reason *)
 }
 
 let lvec_to_int v =
@@ -42,7 +48,10 @@ let int_to_lvec ~width n = Lvec.of_bitvec (Bitvec.of_int ~width n)
    the following edge — the standard PCI registered-output discipline. *)
 let create kernel ~bus ~memory cfg =
   if cfg.devsel_latency < 1 then invalid_arg "Pci_target: devsel_latency must be >= 1";
-  let t = { cfg; mem = memory; claimed = 0; retried = 0; just_retried = false } in
+  let t =
+    { cfg; mem = memory; claimed = 0; retried = 0; ignored = 0;
+      just_retried = false; just_ignored = false }
+  in
   let d_trdy = Resolved.make_driver bus.Pci_bus.trdy_n "target.trdy"
   and d_devsel = Resolved.make_driver bus.Pci_bus.devsel_n "target.devsel"
   and d_stop = Resolved.make_driver bus.Pci_bus.stop_n "target.stop"
@@ -92,15 +101,31 @@ let create kernel ~bus ~memory cfg =
         | Some addr, Some cmd
           when (not (Pci_types.command_is_config cmd)) && in_window addr ->
             t.claimed <- t.claimed + 1;
-            let retry =
-              (not t.just_retried)
+            let ignore_now =
+              (not t.just_ignored)
               &&
-              match cfg.retry_every with
+              match cfg.ignore_every with
               | Some k -> k > 0 && t.claimed mod k = 0
               | None -> false
             in
-            t.just_retried <- retry;
-            claim addr cmd retry
+            t.just_ignored <- ignore_now;
+            if ignore_now then begin
+              (* fault injection: stay silent on a transaction we decode;
+                 with no DEVSEL# the master times out into a master abort *)
+              t.ignored <- t.ignored + 1;
+              wait_bus_idle ()
+            end
+            else begin
+              let retry =
+                (not t.just_retried)
+                &&
+                match cfg.retry_every with
+                | Some k -> k > 0 && t.claimed mod k = 0
+                | None -> false
+              in
+              t.just_retried <- retry;
+              claim addr cmd retry
+            end
         | _ ->
             (* not ours: a missing DEVSEL# causes a master abort; skip the
                rest of the transaction before looking for address phases *)
@@ -214,3 +239,4 @@ let create kernel ~bus ~memory cfg =
 let memory t = t.mem
 let transactions_claimed t = t.claimed
 let retries_issued t = t.retried
+let aborts_forced t = t.ignored

@@ -14,6 +14,11 @@ type config = {
       (** [Some k]: answer every k-th transaction with Retry first *)
   disconnect_after : int option;
       (** [Some n]: disconnect bursts after n data phases *)
+  ignore_every : int option;
+      (** [Some k]: stay silent on every k-th decoded transaction (no
+          DEVSEL#), forcing the master into a master abort — the
+          interface-level fault {!Hlcs_fault} campaigns inject.  Two
+          consecutive transactions are never both ignored. *)
 }
 
 val default_config : config
@@ -28,3 +33,6 @@ val create :
 val memory : t -> Pci_memory.t
 val transactions_claimed : t -> int
 val retries_issued : t -> int
+
+val aborts_forced : t -> int
+(** Decoded transactions deliberately left unclaimed under [ignore_every]. *)

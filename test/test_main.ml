@@ -7,4 +7,5 @@ let () =
    @ Test_opt.tests @ Test_synth.tests @ Test_analysis.tests @ Test_pci.tests
    @ Test_interface.tests
    @ Test_wavediff.tests @ Test_coverage.tests @ Test_misc.tests @ Test_flow.tests
-   @ Test_determinism.tests @ Test_vcd.tests @ Test_runtime.tests)
+   @ Test_determinism.tests @ Test_vcd.tests @ Test_runtime.tests
+   @ Test_fault.tests)
