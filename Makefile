@@ -1,6 +1,6 @@
 # Convenience targets; dune is the real build system.
 
-.PHONY: all build test lint check ci bench bench-smoke sweep-smoke fault-smoke clean
+.PHONY: all build test lint check ci bench bench-smoke bench-guard sweep-smoke fault-smoke clean
 
 all: build
 
@@ -20,10 +20,16 @@ check: build test lint
 # Everything a PR must pass, including one pass over every bench series
 # (tiny iteration counts) so the perf code paths are compiled and exercised
 # even when nobody is looking at the numbers.
-ci: build lint test bench-smoke sweep-smoke fault-smoke
+ci: build lint test bench-smoke bench-guard sweep-smoke fault-smoke
 
 bench-smoke:
 	dune exec bench/main.exe -- --smoke
+
+# Same-binary settle-vs-levelized comparison over the RTL series: fails
+# if the levelized engine is ever slower than the legacy whole-network
+# settle.  Same-process, so no cross-binary flakiness.
+bench-guard:
+	dune exec bench/main.exe -- --guard
 
 # A small 2-domain batch sweep: exercises the domain pool, the shared
 # synthesis cache and the merged observability snapshot end to end.

@@ -364,80 +364,147 @@ let run_benchmarks () =
 (* The same artefacts as the Bechamel group, as plain thunks.  The JSON
    mode times them with min-of-N wall clock: scheduler noise only ever
    adds time, so the minimum is a far more stable basis for before/after
-   comparisons than a least-squares estimate on a noisy box. *)
-let series : (string * (unit -> unit)) list =
+   comparisons than a least-squares estimate on a noisy box.  Each thunk
+   returns the number of simulated clock cycles when the series is an RTL
+   simulation (deterministic per series), so the JSON can carry a derived
+   [cycles_per_sec] axis; [None] for series without a cycle count. *)
+let series : (string * (unit -> int option)) list =
   [
-    ("fig1/bistable_roundtrips", fun () -> ignore (run_fig1 ()));
+    ("fig1/bistable_roundtrips", fun () -> ignore (run_fig1 ()); None);
     (* the longer randomized workload (same as the FIG3 table): the smoke
        script finishes in ~0.2 ms at the behavioural level, which is inside
        timer noise for a before/after ratio *)
-    ("fig3/tlm", fun () -> ignore (System.run_tlm ~mem_bytes ~script:random_script ()));
+    ( "fig3/tlm",
+      fun () -> ignore (System.run_tlm ~mem_bytes ~script:random_script ()); None );
     ( "fig3/pin_behavioural",
-      fun () -> ignore (System.run_pin ~mem_bytes ~script:random_script ()) );
-    ("fig3/pin_rtl", fun () -> ignore (System.run_rtl ~mem_bytes ~script:random_script ()));
+      fun () -> ignore (System.run_pin ~mem_bytes ~script:random_script ()); None );
+    ( "fig3/pin_rtl",
+      fun () ->
+        Some (System.run_rtl ~mem_bytes ~script:random_script ()).System.rr_cycles );
     ( "fig3/sram_pin",
-      fun () -> ignore (Sram_system.run_pin ~mem_bytes ~script:random_script ()) );
+      fun () -> ignore (Sram_system.run_pin ~mem_bytes ~script:random_script ()); None );
     ( "fig3/sram_rtl",
-      fun () -> ignore (Sram_system.run_rtl ~mem_bytes ~script:random_script ()) );
+      fun () ->
+        Some (Sram_system.run_rtl ~mem_bytes ~script:random_script ()).System.rr_cycles );
     ( "exp3/equiv_check",
       fun () ->
         ignore
           (Equiv.check ~max_time:(T.us 50)
-             (contention_design ~policy:Policy.Fcfs ~nprocs:3 ~rounds:5)) );
+             (contention_design ~policy:Policy.Fcfs ~nprocs:3 ~rounds:5));
+        None );
     ( "fw1/contention_rtl_16",
-      fun () -> ignore (fw1_cycles ~policy:Policy.Round_robin ~nprocs:16 ~rounds:8) );
+      fun () -> Some (fw1_cycles ~policy:Policy.Round_robin ~nprocs:16 ~rounds:8) );
     (* EXT3: the batch sweep at every configuration, so the committed JSON
        carries the full scaling picture of the host it ran on *)
-    ("batch/sweep16_seq_uncached", fun () -> ignore (run_sweep ~jobs:1 ~cache:false ()));
-    ("batch/sweep16_seq_cached", fun () -> ignore (run_sweep ~jobs:1 ~cache:true ()));
-    ("batch/sweep16_par2_cached", fun () -> ignore (run_sweep ~jobs:2 ~cache:true ()));
-    ("batch/sweep16_par4_cached", fun () -> ignore (run_sweep ~jobs:4 ~cache:true ()));
+    ( "batch/sweep16_seq_uncached",
+      fun () -> ignore (run_sweep ~jobs:1 ~cache:false ()); None );
+    ("batch/sweep16_seq_cached", fun () -> ignore (run_sweep ~jobs:1 ~cache:true ()); None);
+    ("batch/sweep16_par2_cached", fun () -> ignore (run_sweep ~jobs:2 ~cache:true ()); None);
+    ("batch/sweep16_par4_cached", fun () -> ignore (run_sweep ~jobs:4 ~cache:true ()); None);
   ]
 
+(* substring selection, shared by --json, --smoke and --guard *)
+let filtered ~filter entries =
+  if filter = "" then entries
+  else
+    let has_sub name =
+      let n = String.length name and f = String.length filter in
+      let rec at i = i + f <= n && (String.sub name i f = filter || at (i + 1)) in
+      at 0
+    in
+    match List.filter (fun (name, _) -> has_sub name) entries with
+    | [] -> failwith (Printf.sprintf "--filter %S matches no series" filter)
+    | some -> some
+
 let measure ~repeat f =
-  f ();
+  let last = f () in
   (* warm-up: fills minor heap, loads code paths *)
   let runs =
     Array.init repeat (fun _ ->
         let t0 = Unix.gettimeofday () in
-        f ();
+        ignore (f ());
         Unix.gettimeofday () -. t0)
   in
   let min_s = Array.fold_left min runs.(0) runs in
   let mean_s = Array.fold_left ( +. ) 0. runs /. float_of_int repeat in
-  (min_s, mean_s, runs)
+  (min_s, mean_s, runs, last)
 
-let run_json ~path ~label ~repeat =
+let run_json ~path ~label ~repeat ~filter =
+  let selected = filtered ~filter series in
   let rows =
     List.map
       (fun (name, f) ->
-        let min_s, mean_s, runs = measure ~repeat f in
+        let min_s, mean_s, runs, cycles = measure ~repeat f in
         Printf.eprintf "%-28s min %8.3f ms  mean %8.3f ms\n%!" name (min_s *. 1e3)
           (mean_s *. 1e3);
+        let extra =
+          match cycles with
+          | Some c -> Printf.sprintf ", \"cycles_per_sec\": %.1f" (float_of_int c /. min_s)
+          | None -> ""
+        in
         Printf.sprintf
-          "    { \"name\": %S, \"min_s\": %.6f, \"mean_s\": %.6f,\n      \"runs_s\": [%s] }"
-          name min_s mean_s
+          "    { \"name\": %S, \"min_s\": %.6f, \"mean_s\": %.6f%s,\n      \"runs_s\": [%s] }"
+          name min_s mean_s extra
           (String.concat ", "
              (Array.to_list (Array.map (Printf.sprintf "%.6f") runs))))
-      series
+      selected
   in
   let oc = open_out path in
   Printf.fprintf oc "{\n  \"label\": %S,\n  \"repeat\": %d,\n  \"series\": [\n%s\n  ]\n}\n"
     label repeat
     (String.concat ",\n" rows);
   close_out oc;
-  Printf.printf "wrote %s (%d series, repeat=%d)\n" path (List.length series) repeat
+  Printf.printf "wrote %s (%d series, repeat=%d)\n" path (List.length selected) repeat
+
+(* --guard: a cheap same-process regression tripwire for the levelized
+   engine — both engines run from the same binary, interleaved, over the
+   RTL series, and the run fails if the levelized engine is ever slower
+   than the legacy whole-network settle.  Same-process comparison avoids
+   the cross-binary noise of the committed BENCH files. *)
+let guard_series : (string * (Hlcs_rtl.Sim.engine -> unit)) list =
+  [
+    ( "fig3/pin_rtl",
+      fun engine ->
+        let config = Run_config.make ~mem_bytes ~rtl_engine:engine () in
+        ignore (System.rtl config ~script:random_script) );
+    ( "fig3/sram_rtl",
+      fun engine ->
+        ignore (Sram_system.run_rtl ~engine ~mem_bytes ~script:random_script ()) );
+  ]
+
+let run_guard () =
+  let repeat = 5 and rounds = 3 in
+  let failed = ref false in
+  List.iter
+    (fun (name, f) ->
+      let settle = ref infinity and levelized = ref infinity in
+      for _ = 1 to rounds do
+        let s, _, _, () = measure ~repeat (fun () -> f `Settle) in
+        settle := min !settle s;
+        let l, _, _, () = measure ~repeat (fun () -> f `Levelized) in
+        levelized := min !levelized l
+      done;
+      let verdict = if !levelized <= !settle then "ok" else "FAIL" in
+      if verdict = "FAIL" then failed := true;
+      Printf.printf "guard %-20s settle %8.3f ms  levelized %8.3f ms  %5.2fx  %s\n%!"
+        name (!settle *. 1e3) (!levelized *. 1e3) (!settle /. !levelized) verdict)
+    guard_series;
+  if !failed then begin
+    print_endline "guard: levelized engine slower than settle on some series";
+    exit 1
+  end;
+  print_endline "guard: levelized engine no slower than settle on every RTL series"
 
 (* One quick pass over every series plus the cross-configuration trace
    check: cheap enough for CI, still exercises all five interfaces. *)
-let run_smoke () =
+let run_smoke ~filter =
   List.iter
     (fun (name, f) ->
       let t0 = Unix.gettimeofday () in
-      f ();
+      ignore (f ());
       Printf.printf "smoke %-28s ok (%.1f ms)\n%!" name
         ((Unix.gettimeofday () -. t0) *. 1e3))
-    series;
+    (filtered ~filter series);
   let a = System.run_tlm ~mem_bytes ~script () in
   let b = System.run_pin ~mem_bytes ~script () in
   let c = System.run_rtl ~mem_bytes ~script () in
@@ -453,17 +520,25 @@ let () =
   let label = ref "dev" in
   let repeat = ref 9 in
   let smoke = ref false in
+  let guard = ref false in
+  let filter = ref "" in
   Arg.parse
     [
       ("--json", Arg.Set_string json_path, "PATH write min-of-N wall-clock series to PATH");
       ("--label", Arg.Set_string label, "NAME label recorded in the JSON output");
       ("--repeat", Arg.Set_int repeat, "N timed runs per series (default 9)");
+      ("--filter", Arg.Set_string filter, "SUB only run series whose name contains SUB");
       ("--smoke", Arg.Set smoke, " single quick pass per series, for CI");
+      ( "--guard",
+        Arg.Set guard,
+        " same-process settle-vs-levelized RTL engine comparison; fails if slower" );
     ]
     (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
     "hlcs bench harness";
-  if !smoke then run_smoke ()
-  else if !json_path <> "" then run_json ~path:!json_path ~label:!label ~repeat:!repeat
+  if !guard then run_guard ()
+  else if !smoke then run_smoke ~filter:!filter
+  else if !json_path <> "" then
+    run_json ~path:!json_path ~label:!label ~repeat:!repeat ~filter:!filter
   else begin
     Printf.printf
       "hlcs benchmark & experiment harness - reproduction of Bruschi & Bombana, DATE 2004\n";

@@ -242,6 +242,9 @@ let profile_cmd =
         ("tlm", `Tlm);
         ("pin", `Pin);
         ("rtl", `Rtl);
+        (* the figure-3 post-synthesis configuration, under the name the
+           experiment tables use *)
+        ("fig3", `Rtl);
         ("sram-pin", `Sram_pin);
         ("sram-rtl", `Sram_rtl);
       ]
@@ -250,7 +253,9 @@ let profile_cmd =
       value
       & pos 0 (enum designs) `Rtl
       & info [] ~docv:"DESIGN"
-          ~doc:"Configuration to profile: tlm, pin, rtl (default), sram-pin or sram-rtl.")
+          ~doc:
+            "Configuration to profile: tlm, pin, rtl (default, also reachable \
+             as fig3), sram-pin or sram-rtl.")
   in
   Cmd.v
     (Cmd.info "profile"

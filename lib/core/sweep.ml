@@ -122,6 +122,9 @@ let run ?jobs ?chunk ?(cache = true) ?(profile = false) ?vcd_dir ?max_time
         ~target:sc.sc_target ~policy:sc.sc_policy ?vcd_prefix ?max_time
         ?cache:cache_handle ~profile ~faults:sc.sc_faults ()
     in
+    (* [cache = false] must mean cold synthesis per run, not a fall-through
+       to the process-wide {!Run_config.shared_cache} default. *)
+    let config = if cache then config else Run_config.without_cache config in
     let fr = Flow.execute ~config ~script:(script_of sc) () in
     let wall = Unix.gettimeofday () -. t0 in
     {

@@ -4,6 +4,7 @@ module Synthesize = Hlcs_synth.Synthesize
 module Synth_cache = Hlcs_synth.Synth_cache
 module Pci_target = Hlcs_pci.Pci_target
 module Fault = Hlcs_fault.Fault
+module Rtl_sim = Hlcs_rtl.Sim
 
 type t = {
   rc_mem_bytes : int;
@@ -16,7 +17,16 @@ type t = {
   rc_profile : bool;
   rc_cache : Synth_cache.t option;
   rc_faults : Fault.plan;
+  rc_rtl_engine : Rtl_sim.engine;
 }
+
+(* One process-wide synthesis cache backs every default configuration:
+   sweeps, fault campaigns and benches re-synthesise the same design many
+   times per invocation, and the cache (mutex-guarded, so safe under the
+   batch runtime's domains) makes every run after the first reuse the
+   report.  [with_cache] still swaps in a private cache and
+   [without_cache] forces cold synthesis per run. *)
+let shared_cache = Synth_cache.create ()
 
 let default =
   {
@@ -28,8 +38,9 @@ let default =
     rc_vcd_prefix = None;
     rc_max_time = Time.us 100_000;
     rc_profile = false;
-    rc_cache = None;
+    rc_cache = Some shared_cache;
     rc_faults = Fault.empty;
+    rc_rtl_engine = `Levelized;
   }
 
 let with_mem_bytes rc_mem_bytes t = { t with rc_mem_bytes }
@@ -41,7 +52,9 @@ let with_vcd_prefix p t = { t with rc_vcd_prefix = Some p }
 let with_max_time rc_max_time t = { t with rc_max_time }
 let with_profile rc_profile t = { t with rc_profile }
 let with_cache c t = { t with rc_cache = Some c }
+let without_cache t = { t with rc_cache = None }
 let with_faults rc_faults t = { t with rc_faults }
+let with_rtl_engine rc_rtl_engine t = { t with rc_rtl_engine }
 
 let vcd_file t suffix =
   Option.map (fun p -> p ^ "_" ^ suffix ^ ".vcd") t.rc_vcd_prefix
@@ -71,7 +84,7 @@ let effective_target t =
 (* Build-style setters taking labelled optionals in one shot, for callers
    migrating from the old optional-argument API. *)
 let make ?mem_bytes ?mem_seed ?policy ?target ?synth_options ?vcd_prefix
-    ?max_time ?profile ?cache ?faults () =
+    ?max_time ?profile ?cache ?faults ?rtl_engine () =
   let t = default in
   let t = match mem_bytes with Some v -> with_mem_bytes v t | None -> t in
   let t = match mem_seed with Some v -> with_mem_seed v t | None -> t in
@@ -83,4 +96,5 @@ let make ?mem_bytes ?mem_seed ?policy ?target ?synth_options ?vcd_prefix
   let t = match profile with Some v -> with_profile v t | None -> t in
   let t = match cache with Some v -> with_cache v t | None -> t in
   let t = match faults with Some v -> with_faults v t | None -> t in
+  let t = match rtl_engine with Some v -> with_rtl_engine v t | None -> t in
   t

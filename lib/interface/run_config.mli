@@ -19,11 +19,18 @@ type t = {
   rc_profile : bool;  (** attach {!Hlcs_obs.Obs} snapshots *)
   rc_cache : Hlcs_synth.Synth_cache.t option;  (** synthesis memoisation *)
   rc_faults : Hlcs_fault.Fault.plan;  (** {!Hlcs_fault.Fault.empty} = none *)
+  rc_rtl_engine : Hlcs_rtl.Sim.engine;
+      (** RTL evaluation engine; [`Levelized] (default) is the compiled
+          dirty-cone simulator, [`Settle] the legacy whole-network
+          reference *)
 }
 
 val default : t
 (** 1024 memory bytes, seed 42, default target, 100 ms watchdog, no VCD,
-    no profiling, no cache, no faults. *)
+    no profiling, no faults, the levelized RTL engine, and the shared
+    process-wide synthesis cache (sweeps, fault campaigns and benches
+    re-synthesise the same design many times per process; use
+    {!without_cache} to force cold synthesis). *)
 
 val with_mem_bytes : int -> t -> t
 val with_mem_seed : int -> t -> t
@@ -33,8 +40,16 @@ val with_synth_options : Hlcs_synth.Synthesize.options -> t -> t
 val with_vcd_prefix : string -> t -> t
 val with_max_time : Hlcs_engine.Time.t -> t -> t
 val with_profile : bool -> t -> t
+val shared_cache : Hlcs_synth.Synth_cache.t
+(** The process-wide synthesis cache behind {!default}. *)
+
 val with_cache : Hlcs_synth.Synth_cache.t -> t -> t
+
+val without_cache : t -> t
+(** Drop the synthesis cache: every run re-synthesises from scratch. *)
+
 val with_faults : Hlcs_fault.Fault.plan -> t -> t
+val with_rtl_engine : Hlcs_rtl.Sim.engine -> t -> t
 
 val make :
   ?mem_bytes:int ->
@@ -47,6 +62,7 @@ val make :
   ?profile:bool ->
   ?cache:Hlcs_synth.Synth_cache.t ->
   ?faults:Hlcs_fault.Fault.plan ->
+  ?rtl_engine:Hlcs_rtl.Sim.engine ->
   unit ->
   t
 (** All-optionals constructor over {!default}; the bridge the deprecated

@@ -5,8 +5,10 @@ module Time = Hlcs_engine.Time
 module Bitvec = Hlcs_logic.Bitvec
 module Interp = Hlcs_hlir.Interp
 module Synthesize = Hlcs_synth.Synthesize
+module Synth_cache = Hlcs_synth.Synth_cache
 module Sim = Hlcs_rtl.Sim
 module Pci_memory = Hlcs_pci.Pci_memory
+module Obs = Hlcs_obs.Obs
 
 let default_max_time = Time.us 100_000
 
@@ -70,17 +72,29 @@ let run_pin ?(label = "sram-behavioural") ?(mem_seed = 42) ?policy ?(latency = 1
     }
 
 let run_rtl ?(label = "sram-rtl") ?(mem_seed = 42) ?policy ?(latency = 1)
-    ?(max_time = default_max_time) ?options ?profile ~mem_bytes ~script () =
+    ?(max_time = default_max_time) ?options ?(cache = Some Run_config.shared_cache)
+    ?engine ?profile ~mem_bytes ~script () =
   let design = Sram_master_design.design ?policy ~app:script () in
-  let report = Synthesize.synthesize ?options design in
+  let report =
+    match cache with
+    | Some c -> Synth_cache.synthesize c ?options design
+    | None -> Synthesize.synthesize ?options design
+  in
   let kernel = Kernel.create () in
   let clock = Clock.create kernel ~name:"clk" ~period:System.clock_period () in
-  let sim = Sim.elaborate kernel ~clock report.Synthesize.rp_rtl in
-  wire_and_run ~label ~mem_seed ~latency ~max_time ~mem_bytes ?profile
-    {
-      sd_kernel = kernel;
-      sd_clock = clock;
-      sd_in = Sim.in_port sim;
-      sd_out = Sim.out_port sim;
-      sd_synthesis = Some report;
-    }
+  let sim = Sim.elaborate kernel ~clock ?engine report.Synthesize.rp_rtl in
+  let r =
+    wire_and_run ~label ~mem_seed ~latency ~max_time ~mem_bytes ?profile
+      {
+        sd_kernel = kernel;
+        sd_clock = clock;
+        sd_in = Sim.in_port sim;
+        sd_out = Sim.out_port sim;
+        sd_synthesis = Some report;
+      }
+  in
+  {
+    r with
+    System.rr_profile =
+      Option.map (fun sn -> Obs.with_extras sn (Sim.counters sim)) r.System.rr_profile;
+  }

@@ -24,9 +24,15 @@ val run_rtl :
   ?latency:int ->
   ?max_time:Hlcs_engine.Time.t ->
   ?options:Hlcs_synth.Synthesize.options ->
+  ?cache:Hlcs_synth.Synth_cache.t option ->
+  ?engine:Hlcs_rtl.Sim.engine ->
   ?profile:bool ->
   mem_bytes:int ->
   script:Hlcs_pci.Pci_types.request list ->
   unit ->
   System.run_report
-(** Synthesised interface + pin-level SRAM device. *)
+(** Synthesised interface + pin-level SRAM device.  Synthesis goes through
+    {!Run_config.shared_cache} unless [cache] overrides it ([Some None]
+    forces cold synthesis); [engine] picks the {!Hlcs_rtl.Sim.engine}
+    (levelized by default).  With [profile], the snapshot carries the
+    RTL-engine counters as extras. *)

@@ -320,7 +320,8 @@ let rtl_with_vcd ~label ~vcd ?design (config : Run_config.t) ~script =
   let fstats = fault_state config in
   let fabric = fabric_of_config config ~vcd fstats in
   let sim =
-    Sim.elaborate fabric.fb_kernel ~clock:fabric.fb_clock report.Synthesize.rp_rtl
+    Sim.elaborate fabric.fb_kernel ~clock:fabric.fb_clock
+      ~engine:config.Run_config.rc_rtl_engine report.Synthesize.rp_rtl
   in
   connect_pads fabric ~in_port:(Sim.in_port sim) ~out_port:(Sim.out_port sim);
   let obs = observe_app fabric ~out_port:(Sim.out_port sim) in
@@ -328,6 +329,9 @@ let rtl_with_vcd ~label ~vcd ?design (config : Run_config.t) ~script =
     timed_run ~max_time:config.Run_config.rc_max_time
       ~profile:config.Run_config.rc_profile ~label fabric.fb_kernel
   in
+  (* RTL-engine counters ride the snapshot as extras, ahead of any fault
+     extras appended by [finish_pin] *)
+  let prof = Option.map (fun sn -> Obs.with_extras sn (Sim.counters sim)) prof in
   finish_pin ~label ~fabric ~obs ~wall ~prof ~synthesis:(Some report) ~fstats
 
 let rtl ?(label = "pin-rtl") ?design config ~script =

@@ -134,6 +134,47 @@ let propagate_copies d =
     (* aliased wires become dead; eliminate_dead removes them *)
     d
 
+(* --- common-subexpression elimination ------------------------------------ *)
+
+(* Hash-cons structurally identical wire expressions: walking the assigns
+   in dependency order, the first wire computing a given right-hand side
+   becomes the canonical one and every later duplicate is rewritten to a
+   plain [Wire] copy of it (copy propagation then folds the copy away and
+   dead-elimination drops the duplicate wire).  Expressions are pure data —
+   [Bitvec.t] is kept normalised, so polymorphic equality and hashing agree
+   with {!Bitvec.equal} — which makes the expression itself the table key.
+   Substituting already-merged wires before keying makes sharing transitive:
+   two adders over two merged copies collide too.  Leaves are skipped (a
+   leaf right-hand side is an alias, copy propagation's job, not a shared
+   computation). *)
+let share_common d =
+  let repl : (int, expr) Hashtbl.t = Hashtbl.create 64 in
+  let seen : (expr, expr) Hashtbl.t = Hashtbl.create 64 in
+  let assigns =
+    List.map
+      (fun (w, e) ->
+        let e = if Hashtbl.length repl = 0 then e else subst repl e in
+        match e with
+        | Const _ | Wire _ | Reg _ | Input _ -> (w, e)
+        | Unop _ | Binop _ | Mux _ | Slice _ -> (
+            match Hashtbl.find_opt seen e with
+            | Some canon ->
+                Hashtbl.replace repl w.w_id canon;
+                (w, canon)
+            | None ->
+                Hashtbl.replace seen e (Wire w);
+                (w, e)))
+      (Ir.topo_order d)
+  in
+  if Hashtbl.length repl = 0 then d
+  else
+    {
+      d with
+      rd_assigns = assigns;
+      rd_drives = List.map (fun (n, e) -> (n, subst repl e)) d.rd_drives;
+      rd_updates = List.map (fun (r, e) -> (r, subst repl e)) d.rd_updates;
+    }
+
 (* --- dead wire elimination ----------------------------------------------- *)
 
 let rec mark live e =
@@ -176,7 +217,7 @@ let eliminate_dead d =
   }
 
 let optimize d =
-  let pass d = eliminate_dead (propagate_copies (constant_fold d)) in
+  let pass d = eliminate_dead (share_common (propagate_copies (constant_fold d))) in
   let rec go n d =
     if n = 0 then d
     else

@@ -7,6 +7,8 @@
       constant-only operators);
     - {!propagate_copies}: replaces wires that merely alias another wire,
       register, input or constant;
+    - {!share_common}: hash-conses structurally identical wire expressions
+      so one wire carries each distinct computation;
     - {!eliminate_dead}: removes wires not reachable from any output or
       register update.
 
@@ -15,7 +17,16 @@
 
 val constant_fold : Ir.design -> Ir.design
 val propagate_copies : Ir.design -> Ir.design
+
+val share_common : Ir.design -> Ir.design
+(** Common-subexpression elimination.  The first wire (in dependency
+    order) computing a right-hand side becomes canonical; later wires with
+    a structurally identical right-hand side are rewritten into plain
+    copies of it, transitively (uses of merged wires are substituted
+    before comparing).  Run {!propagate_copies} and {!eliminate_dead}
+    afterwards to fold and drop the copies, as {!optimize} does. *)
+
 val eliminate_dead : Ir.design -> Ir.design
 
 val optimize : Ir.design -> Ir.design
-(** Iterates the three passes to a (bounded) fixpoint. *)
+(** Iterates the four passes to a (bounded) fixpoint. *)

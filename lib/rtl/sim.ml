@@ -8,23 +8,35 @@ type observer = { obs_output : port:string -> value:Bitvec.t -> unit }
 
 let no_observer = { obs_output = (fun ~port:_ ~value:_ -> ()) }
 
-type t = {
-  st_design : design;
-  st_wires : Bitvec.t array;  (** by wire id *)
-  st_regs : Bitvec.t array;  (** by reg id *)
-  st_next : Bitvec.t array;
-  st_inputs : (string, Bitvec.t Signal.t) Hashtbl.t;
-  st_outputs : (string, Bitvec.t Signal.t) Hashtbl.t;
-  st_reg_by_name : (string, reg) Hashtbl.t;
-  mutable st_order : (int * (unit -> Bitvec.t)) array;
+type engine = [ `Settle | `Levelized ]
+
+(* The legacy whole-network evaluator: closure trees over Bitvec slots,
+   every settle re-evaluates every assignment.  Kept as the differential-
+   testing reference for the levelized engine. *)
+type legacy = {
+  l_wires : Bitvec.t array;  (** by wire id *)
+  l_regs : Bitvec.t array;  (** by reg id *)
+  l_next : Bitvec.t array;
+  mutable l_order : (int * (unit -> Bitvec.t)) array;
       (** assigns in dependency order: wire slot, compiled rhs *)
-  mutable st_updates : (int * (unit -> Bitvec.t)) array;
+  mutable l_updates : (int * (unit -> Bitvec.t)) array;
       (** register slot, compiled next-value expression *)
-  mutable st_drives : (string * Bitvec.t Signal.t * (unit -> Bitvec.t)) array;
-  mutable st_in_dirty : bool;
+  mutable l_in_dirty : bool;
       (** set by input-signal commits; cleared by [settle].  When clear and
           no register changed, the wire array still reflects the current
           (inputs, registers) point and re-settling is a no-op. *)
+  mutable l_settles : int;
+}
+
+type impl = Legacy of legacy | Level of Compile.t
+
+type t = {
+  st_design : design;
+  st_inputs : (string, Bitvec.t Signal.t) Hashtbl.t;
+  st_outputs : (string, Bitvec.t Signal.t) Hashtbl.t;
+  st_reg_by_name : (string, reg) Hashtbl.t;
+  st_impl : impl;
+  mutable st_drives : (string * Bitvec.t Signal.t * (unit -> Bitvec.t)) array;
   mutable st_cycles : int;
 }
 
@@ -35,20 +47,20 @@ let shift_amount bv =
    lookups (input signals by name, wire/reg slots) are resolved here rather
    than on every evaluation — the settle loop is the simulator's hot path
    and a Hashtbl.find per input reference per delta dominates it. *)
-let rec compile t e =
+let rec compile_legacy lg inputs e =
   match e with
   | Const bv -> fun () -> bv
   | Wire w ->
       let i = w.w_id in
-      fun () -> t.st_wires.(i)
+      fun () -> lg.l_wires.(i)
   | Reg r ->
       let i = r.r_id in
-      fun () -> t.st_regs.(i)
+      fun () -> lg.l_regs.(i)
   | Input (name, _) ->
-      let s = Hashtbl.find t.st_inputs name in
+      let s = Hashtbl.find inputs name in
       fun () -> Signal.read s
   | Unop (op, e) -> (
-      let f = compile t e in
+      let f = compile_legacy lg inputs e in
       match op with
       | Not -> fun () -> Bitvec.lognot (f ())
       | Neg -> fun () -> Bitvec.neg (f ())
@@ -56,7 +68,7 @@ let rec compile t e =
       | Reduce_and -> fun () -> Bitvec.of_bool (Bitvec.reduce_and (f ()))
       | Reduce_xor -> fun () -> Bitvec.of_bool (Bitvec.reduce_xor (f ())))
   | Binop (op, x, y) -> (
-      let f = compile t x and g = compile t y in
+      let f = compile_legacy lg inputs x and g = compile_legacy lg inputs y in
       match op with
       | Add -> fun () -> Bitvec.add (f ()) (g ())
       | Sub -> fun () -> Bitvec.sub (f ()) (g ())
@@ -80,19 +92,47 @@ let rec compile t e =
             Bitvec.shift_right a (min (Bitvec.width a) (shift_amount (g ())))
       | Concat -> fun () -> Bitvec.concat (f ()) (g ()))
   | Mux (c, a, b) ->
-      let fc = compile t c and fa = compile t a and fb = compile t b in
+      let fc = compile_legacy lg inputs c
+      and fa = compile_legacy lg inputs a
+      and fb = compile_legacy lg inputs b in
       fun () -> if Bitvec.is_zero (fc ()) then fb () else fa ()
   | Slice (e, hi, lo) ->
-      let f = compile t e in
+      let f = compile_legacy lg inputs e in
       fun () -> Bitvec.slice (f ()) ~hi ~lo
 
-let settle t =
-  let order = t.st_order in
+let settle_legacy lg =
+  let order = lg.l_order in
   for i = 0 to Array.length order - 1 do
     let slot, f = order.(i) in
-    t.st_wires.(slot) <- f ()
+    lg.l_wires.(slot) <- f ()
   done;
-  t.st_in_dirty <- false
+  lg.l_in_dirty <- false;
+  lg.l_settles <- lg.l_settles + 1
+
+let step_legacy lg =
+  (* 1. settle combinational logic on pre-edge inputs and registers — unless
+     no input has committed since the last settle, in which case the wires
+     are already exact for the pre-edge point *)
+  if lg.l_in_dirty then settle_legacy lg;
+  (* 2. compute every register's next value from pre-edge state *)
+  let ups = lg.l_updates in
+  for i = 0 to Array.length ups - 1 do
+    let slot, f = ups.(i) in
+    lg.l_next.(slot) <- f ()
+  done;
+  (* 3. commit; if no register actually changed, the settled wires are
+     still valid and the post-edge re-settle can be skipped *)
+  let changed = ref false in
+  for i = 0 to Array.length ups - 1 do
+    let slot, _ = ups.(i) in
+    let v = lg.l_next.(slot) in
+    if not (Bitvec.equal lg.l_regs.(slot) v) then begin
+      lg.l_regs.(slot) <- v;
+      changed := true
+    end
+  done;
+  (* 4. re-settle for the post-edge outputs *)
+  if !changed then settle_legacy lg
 
 let drive_outputs t observer =
   Array.iter
@@ -103,91 +143,112 @@ let drive_outputs t observer =
     t.st_drives
 
 let step t observer =
-  (* 1. settle combinational logic on pre-edge inputs and registers — unless
-     no input has committed since the last settle, in which case the wires
-     are already exact for the pre-edge point *)
-  if t.st_in_dirty then settle t;
-  (* 2. compute every register's next value from pre-edge state *)
-  let ups = t.st_updates in
-  for i = 0 to Array.length ups - 1 do
-    let slot, f = ups.(i) in
-    t.st_next.(slot) <- f ()
-  done;
-  (* 3. commit; if no register actually changed, the settled wires are
-     still valid and the post-edge re-settle can be skipped *)
-  let changed = ref false in
-  for i = 0 to Array.length ups - 1 do
-    let slot, _ = ups.(i) in
-    let v = t.st_next.(slot) in
-    if not (Bitvec.equal t.st_regs.(slot) v) then begin
-      t.st_regs.(slot) <- v;
-      changed := true
-    end
-  done;
-  (* 4. re-settle and present the post-edge outputs *)
-  if !changed then settle t;
+  (match t.st_impl with
+  | Legacy lg -> step_legacy lg
+  | Level c ->
+      (* same phase structure, but each settle re-evaluates only the
+         transitive fanout of what actually changed *)
+      Compile.settle c;
+      if Compile.step_registers c then Compile.settle c);
   drive_outputs t observer;
   t.st_cycles <- t.st_cycles + 1
 
-let elaborate kernel ~clock ?(observer = no_observer) design =
-  (match Ir.validate design with
-  | Ok () -> ()
-  | Error (d :: _) -> invalid_arg ("Rtl.Sim.elaborate: " ^ d)
-  | Error [] -> ());
-  let max_wire = List.fold_left (fun m w -> max m (w.w_id + 1)) 0 design.rd_wires in
-  let max_reg = List.fold_left (fun m r -> max m (r.r_id + 1)) 0 design.rd_regs in
-  let t =
-    {
-      st_design = design;
-      st_wires = Array.make (max 1 max_wire) (Bitvec.zero 1);
-      st_regs = Array.make (max 1 max_reg) (Bitvec.zero 1);
-      st_next = Array.make (max 1 max_reg) (Bitvec.zero 1);
-      st_inputs = Hashtbl.create 16;
-      st_outputs = Hashtbl.create 16;
-      st_reg_by_name = Hashtbl.create 16;
-      st_order = [||];
-      st_updates = [||];
-      st_drives = [||];
-      st_in_dirty = true;
-      st_cycles = 0;
-    }
-  in
-  List.iter
-    (fun r ->
-      t.st_regs.(r.r_id) <- r.r_init;
-      Hashtbl.replace t.st_reg_by_name r.r_name r)
-    design.rd_regs;
+let elaborate kernel ~clock ?(observer = no_observer) ?(engine = `Levelized) design =
+  (* the levelized path validates inside [Compile.compile] (memoized per
+     design, so a cached design is not re-checked); only the legacy path
+     needs its own validation pass *)
+  (match engine with
+  | `Levelized -> ()
+  | `Settle -> (
+      match Ir.validate design with
+      | Ok () -> ()
+      | Error (d :: _) -> invalid_arg ("Rtl.Sim.elaborate: " ^ d)
+      | Error [] -> ()));
+  let st_inputs = Hashtbl.create 16 in
+  let st_outputs = Hashtbl.create 16 in
+  let st_reg_by_name = Hashtbl.create 16 in
+  List.iter (fun r -> Hashtbl.replace st_reg_by_name r.r_name r) design.rd_regs;
   List.iter
     (fun (name, width) ->
-      let s =
-        Signal.create kernel
-          ~name:(design.rd_name ^ "." ^ name)
-          ~eq:Bitvec.equal (Bitvec.zero width)
-      in
-      (* commit tracers fire only on actual value changes, so the dirty bit
-         is exact: clear means every input still holds its last-settled value *)
-      Signal.on_commit s (fun _ _ -> t.st_in_dirty <- true);
-      Hashtbl.replace t.st_inputs name s)
+      Hashtbl.replace st_inputs name
+        (Signal.create kernel
+           ~name:(design.rd_name ^ "." ^ name)
+           ~eq:Bitvec.equal (Bitvec.zero width)))
     design.rd_inputs;
   List.iter
     (fun (name, width) ->
-      Hashtbl.replace t.st_outputs name
+      Hashtbl.replace st_outputs name
         (Signal.create kernel
            ~name:(design.rd_name ^ "." ^ name)
            ~eq:Bitvec.equal (Bitvec.zero width)))
     design.rd_outputs;
-  (* compile after the input signals exist: leaves resolve against them *)
-  t.st_order <-
-    Array.of_list
-      (List.map (fun (w, e) -> (w.w_id, compile t e)) (Ir.topo_order design));
-  t.st_updates <-
-    Array.of_list
-      (List.map (fun (r, e) -> (r.r_id, compile t e)) design.rd_updates);
-  t.st_drives <-
-    Array.of_list
-      (List.map
-         (fun (name, e) -> (name, Hashtbl.find t.st_outputs name, compile t e))
-         design.rd_drives);
+  let impl, drive_fns =
+    match engine with
+    | `Levelized ->
+        let c = Compile.compile design in
+        (* commit tracers fire only on actual value changes, so each one
+           feeds the changed value straight into the compiled tables and
+           queues exactly its fanout *)
+        List.iteri
+          (fun i (name, _) ->
+            Signal.on_commit (Hashtbl.find st_inputs name) (fun _ v ->
+                Compile.set_input c i v))
+          design.rd_inputs;
+        (Level c, Compile.drives c)
+    | `Settle ->
+        let max_wire =
+          List.fold_left (fun m w -> max m (w.w_id + 1)) 0 design.rd_wires
+        in
+        let max_reg = List.fold_left (fun m r -> max m (r.r_id + 1)) 0 design.rd_regs in
+        let lg =
+          {
+            l_wires = Array.make (max 1 max_wire) (Bitvec.zero 1);
+            l_regs = Array.make (max 1 max_reg) (Bitvec.zero 1);
+            l_next = Array.make (max 1 max_reg) (Bitvec.zero 1);
+            l_order = [||];
+            l_updates = [||];
+            l_in_dirty = true;
+            l_settles = 0;
+          }
+        in
+        List.iter (fun r -> lg.l_regs.(r.r_id) <- r.r_init) design.rd_regs;
+        List.iter
+          (fun (name, _) ->
+            (* commit tracers fire only on actual value changes, so the
+               dirty bit is exact: clear means every input still holds its
+               last-settled value *)
+            Signal.on_commit (Hashtbl.find st_inputs name) (fun _ _ ->
+                lg.l_in_dirty <- true))
+          design.rd_inputs;
+        (* compile after the input signals exist: leaves resolve against them *)
+        lg.l_order <-
+          Array.of_list
+            (List.map
+               (fun (w, e) -> (w.w_id, compile_legacy lg st_inputs e))
+               (Ir.topo_order design));
+        lg.l_updates <-
+          Array.of_list
+            (List.map
+               (fun (r, e) -> (r.r_id, compile_legacy lg st_inputs e))
+               design.rd_updates);
+        ( Legacy lg,
+          Array.of_list
+            (List.map
+               (fun (name, e) -> (name, compile_legacy lg st_inputs e))
+               design.rd_drives) )
+  in
+  let t =
+    {
+      st_design = design;
+      st_inputs;
+      st_outputs;
+      st_reg_by_name;
+      st_impl = impl;
+      st_drives =
+        Array.map (fun (name, f) -> (name, Hashtbl.find st_outputs name, f)) drive_fns;
+      st_cycles = 0;
+    }
+  in
   (* A method process sensitive to the clock edge: activations re-invoke a
      preallocated step instead of resuming a coroutine.  The first
      activation presents the reset-state outputs before any edge. *)
@@ -200,7 +261,9 @@ let elaborate kernel ~clock ?(observer = no_observer) design =
          if !started then step t observer
          else begin
            started := true;
-           settle t;
+           (match t.st_impl with
+           | Legacy lg -> settle_legacy lg
+           | Level c -> Compile.full_settle c);
            drive_outputs t observer
          end));
   t
@@ -210,7 +273,31 @@ let out_port t name = Hashtbl.find t.st_outputs name
 
 let reg_value t name =
   let r = Hashtbl.find t.st_reg_by_name name in
-  t.st_regs.(r.r_id)
+  match t.st_impl with
+  | Legacy lg -> lg.l_regs.(r.r_id)
+  | Level c -> Compile.reg_value c r
 
 let reg_names t = List.map (fun r -> r.r_name) t.st_design.rd_regs
 let cycles t = t.st_cycles
+
+let counters t =
+  match t.st_impl with
+  | Level c -> ("rtl_engine_levelized", 1) :: Compile.counters c
+  | Legacy lg ->
+      (* the reference engine re-evaluates the whole network (boxed) on
+         every settle; reported under the same keys so before/after
+         comparisons line up *)
+      let n = Array.length lg.l_order in
+      [
+        ("rtl_engine_levelized", 0);
+        ("rtl_levels", 0);
+        ("rtl_nodes", n);
+        ("rtl_settles", lg.l_settles);
+        ("rtl_nodes_evaluated", lg.l_settles * n);
+        ("rtl_nodes_skipped", 0);
+        ("rtl_cone_max", if lg.l_settles > 0 then n else 0);
+        ("rtl_fast_evals", 0);
+        ("rtl_wide_evals", lg.l_settles * n);
+        ("rtl_update_evals", t.st_cycles * Array.length lg.l_updates);
+        ("rtl_updates_skipped", 0);
+      ]

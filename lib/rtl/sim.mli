@@ -8,6 +8,13 @@
 
 type t
 
+type engine = [ `Settle | `Levelized ]
+(** [`Levelized] (the default) runs the {!Compile} engine: dense compiled
+    tables, dirty-cone settles, unboxed narrow nets.  [`Settle] is the
+    legacy whole-network evaluator, kept as the differential-testing
+    reference; both produce identical signal traffic, VCDs and observer
+    callbacks. *)
+
 type observer = { obs_output : port:string -> value:Hlcs_logic.Bitvec.t -> unit }
 (** Called whenever a driven output changes value. *)
 
@@ -17,6 +24,7 @@ val elaborate :
   Hlcs_engine.Kernel.t ->
   clock:Hlcs_engine.Clock.t ->
   ?observer:observer ->
+  ?engine:engine ->
   Ir.design ->
   t
 (** Validates the design and spawns the evaluation process.
@@ -31,3 +39,9 @@ val reg_value : t -> string -> Hlcs_logic.Bitvec.t
 val reg_names : t -> string list
 val cycles : t -> int
 (** Rising edges executed. *)
+
+val counters : t -> (string * int) list
+(** Engine counters in Obs-extras form: [rtl_engine_levelized] (1/0)
+    followed by the {!Compile.counters} keys.  The legacy engine reports
+    under the same keys (every settle evaluates all nodes, boxed, so
+    [rtl_nodes_skipped] and [rtl_fast_evals] stay 0). *)

@@ -13,6 +13,8 @@ type t = {
   shifters : int;
   gate_estimate : int;
   critical_path : int;
+  max_comb_depth : int;
+  depth_histogram : int array;
 }
 
 type acc = {
@@ -98,7 +100,33 @@ let critical_path_of d =
   in
   List.fold_left max 0 paths
 
+(* Wire-granularity levelization: a wire's level is one more than the
+   deepest wire its expression reads (inputs, registers and constants sit
+   at level 0).  This is, by construction, the same level the {!Compile}
+   engine assigns its evaluation nodes — [max_comb_depth] must equal
+   [Compile.levels] and [depth_histogram] its per-level node counts, which
+   gives the levelizer a checkable invariant. *)
+let depths_of d =
+  let nw = List.fold_left (fun m w -> max m (w.w_id + 1)) 0 d.rd_wires in
+  let level = Array.make (max 1 nw) 0 in
+  let rec lvl = function
+    | Wire w -> level.(w.w_id)
+    | Const _ | Reg _ | Input _ -> 0
+    | Unop (_, x) | Slice (x, _, _) -> lvl x
+    | Binop (_, x, y) -> max (lvl x) (lvl y)
+    | Mux (c, a, b) -> max (lvl c) (max (lvl a) (lvl b))
+  in
+  match Ir.topo_order d with
+  | order ->
+      List.iter (fun (w, e) -> level.(w.w_id) <- 1 + lvl e) order;
+      let deepest = List.fold_left (fun m (w, _) -> max m level.(w.w_id)) 0 order in
+      let hist = Array.make (deepest + 1) 0 in
+      List.iter (fun (w, _) -> hist.(level.(w.w_id)) <- hist.(level.(w.w_id)) + 1) order;
+      (deepest, hist)
+  | exception Ir.Combinational_cycle _ -> (0, [| 0 |])
+
 let of_design d =
+  let max_comb_depth, depth_histogram = depths_of d in
   let acc =
     { adders = 0; multipliers = 0; comparators = 0; logic_ops = 0; muxes = 0;
       shifters = 0; gates = 0 }
@@ -120,12 +148,16 @@ let of_design d =
     shifters = acc.shifters;
     gate_estimate = acc.gates + (cost_reg_bit * register_bits);
     critical_path = critical_path_of d;
+    max_comb_depth;
+    depth_histogram;
   }
 
 let pp ppf s =
   Format.fprintf ppf
-    "registers=%d (%d bits) wires=%d (%d bits) adders=%d muls=%d cmps=%d logic=%d muxes=%d shifts=%d ~gates=%d depth=%d"
+    "registers=%d (%d bits) wires=%d (%d bits) adders=%d muls=%d cmps=%d logic=%d muxes=%d shifts=%d ~gates=%d depth=%d levels=%d [%s]"
     s.registers s.register_bits s.wires s.wire_bits s.adders s.multipliers
     s.comparators s.logic_ops s.muxes s.shifters s.gate_estimate s.critical_path
+    s.max_comb_depth
+    (String.concat ";" (Array.to_list (Array.map string_of_int s.depth_histogram)))
 
 let to_string s = Format.asprintf "%a" pp s

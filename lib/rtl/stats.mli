@@ -18,6 +18,14 @@ type t = {
   critical_path : int;
       (** longest register-to-register combinational path, in operator
           levels (slices and concatenations count as wiring) *)
+  max_comb_depth : int;
+      (** deepest wire in wire-granularity levels: 1 + the deepest wire an
+          assignment reads, inputs/registers/constants at level 0.  Equals
+          {!Compile.levels} for the same design by construction. *)
+  depth_histogram : int array;
+      (** [depth_histogram.(l)] = assigned wires at level [l], for
+          [l = 0 .. max_comb_depth]; index 0 is always 0.  Matches
+          {!Compile.level_histogram}. *)
 }
 
 val of_design : Ir.design -> t
