@@ -3,6 +3,7 @@
      hlcs_cli flow     run the paper's complete design flow (Figure 2)
      hlcs_cli synth    synthesise the PCI interface, dump reports/VHDL
      hlcs_cli lint     static analysis over the shipped library elements
+     hlcs_cli equiv    SAT-prove optimised netlists against raw synthesis
      hlcs_cli profile  simulate one configuration with kernel profiling on
      hlcs_cli sweep    batch-validate a scenario sweep over a domain pool
      hlcs_cli fault    seeded fault-injection campaign over the flow
@@ -24,13 +25,36 @@ open Hlcs_interface
 
 (* --- flow -------------------------------------------------------------- *)
 
+module Diag = Hlcs_analysis.Diag
+
+let flow_json ~deterministic (report : Hlcs.Flow.report) =
+  let stage (s : Hlcs.Flow.stage) =
+    Printf.sprintf
+      "{\"name\": %s, \"ok\": %b, \"detail\": %s, \"wall_seconds\": %s}"
+      (Diag.json_string s.Hlcs.Flow.sg_name)
+      s.Hlcs.Flow.sg_ok
+      (Diag.json_string s.Hlcs.Flow.sg_detail)
+      (if deterministic then "0" else Printf.sprintf "%.6f" s.Hlcs.Flow.sg_wall_seconds)
+  in
+  let c = Diag.count report.Hlcs.Flow.fl_diags in
+  Printf.sprintf
+    "{\"ok\": %b, \"stages\": [%s], \"diagnostics\": %s, \"counts\": {\"errors\": %d, \
+     \"warnings\": %d, \"infos\": %d}}"
+    report.Hlcs.Flow.fl_ok
+    (String.concat ", " (List.map stage report.Hlcs.Flow.fl_stages))
+    (Diag.json_of_diags report.Hlcs.Flow.fl_diags)
+    c.Diag.n_errors c.Diag.n_warnings c.Diag.n_infos
+
 let flow_cmd =
-  let run script mem_bytes target policy vcd_prefix profile =
+  let run script mem_bytes target policy vcd_prefix profile equiv format
+      deterministic =
     let config =
-      Run_config.make ~mem_bytes ~target ~policy ?vcd_prefix ~profile ()
+      Run_config.make ~mem_bytes ~target ~policy ?vcd_prefix ~profile ~equiv ()
     in
     let report = Hlcs.Flow.execute ~config ~script () in
-    Format.printf "%a@." Hlcs.Flow.pp_report report;
+    (match format with
+    | `Text -> Format.printf "%a@." Hlcs.Flow.pp_report report
+    | `Json -> print_endline (flow_json ~deterministic report));
     if report.Hlcs.Flow.fl_ok then `Ok () else `Error (false, "flow failed")
   in
   let vcd_prefix =
@@ -44,12 +68,20 @@ let flow_cmd =
       & info [ "profile" ]
           ~doc:"Profile each simulation run (kernel counters and phase times).")
   in
+  let equiv =
+    Arg.(
+      value & flag
+      & info [ "equiv" ]
+          ~doc:
+            "Add the static equivalence stage: SAT-prove the optimised netlist \
+             against a raw synthesis of the same design.")
+  in
   Cmd.v
     (Cmd.info "flow" ~doc:"Run the paper's complete design flow (Figure 2).")
     Term.(
       ret
         (const run $ script_term $ mem_bytes $ target_term $ policy $ vcd_prefix
-       $ profile))
+       $ profile $ equiv $ format $ deterministic))
 
 (* --- synth ------------------------------------------------------------- *)
 
@@ -109,7 +141,6 @@ let synth_cmd =
 
 (* --- lint --------------------------------------------------------------- *)
 
-module Diag = Hlcs_analysis.Diag
 module Analyze = Hlcs_analysis.Analyze
 module Fixtures = Hlcs_analysis.Fixtures
 
@@ -147,7 +178,35 @@ let lint_cmd =
         fun config -> lint_netlist ~config "demo-xsource" (Fixtures.x_source_netlist ()) );
     ]
   in
-  let run script names format strict disabled info =
+  let list_rules format =
+    (match format with
+    | `Text ->
+        Printf.printf "%-24s %-8s %-8s %s\n" "rule" "category" "severity"
+          "description";
+        List.iter
+          (fun (r : Diag.rule_info) ->
+            Printf.printf "%-24s %-8s %-8s %s\n" r.Diag.ri_id r.Diag.ri_category
+              (Diag.severity_to_string r.Diag.ri_severity)
+              r.Diag.ri_doc)
+          Diag.rules
+    | `Json ->
+        print_endline
+          ("["
+          ^ String.concat ",\n "
+              (List.map
+                 (fun (r : Diag.rule_info) ->
+                   Printf.sprintf
+                     "{\"rule\": %s, \"category\": %s, \"severity\": %s, \"doc\": %s}"
+                     (Diag.json_string r.Diag.ri_id)
+                     (Diag.json_string r.Diag.ri_category)
+                     (Diag.json_string (Diag.severity_to_string r.Diag.ri_severity))
+                     (Diag.json_string r.Diag.ri_doc))
+                 Diag.rules)
+          ^ "]"));
+    exit 0
+  in
+  let run script names format strict disabled info rules_only =
+    if rules_only then list_rules format;
     let config =
       {
         Diag.disabled_rules = disabled;
@@ -197,12 +256,21 @@ let lint_cmd =
   let disabled =
     Arg.(
       value & opt (list string) []
-      & info [ "disable" ] ~docv:"RULES" ~doc:"Comma-separated rule ids to silence.")
+      & info [ "disable" ] ~docv:"RULES"
+          ~doc:"Comma-separated rule ids to silence (see --list-rules).")
   in
   let with_info =
     Arg.(
       value & flag
       & info [ "info" ] ~doc:"Also report info-level diagnostics (style notes).")
+  in
+  let rules_only =
+    Arg.(
+      value & flag
+      & info [ "list-rules" ]
+          ~doc:
+            "Print every registered rule id with its category, default severity \
+             and one-line description, then exit.")
   in
   Cmd.v
     (Cmd.info "lint"
@@ -210,7 +278,177 @@ let lint_cmd =
          "Static analysis: typecheck, lint, guarded-method deadlock and arbitration \
           checks at the HLIR level; driver, loop, width and X-source checks on the \
           synthesised netlist.")
-    Term.(ret (const run $ script_term $ names $ format $ strict $ disabled $ with_info))
+    Term.(
+      ret
+        (const run $ script_term $ names $ format $ strict $ disabled $ with_info
+       $ rules_only))
+
+(* --- equiv -------------------------------------------------------------- *)
+
+module Cec = Hlcs_analysis.Cec
+module Sat = Hlcs_analysis.Sat
+
+let equiv_cmd =
+  (* shipped designs are proved raw-synthesis vs optimised netlist; the
+     demo fixtures exercise the two inequivalence paths (a functional
+     miscompilation and an X-strengthening rewrite) *)
+  let synth_pair design =
+    let raw =
+      Synthesize.synthesize
+        ~options:{ Synthesize.default_options with Synthesize.optimize = false }
+        design
+    in
+    let opt = Synthesize.synthesize design in
+    (raw.Synthesize.rp_rtl, opt.Synthesize.rp_rtl)
+  in
+  let targets script =
+    [
+      ("pci", fun () -> synth_pair (Pci_master_design.design ~app:script ()));
+      (* the figure-3 post-synthesis configuration, under the name the
+         experiment tables use *)
+      ("fig3", fun () -> synth_pair (Pci_master_design.design ~app:script ()));
+      ("sram", fun () -> synth_pair (Sram_master_design.design ~app:script ()));
+      ("dma", fun () -> synth_pair (Dma_design.design ~src:0 ~dst:64 ~words:8 ()));
+      ( "dma-buffered",
+        fun () ->
+          synth_pair (Dma_design.buffered_design ~src:0 ~dst:64 ~words:8 ~chunk:4 ())
+      );
+      ("demo-miscompiled", fun () -> Fixtures.miscompiled_pair ());
+      ("demo-xstrengthen", fun () -> Fixtures.x_strengthened_pair ());
+    ]
+  in
+  let verdict_name = function
+    | Cec.Equivalent -> "equivalent"
+    | Cec.Inequivalent _ -> "inequivalent"
+    | Cec.Incomparable _ -> "incomparable"
+  in
+  let hex v = Format.asprintf "%a" Hlcs_logic.Bitvec.pp v in
+  let json_of_report name (r : Cec.report) =
+    let st = Cec.total_stats r in
+    let structural =
+      List.length (List.filter (fun c -> c.Cec.ck_structural) r.Cec.rp_checks)
+    in
+    let sat_backed =
+      List.length (List.filter (fun c -> c.Cec.ck_stats <> None) r.Cec.rp_checks)
+    in
+    let pins l =
+      "["
+      ^ String.concat ", "
+          (List.map
+             (fun (n, v) ->
+               Printf.sprintf "{\"name\": %s, \"value\": %s}" (Diag.json_string n)
+                 (Diag.json_string (hex v)))
+             l)
+      ^ "]"
+    in
+    let cex =
+      match r.Cec.rp_verdict with
+      | Cec.Inequivalent cx ->
+          Printf.sprintf
+            "{\"signal\": %s, \"left\": %s, \"right\": %s, \"inputs\": %s, \
+             \"regs\": %s}"
+            (Diag.json_string cx.Cec.cx_signal)
+            (Diag.json_string (Cec.tv_to_string cx.Cec.cx_left))
+            (Diag.json_string (Cec.tv_to_string cx.Cec.cx_right))
+            (pins cx.Cec.cx_inputs) (pins cx.Cec.cx_regs)
+      | _ -> "null"
+    in
+    let diags = Cec.to_diags ~design:name r in
+    let c = Diag.count diags in
+    Printf.sprintf
+      "{\"design\": %s, \"verdict\": %s, \"aig_nodes\": %d, \"checks\": \
+       {\"total\": %d, \"structural\": %d, \"sat\": %d}, \"stats\": {\"vars\": \
+       %d, \"clauses\": %d, \"learned\": %d, \"conflicts\": %d, \"decisions\": \
+       %d, \"propagations\": %d, \"restarts\": %d}, \"counterexample\": %s, \
+       \"diagnostics\": %s, \"counts\": {\"errors\": %d, \"warnings\": %d, \
+       \"infos\": %d}}"
+      (Diag.json_string name)
+      (Diag.json_string (verdict_name r.Cec.rp_verdict))
+      r.Cec.rp_aig_nodes
+      (List.length r.Cec.rp_checks)
+      structural sat_backed st.Sat.st_vars st.Sat.st_clauses st.Sat.st_learned
+      st.Sat.st_conflicts st.Sat.st_decisions st.Sat.st_propagations
+      st.Sat.st_restarts cex (Diag.json_of_diags diags) c.Diag.n_errors
+      c.Diag.n_warnings c.Diag.n_infos
+  in
+  let print_text name (r : Cec.report) =
+    let st = Cec.total_stats r in
+    let structural =
+      List.length (List.filter (fun c -> c.Cec.ck_structural) r.Cec.rp_checks)
+    in
+    Printf.printf "%s: %s\n" name (verdict_name r.Cec.rp_verdict);
+    Printf.printf
+      "  %d function(s) checked (%d structural, %d via SAT), %d AIG node(s)\n"
+      (List.length r.Cec.rp_checks)
+      structural
+      (List.length r.Cec.rp_checks - structural)
+      r.Cec.rp_aig_nodes;
+    if st.Sat.st_vars > 0 then
+      Printf.printf
+        "  sat: %d var(s), %d clause(s), %d learned, %d conflict(s), %d \
+         decision(s), %d propagation(s), %d restart(s)\n"
+        st.Sat.st_vars st.Sat.st_clauses st.Sat.st_learned st.Sat.st_conflicts
+        st.Sat.st_decisions st.Sat.st_propagations st.Sat.st_restarts;
+    (match r.Cec.rp_verdict with
+    | Cec.Inequivalent cx ->
+        Printf.printf "  counterexample: %s\n" (Cec.counterexample_to_string cx)
+    | Cec.Incomparable reasons ->
+        List.iter (fun m -> Printf.printf "  footprint: %s\n" m) reasons
+    | Cec.Equivalent -> ())
+  in
+  let run script names format strict =
+    let available = targets script in
+    let names = if names = [] then [ "pci"; "sram"; "dma" ] else names in
+    match List.find_opt (fun n -> not (List.mem_assoc n available)) names with
+    | Some bad ->
+        `Error
+          ( false,
+            Printf.sprintf "unknown target %S (expected %s)" bad
+              (String.concat "|" (List.map fst available)) )
+    | None ->
+        let results =
+          List.map
+            (fun n ->
+              let left, right = (List.assoc n available) () in
+              (n, Cec.check left right))
+            names
+        in
+        (match format with
+        | `Text -> List.iter (fun (n, r) -> print_text n r) results
+        | `Json ->
+            print_endline
+              ("["
+              ^ String.concat ",\n "
+                  (List.map (fun (n, r) -> json_of_report n r) results)
+              ^ "]"));
+        let diags =
+          List.concat_map (fun (n, r) -> Cec.to_diags ~design:n r) results
+        in
+        exit (Diag.exit_code ~strict diags)
+  in
+  let names =
+    Arg.(
+      value & pos_all string []
+      & info [] ~docv:"TARGET"
+          ~doc:
+            "Designs to prove: pci (alias fig3), sram, dma, dma-buffered \
+             (default: pci sram dma) — each raw synthesis vs optimised \
+             netlist — or the seeded demos demo-miscompiled and \
+             demo-xstrengthen.")
+  in
+  let strict =
+    Arg.(
+      value & flag
+      & info [ "strict" ] ~doc:"Exit nonzero on warnings as well as errors.")
+  in
+  Cmd.v
+    (Cmd.info "equiv"
+       ~doc:
+         "SAT-based combinational equivalence check: prove the optimised \
+          netlist equivalent to a raw synthesis of the same design \
+          (three-valued — X-strengthening optimisations are rejected), or \
+          print a concrete counterexample stimulus.")
+    Term.(ret (const run $ script_term $ names $ format $ strict))
 
 (* --- profile ------------------------------------------------------------ *)
 
@@ -554,6 +792,7 @@ let () =
          flow_cmd;
          synth_cmd;
          lint_cmd;
+         equiv_cmd;
          profile_cmd;
          sweep_cmd;
          fault_cmd;

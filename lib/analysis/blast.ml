@@ -1,0 +1,342 @@
+(* AIG + dual-rail bit-blasting + Tseitin CNF export (see blast.mli). *)
+
+module Ir = Hlcs_rtl.Ir
+module Bitvec = Hlcs_logic.Bitvec
+
+type lit = int
+
+(* Node 0 is the constant-true node; an AND node stores its two fanin
+   literals, a variable node stores (-1, -1). *)
+type ctx = {
+  mutable fan0 : int array;
+  mutable fan1 : int array;
+  mutable n : int;
+  strash : (int * int, int) Hashtbl.t;
+}
+
+let tru = 0
+let fls = 1
+let mk_not l = l lxor 1
+
+let create () =
+  {
+    fan0 = Array.make 1024 (-1);
+    fan1 = Array.make 1024 (-1);
+    n = 1;
+    strash = Hashtbl.create 1024;
+  }
+
+let node_count c = c.n
+
+let alloc c f0 f1 =
+  if c.n = Array.length c.fan0 then begin
+    let grow a =
+      let b = Array.make (2 * c.n) (-1) in
+      Array.blit a 0 b 0 c.n;
+      b
+    in
+    c.fan0 <- grow c.fan0;
+    c.fan1 <- grow c.fan1
+  end;
+  c.fan0.(c.n) <- f0;
+  c.fan1.(c.n) <- f1;
+  c.n <- c.n + 1;
+  c.n - 1
+
+let mk_var c = 2 * alloc c (-1) (-1)
+
+let mk_and c a b =
+  if a = fls || b = fls then fls
+  else if a = tru then b
+  else if b = tru then a
+  else if a = b then a
+  else if a = b lxor 1 then fls
+  else begin
+    let key = if a < b then (a, b) else (b, a) in
+    match Hashtbl.find_opt c.strash key with
+    | Some n -> 2 * n
+    | None ->
+        let n = alloc c (fst key) (snd key) in
+        Hashtbl.add c.strash key n;
+        2 * n
+  end
+
+let mk_or c a b = mk_not (mk_and c (mk_not a) (mk_not b))
+let mk_xor c a b = mk_or c (mk_and c a (mk_not b)) (mk_and c (mk_not a) b)
+let mk_mux2 c s t e = mk_or c (mk_and c s t) (mk_and c (mk_not s) e)
+
+(* ------------------------------------------------------------------ *)
+(* dual-rail bits                                                      *)
+
+type bit = { b1 : lit; b0 : lit }
+type vec = bit array
+
+let bit_x = { b1 = fls; b0 = fls }
+let bit_of_bool b = if b then { b1 = tru; b0 = fls } else { b1 = fls; b0 = tru }
+
+let fresh_bit c =
+  let v = mk_var c in
+  { b1 = v; b0 = mk_not v }
+
+let fresh_vec c w = Array.init w (fun _ -> fresh_bit c)
+let const_vec bv = Array.init (Bitvec.width bv) (fun i -> bit_of_bool (Bitvec.bit bv i))
+let x_vec w = Array.make w bit_x
+let is_x c b = mk_and c (mk_not b.b1) (mk_not b.b0)
+
+(* Kleene connectives *)
+let knot b = { b1 = b.b0; b0 = b.b1 }
+let kand c a b = { b1 = mk_and c a.b1 b.b1; b0 = mk_or c a.b0 b.b0 }
+let kor c a b = { b1 = mk_or c a.b1 b.b1; b0 = mk_and c a.b0 b.b0 }
+
+let kxor c a b =
+  {
+    b1 = mk_or c (mk_and c a.b1 b.b0) (mk_and c a.b0 b.b1);
+    b0 = mk_or c (mk_and c a.b1 b.b1) (mk_and c a.b0 b.b0);
+  }
+
+(* Kleene mux: defined condition picks a branch; X condition still
+   yields a defined value when both branches agree. *)
+let kmux c s t e =
+  let or3 x y z = mk_or c x (mk_or c y z) in
+  {
+    b1 = or3 (mk_and c s.b1 t.b1) (mk_and c s.b0 e.b1) (mk_and c t.b1 e.b1);
+    b0 = or3 (mk_and c s.b1 t.b0) (mk_and c s.b0 e.b0) (mk_and c t.b0 e.b0);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* two-valued word circuits (on plain literals)                        *)
+
+let ripple_add c av bv cin =
+  let w = Array.length av in
+  let sum = Array.make w fls in
+  let carry = ref cin in
+  for i = 0 to w - 1 do
+    let axb = mk_xor c av.(i) bv.(i) in
+    sum.(i) <- mk_xor c axb !carry;
+    carry := mk_or c (mk_and c av.(i) bv.(i)) (mk_and c !carry axb)
+  done;
+  (sum, !carry)
+
+let add2 c av bv = fst (ripple_add c av bv fls)
+let sub2 c av bv = fst (ripple_add c av (Array.map mk_not bv) tru)
+let neg2 c av = sub2 c (Array.make (Array.length av) fls) av
+
+let mul2 c av bv =
+  let w = Array.length av in
+  let acc = ref (Array.make w fls) in
+  for i = 0 to w - 1 do
+    let row =
+      Array.init w (fun j -> if j < i then fls else mk_and c av.(j - i) bv.(i))
+    in
+    acc := add2 c !acc row
+  done;
+  !acc
+
+let eq2 c av bv =
+  let r = ref tru in
+  Array.iteri (fun i a -> r := mk_and c !r (mk_not (mk_xor c a bv.(i)))) av;
+  !r
+
+(* a < b unsigned: no carry out of a + ~b + 1 *)
+let ult2 c av bv =
+  let _, cout = ripple_add c av (Array.map mk_not bv) tru in
+  mk_not cout
+
+(* Barrel shifter matching Sim: the amount is clamped at the operand
+   width, so any amount >= width zeroes the result.  Amount bits whose
+   weight already reaches the width feed the zeroing mask directly. *)
+let shift2 c ~right av bv =
+  let w = Array.length av in
+  let cur = ref (Array.copy av) in
+  let big = ref fls in
+  Array.iteri
+    (fun j s ->
+      if j < 62 && 1 lsl j < w then begin
+        let k = 1 lsl j in
+        let prev = !cur in
+        cur :=
+          Array.init w (fun i ->
+              let src = if right then i + k else i - k in
+              let shifted = if src < 0 || src >= w then fls else prev.(src) in
+              mk_mux2 c s shifted prev.(i))
+      end
+      else big := mk_or c !big s)
+    bv;
+  let nbig = mk_not !big in
+  Array.map (fun l -> mk_and c l nbig) !cur
+
+(* ------------------------------------------------------------------ *)
+(* word-rule X-pessimism wrapper                                       *)
+
+let any_x c vs =
+  List.fold_left
+    (fun acc v -> Array.fold_left (fun acc b -> mk_or c acc (is_x c b)) acc v)
+    fls vs
+
+let vals (v : vec) = Array.map (fun b -> b.b1) v
+
+(* If any operand bit is X the whole result is X (Verilog word rule);
+   otherwise the rails are complementary and carry the two-valued
+   circuit.  For X-free operands [nax] folds to true structurally. *)
+let word c vs f =
+  let nax = mk_not (any_x c vs) in
+  Array.map (fun l -> { b1 = mk_and c l nax; b0 = mk_and c (mk_not l) nax }) (f ())
+
+(* ------------------------------------------------------------------ *)
+(* netlist blasting                                                    *)
+
+type env = {
+  e_ctx : ctx;
+  e_design : Ir.design;
+  e_wires : (int, vec) Hashtbl.t;
+  e_inputs : (string, vec) Hashtbl.t;
+  e_regs : (string, vec) Hashtbl.t;
+}
+
+let map2 f a b = Array.init (Array.length a) (fun i -> f a.(i) b.(i))
+
+let rec blast_expr env e =
+  let c = env.e_ctx in
+  match e with
+  | Ir.Const bv -> const_vec bv
+  | Ir.Wire w -> (
+      match Hashtbl.find_opt env.e_wires w.Ir.w_id with
+      | Some v -> v
+      | None -> x_vec w.Ir.w_width)
+  | Ir.Reg r -> (
+      match Hashtbl.find_opt env.e_regs r.Ir.r_name with
+      | Some v -> v
+      | None -> x_vec r.Ir.r_width)
+  | Ir.Input (n, w) -> (
+      match Hashtbl.find_opt env.e_inputs n with Some v -> v | None -> x_vec w)
+  | Ir.Unop (op, a) -> (
+      let va = blast_expr env a in
+      match op with
+      | Ir.Not -> Array.map knot va
+      | Ir.Neg -> word c [ va ] (fun () -> neg2 c (vals va))
+      | Ir.Reduce_or -> [| Array.fold_left (kor c) (bit_of_bool false) va |]
+      | Ir.Reduce_and -> [| Array.fold_left (kand c) (bit_of_bool true) va |]
+      | Ir.Reduce_xor -> [| Array.fold_left (kxor c) (bit_of_bool false) va |])
+  | Ir.Binop (op, a, b) -> (
+      let va = blast_expr env a and vb = blast_expr env b in
+      match op with
+      | Ir.And -> map2 (kand c) va vb
+      | Ir.Or -> map2 (kor c) va vb
+      | Ir.Xor -> map2 (kxor c) va vb
+      | Ir.Add -> word c [ va; vb ] (fun () -> add2 c (vals va) (vals vb))
+      | Ir.Sub -> word c [ va; vb ] (fun () -> sub2 c (vals va) (vals vb))
+      | Ir.Mul -> word c [ va; vb ] (fun () -> mul2 c (vals va) (vals vb))
+      | Ir.Eq -> word c [ va; vb ] (fun () -> [| eq2 c (vals va) (vals vb) |])
+      | Ir.Ne ->
+          word c [ va; vb ] (fun () -> [| mk_not (eq2 c (vals va) (vals vb)) |])
+      | Ir.Lt -> word c [ va; vb ] (fun () -> [| ult2 c (vals va) (vals vb) |])
+      | Ir.Ge ->
+          word c [ va; vb ] (fun () -> [| mk_not (ult2 c (vals va) (vals vb)) |])
+      | Ir.Gt -> word c [ va; vb ] (fun () -> [| ult2 c (vals vb) (vals va) |])
+      | Ir.Le ->
+          word c [ va; vb ] (fun () -> [| mk_not (ult2 c (vals vb) (vals va)) |])
+      | Ir.Shl ->
+          word c [ va; vb ] (fun () -> shift2 c ~right:false (vals va) (vals vb))
+      | Ir.Shr ->
+          word c [ va; vb ] (fun () -> shift2 c ~right:true (vals va) (vals vb))
+      | Ir.Concat -> Array.append vb va (* second operand is the low part *))
+  | Ir.Mux (cnd, t, e2) ->
+      let vc = blast_expr env cnd in
+      let vt = blast_expr env t and ve = blast_expr env e2 in
+      map2 (kmux c vc.(0)) vt ve
+  | Ir.Slice (a, hi, lo) -> Array.sub (blast_expr env a) lo (hi - lo + 1)
+
+let env_create ctx ~inputs ~regs design =
+  let env =
+    {
+      e_ctx = ctx;
+      e_design = design;
+      e_wires = Hashtbl.create 64;
+      e_inputs = Hashtbl.create 16;
+      e_regs = Hashtbl.create 16;
+    }
+  in
+  List.iter (fun (n, v) -> Hashtbl.replace env.e_inputs n v) inputs;
+  List.iter (fun (n, v) -> Hashtbl.replace env.e_regs n v) regs;
+  List.iter
+    (fun ((w : Ir.wire), e) -> Hashtbl.replace env.e_wires w.Ir.w_id (blast_expr env e))
+    (Ir.topo_order design);
+  env
+
+let output_vec env name =
+  match List.assoc_opt name env.e_design.Ir.rd_drives with
+  | Some e -> blast_expr env e
+  | None -> (
+      match List.assoc_opt name env.e_design.Ir.rd_outputs with
+      | Some w -> x_vec w
+      | None -> invalid_arg ("Blast.output_vec: unknown output " ^ name))
+
+let next_vec env name =
+  let upd =
+    List.find_opt (fun ((r : Ir.reg), _) -> r.Ir.r_name = name) env.e_design.Ir.rd_updates
+  in
+  match upd with
+  | Some (_, e) -> blast_expr env e
+  | None -> (
+      match Hashtbl.find_opt env.e_regs name with
+      | Some v -> v
+      | None -> (
+          match
+            List.find_opt (fun (r : Ir.reg) -> r.Ir.r_name = name) env.e_design.Ir.rd_regs
+          with
+          | Some r -> x_vec r.Ir.r_width
+          | None -> invalid_arg ("Blast.next_vec: unknown register " ^ name)))
+
+(* ------------------------------------------------------------------ *)
+(* Tseitin export                                                      *)
+
+type cnf = {
+  q_ctx : ctx;
+  q_sat : Sat.t;
+  q_vars : (int, int) Hashtbl.t;
+  q_eval : (int, bool) Hashtbl.t;
+}
+
+let cnf_create ctx sat =
+  { q_ctx = ctx; q_sat = sat; q_vars = Hashtbl.create 256; q_eval = Hashtbl.create 256 }
+
+let rec sat_var q node =
+  match Hashtbl.find_opt q.q_vars node with
+  | Some v -> v
+  | None ->
+      let v = Sat.new_var q.q_sat in
+      Hashtbl.add q.q_vars node v;
+      if node = 0 then Sat.add_clause q.q_sat [ Sat.pos v ]
+      else begin
+        let f0 = q.q_ctx.fan0.(node) in
+        if f0 >= 0 then begin
+          (* n <-> a /\ b *)
+          let la = sat_lit q f0 and lb = sat_lit q (q.q_ctx.fan1.(node)) in
+          let n = Sat.pos v in
+          Sat.add_clause q.q_sat [ Sat.neg n; la ];
+          Sat.add_clause q.q_sat [ Sat.neg n; lb ];
+          Sat.add_clause q.q_sat [ n; Sat.neg la; Sat.neg lb ]
+        end
+      end;
+      v
+
+and sat_lit q l = (2 * sat_var q (l lsr 1)) lxor (l land 1)
+
+let rec eval_node q node =
+  match Hashtbl.find_opt q.q_eval node with
+  | Some b -> b
+  | None ->
+      let b =
+        if node = 0 then true
+        else
+          match Hashtbl.find_opt q.q_vars node with
+          | Some v -> Sat.value q.q_sat v
+          | None ->
+              let f0 = q.q_ctx.fan0.(node) in
+              if f0 < 0 then false (* free variable outside the cone *)
+              else eval_lit q f0 && eval_lit q q.q_ctx.fan1.(node)
+      in
+      Hashtbl.add q.q_eval node b;
+      b
+
+and eval_lit q l = eval_node q (l lsr 1) <> (l land 1 = 1)

@@ -1,0 +1,114 @@
+(** Bit-blaster from {!Hlcs_rtl.Ir} expressions to CNF, via an
+    and-inverter graph (AIG) with structural hashing and a Tseitin
+    encoding into {!Sat}.
+
+    Three-valued X is carried in a {e dual-rail} encoding: every netlist
+    bit is a pair of AIG functions [(b1, b0)] — the onset ("is 1") and
+    offset ("is 0") rails.  [0] is [(false, true)], [1] is [(true,
+    false)] and X is [(false, false)]; the rails are never both true.
+    X-free leaves have [b0 = not b1], so for netlists without X sources
+    the whole encoding folds back to plain two-valued logic structurally
+    — the X machinery costs nothing unless X can actually flow.
+
+    Semantics mirror {!Hlcs_rtl.Sim} exactly on two-valued inputs
+    (wrap-around arithmetic, unsigned comparisons, shift amounts clamped
+    at the operand width, [Mux] selecting its first branch on a non-zero
+    condition).  On X the bitwise operators and [Mux] are Kleene
+    (pessimistic per-bit, e.g. [X and 0 = 0]); the word-level operators
+    (arithmetic, comparisons, shifts) use the Verilog word rule — any X
+    bit in an operand makes every result bit X.  Since both sides of an
+    equivalence check are interpreted under the same semantics, an
+    optimisation that {e strengthens} X to a defined value is observable
+    as a mismatch. *)
+
+type ctx
+(** A shared AIG: structurally hashed, so identical cones built twice
+    (e.g. from a netlist and its optimised form) collapse to the same
+    literals. *)
+
+val create : unit -> ctx
+
+val node_count : ctx -> int
+(** Number of AIG nodes allocated so far (constant + variables + ands). *)
+
+(** {1 Two-valued AIG literals} *)
+
+type lit = int
+(** AIG literal: node index shifted left once, low bit = complemented. *)
+
+val tru : lit
+val fls : lit
+val mk_var : ctx -> lit
+val mk_not : lit -> lit
+
+val mk_and : ctx -> lit -> lit -> lit
+(** Structurally hashed, with the usual local simplifications (identity,
+    annihilator, idempotence, complement). *)
+
+val mk_or : ctx -> lit -> lit -> lit
+val mk_xor : ctx -> lit -> lit -> lit
+
+(** {1 Dual-rail bits and vectors} *)
+
+type bit = { b1 : lit; b0 : lit }
+
+type vec = bit array
+(** Index 0 is the LSB. *)
+
+val bit_x : bit
+val bit_of_bool : bool -> bit
+
+val fresh_bit : ctx -> bit
+(** A free two-valued bit: one fresh variable, rails complementary. *)
+
+val fresh_vec : ctx -> int -> vec
+val const_vec : Hlcs_logic.Bitvec.t -> vec
+val x_vec : int -> vec
+
+val is_x : ctx -> bit -> lit
+(** The "this bit is X" function: [not b1 and not b0]. *)
+
+(** {1 Netlist blasting} *)
+
+type env
+(** Per-design blasting state: the dual-rail vector of every assigned
+    wire, computed once in topological order. *)
+
+val env_create :
+  ctx ->
+  inputs:(string * vec) list ->
+  regs:(string * vec) list ->
+  Hlcs_rtl.Ir.design ->
+  env
+(** [env_create ctx ~inputs ~regs d] blasts every wire of [d].  [inputs]
+    and [regs] give the leaf vectors (free variables shared between the
+    two sides of an equivalence check).  Inputs or registers referenced
+    by [d] but not supplied, and unassigned wires, blast to all-X — the
+    same nets {!Rtl_analysis} reports as [rtl-x-source].
+    @raise Hlcs_rtl.Ir.Combinational_cycle on cyclic designs. *)
+
+val blast_expr : env -> Hlcs_rtl.Ir.expr -> vec
+
+val output_vec : env -> string -> vec
+(** Vector driven onto a declared output; all-X when undriven. *)
+
+val next_vec : env -> string -> vec
+(** Next-state function of a register (by name); a register with no
+    update keeps its current value. *)
+
+(** {1 CNF export (Tseitin)} *)
+
+type cnf
+(** Bridge from one {!ctx} to one {!Sat} instance.  Only the cone of the
+    literals actually passed to {!sat_lit} is encoded — per-output cone
+    extraction falls out of the memoisation. *)
+
+val cnf_create : ctx -> Sat.t -> cnf
+
+val sat_lit : cnf -> lit -> int
+(** SAT literal equivalent to the AIG literal, adding Tseitin clauses
+    for every AND node of its cone not yet encoded. *)
+
+val eval_lit : cnf -> lit -> bool
+(** Value of an AIG literal under the model of the last [Sat] answer.
+    AIG variables outside the encoded cone read as [false]. *)

@@ -1,0 +1,296 @@
+(* SAT-based combinational equivalence checking (see cec.mli). *)
+
+module Ir = Hlcs_rtl.Ir
+module Opt = Hlcs_rtl.Opt
+module Bitvec = Hlcs_logic.Bitvec
+
+type tv = { tv_bits : Bitvec.t; tv_xmask : Bitvec.t }
+
+let tv_to_string tv =
+  let w = Bitvec.width tv.tv_bits in
+  let buf = Buffer.create (w + 8) in
+  Buffer.add_string buf (string_of_int w);
+  Buffer.add_string buf "'b";
+  for i = w - 1 downto 0 do
+    Buffer.add_char buf
+      (if Bitvec.bit tv.tv_xmask i then 'x'
+       else if Bitvec.bit tv.tv_bits i then '1'
+       else '0')
+  done;
+  Buffer.contents buf
+
+type counterexample = {
+  cx_signal : string;
+  cx_inputs : (string * Bitvec.t) list;
+  cx_regs : (string * Bitvec.t) list;
+  cx_left : tv;
+  cx_right : tv;
+}
+
+let counterexample_to_string cx =
+  let pin (n, v) = Printf.sprintf "%s=%s" n (Format.asprintf "%a" Bitvec.pp v) in
+  let stim =
+    match cx.cx_inputs @ List.map (fun (n, v) -> ("reg " ^ n, v)) cx.cx_regs with
+    | [] -> "the empty stimulus"
+    | pins -> String.concat ", " (List.map pin pins)
+  in
+  Printf.sprintf "%s computes %s vs %s under %s" cx.cx_signal
+    (tv_to_string cx.cx_left) (tv_to_string cx.cx_right) stim
+
+type verdict =
+  | Equivalent
+  | Inequivalent of counterexample
+  | Incomparable of string list
+
+type check = {
+  ck_signal : string;
+  ck_structural : bool;
+  ck_stats : Sat.stats option;
+}
+
+type report = { rp_verdict : verdict; rp_checks : check list; rp_aig_nodes : int }
+
+(* ------------------------------------------------------------------ *)
+(* footprint comparison                                                *)
+
+let sorted_ports ps = List.sort compare ps
+
+let footprint_mismatches (a : Ir.design) (b : Ir.design) =
+  let out = ref [] in
+  let add fmt = Format.kasprintf (fun s -> out := s :: !out) fmt in
+  let ports what pa pb =
+    if sorted_ports pa <> sorted_ports pb then
+      add "%s footprints differ: {%s} vs {%s}" what
+        (String.concat ", " (List.map (fun (n, w) -> Printf.sprintf "%s:%d" n w) pa))
+        (String.concat ", " (List.map (fun (n, w) -> Printf.sprintf "%s:%d" n w) pb))
+  in
+  ports "input" a.Ir.rd_inputs b.Ir.rd_inputs;
+  ports "output" a.Ir.rd_outputs b.Ir.rd_outputs;
+  let regs d =
+    List.map
+      (fun (r : Ir.reg) -> (r.Ir.r_name, (r.Ir.r_width, r.Ir.r_init)))
+      d.Ir.rd_regs
+  in
+  if List.sort compare (regs a) <> List.sort compare (regs b) then
+    add "register footprints differ: {%s} vs {%s}"
+      (String.concat ", " (List.map fst (regs a)))
+      (String.concat ", " (List.map fst (regs b)));
+  List.rev !out
+
+(* ------------------------------------------------------------------ *)
+(* the miter                                                           *)
+
+(* per-bit agreement: both X, or the same defined value *)
+let agree_bit ctx (a : Blast.bit) (b : Blast.bit) =
+  let ( &&& ) = Blast.mk_and ctx and ( ||| ) = Blast.mk_or ctx in
+  Blast.is_x ctx a &&& Blast.is_x ctx b ||| (a.Blast.b1 &&& b.Blast.b1)
+  ||| (a.Blast.b0 &&& b.Blast.b0)
+
+let diff_lit ctx (va : Blast.vec) (vb : Blast.vec) =
+  let d = ref Blast.fls in
+  Array.iteri
+    (fun i a -> d := Blast.mk_or ctx !d (Blast.mk_not (agree_bit ctx a vb.(i))))
+    va;
+  !d
+
+let read_vec cnf (v : Blast.vec) =
+  let w = Array.length v in
+  let bits = Bitvec.init w (fun i -> Blast.eval_lit cnf v.(i).Blast.b1) in
+  let xmask =
+    Bitvec.init w (fun i ->
+        (not (Blast.eval_lit cnf v.(i).Blast.b1))
+        && not (Blast.eval_lit cnf v.(i).Blast.b0))
+  in
+  { tv_bits = bits; tv_xmask = xmask }
+
+let check (a : Ir.design) (b : Ir.design) =
+  match footprint_mismatches a b with
+  | _ :: _ as reasons ->
+      { rp_verdict = Incomparable reasons; rp_checks = []; rp_aig_nodes = 0 }
+  | [] ->
+      let ctx = Blast.create () in
+      let inputs =
+        List.map (fun (n, w) -> (n, Blast.fresh_vec ctx w)) a.Ir.rd_inputs
+      in
+      let regs =
+        List.map
+          (fun (r : Ir.reg) -> (r.Ir.r_name, Blast.fresh_vec ctx r.Ir.r_width))
+          a.Ir.rd_regs
+      in
+      let env_a = Blast.env_create ctx ~inputs ~regs a in
+      let env_b = Blast.env_create ctx ~inputs ~regs b in
+      let miters =
+        List.map
+          (fun (n, _) -> (n, Blast.output_vec env_a n, Blast.output_vec env_b n))
+          a.Ir.rd_outputs
+        @ List.map
+            (fun (r : Ir.reg) ->
+              let n = r.Ir.r_name in
+              ( "next(" ^ n ^ ")",
+                Blast.next_vec env_a n,
+                Blast.next_vec env_b n ))
+            a.Ir.rd_regs
+      in
+      let checks = ref [] in
+      let verdict = ref Equivalent in
+      (try
+         List.iter
+           (fun (signal, va, vb) ->
+             let d = diff_lit ctx va vb in
+             if d = Blast.fls then
+               checks :=
+                 { ck_signal = signal; ck_structural = true; ck_stats = None }
+                 :: !checks
+             else begin
+               let sat = Sat.create () in
+               let cnf = Blast.cnf_create ctx sat in
+               Sat.add_clause sat [ Blast.sat_lit cnf d ];
+               match Sat.solve sat with
+               | Sat.Unsat ->
+                   checks :=
+                     {
+                       ck_signal = signal;
+                       ck_structural = false;
+                       ck_stats = Some (Sat.stats sat);
+                     }
+                     :: !checks
+               | Sat.Sat ->
+                   let value (_, v) = read_vec cnf v in
+                   let defined (n, v) = (n, (value (n, v)).tv_bits) in
+                   verdict :=
+                     Inequivalent
+                       {
+                         cx_signal = signal;
+                         cx_inputs = List.map defined inputs;
+                         cx_regs = List.map defined regs;
+                         cx_left = read_vec cnf va;
+                         cx_right = read_vec cnf vb;
+                       };
+                   raise Exit
+             end)
+           miters
+       with Exit -> ());
+      {
+        rp_verdict = !verdict;
+        rp_checks = List.rev !checks;
+        rp_aig_nodes = Blast.node_count ctx;
+      }
+
+let equiv a b = (check a b).rp_verdict
+
+let total_stats r =
+  List.fold_left
+    (fun (acc : Sat.stats) c ->
+      match c.ck_stats with
+      | None -> acc
+      | Some s ->
+          {
+            Sat.st_vars = acc.Sat.st_vars + s.Sat.st_vars;
+            st_clauses = acc.Sat.st_clauses + s.Sat.st_clauses;
+            st_learned = acc.Sat.st_learned + s.Sat.st_learned;
+            st_conflicts = acc.Sat.st_conflicts + s.Sat.st_conflicts;
+            st_decisions = acc.Sat.st_decisions + s.Sat.st_decisions;
+            st_propagations = acc.Sat.st_propagations + s.Sat.st_propagations;
+            st_restarts = acc.Sat.st_restarts + s.Sat.st_restarts;
+          })
+    {
+      Sat.st_vars = 0;
+      st_clauses = 0;
+      st_learned = 0;
+      st_conflicts = 0;
+      st_decisions = 0;
+      st_propagations = 0;
+      st_restarts = 0;
+    }
+    r.rp_checks
+
+let to_diags ~design r =
+  match r.rp_verdict with
+  | Incomparable reasons ->
+      [
+        Diag.make ~severity:Diag.Error ~design ~rule:"equiv-incomparable"
+          (String.concat "; " reasons);
+      ]
+  | Inequivalent cx ->
+      [
+        Diag.make ~severity:Diag.Error ~design ~scope:cx.cx_signal
+          ~rule:"equiv-mismatch"
+          (counterexample_to_string cx);
+      ]
+  | Equivalent ->
+      let structural =
+        List.length (List.filter (fun c -> c.ck_structural) r.rp_checks)
+      in
+      let total = List.length r.rp_checks in
+      let st = total_stats r in
+      [
+        Diag.make ~severity:Diag.Info ~design ~rule:"equiv-proved"
+          (Printf.sprintf
+             "%d function(s) proved equivalent (%d structurally, %d via SAT; %d \
+              conflict(s))"
+             total structural (total - structural) st.Sat.st_conflicts);
+      ]
+
+(* ------------------------------------------------------------------ *)
+(* verified optimisation                                               *)
+
+let verify_pass ~pass ~before ~after =
+  match (check before after).rp_verdict with
+  | Equivalent -> []
+  | Inequivalent cx ->
+      [ Printf.sprintf "pass %s is not behaviour-preserving: %s" pass
+          (counterexample_to_string cx);
+      ]
+  | Incomparable reasons ->
+      List.map (fun r -> Printf.sprintf "pass %s changed the footprint: %s" pass r) reasons
+
+exception Optimization_bug of Diag.t list
+
+let optimize_verified d =
+  try Opt.optimize ~verify:(fun ~pass ~before ~after -> verify_pass ~pass ~before ~after) d
+  with Opt.Verification_failed (pass, details) ->
+    raise
+      (Optimization_bug
+         (List.map
+            (fun msg ->
+              Diag.make ~severity:Diag.Error ~design:d.Ir.rd_name ~scope:pass
+                ~rule:"equiv-mismatch" msg)
+            details))
+
+(* ------------------------------------------------------------------ *)
+(* sequential-to-combinational envelope                                *)
+
+let combinational_envelope (d : Ir.design) =
+  let rec subst e =
+    match e with
+    | Ir.Reg r -> Ir.Input ("__reg_" ^ r.Ir.r_name, r.Ir.r_width)
+    | Ir.Const _ | Ir.Wire _ | Ir.Input _ -> e
+    | Ir.Unop (op, a) -> Ir.Unop (op, subst a)
+    | Ir.Binop (op, a, b) -> Ir.Binop (op, subst a, subst b)
+    | Ir.Mux (c, a, b) -> Ir.Mux (subst c, subst a, subst b)
+    | Ir.Slice (a, hi, lo) -> Ir.Slice (subst a, hi, lo)
+  in
+  let next_drive (r : Ir.reg) =
+    let e =
+      match List.find_opt (fun ((u : Ir.reg), _) -> u.Ir.r_id = r.Ir.r_id) d.Ir.rd_updates with
+      | Some (_, e) -> subst e
+      | None -> Ir.Input ("__reg_" ^ r.Ir.r_name, r.Ir.r_width)
+    in
+    ("__next_" ^ r.Ir.r_name, e)
+  in
+  {
+    d with
+    Ir.rd_name = d.Ir.rd_name ^ "_comb";
+    rd_inputs =
+      d.Ir.rd_inputs
+      @ List.map (fun (r : Ir.reg) -> ("__reg_" ^ r.Ir.r_name, r.Ir.r_width)) d.Ir.rd_regs;
+    rd_outputs =
+      d.Ir.rd_outputs
+      @ List.map (fun (r : Ir.reg) -> ("__next_" ^ r.Ir.r_name, r.Ir.r_width)) d.Ir.rd_regs;
+    rd_regs = [];
+    rd_assigns = List.map (fun (w, e) -> (w, subst e)) d.Ir.rd_assigns;
+    rd_drives =
+      List.map (fun (n, e) -> (n, subst e)) d.Ir.rd_drives
+      @ List.map next_drive d.Ir.rd_regs;
+    rd_updates = [];
+  }

@@ -1,0 +1,93 @@
+(** Combinational equivalence checking (CEC) over {!Hlcs_rtl.Ir}
+    netlists — the static counterpart of the differential-simulation
+    harness, and the machine-checked proof behind [Opt ~verify], the
+    [equiv] flow stage and [hlcs_cli equiv].
+
+    Two designs are compared over the same input/output/register
+    footprint: for every declared output and every register next-state
+    function a miter is built in one shared, structurally-hashed AIG
+    ({!Blast}), so cones left untouched by an optimisation collapse to
+    the same literals and are discharged without touching the SAT
+    solver; only genuinely rewritten cones reach {!Sat}, one instance
+    per miter with per-output cone extraction.
+
+    X is part of the comparison (dual-rail encoding): a bit disagrees
+    unless both sides are X or both sides carry the same defined value.
+    An optimisation that strengthens X into a defined value is therefore
+    reported as inequivalent, with a counterexample. *)
+
+module Ir := Hlcs_rtl.Ir
+module Bitvec := Hlcs_logic.Bitvec
+
+(** {1 Verdicts} *)
+
+type tv = { tv_bits : Bitvec.t; tv_xmask : Bitvec.t }
+(** A three-valued vector: bit [i] is X when [tv_xmask] has bit [i] set,
+    otherwise it is [tv_bits]'s bit [i]. *)
+
+val tv_to_string : tv -> string
+(** Verilog-ish rendering, e.g. [4'b1x00]. *)
+
+type counterexample = {
+  cx_signal : string;  (** output name, or [next(<reg>)] *)
+  cx_inputs : (string * Bitvec.t) list;  (** stimulus, one entry per input *)
+  cx_regs : (string * Bitvec.t) list;  (** current-state values *)
+  cx_left : tv;  (** the signal's value in the first design *)
+  cx_right : tv;  (** ... and in the second *)
+}
+
+val counterexample_to_string : counterexample -> string
+
+type verdict =
+  | Equivalent
+  | Inequivalent of counterexample
+  | Incomparable of string list
+      (** footprints differ (inputs/outputs/registers); reasons listed *)
+
+type check = {
+  ck_signal : string;
+  ck_structural : bool;  (** discharged by structural hashing alone *)
+  ck_stats : Sat.stats option;  (** present when SAT was consulted *)
+}
+
+type report = {
+  rp_verdict : verdict;
+  rp_checks : check list;  (** one per proved miter, in footprint order *)
+  rp_aig_nodes : int;
+}
+
+(** {1 Checking} *)
+
+val check : Ir.design -> Ir.design -> report
+(** Stops at the first inequivalent miter (its counterexample is in the
+    verdict); checks proved up to that point stay in [rp_checks]. *)
+
+val equiv : Ir.design -> Ir.design -> verdict
+
+val total_stats : report -> Sat.stats
+(** Component-wise sum over the SAT-backed checks of a report. *)
+
+val to_diags : design:string -> report -> Diag.t list
+(** [equiv-proved] (info) / [equiv-mismatch] / [equiv-incomparable]. *)
+
+(** {1 Verified optimisation} *)
+
+val verify_pass : pass:string -> before:Ir.design -> after:Ir.design -> string list
+(** CEC the output of one optimisation pass against its input; empty on
+    equivalence.  This is the callback shape {!Hlcs_rtl.Opt.optimize}
+    expects for its [?verify] argument. *)
+
+exception Optimization_bug of Diag.t list
+
+val optimize_verified : Ir.design -> Ir.design
+(** [Opt.optimize] with every pass application CEC-checked.
+    @raise Optimization_bug with an [equiv-mismatch] diagnostic naming
+    the offending pass and its counterexample. *)
+
+(** {1 Sequential-to-combinational envelope} *)
+
+val combinational_envelope : Ir.design -> Ir.design
+(** Cuts every register: current state becomes an input
+    [__reg_<name>], the next-state function an output [__next_<name>].
+    Counterexamples over register-bearing designs can be replayed
+    through {!Hlcs_rtl.Sim} on the envelope as a pure input stimulus. *)

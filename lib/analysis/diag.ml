@@ -45,6 +45,64 @@ let pp ppf d =
     d.d_message
 
 (* ------------------------------------------------------------------ *)
+(* rule registry                                                       *)
+
+type rule_info = {
+  ri_id : string;
+  ri_category : string;
+  ri_severity : severity;
+  ri_doc : string;
+}
+
+(* Every stable rule id any analysis in this repository can emit, with
+   the analysis stage it belongs to and its default severity.  The CLI's
+   [lint --list-rules] renders this table, and the JSON renderer reports
+   the category alongside each diagnostic. *)
+let rules =
+  [
+    (* behavioural (HLIR) level *)
+    { ri_id = "typecheck"; ri_category = "hlir"; ri_severity = Error;
+      ri_doc = "expression, port or method typing violation in the behavioural design" };
+    { ri_id = "guard-deadlock"; ri_category = "hlir"; ri_severity = Error;
+      ri_doc = "a cycle of processes blocked on each other's guarded rendezvous" };
+    { ri_id = "arbitration-starvation"; ri_category = "hlir"; ri_severity = Warning;
+      ri_doc = "static-priority arbitration can starve a contending low-priority client" };
+    { ri_id = "output-stability"; ri_category = "hlir"; ri_severity = Warning;
+      ri_doc = "an output written on some but not all paths of a reaction" };
+    { ri_id = "dead-code"; ri_category = "hlir"; ri_severity = Warning;
+      ri_doc = "statement unreachable under every guard valuation" };
+    { ri_id = "unread-field"; ri_category = "hlir"; ri_severity = Warning;
+      ri_doc = "shared-object field written but never read" };
+    { ri_id = "port-contention"; ri_category = "hlir"; ri_severity = Error;
+      ri_doc = "two processes drive the same port in the same reaction" };
+    { ri_id = "unused-local"; ri_category = "hlir"; ri_severity = Warning;
+      ri_doc = "process-local variable never referenced" };
+    (* RT level *)
+    { ri_id = "rtl-multi-driver"; ri_category = "rtl"; ri_severity = Error;
+      ri_doc = "net with more than one driver; later drivers conflict" };
+    { ri_id = "rtl-comb-loop"; ri_category = "rtl"; ri_severity = Error;
+      ri_doc = "combinational cycle through the listed wires" };
+    { ri_id = "rtl-width"; ri_category = "rtl"; ri_severity = Error;
+      ri_doc = "operand or port width mismatch in a netlist expression" };
+    { ri_id = "rtl-x-source"; ri_category = "rtl"; ri_severity = Error;
+      ri_doc = "net that can carry X: unassigned wire, undriven output or undeclared input" };
+    { ri_id = "rtl-latch"; ri_category = "rtl"; ri_severity = Info;
+      ri_doc = "wire read before its driving assignment in netlist order (latch-style)" };
+    { ri_id = "rtl-unused"; ri_category = "rtl"; ri_severity = Info;
+      ri_doc = "wire that drives nothing (dead logic)" };
+    (* equivalence checking *)
+    { ri_id = "equiv-proved"; ri_category = "equiv"; ri_severity = Info;
+      ri_doc = "all output and next-state functions proved equivalent (UNSAT miters)" };
+    { ri_id = "equiv-mismatch"; ri_category = "equiv"; ri_severity = Error;
+      ri_doc = "two netlists disagree on a function; a counterexample stimulus is attached" };
+    { ri_id = "equiv-incomparable"; ri_category = "equiv"; ri_severity = Error;
+      ri_doc = "equivalence query over differing input/output/register footprints" };
+  ]
+
+let rule_info id = List.find_opt (fun r -> r.ri_id = id) rules
+let category_of_rule id = match rule_info id with Some r -> Some r.ri_category | None -> None
+
+(* ------------------------------------------------------------------ *)
 (* configuration                                                       *)
 
 type config = { disabled_rules : string list; min_severity : severity }
@@ -126,9 +184,10 @@ let json_opt = function None -> "null" | Some s -> json_string s
 
 let json_of_diag d =
   Printf.sprintf
-    "{\"rule\": %s, \"severity\": %s, \"design\": %s, \"scope\": %s, \"path\": %s, \
-     \"message\": %s}"
+    "{\"rule\": %s, \"category\": %s, \"severity\": %s, \"design\": %s, \"scope\": %s, \
+     \"path\": %s, \"message\": %s}"
     (json_string d.d_rule)
+    (json_string (match category_of_rule d.d_rule with Some c -> c | None -> "general"))
     (json_string (severity_to_string d.d_severity))
     (json_string d.d_loc.loc_design)
     (json_opt d.d_loc.loc_scope)

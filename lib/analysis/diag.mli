@@ -49,6 +49,23 @@ val location_to_string : location -> string
 val pp : Format.formatter -> t -> unit
 (** One line: [severity[rule] design.scope @ path: message]. *)
 
+(** {1 Rule registry} *)
+
+type rule_info = {
+  ri_id : string;
+  ri_category : string;  (** analysis stage: [hlir], [rtl] or [equiv] *)
+  ri_severity : severity;  (** default severity when the rule fires *)
+  ri_doc : string;  (** one-line description *)
+}
+
+val rules : rule_info list
+(** Every stable rule id emitted anywhere in the repository, in display
+    order (behavioural rules first, then RT-level, then equivalence).
+    [hlcs_cli lint --list-rules] prints this table. *)
+
+val rule_info : string -> rule_info option
+val category_of_rule : string -> string option
+
 (** {1 Configuration} *)
 
 type config = {
@@ -84,8 +101,14 @@ val render_text : ?header:string -> t list -> string
 val render_json : ?name:string -> t list -> string
 (** A single JSON object
     [{"design": name?, "diagnostics": [...], "counts": {...}}]; every
-    diagnostic carries [rule], [severity], [design], [scope], [path] and
-    [message] fields ([null] when absent). *)
+    diagnostic carries [rule], [category], [severity], [design],
+    [scope], [path] and [message] fields ([null] when absent; the
+    category comes from the {{!rules} registry}, falling back to
+    ["general"] for unregistered rules). *)
 
 val json_of_diags : t list -> string
 (** Just the JSON array of diagnostics (used by multi-design reports). *)
+
+val json_string : string -> string
+(** JSON string literal (escaped, quoted) — shared by the CLI renderers
+    so every report escapes identically. *)

@@ -99,3 +99,54 @@ let x_source_netlist () =
   Ir.drive b "o" (Ir.Wire good);
   (* "floating" deliberately left undriven; "ghost" never assigned *)
   Ir.finish b
+
+(* ------------------------------------------------------------------ *)
+(* equivalence-checking fixtures                                       *)
+
+(* The reference side of the miscompilation pair: o = (a+b) & (a-b). *)
+let miscompiled_reference () =
+  let b = Ir.builder "miscompiled_demo" in
+  Ir.add_input b "a" 4;
+  Ir.add_input b "b" 4;
+  Ir.add_output b "o" 4;
+  let s1 = Ir.fresh_wire b "s1" 4 in
+  Ir.assign b s1 (Ir.Binop (Ir.Add, Ir.Input ("a", 4), Ir.Input ("b", 4)));
+  let s2 = Ir.fresh_wire b "s2" 4 in
+  Ir.assign b s2 (Ir.Binop (Ir.Sub, Ir.Input ("a", 4), Ir.Input ("b", 4)));
+  Ir.drive b "o" (Ir.Binop (Ir.And, Ir.Wire s1, Ir.Wire s2));
+  Ir.finish b
+
+(* What a buggy share_common would produce from it: the two distinct
+   sums merged into one, leaving o = (a+b) & (a+b). *)
+let miscompiled_netlist () =
+  let b = Ir.builder "miscompiled_demo" in
+  Ir.add_input b "a" 4;
+  Ir.add_input b "b" 4;
+  Ir.add_output b "o" 4;
+  let s1 = Ir.fresh_wire b "s1" 4 in
+  Ir.assign b s1 (Ir.Binop (Ir.Add, Ir.Input ("a", 4), Ir.Input ("b", 4)));
+  Ir.drive b "o" (Ir.Binop (Ir.And, Ir.Wire s1, Ir.Wire s1));
+  Ir.finish b
+
+let miscompiled_pair () = (miscompiled_reference (), miscompiled_netlist ())
+
+(* X-strengthening pair: the left side XORs the input with an unassigned
+   (X) wire, so its output is unknown; the "optimised" right side
+   strengthens that X into the defined value i. *)
+let x_strengthened_pair () =
+  let left =
+    let b = Ir.builder "x_strengthen_demo" in
+    Ir.add_input b "i" 4;
+    Ir.add_output b "o" 4;
+    let ghost = Ir.fresh_wire b "ghost" 4 in
+    Ir.drive b "o" (Ir.Binop (Ir.Xor, Ir.Input ("i", 4), Ir.Wire ghost));
+    Ir.finish b
+  in
+  let right =
+    let b = Ir.builder "x_strengthen_demo" in
+    Ir.add_input b "i" 4;
+    Ir.add_output b "o" 4;
+    Ir.drive b "o" (Ir.Input ("i", 4));
+    Ir.finish b
+  in
+  (left, right)

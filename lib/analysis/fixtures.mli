@@ -27,3 +27,19 @@ val comb_loop_netlist : unit -> Hlcs_rtl.Ir.design
 val x_source_netlist : unit -> Hlcs_rtl.Ir.design
 (** An unassigned wire feeding logic and an undriven output:
     [rtl-x-source]. *)
+
+val miscompiled_pair : unit -> Hlcs_rtl.Ir.design * Hlcs_rtl.Ir.design
+(** An intentionally miscompiled netlist pair over the same footprint:
+    the reference computes [(a+b) & (a-b)], the "optimised" side is what
+    a buggy [share_common] would produce — the two distinct sums merged,
+    [(a+b) & (a+b)].  {!Cec.check} returns a counterexample that
+    reproduces the divergence under {!Hlcs_rtl.Sim}. *)
+
+val x_strengthened_pair : unit -> Hlcs_rtl.Ir.design * Hlcs_rtl.Ir.design
+(** A pair whose right side strengthens X to a defined value: the left
+    output XORs the input with an unassigned (X) wire, the right drives
+    the input through directly.  Dual-rail CEC reports a mismatch (the
+    counterexample's left value renders as [4'bxxxx]); a two-valued
+    checker treating the unassigned wire as zero would wrongly accept,
+    and the simulator refuses to elaborate the left side at all — the
+    static check is the only tool that adjudicates the rewrite. *)

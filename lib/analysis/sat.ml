@@ -1,0 +1,442 @@
+(* CDCL at miniature scale (see sat.mli).  The implementation follows the
+   MiniSat recipe: an explicit trail with per-variable level and reason,
+   two-literal watching, first-UIP learning, exponentially-decayed
+   variable activities with an indexed max-heap and saved phases, and
+   geometric restarts.  Clauses are bare [int array]s; a clause's first
+   two slots are its watched literals. *)
+
+type result = Sat | Unsat
+
+type stats = {
+  st_vars : int;
+  st_clauses : int;
+  st_learned : int;
+  st_conflicts : int;
+  st_decisions : int;
+  st_propagations : int;
+  st_restarts : int;
+}
+
+(* growable vector of clauses, per watched literal *)
+type watchlist = { mutable wl : int array array; mutable wn : int }
+
+let wl_create () = { wl = [||]; wn = 0 }
+
+let wl_push w c =
+  if w.wn = Array.length w.wl then begin
+    let cap = max 4 (2 * w.wn) in
+    let a = Array.make cap [||] in
+    Array.blit w.wl 0 a 0 w.wn;
+    w.wl <- a
+  end;
+  w.wl.(w.wn) <- c;
+  w.wn <- w.wn + 1
+
+type t = {
+  mutable nvars : int;
+  mutable values : int array;  (* per var: -1 unassigned, 0 false, 1 true *)
+  mutable level : int array;
+  mutable reason : int array array;  (* [||] = decision / unassigned *)
+  mutable phase : bool array;  (* saved polarity *)
+  mutable activity : float array;
+  mutable seen : bool array;  (* conflict-analysis scratch *)
+  mutable heap : int array;  (* binary max-heap of vars by activity *)
+  mutable heap_n : int;
+  mutable heap_pos : int array;  (* var -> heap slot, -1 if absent *)
+  mutable watches : watchlist array;  (* per literal *)
+  mutable trail : int array;  (* literals in assignment order *)
+  mutable trail_n : int;
+  mutable trail_lim : int array;  (* decision-level boundaries *)
+  mutable lim_n : int;
+  mutable qhead : int;
+  mutable clauses : int array list;
+  mutable n_clauses : int;
+  mutable n_learned : int;
+  mutable var_inc : float;
+  mutable root_unsat : bool;
+  mutable solved : bool;
+  mutable conflicts : int;
+  mutable decisions : int;
+  mutable propagations : int;
+  mutable restarts : int;
+}
+
+let no_reason : int array = [||]
+
+let create () =
+  {
+    nvars = 0;
+    values = Array.make 16 (-1);
+    level = Array.make 16 0;
+    reason = Array.make 16 no_reason;
+    phase = Array.make 16 false;
+    activity = Array.make 16 0.;
+    seen = Array.make 16 false;
+    heap = Array.make 16 0;
+    heap_n = 0;
+    heap_pos = Array.make 16 (-1);
+    watches = Array.init 32 (fun _ -> wl_create ());
+    trail = Array.make 16 0;
+    trail_n = 0;
+    trail_lim = Array.make 16 0;
+    lim_n = 0;
+    qhead = 0;
+    clauses = [];
+    n_clauses = 0;
+    n_learned = 0;
+    var_inc = 1.0;
+    root_unsat = false;
+    solved = false;
+    conflicts = 0;
+    decisions = 0;
+    propagations = 0;
+    restarts = 0;
+  }
+
+let pos v = 2 * v
+let neg_of v = (2 * v) + 1
+let neg l = l lxor 1
+let var_of_lit l = l lsr 1
+
+(* literal valuation: -1 unassigned, 0 false, 1 true *)
+let lit_value s l =
+  let v = s.values.(l lsr 1) in
+  if v < 0 then -1 else v lxor (l land 1)
+
+let grow_array a n default =
+  let cap = Array.length a in
+  if n <= cap then a
+  else begin
+    let a' = Array.make (max n (2 * cap)) default in
+    Array.blit a 0 a' 0 cap;
+    a'
+  end
+
+(* ------------------------------------------------------------------ *)
+(* activity heap                                                       *)
+
+let heap_swap s i j =
+  let a = s.heap.(i) and b = s.heap.(j) in
+  s.heap.(i) <- b;
+  s.heap.(j) <- a;
+  s.heap_pos.(a) <- j;
+  s.heap_pos.(b) <- i
+
+let rec heap_up s i =
+  if i > 0 then begin
+    let p = (i - 1) / 2 in
+    if s.activity.(s.heap.(i)) > s.activity.(s.heap.(p)) then begin
+      heap_swap s i p;
+      heap_up s p
+    end
+  end
+
+let rec heap_down s i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let best = ref i in
+  if l < s.heap_n && s.activity.(s.heap.(l)) > s.activity.(s.heap.(!best)) then best := l;
+  if r < s.heap_n && s.activity.(s.heap.(r)) > s.activity.(s.heap.(!best)) then best := r;
+  if !best <> i then begin
+    heap_swap s i !best;
+    heap_down s !best
+  end
+
+let heap_insert s v =
+  if s.heap_pos.(v) < 0 then begin
+    s.heap <- grow_array s.heap (s.heap_n + 1) 0;
+    s.heap.(s.heap_n) <- v;
+    s.heap_pos.(v) <- s.heap_n;
+    s.heap_n <- s.heap_n + 1;
+    heap_up s (s.heap_n - 1)
+  end
+
+let heap_pop s =
+  let v = s.heap.(0) in
+  s.heap_n <- s.heap_n - 1;
+  s.heap_pos.(v) <- -1;
+  if s.heap_n > 0 then begin
+    s.heap.(0) <- s.heap.(s.heap_n);
+    s.heap_pos.(s.heap.(0)) <- 0;
+    heap_down s 0
+  end;
+  v
+
+let bump s v =
+  s.activity.(v) <- s.activity.(v) +. s.var_inc;
+  if s.activity.(v) > 1e100 then begin
+    for i = 0 to s.nvars - 1 do
+      s.activity.(i) <- s.activity.(i) *. 1e-100
+    done;
+    s.var_inc <- s.var_inc *. 1e-100
+  end;
+  let p = s.heap_pos.(v) in
+  if p >= 0 then heap_up s p
+
+(* ------------------------------------------------------------------ *)
+(* variables and clauses                                               *)
+
+let new_var s =
+  let v = s.nvars in
+  s.nvars <- v + 1;
+  s.values <- grow_array s.values s.nvars (-1);
+  s.level <- grow_array s.level s.nvars 0;
+  s.reason <- grow_array s.reason s.nvars no_reason;
+  s.phase <- grow_array s.phase s.nvars false;
+  s.activity <- grow_array s.activity s.nvars 0.;
+  s.seen <- grow_array s.seen s.nvars false;
+  s.heap_pos <- grow_array s.heap_pos s.nvars (-1);
+  s.values.(v) <- -1;
+  s.reason.(v) <- no_reason;
+  s.heap_pos.(v) <- -1;
+  s.activity.(v) <- 0.;
+  s.seen.(v) <- false;
+  (if 2 * s.nvars > Array.length s.watches then begin
+     let w = Array.init (max (2 * s.nvars) (2 * Array.length s.watches)) (fun _ -> wl_create ()) in
+     Array.blit s.watches 0 w 0 (Array.length s.watches);
+     s.watches <- w
+   end);
+  heap_insert s v;
+  v
+
+let decision_level s = s.lim_n
+
+let assign s lit reason =
+  let v = lit lsr 1 in
+  s.values.(v) <- (if lit land 1 = 0 then 1 else 0);
+  s.phase.(v) <- lit land 1 = 0;
+  s.level.(v) <- decision_level s;
+  s.reason.(v) <- reason;
+  s.trail <- grow_array s.trail (s.trail_n + 1) 0;
+  s.trail.(s.trail_n) <- lit;
+  s.trail_n <- s.trail_n + 1
+
+let watch s lit c = wl_push s.watches.(lit) c
+
+let add_clause s lits =
+  if s.solved then invalid_arg "Sat.add_clause: solver already run";
+  if not s.root_unsat then begin
+    (* dedupe, drop tautologies, apply the root-level assignment *)
+    let lits = List.sort_uniq compare lits in
+    let taut =
+      List.exists (fun l -> List.mem (neg l) lits) lits
+      || List.exists (fun l -> lit_value s l = 1) lits
+    in
+    if not taut then begin
+      List.iter
+        (fun l ->
+          if l lsr 1 >= s.nvars then invalid_arg "Sat.add_clause: unknown variable")
+        lits;
+      match List.filter (fun l -> lit_value s l <> 0) lits with
+      | [] -> s.root_unsat <- true
+      | [ l ] -> assign s l no_reason (* root-level unit *)
+      | l0 :: l1 :: _ as kept ->
+          let c = Array.of_list kept in
+          s.clauses <- c :: s.clauses;
+          s.n_clauses <- s.n_clauses + 1;
+          watch s l0 c;
+          watch s l1 c
+    end
+  end
+
+(* ------------------------------------------------------------------ *)
+(* propagation                                                         *)
+
+exception Conflict of int array
+
+(* Propagate everything on the trail past [qhead].  Raises [Conflict]
+   with the falsified clause. *)
+let propagate s =
+  while s.qhead < s.trail_n do
+    let p = s.trail.(s.qhead) in
+    s.qhead <- s.qhead + 1;
+    s.propagations <- s.propagations + 1;
+    (* clauses watching [neg p] just lost that literal *)
+    let fl = neg p in
+    let ws = s.watches.(fl) in
+    let old = ws.wl and old_n = ws.wn in
+    ws.wl <- [||];
+    ws.wn <- 0;
+    let i = ref 0 in
+    (try
+       while !i < old_n do
+         let c = old.(!i) in
+         incr i;
+         (* ensure the falsified watch sits at slot 1 *)
+         if c.(0) = fl then begin
+           c.(0) <- c.(1);
+           c.(1) <- fl
+         end;
+         if lit_value s c.(0) = 1 then wl_push ws c (* satisfied: keep watch *)
+         else begin
+           (* look for a replacement watch *)
+           let n = Array.length c in
+           let k = ref 2 in
+           while !k < n && lit_value s c.(!k) = 0 do
+             incr k
+           done;
+           if !k < n then begin
+             c.(1) <- c.(!k);
+             c.(!k) <- fl;
+             watch s c.(1) c
+           end
+           else begin
+             wl_push ws c;
+             match lit_value s c.(0) with
+             | -1 -> assign s c.(0) c (* unit *)
+             | 0 ->
+                 (* conflict: restore the untraversed tail of the list *)
+                 while !i < old_n do
+                   wl_push ws old.(!i);
+                   incr i
+                 done;
+                 raise (Conflict c)
+             | _ -> ()
+           end
+         end
+       done
+     with Conflict _ as e ->
+       s.qhead <- s.trail_n;
+       raise e)
+  done
+
+(* ------------------------------------------------------------------ *)
+(* conflict analysis: first UIP                                        *)
+
+let backtrack s lvl =
+  if decision_level s > lvl then begin
+    let bound = s.trail_lim.(lvl) in
+    for i = s.trail_n - 1 downto bound do
+      let v = s.trail.(i) lsr 1 in
+      s.values.(v) <- -1;
+      s.reason.(v) <- no_reason;
+      heap_insert s v
+    done;
+    s.trail_n <- bound;
+    s.qhead <- bound;
+    s.lim_n <- lvl
+  end
+
+(* returns (learnt clause with the asserting literal first, backjump level) *)
+let analyze s confl =
+  let learnt = ref [] in
+  let touched = ref [] in
+  let counter = ref 0 in
+  let p = ref (-1) in
+  let idx = ref (s.trail_n - 1) in
+  let confl = ref confl in
+  let continue = ref true in
+  while !continue do
+    let c = !confl in
+    let start = if !p < 0 then 0 else 1 in
+    for j = start to Array.length c - 1 do
+      let q = c.(j) in
+      let v = q lsr 1 in
+      if (not s.seen.(v)) && s.level.(v) > 0 then begin
+        s.seen.(v) <- true;
+        touched := v :: !touched;
+        bump s v;
+        if s.level.(v) >= decision_level s then incr counter
+        else learnt := q :: !learnt
+      end
+    done;
+    (* walk the trail back to the next marked literal *)
+    while not s.seen.(s.trail.(!idx) lsr 1) do
+      decr idx
+    done;
+    p := s.trail.(!idx);
+    decr idx;
+    s.seen.(!p lsr 1) <- false;
+    decr counter;
+    if !counter = 0 then continue := false else confl := s.reason.(!p lsr 1)
+  done;
+  List.iter (fun v -> s.seen.(v) <- false) !touched;
+  let tail = !learnt in
+  let bj_level = List.fold_left (fun m q -> max m (s.level.(q lsr 1))) 0 tail in
+  (* asserting literal first; a literal of the backjump level second (it
+     is the other watch, the first to be falsified again) *)
+  let tail =
+    match List.partition (fun q -> s.level.(q lsr 1) = bj_level) tail with
+    | at :: rest_at, others -> (at :: rest_at) @ others
+    | [], others -> others
+  in
+  (Array.of_list (neg !p :: tail), bj_level)
+
+(* ------------------------------------------------------------------ *)
+(* search                                                              *)
+
+let pick_branch s =
+  let v = ref (-1) in
+  while !v < 0 && s.heap_n > 0 do
+    let cand = heap_pop s in
+    if s.values.(cand) < 0 then v := cand
+  done;
+  !v
+
+let solve s =
+  if s.solved then invalid_arg "Sat.solve: solver already run";
+  s.solved <- true;
+  if s.root_unsat then Unsat
+  else begin
+    let result = ref None in
+    let interval = ref 100 in
+    let budget = ref 100 in
+    (try propagate s
+     with Conflict _ -> result := Some Unsat);
+    while !result = None do
+      match
+        (try
+           propagate s;
+           None
+         with Conflict c -> Some c)
+      with
+      | Some confl ->
+          s.conflicts <- s.conflicts + 1;
+          s.var_inc <- s.var_inc /. 0.95;
+          if decision_level s = 0 then result := Some Unsat
+          else begin
+            let learnt, bj = analyze s confl in
+            backtrack s bj;
+            if Array.length learnt = 1 then assign s learnt.(0) no_reason
+            else begin
+              s.n_learned <- s.n_learned + 1;
+              s.clauses <- learnt :: s.clauses;
+              watch s learnt.(0) learnt;
+              watch s learnt.(1) learnt;
+              assign s learnt.(0) learnt
+            end
+          end
+      | None ->
+          if s.conflicts >= !budget && decision_level s > 0 then begin
+            (* geometric restart *)
+            s.restarts <- s.restarts + 1;
+            interval := !interval + (!interval / 2);
+            budget := s.conflicts + !interval;
+            backtrack s 0
+          end
+          else begin
+            let v = pick_branch s in
+            if v < 0 then result := Some Sat
+            else begin
+              s.decisions <- s.decisions + 1;
+              s.trail_lim <- grow_array s.trail_lim (s.lim_n + 1) 0;
+              s.trail_lim.(s.lim_n) <- s.trail_n;
+              s.lim_n <- s.lim_n + 1;
+              assign s (if s.phase.(v) then pos v else neg_of v) no_reason
+            end
+          end
+    done;
+    match !result with Some r -> r | None -> assert false
+  end
+
+let value s v = s.values.(v) = 1
+
+let stats s =
+  {
+    st_vars = s.nvars;
+    st_clauses = s.n_clauses;
+    st_learned = s.n_learned;
+    st_conflicts = s.conflicts;
+    st_decisions = s.decisions;
+    st_propagations = s.propagations;
+    st_restarts = s.restarts;
+  }

@@ -1,0 +1,60 @@
+(** A small self-contained CDCL SAT solver — the decision engine behind
+    the combinational equivalence checker ({!Cec}).
+
+    Classic MiniSat-style architecture at miniature scale: two-literal
+    watching for unit propagation, first-UIP conflict analysis with clause
+    learning, exponential VSIDS-lite variable activities with phase
+    saving, and geometric restarts.  No preprocessing, no clause deletion
+    — instances here are per-output miter cones, typically a few hundred
+    to a few thousand variables, solved fresh per query.
+
+    Literal convention: variable [v] (from {!new_var}) appears positively
+    as [2*v] and negated as [2*v + 1]; {!neg} flips polarity. *)
+
+type t
+
+val create : unit -> t
+
+val new_var : t -> int
+(** Allocates the next variable index (0, 1, 2, ...). *)
+
+val pos : int -> int
+(** [pos v] is the positive literal of variable [v]. *)
+
+val neg_of : int -> int
+(** [neg_of v] is the negative literal of variable [v]. *)
+
+val neg : int -> int
+(** [neg lit] is the complementary literal. *)
+
+val var_of_lit : int -> int
+
+val add_clause : t -> int list -> unit
+(** Adds a clause over literals.  Tautologies are dropped, duplicate
+    literals merged; the empty (or all-falsified root) clause marks the
+    instance unsatisfiable.  Clauses may only be added before {!solve}. *)
+
+type result = Sat | Unsat
+
+val solve : t -> result
+(** Decides the conjunction of all added clauses.  After [Sat], {!value}
+    reads the model.  [solve] may be called once per instance. *)
+
+val value : t -> int -> bool
+(** [value t v] is variable [v]'s assignment in the model of the last
+    [Sat] answer; variables never touched by propagation default to
+    [false]. *)
+
+(** {1 Statistics} *)
+
+type stats = {
+  st_vars : int;
+  st_clauses : int;  (** problem clauses (excluding learned) *)
+  st_learned : int;
+  st_conflicts : int;
+  st_decisions : int;
+  st_propagations : int;
+  st_restarts : int;
+}
+
+val stats : t -> stats

@@ -5,6 +5,7 @@ module Time = Hlcs_engine.Time
 module Fault = Hlcs_fault.Fault
 module Diag = Hlcs_analysis.Diag
 module Analyze = Hlcs_analysis.Analyze
+module Cec = Hlcs_analysis.Cec
 
 type stage = {
   sg_name : string;
@@ -77,6 +78,35 @@ let execute ?(config = Run_config.default) ~script () =
                 uud)
     in
     let rtl_diags = Analyze.rtl synthesis.Synthesize.rp_rtl in
+    (* optional static equivalence proof: the optimised netlist against a
+       raw (unoptimised) synthesis of the same design — the B=C invariant
+       checked without simulating a cycle *)
+    let equiv_stages, equiv_diags =
+      if not config.Run_config.rc_equiv then ([], [])
+      else
+        let cec_report, t_equiv =
+          timed (fun () ->
+              let base =
+                Option.value ~default:Synthesize.default_options
+                  config.Run_config.rc_synth_options
+              in
+              let raw =
+                Synthesize.synthesize
+                  ~options:{ base with Synthesize.optimize = false }
+                  uud
+              in
+              Cec.check raw.Synthesize.rp_rtl synthesis.Synthesize.rp_rtl)
+        in
+        let design = synthesis.Synthesize.rp_rtl.Hlcs_rtl.Ir.rd_name in
+        let diags = Cec.to_diags ~design cec_report in
+        let ok = cec_report.Cec.rp_verdict = Cec.Equivalent in
+        let detail =
+          match diags with
+          | d :: _ -> d.Diag.d_message
+          | [] -> "no equivalence result"
+        in
+        ([ stage "equivalence check (raw vs optimised netlist)" ok detail t_equiv ], diags)
+    in
     let rtl, t_rtl = timed (fun () -> System.rtl config ~script) in
     let refinement_issues = System.compare_runs tlm behav in
     let behav_viols = behav.System.rr_violations in
@@ -122,6 +152,9 @@ let execute ?(config = Run_config.default) ~script () =
           (Format.asprintf "%a; netlist checks: %a" Synthesize.pp_report synthesis
              Diag.pp_counts (Diag.count rtl_diags))
           t_synth;
+      ]
+      @ equiv_stages
+      @ [
         stage "post-synthesis validation (RT level)"
           (faulty || (consistency_issues = [] && trace_issues = [] && rtl_viols = []))
           (Format.asprintf "%a; consistency vs behavioural: %s" System.pp_report rtl
@@ -143,7 +176,7 @@ let execute ?(config = Run_config.default) ~script () =
     {
       fl_stages = stages;
       fl_ok = List.for_all (fun s -> s.sg_ok) stages;
-      fl_diags = design_diags @ rtl_diags;
+      fl_diags = design_diags @ rtl_diags @ equiv_diags;
       fl_artefacts =
         Some
           {

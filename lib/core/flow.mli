@@ -17,6 +17,11 @@
       communication synthesiser, with the netlist re-analysed
       ({!Hlcs_analysis.Analyze.rtl}: drivers, combinational loops,
       widths, X sources);
+    + {b Equivalence check} (only when the config sets
+      [rc_equiv]) — the optimised netlist proved combinationally
+      equivalent to a raw (unoptimised) synthesis of the same design by
+      the SAT-based checker ({!Hlcs_analysis.Cec}); a counterexample
+      fails the flow and lands in [fl_diags] as [equiv-mismatch];
     + {b Post-synthesis validation} — the RT-level model re-simulated with
       the same stimuli (configuration C); behaviour consistency checked
       against B at the application level {e and} at the bus-transaction
@@ -54,7 +59,8 @@ type report = {
   fl_stages : stage list;
   fl_ok : bool;
   fl_diags : Hlcs_analysis.Diag.t list;
-      (** design-level then netlist-level diagnostics, all severities *)
+      (** design-level, netlist-level, then equivalence diagnostics, all
+          severities *)
   fl_artefacts : artefacts option;
       (** [None] iff the static-analysis stage failed *)
   fl_verdict : Hlcs_fault.Fault.verdict option;

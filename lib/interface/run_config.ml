@@ -18,6 +18,7 @@ type t = {
   rc_cache : Synth_cache.t option;
   rc_faults : Fault.plan;
   rc_rtl_engine : Rtl_sim.engine;
+  rc_equiv : bool;
 }
 
 (* One process-wide synthesis cache backs every default configuration:
@@ -41,6 +42,7 @@ let default =
     rc_cache = Some shared_cache;
     rc_faults = Fault.empty;
     rc_rtl_engine = `Levelized;
+    rc_equiv = false;
   }
 
 let with_mem_bytes rc_mem_bytes t = { t with rc_mem_bytes }
@@ -55,6 +57,7 @@ let with_cache c t = { t with rc_cache = Some c }
 let without_cache t = { t with rc_cache = None }
 let with_faults rc_faults t = { t with rc_faults }
 let with_rtl_engine rc_rtl_engine t = { t with rc_rtl_engine }
+let with_equiv rc_equiv t = { t with rc_equiv }
 
 let vcd_file t suffix =
   Option.map (fun p -> p ^ "_" ^ suffix ^ ".vcd") t.rc_vcd_prefix
@@ -84,7 +87,7 @@ let effective_target t =
 (* Build-style setters taking labelled optionals in one shot, for callers
    migrating from the old optional-argument API. *)
 let make ?mem_bytes ?mem_seed ?policy ?target ?synth_options ?vcd_prefix
-    ?max_time ?profile ?cache ?faults ?rtl_engine () =
+    ?max_time ?profile ?cache ?faults ?rtl_engine ?equiv () =
   let t = default in
   let t = match mem_bytes with Some v -> with_mem_bytes v t | None -> t in
   let t = match mem_seed with Some v -> with_mem_seed v t | None -> t in
@@ -97,4 +100,5 @@ let make ?mem_bytes ?mem_seed ?policy ?target ?synth_options ?vcd_prefix
   let t = match cache with Some v -> with_cache v t | None -> t in
   let t = match faults with Some v -> with_faults v t | None -> t in
   let t = match rtl_engine with Some v -> with_rtl_engine v t | None -> t in
+  let t = match equiv with Some v -> with_equiv v t | None -> t in
   t

@@ -23,6 +23,10 @@ type t = {
       (** RTL evaluation engine; [`Levelized] (default) is the compiled
           dirty-cone simulator, [`Settle] the legacy whole-network
           reference *)
+  rc_equiv : bool;
+      (** run the SAT-based equivalence stage in {!Hlcs_core.Flow}:
+          CEC-prove the optimised netlist against the raw
+          (pre-optimisation) synthesis output *)
 }
 
 val default : t
@@ -50,6 +54,7 @@ val without_cache : t -> t
 
 val with_faults : Hlcs_fault.Fault.plan -> t -> t
 val with_rtl_engine : Hlcs_rtl.Sim.engine -> t -> t
+val with_equiv : bool -> t -> t
 
 val make :
   ?mem_bytes:int ->
@@ -63,6 +68,7 @@ val make :
   ?cache:Hlcs_synth.Synth_cache.t ->
   ?faults:Hlcs_fault.Fault.plan ->
   ?rtl_engine:Hlcs_rtl.Sim.engine ->
+  ?equiv:bool ->
   unit ->
   t
 (** All-optionals constructor over {!default}; the bridge the deprecated

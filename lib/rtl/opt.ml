@@ -216,8 +216,28 @@ let eliminate_dead d =
     rd_assigns = List.filter (fun (w, _) -> Hashtbl.mem live w.w_id) d.rd_assigns;
   }
 
-let optimize d =
-  let pass d = eliminate_dead (share_common (propagate_copies (constant_fold d))) in
+let passes =
+  [
+    ("constant_fold", constant_fold);
+    ("propagate_copies", propagate_copies);
+    ("share_common", share_common);
+    ("eliminate_dead", eliminate_dead);
+  ]
+
+exception Verification_failed of string * string list
+
+let optimize ?verify d =
+  let apply d (name, f) =
+    let d' = f d in
+    (match verify with
+    | None -> ()
+    | Some check -> (
+        match check ~pass:name ~before:d ~after:d' with
+        | [] -> ()
+        | msgs -> raise (Verification_failed (name, msgs))));
+    d'
+  in
+  let pass d = List.fold_left apply d passes in
   let rec go n d =
     if n = 0 then d
     else

@@ -28,5 +28,23 @@ val share_common : Ir.design -> Ir.design
 
 val eliminate_dead : Ir.design -> Ir.design
 
-val optimize : Ir.design -> Ir.design
-(** Iterates the four passes to a (bounded) fixpoint. *)
+val passes : (string * (Ir.design -> Ir.design)) list
+(** The four passes above, named, in the order {!optimize} applies
+    them. *)
+
+exception Verification_failed of string * string list
+(** [(pass, details)]: a [~verify] callback rejected that pass's output. *)
+
+val optimize :
+  ?verify:(pass:string -> before:Ir.design -> after:Ir.design -> string list) ->
+  Ir.design ->
+  Ir.design
+(** Iterates the four passes to a (bounded) fixpoint.
+
+    [?verify] is consulted after {e every} pass application with the
+    netlist before and after; returning a non-empty list of findings
+    aborts with {!Verification_failed}.  The intended checker is the
+    SAT-based equivalence prover ([Hlcs_analysis.Cec.verify_pass] —
+    wired from above to keep this library free of an analysis
+    dependency); [Hlcs_analysis.Cec.optimize_verified] packages the
+    combination. *)

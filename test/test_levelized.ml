@@ -160,6 +160,31 @@ let random_differential =
          else true))
 
 (* ------------------------------------------------------------------ *)
+(* Static/dynamic bridge: on the same random netlists the differential
+   runs, the SAT-based equivalence checker must prove the optimiser's
+   rewrite — the formal counterpart of the simulation agreement above.
+   A counterexample here would be a replayable stimulus (the CEC cuts
+   registers into [__reg_*] inputs), so it is rendered into the failure
+   report verbatim. *)
+
+let cec_agrees_with_simulation =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count:20
+       ~name:"random netlists: CEC proves the optimiser's rewrite"
+       QCheck2.Gen.(pair (int_bound 1_000_000) (int_range 4 12))
+       (fun (seed, nwires) ->
+         let st = Random.State.make [| seed; nwires; 23 |] in
+         let d = random_design st ~nwires in
+         match Hlcs_analysis.Cec.equiv d (Opt.optimize d) with
+         | Hlcs_analysis.Cec.Equivalent -> true
+         | Hlcs_analysis.Cec.Inequivalent cx ->
+             QCheck2.Test.fail_reportf "optimiser miscompiled: %s"
+               (Hlcs_analysis.Cec.counterexample_to_string cx)
+         | Hlcs_analysis.Cec.Incomparable reasons ->
+             QCheck2.Test.fail_reportf "footprint changed: %s"
+               (String.concat "; " reasons)))
+
+(* ------------------------------------------------------------------ *)
 (* The full system run, both engines: same application observations, same
    bus traffic, byte-identical VCD. *)
 
@@ -300,6 +325,7 @@ let tests =
     ( "rtl-levelized",
       [
         random_differential;
+        cec_agrees_with_simulation;
         Alcotest.test_case "system runs agree across engines" `Quick
           check_engines_agree_on_system;
         Alcotest.test_case "VCD byte-identical across engines" `Quick

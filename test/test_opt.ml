@@ -134,6 +134,49 @@ let check_area_reduction_on_real_design () =
     true
     (gates opt < gates raw)
 
+(* dead elimination must never remove an observed net (one in the
+   support of an output drive — exactly what the VCD tracer watches) or
+   a register-support net (one only a register update reads); only the
+   genuinely unreferenced wire may go *)
+let check_dead_elimination_keeps_observed_and_support () =
+  let b = Ir.builder "support" in
+  Ir.add_input b "i" 4;
+  Ir.add_output b "o" 4;
+  let observed = Ir.fresh_wire b "observed" 4 in
+  Ir.assign b observed (Ir.Unop (Ir.Not, Ir.Input ("i", 4)));
+  let support = Ir.fresh_wire b "support" 4 in
+  Ir.assign b support (Ir.Binop (Ir.Add, Ir.Input ("i", 4), cst 4 1));
+  let orphan = Ir.fresh_wire b "orphan" 4 in
+  Ir.assign b orphan (Ir.Binop (Ir.Mul, Ir.Wire support, cst 4 3));
+  let r = Ir.fresh_reg b "r" 4 in
+  Ir.update b r (Ir.Wire support);
+  Ir.drive b "o" (Ir.Wire observed);
+  let d = Opt.eliminate_dead (Ir.finish b) in
+  Alcotest.(check (list string)) "observed and support nets survive"
+    [ "observed"; "support" ]
+    (List.map (fun (w : Ir.wire) -> w.Ir.w_name) d.Ir.rd_wires);
+  (* the register footprint is never touched *)
+  Alcotest.(check int) "register kept" 1 (List.length d.Ir.rd_regs);
+  Alcotest.(check int) "register update kept" 1 (List.length d.Ir.rd_updates)
+
+(* the bounded fixpoint really is one: re-optimising an already-optimised
+   design must change nothing, on random netlists *)
+let optimize_idempotent =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count:60 ~name:"optimize is idempotent on random netlists"
+       QCheck2.Gen.(pair (int_bound 1_000_000) (int_range 4 24))
+       (fun (seed, nwires) ->
+         let st = Random.State.make [| seed; nwires; 11 |] in
+         let d = Test_levelized.random_design st ~nwires in
+         let once = Opt.optimize d in
+         let twice = Opt.optimize once in
+         if twice = once then true
+         else
+           QCheck2.Test.fail_reportf
+             "not a fixpoint: %d wires after one pass, %d after two"
+             (List.length once.Ir.rd_wires)
+             (List.length twice.Ir.rd_wires)))
+
 let tests =
   [
     ( "rtl-opt",
@@ -142,6 +185,9 @@ let tests =
         Alcotest.test_case "fold table" `Quick check_fold_table;
         Alcotest.test_case "dead elimination keeps used wires" `Quick
           check_dead_elimination_keeps_used;
+        Alcotest.test_case "dead elimination keeps observed and register-support nets"
+          `Quick check_dead_elimination_keeps_observed_and_support;
+        optimize_idempotent;
         Alcotest.test_case "behaviour preserved" `Quick check_behaviour_preserved;
         Alcotest.test_case "area reduction on the interface" `Quick
           check_area_reduction_on_real_design;
