@@ -1,6 +1,6 @@
 # Convenience targets; dune is the real build system.
 
-.PHONY: all build test lint check ci bench bench-smoke bench-guard sweep-smoke fault-smoke equiv-smoke clean
+.PHONY: all build test lint check ci bench bench-smoke bench-guard sweep-smoke fault-smoke equiv-smoke swarm-smoke clean
 
 all: build
 
@@ -20,7 +20,7 @@ check: build test lint
 # Everything a PR must pass, including one pass over every bench series
 # (tiny iteration counts) so the perf code paths are compiled and exercised
 # even when nobody is looking at the numbers.
-ci: build lint test bench-smoke bench-guard sweep-smoke fault-smoke equiv-smoke
+ci: build lint test bench-smoke bench-guard sweep-smoke fault-smoke equiv-smoke swarm-smoke
 
 bench-smoke:
 	dune exec bench/main.exe -- --smoke
@@ -42,6 +42,12 @@ sweep-smoke:
 # verdict flipped to inconsistent.
 fault-smoke:
 	dune exec bin/hlcs_cli.exe -- fault --smoke --jobs 2 --fault-seed 1 --deterministic
+
+# A coverage-guided swarm campaign at CI size (budget 16, batch 4, two
+# workers): byte-compares the report between worker counts and validates
+# the JSON against the strict campaign schema (same as `dune build @swarm`).
+swarm-smoke:
+	dune build @swarm
 
 # SAT-prove the fig3 (pci) and sram demo designs equivalent pre/post
 # optimisation — every miter expected UNSAT — and validate the JSON

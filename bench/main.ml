@@ -160,6 +160,25 @@ let batch_configs =
     ("par4_cached", 4, true);
   ]
 
+(* Coverage-closure campaign (EXPERIMENTS.md swarm table): budget spent
+   over the seeded PCI fault families at the pin-accurate level, guided
+   by merged functional coverage or blind round-robin.  The parameters
+   match the acceptance regression in test_swarm.ml. *)
+let run_swarm ~guided ~budget () =
+  let r =
+    Sweep.swarm ~mode:`Pin ~count:3 ~mem_bytes:256 ~fault_seed:8
+      {
+        Hlcs_verify.Swarm.default_config with
+        Hlcs_verify.Swarm.sw_seed = 2004;
+        sw_budget = budget;
+        sw_batch = 4;
+        sw_guided = guided;
+      }
+      ()
+  in
+  if not r.Hlcs_verify.Swarm.sr_ok then failwith "swarm campaign failed";
+  r
+
 (* ------------------------------------------------------------------ *)
 (* Experiment tables                                                   *)
 
@@ -432,6 +451,12 @@ let series : (string * (unit -> int option)) list =
     ("batch/sweep16_seq_cached", fun () -> ignore (run_sweep ~jobs:1 ~cache:true ()); None);
     ("batch/sweep16_par2_cached", fun () -> ignore (run_sweep ~jobs:2 ~cache:true ()); None);
     ("batch/sweep16_par4_cached", fun () -> ignore (run_sweep ~jobs:4 ~cache:true ()); None);
+    (* coverage closure vs budget, guided vs blind (the EXPERIMENTS.md
+       swarm table); wall clock is the cost of the whole campaign *)
+    ("swarm/closure_guided_b16", fun () -> ignore (run_swarm ~guided:true ~budget:16 ()); None);
+    ("swarm/closure_blind_b16", fun () -> ignore (run_swarm ~guided:false ~budget:16 ()); None);
+    ("swarm/closure_guided_b64", fun () -> ignore (run_swarm ~guided:true ~budget:64 ()); None);
+    ("swarm/closure_blind_b64", fun () -> ignore (run_swarm ~guided:false ~budget:64 ()); None);
   ]
 
 (* substring selection, shared by --json, --smoke and --guard *)

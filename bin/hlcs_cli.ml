@@ -7,6 +7,7 @@
      hlcs_cli profile  simulate one configuration with kernel profiling on
      hlcs_cli sweep    batch-validate a scenario sweep over a domain pool
      hlcs_cli fault    seeded fault-injection campaign over the flow
+     hlcs_cli swarm    coverage-guided scenario swarm over the fault families
      hlcs_cli waves    produce the Figure-4 VCD waveforms
      hlcs_cli latency  the FW1 method-call latency series
 
@@ -654,6 +655,119 @@ let fault_cmd =
         (const run $ n $ jobs $ seed $ fault_seed $ count $ mem_bytes $ policy
        $ target_term $ vcd_dir $ format $ deterministic $ smoke))
 
+(* --- swarm -------------------------------------------------------------- *)
+
+let swarm_cmd =
+  let run budget batch epsilon blind target_coverage mode jobs seed fault_seed
+      count mem_bytes policy target format deterministic smoke =
+    (* --smoke: the CI-sized campaign — a small budget on short scripts,
+       flow mode so the verdict lattice is exercised too *)
+    let budget, batch, count, mem_bytes, fault_seed =
+      if smoke then (16, 4, 3, 256, 1) else (budget, batch, count, mem_bytes, fault_seed)
+    in
+    let config =
+      {
+        Hlcs.Swarm.sw_seed = seed;
+        sw_budget = budget;
+        sw_batch = batch;
+        sw_epsilon = epsilon;
+        sw_guided = not blind;
+        sw_target_ratio = target_coverage;
+      }
+    in
+    let t0 = Unix.gettimeofday () in
+    let report =
+      Hlcs.Sweep.swarm ?jobs ~mode ~base_seed:seed ~count ~mem_bytes ~policy
+        ~target ~fault_seed config ()
+    in
+    let wall = if deterministic then None else Some (Unix.gettimeofday () -. t0) in
+    (match format with
+    | `Text -> print_string (Hlcs.Swarm.render_text ?wall report)
+    | `Json -> print_string (Hlcs.Swarm.render_json ?wall report));
+    (* inconsistent verdicts and monitor violations are campaign findings
+       (data), not infrastructure failures: only a crashed job fails us *)
+    match report.Hlcs.Swarm.sr_failures with
+    | [] -> `Ok ()
+    | failed ->
+        `Error
+          ( false,
+            Printf.sprintf "swarm failed: %d of %d jobs crashed (%s)"
+              (List.length failed) report.Hlcs.Swarm.sr_jobs
+              (String.concat ", " (List.map fst failed)) )
+  in
+  let budget =
+    Arg.(
+      value & opt int 32
+      & info [ "budget" ] ~docv:"N" ~doc:"Total number of scenario jobs to spend.")
+  in
+  let batch =
+    Arg.(
+      value & opt int 4
+      & info [ "batch" ] ~docv:"N"
+          ~doc:
+            "Jobs per scheduling round (allocation decisions are taken between \
+             rounds, from merged coverage).")
+  in
+  let epsilon =
+    Arg.(
+      value & opt float 0.2
+      & info [ "epsilon" ] ~docv:"P"
+          ~doc:"Exploration probability of the guided scheduler, in [0, 1].")
+  in
+  let blind =
+    Arg.(
+      value & flag
+      & info [ "blind" ]
+          ~doc:
+            "Disable coverage guidance: spend the budget blind round-robin over \
+             the fault families (the comparison baseline).")
+  in
+  let target_coverage =
+    Arg.(
+      value & opt (some float) None
+      & info [ "target-coverage" ] ~docv:"R"
+          ~doc:
+            "Stop early once merged declared-bin coverage reaches R (e.g. 0.85); \
+             the report records whether the target was reached.")
+  in
+  let mode =
+    Arg.(
+      value
+      & opt (enum [ ("flow", `Flow); ("pin", `Pin) ]) `Flow
+      & info [ "mode" ] ~docv:"MODE"
+          ~doc:
+            "What each job runs: flow (the complete refinement flow, covers the \
+             fault-verdict lattice) or pin (behavioural pin-accurate simulation \
+             only — much cheaper per job).")
+  in
+  let fault_seed =
+    Arg.(
+      value & opt int 1
+      & info [ "fault-seed" ] ~docv:"N"
+          ~doc:"Campaign seed for the per-family fault plans.")
+  in
+  let smoke =
+    Arg.(
+      value & flag
+      & info [ "smoke" ]
+          ~doc:
+            "CI preset: budget 16 in batches of 4 on short scripts (overrides \
+             --budget, --batch, --count, --mem-bytes and --fault-seed).")
+  in
+  Cmd.v
+    (Cmd.info "swarm"
+       ~doc:
+         "Coverage-guided scenario swarm: spend a budget of fault-campaign jobs \
+          across the fault families, steering the remaining budget toward \
+          families that keep closing new functional-coverage bins (crossed PCI \
+          transaction plan, fault-verdict lattice, temporal-monitor verdicts); \
+          --blind replays the same budget round-robin for comparison.")
+    Term.(
+      ret
+        (const run $ budget $ batch $ epsilon $ blind $ target_coverage $ mode
+       $ jobs $ seed $ fault_seed $ count $ mem_bytes $ policy $ target_term
+       $ format $ deterministic $ smoke))
+
 (* --- waves ------------------------------------------------------------- *)
 
 let waves_cmd =
@@ -796,6 +910,7 @@ let () =
          profile_cmd;
          sweep_cmd;
          fault_cmd;
+         swarm_cmd;
          waves_cmd;
          latency_cmd;
          wavediff_cmd;

@@ -97,6 +97,9 @@ let rules =
       ri_doc = "two netlists disagree on a function; a counterexample stimulus is attached" };
     { ri_id = "equiv-incomparable"; ri_category = "equiv"; ri_severity = Error;
       ri_doc = "equivalence query over differing input/output/register footprints" };
+    (* temporal-property monitors *)
+    { ri_id = "monitor-violation"; ri_category = "monitor"; ri_severity = Error;
+      ri_doc = "a temporal property (liveness/bounded response) failed during simulation; the violation cycle and a witness prefix are attached" };
   ]
 
 let rule_info id = List.find_opt (fun r -> r.ri_id = id) rules

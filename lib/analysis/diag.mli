@@ -53,7 +53,8 @@ val pp : Format.formatter -> t -> unit
 
 type rule_info = {
   ri_id : string;
-  ri_category : string;  (** analysis stage: [hlir], [rtl] or [equiv] *)
+  ri_category : string;
+      (** analysis stage: [hlir], [rtl], [equiv] or [monitor] *)
   ri_severity : severity;  (** default severity when the rule fires *)
   ri_doc : string;  (** one-line description *)
 }

@@ -6,6 +6,7 @@ module Fault = Hlcs_fault.Fault
 module Diag = Hlcs_analysis.Diag
 module Analyze = Hlcs_analysis.Analyze
 module Cec = Hlcs_analysis.Cec
+module Monitor = Hlcs_verify.Monitor
 
 type stage = {
   sg_name : string;
@@ -113,6 +114,30 @@ let execute ?(config = Run_config.default) ~script () =
     let consistency_issues = System.compare_runs behav rtl in
     let trace_issues = System.compare_bus_traces behav rtl in
     let rtl_viols = rtl.System.rr_violations in
+    (* temporal-property monitors, when the config declares any *)
+    let monitor_violations (rr : System.run_report) =
+      match rr.System.rr_monitor with
+      | Some m -> m.Monitor.mr_violations
+      | None -> []
+    in
+    let behav_mon = monitor_violations behav in
+    let rtl_mon = monitor_violations rtl in
+    let monitor_diags =
+      List.concat_map
+        (fun (rr : System.run_report) ->
+          match rr.System.rr_monitor with
+          | Some m ->
+              Monitor.to_diags
+                ~design:(uud.Hlcs_hlir.Ast.d_name ^ "/" ^ rr.System.rr_label)
+                m
+          | None -> [])
+        [ behav; rtl ]
+    in
+    let monitor_note viols =
+      if viols = [] then ""
+      else
+        Printf.sprintf "; %d temporal-property violation(s)" (List.length viols)
+    in
     let fault_stats =
       match
         List.filter_map
@@ -142,10 +167,11 @@ let execute ?(config = Run_config.default) ~script () =
           (Format.asprintf "%a" System.pp_report tlm)
           t_tlm;
         stage "executable specification (pin-accurate, behavioural)"
-          (faulty || (refinement_issues = [] && behav_viols = []))
-          (Format.asprintf "%a; refinement vs TLM: %s" System.pp_report behav
+          (faulty || (refinement_issues = [] && behav_viols = [] && behav_mon = []))
+          (Format.asprintf "%a; refinement vs TLM: %s%s" System.pp_report behav
              (if refinement_issues = [] then "consistent"
-              else String.concat "; " refinement_issues))
+              else String.concat "; " refinement_issues)
+             (monitor_note behav_mon))
           t_behav;
         stage "communication synthesis"
           (Analyze.clean rtl_diags)
@@ -156,10 +182,13 @@ let execute ?(config = Run_config.default) ~script () =
       @ equiv_stages
       @ [
         stage "post-synthesis validation (RT level)"
-          (faulty || (consistency_issues = [] && trace_issues = [] && rtl_viols = []))
-          (Format.asprintf "%a; consistency vs behavioural: %s" System.pp_report rtl
+          (faulty
+          || (consistency_issues = [] && trace_issues = [] && rtl_viols = []
+             && rtl_mon = []))
+          (Format.asprintf "%a; consistency vs behavioural: %s%s" System.pp_report rtl
              (if consistency_issues = [] && trace_issues = [] then "consistent"
-              else String.concat "; " (consistency_issues @ trace_issues)))
+              else String.concat "; " (consistency_issues @ trace_issues))
+             (monitor_note rtl_mon))
           t_rtl;
       ]
       @
@@ -176,7 +205,7 @@ let execute ?(config = Run_config.default) ~script () =
     {
       fl_stages = stages;
       fl_ok = List.for_all (fun s -> s.sg_ok) stages;
-      fl_diags = design_diags @ rtl_diags @ equiv_diags;
+      fl_diags = design_diags @ rtl_diags @ equiv_diags @ monitor_diags;
       fl_artefacts =
         Some
           {

@@ -194,6 +194,144 @@ let run ?jobs ?chunk ?(cache = true) ?(profile = false) ?vcd_dir ?max_time
     sw_profile = merged;
   }
 
+(* --- coverage-guided swarm campaigns ---------------------------------- *)
+
+module Swarm = Hlcs_verify.Swarm
+module Coverage = Hlcs_verify.Coverage
+module Pci_coverage = Hlcs_verify.Pci_coverage
+module Monitor = Hlcs_verify.Monitor
+
+let verdict_bins = [ "clean"; "survived"; "degraded"; "inconsistent" ]
+
+let swarm_families () =
+  List.map
+    (fun name -> { Swarm.fam_name = name; Swarm.fam_tags = Fault.family_tags name })
+    Fault.families
+
+let monitor_counts reports =
+  let tbl = Hashtbl.create 4 in
+  List.iter
+    (fun (r : Monitor.report) ->
+      List.iter
+        (fun (v : Monitor.violation) ->
+          let c = try Hashtbl.find tbl v.Monitor.vl_monitor with Not_found -> 0 in
+          Hashtbl.replace tbl v.Monitor.vl_monitor (c + 1))
+        r.Monitor.mr_violations)
+    reports;
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [] |> List.sort compare
+
+(* One job's coverage snapshot: the crossed PCI transaction plan, the fault
+   verdict lattice (flow mode only) and one bin per monitored property.
+   Declaring the full shape in every job keeps the merged model's hole list
+   meaningful from round one. *)
+let swarm_coverage ~monitors ~with_verdict txs verdict mon_reports =
+  let cov = Coverage.create () in
+  let fm = Pci_coverage.full_model cov in
+  List.iter (Pci_coverage.sample_full fm) txs;
+  (if with_verdict then begin
+     let vp = Coverage.point cov ~name:"verdict" ~bins:verdict_bins in
+     match verdict with Some v -> Coverage.hit vp v | None -> ()
+   end);
+  (match monitors with
+  | [] -> ()
+  | monitor_specs ->
+      let mp =
+        Coverage.point cov ~name:"monitor"
+          ~bins:(List.map (fun (s : Monitor.spec) -> s.Monitor.sp_name) monitor_specs)
+      in
+      List.iter
+        (fun (r : Monitor.report) ->
+          List.iter
+            (fun (v : Monitor.violation) -> Coverage.hit mp v.Monitor.vl_monitor)
+            r.Monitor.mr_violations)
+        mon_reports);
+  cov
+
+let swarm ?jobs ?(mode = `Flow) ?(base_seed = 2004) ?(count = 12)
+    ?(mem_bytes = 512) ?(policy = Policy.Fcfs) ?(target = Pci_target.default_config)
+    ?(fault_seed = 1) ?(monitors = System.pci_monitor_specs) ?(cache = true)
+    ?max_time (config : Swarm.config) () =
+  let cache_handle = if cache then Some (Synth_cache.create ()) else None in
+  let label_of (job : Swarm.job) =
+    Printf.sprintf "%02d-%s#%d" job.Swarm.jb_seq
+      (List.nth Fault.families job.Swarm.jb_family)
+      job.Swarm.jb_index
+  in
+  let run_one (job : Swarm.job) =
+    let _, plan =
+      Fault.family_scenario ~seed:fault_seed ~family:job.Swarm.jb_family
+        job.Swarm.jb_index
+    in
+    (* the stimulus seed walks with the draw index, so spending more budget
+       on one family keeps producing new scripts (and so new crossed bins)
+       instead of replaying one trace *)
+    let sc_seed = base_seed + (7 * job.Swarm.jb_index) + job.Swarm.jb_family in
+    let script =
+      Pci_stim.write_then_read_all
+        (Pci_stim.random ~seed:sc_seed ~count ~base:0 ~size_bytes:mem_bytes ())
+    in
+    let rc =
+      Run_config.make ~mem_bytes ~policy ~target ?max_time ?cache:cache_handle
+        ~faults:plan ~monitors ()
+    in
+    let rc = if cache then rc else Run_config.without_cache rc in
+    match mode with
+    | `Pin ->
+        let rr = System.pin rc ~script in
+        let monr = Option.to_list rr.System.rr_monitor in
+        {
+          Swarm.oc_label = label_of job;
+          Swarm.oc_coverage =
+            swarm_coverage ~monitors ~with_verdict:false rr.System.rr_transactions
+              None monr;
+          Swarm.oc_verdict = None;
+          Swarm.oc_monitor = monitor_counts monr;
+          Swarm.oc_failure = None;
+        }
+    | `Flow ->
+        let fr = Flow.execute ~config:rc ~script () in
+        let txs, monr =
+          match fr.Flow.fl_artefacts with
+          | Some a ->
+              ( a.Flow.fl_behavioural.System.rr_transactions,
+                List.filter_map
+                  (fun (rr : System.run_report) -> rr.System.rr_monitor)
+                  [ a.Flow.fl_behavioural; a.Flow.fl_rtl ] )
+          | None -> ([], [])
+        in
+        (* an empty plan (the baseline family) yields no fault verdict;
+           its lattice bin is "clean" *)
+        let verdict =
+          match fr.Flow.fl_verdict with
+          | Some v -> Some (Fault.verdict_label v)
+          | None -> Some "clean"
+        in
+        {
+          Swarm.oc_label = label_of job;
+          Swarm.oc_coverage =
+            swarm_coverage ~monitors ~with_verdict:true txs verdict monr;
+          Swarm.oc_verdict = verdict;
+          Swarm.oc_monitor = monitor_counts monr;
+          Swarm.oc_failure = None;
+        }
+  in
+  let run_batch batch =
+    let items = Array.of_list batch in
+    Pool.map ?jobs run_one items
+    |> Array.to_list
+    |> List.mapi (fun i -> function
+         | Pool.Done oc -> oc
+         | Pool.Failed f ->
+             {
+               Swarm.oc_label = label_of items.(i);
+               Swarm.oc_coverage = Coverage.create ();
+               Swarm.oc_verdict = None;
+               Swarm.oc_monitor = [];
+               Swarm.oc_failure = Some f.Pool.f_exn;
+             })
+  in
+  Swarm.run config ~families:(swarm_families ()) ~run_batch
+
 (* --- rendering -------------------------------------------------------- *)
 
 let verdict_suffix jb =

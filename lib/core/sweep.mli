@@ -128,3 +128,49 @@ val render_json : ?wall:bool -> report -> string
 (** One JSON object: sweep verdict, domain count, per-job records (with
     fault plan summaries and structured verdicts), cache stats, merged
     snapshot.  Same escaping rules as {!Hlcs_analysis.Diag.render_json}. *)
+
+(** {1 Coverage-guided swarm campaigns}
+
+    A swarm is a different shape of batch job: instead of a fixed scenario
+    list it holds a {e budget} of jobs and spends it across the fault
+    {e families} of {!Hlcs_fault.Fault.families}, guided by the functional
+    coverage each family closes ({!Hlcs_verify.Swarm}).  Per job: one
+    seeded plan from the family's scenario slice, one random request
+    script, one run of the flow (or of the cheaper pin-accurate
+    configuration alone), with the stock PCI temporal monitors attached
+    ({!Hlcs_interface.System.pci_monitor_specs}) and a
+    {!Hlcs_verify.Coverage} model sampling the crossed transaction plan,
+    the fault-verdict lattice and the monitor verdicts. *)
+
+val verdict_bins : string list
+(** The fault-verdict coverage bins: ["clean"; "survived"; "degraded";
+    "inconsistent"].  A job whose plan is empty (the [baseline] family)
+    produces no fault verdict and lands in ["clean"]. *)
+
+val swarm_families : unit -> Hlcs_verify.Swarm.family list
+(** {!Hlcs_fault.Fault.families} with their coverage-tag hints attached. *)
+
+val swarm :
+  ?jobs:int ->
+  ?mode:[ `Flow | `Pin ] ->
+  ?base_seed:int ->
+  ?count:int ->
+  ?mem_bytes:int ->
+  ?policy:Hlcs_osss.Policy.t ->
+  ?target:Hlcs_pci.Pci_target.config ->
+  ?fault_seed:int ->
+  ?monitors:Hlcs_verify.Monitor.spec list ->
+  ?cache:bool ->
+  ?max_time:Hlcs_engine.Time.t ->
+  Hlcs_verify.Swarm.config ->
+  unit ->
+  Hlcs_verify.Swarm.report
+(** Run a swarm campaign.  [mode] picks what each job executes: [`Flow]
+    (default) runs the complete refinement flow and covers the verdict
+    lattice; [`Pin] runs only the behavioural pin-accurate configuration —
+    roughly an order of magnitude cheaper per job, used by the closure
+    benchmarks.  [fault_seed] selects the campaign ({!fault_scenarios}'
+    axis, default 1); [base_seed]/[count]/[mem_bytes] parameterise the
+    random request scripts.  Batches run on the domain pool; outcomes are
+    consumed in submission order and the scheduler is single-threaded, so
+    a campaign is byte-identical at any [jobs] value. *)

@@ -4,6 +4,7 @@ type t = {
   falling_ev : Kernel.event;
   period : Time.t;
   mutable cycle : int;
+  mutable observers : (cycle:int -> unit) list;  (* reversed registration order *)
 }
 
 let create kernel ~name ~period ?(start = Time.zero) () =
@@ -18,6 +19,7 @@ let create kernel ~name ~period ?(start = Time.zero) () =
       falling_ev = Kernel.make_event kernel (name ^ ".falling");
       period;
       cycle = 0;
+      observers = [];
     }
   in
   (* The generator is a self-rearming method process on a private timed
@@ -44,6 +46,9 @@ let create kernel ~name ~period ?(start = Time.zero) () =
       high := true;
       Signal.write clk.signal true;
       clk.cycle <- clk.cycle + 1;
+      (match clk.observers with
+      | [] -> ()
+      | obs -> List.iter (fun f -> f ~cycle:clk.cycle) (List.rev obs));
       Kernel.notify_delta clk.rising_ev;
       Kernel.notify_after tick_ev half
     end
@@ -51,6 +56,7 @@ let create kernel ~name ~period ?(start = Time.zero) () =
   ignore (Kernel.spawn_method kernel ~name:(name ^ ".gen") ~sensitive:[ tick_ev ] tick);
   clk
 
+let on_rising c f = c.observers <- f :: c.observers
 let signal c = c.signal
 let rising c = c.rising_ev
 let falling c = c.falling_ev

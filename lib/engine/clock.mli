@@ -16,6 +16,14 @@ val period : t -> Time.t
 val cycles : t -> int
 (** Number of rising edges so far. *)
 
+val on_rising : t -> (cycle:int -> unit) -> unit
+(** Registers an observer callback invoked synchronously at every rising
+    edge, after the cycle counter increments but before the edge's delta
+    notification propagates — so signal reads inside the callback see the
+    pre-edge values, i.e. flip-flop sampling semantics.  Observers run in
+    registration order and must not suspend; they are the hook temporal
+    monitors step on. *)
+
 val wait_rising : t -> unit
 (** Suspends the caller until the next rising edge. *)
 

@@ -367,3 +367,40 @@ let scenarios ~seed ~n =
   List.init n (fun i ->
       let name, plan = scenario ~seed i in
       (Printf.sprintf "%02d-%s" i name, plan))
+
+(* The same eight families as an addressable axis: [family_scenario] draws
+   the [i]-th member of one family by indexing the cycling generator at the
+   family's slot, so a guided campaign that concentrates its budget on one
+   family walks exactly the plans a blind campaign would eventually have
+   reached — byte-compatible with every committed golden. *)
+let families =
+  [
+    "baseline";
+    "wait-stretch";
+    "retry";
+    "disconnect";
+    "abort-recovery";
+    "glitch";
+    "starvation";
+    "jitter";
+  ]
+
+let family_scenario ~seed ~family i =
+  if family < 0 || family >= List.length families then
+    invalid_arg "Fault.family_scenario: family out of range";
+  scenario ~seed (family + (8 * i))
+
+(* Coverage tags: substrings matched against a campaign's open-hole keys
+   ("point/bin"), declaring which bins a family is likely to reach.  The
+   swarm scheduler adds a bonus for families whose tags still match open
+   holes; an empty list means the family claims no particular bin. *)
+let family_tags = function
+  | "baseline" -> [ "completed"; "clean" ]
+  | "wait-stretch" -> [ "completed" ]
+  | "retry" -> [ "retry" ]
+  | "disconnect" -> [ "disconnect" ]
+  | "abort-recovery" -> [ "master-abort"; "degraded" ]
+  | "glitch" -> [ "inconsistent" ]
+  | "starvation" -> [ "req_eventually_gnt"; "degraded" ]
+  | "jitter" -> []
+  | _ -> []

@@ -198,3 +198,24 @@ val scenario : seed:int -> int -> string * plan
 
 val scenarios : seed:int -> n:int -> (string * plan) list
 (** First [n] scenarios, names prefixed with their index. *)
+
+(** {1 Families as an addressable axis}
+
+    The swarm scheduler spends a seed budget family-by-family instead of
+    cycling blindly; these accessors expose the same generator sliced the
+    other way. *)
+
+val families : string list
+(** The eight family names, in the order {!scenario} cycles through them. *)
+
+val family_scenario : seed:int -> family:int -> int -> string * plan
+(** [family_scenario ~seed ~family i] is the [i]-th member of family
+    [family] (index into {!families}) of campaign [seed] — exactly
+    [scenario ~seed (family + 8 * i)], so guided and blind campaigns draw
+    from one plan universe.
+    @raise Invalid_argument if [family] is out of range. *)
+
+val family_tags : string -> string list
+(** Coverage tags of a family: substrings expected to occur in the
+    ["point/bin"] keys of the holes the family can close (e.g. the retry
+    family tags ["retry"]).  Unknown families tag nothing. *)

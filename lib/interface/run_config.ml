@@ -19,6 +19,7 @@ type t = {
   rc_faults : Fault.plan;
   rc_rtl_engine : Rtl_sim.engine;
   rc_equiv : bool;
+  rc_monitors : Hlcs_verify.Monitor.spec list;
 }
 
 (* One process-wide synthesis cache backs every default configuration:
@@ -43,6 +44,7 @@ let default =
     rc_faults = Fault.empty;
     rc_rtl_engine = `Levelized;
     rc_equiv = false;
+    rc_monitors = [];
   }
 
 let with_mem_bytes rc_mem_bytes t = { t with rc_mem_bytes }
@@ -58,6 +60,7 @@ let without_cache t = { t with rc_cache = None }
 let with_faults rc_faults t = { t with rc_faults }
 let with_rtl_engine rc_rtl_engine t = { t with rc_rtl_engine }
 let with_equiv rc_equiv t = { t with rc_equiv }
+let with_monitors rc_monitors t = { t with rc_monitors }
 
 let vcd_file t suffix =
   Option.map (fun p -> p ^ "_" ^ suffix ^ ".vcd") t.rc_vcd_prefix
@@ -87,7 +90,7 @@ let effective_target t =
 (* Build-style setters taking labelled optionals in one shot, for callers
    migrating from the old optional-argument API. *)
 let make ?mem_bytes ?mem_seed ?policy ?target ?synth_options ?vcd_prefix
-    ?max_time ?profile ?cache ?faults ?rtl_engine ?equiv () =
+    ?max_time ?profile ?cache ?faults ?rtl_engine ?equiv ?monitors () =
   let t = default in
   let t = match mem_bytes with Some v -> with_mem_bytes v t | None -> t in
   let t = match mem_seed with Some v -> with_mem_seed v t | None -> t in
@@ -101,4 +104,5 @@ let make ?mem_bytes ?mem_seed ?policy ?target ?synth_options ?vcd_prefix
   let t = match faults with Some v -> with_faults v t | None -> t in
   let t = match rtl_engine with Some v -> with_rtl_engine v t | None -> t in
   let t = match equiv with Some v -> with_equiv v t | None -> t in
+  let t = match monitors with Some v -> with_monitors v t | None -> t in
   t

@@ -27,6 +27,10 @@ type t = {
       (** run the SAT-based equivalence stage in {!Hlcs_core.Flow}:
           CEC-prove the optimised netlist against the raw
           (pre-optimisation) synthesis output *)
+  rc_monitors : Hlcs_verify.Monitor.spec list;
+      (** temporal-property monitors stepped online (clock observer) during
+          pin-level and RTL runs; [[]] (default) attaches nothing.  Use
+          {!System.pci_monitor_specs} for the stock PCI properties. *)
 }
 
 val default : t
@@ -55,6 +59,7 @@ val without_cache : t -> t
 val with_faults : Hlcs_fault.Fault.plan -> t -> t
 val with_rtl_engine : Hlcs_rtl.Sim.engine -> t -> t
 val with_equiv : bool -> t -> t
+val with_monitors : Hlcs_verify.Monitor.spec list -> t -> t
 
 val make :
   ?mem_bytes:int ->
@@ -69,6 +74,7 @@ val make :
   ?faults:Hlcs_fault.Fault.plan ->
   ?rtl_engine:Hlcs_rtl.Sim.engine ->
   ?equiv:bool ->
+  ?monitors:Hlcs_verify.Monitor.spec list ->
   unit ->
   t
 (** All-optionals constructor over {!default}; the bridge the deprecated

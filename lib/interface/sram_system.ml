@@ -54,6 +54,7 @@ let wire_and_run ~label ~mem_seed ~latency ~max_time ~mem_bytes ?profile side =
     rr_synthesis = side.sd_synthesis;
     rr_profile = prof;
     rr_fault = None;
+    rr_monitor = None;
   }
 
 let run_pin ?(label = "sram-behavioural") ?(mem_seed = 42) ?policy ?(latency = 1)

@@ -18,6 +18,7 @@ module Pci_monitor = Hlcs_pci.Pci_monitor
 module Pci_types = Hlcs_pci.Pci_types
 module Fault = Hlcs_fault.Fault
 module Obs = Hlcs_obs.Obs
+module Monitor = Hlcs_verify.Monitor
 
 type run_report = {
   rr_label : string;
@@ -32,6 +33,7 @@ type run_report = {
   rr_synthesis : Synthesize.report option;
   rr_profile : Obs.snapshot option;
   rr_fault : Fault.stats option;
+  rr_monitor : Monitor.report option;
 }
 
 let clock_period = Time.ns 10
@@ -98,6 +100,7 @@ let tlm ?(label = "tlm") (config : Run_config.t) ~script =
     rr_synthesis = None;
     rr_profile = profile_with_faults prof fstats;
     rr_fault = fstats;
+    rr_monitor = None;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -227,6 +230,54 @@ let fabric_of_config (config : Run_config.t) ~vcd fstats =
   | None -> ());
   fabric
 
+(* ------------------------------------------------------------------ *)
+(* Temporal monitors over the bus fabric                               *)
+
+(* The named predicates the stock monitor properties observe, sampled at
+   every rising clock edge (pre-edge values: flip-flop sampling).  All
+   control lines are active low on the bus; predicates are active high. *)
+let pci_predicate fb name =
+  let bus = fb.fb_bus in
+  let live net = Pci_bus.asserted net in
+  match name with
+  | "req" -> not (Signal.read bus.Pci_bus.req_n.(0))
+  | "gnt" -> not (Signal.read bus.Pci_bus.gnt_n.(0))
+  | "frame" -> live bus.Pci_bus.frame_n
+  | "irdy" -> live bus.Pci_bus.irdy_n
+  | "trdy" -> live bus.Pci_bus.trdy_n
+  | "devsel" -> live bus.Pci_bus.devsel_n
+  | "stop" -> live bus.Pci_bus.stop_n
+  | "transfer" -> live bus.Pci_bus.irdy_n && live bus.Pci_bus.trdy_n
+  | "bad_transfer" ->
+      live bus.Pci_bus.irdy_n && live bus.Pci_bus.trdy_n
+      && not (live bus.Pci_bus.devsel_n)
+  | other -> invalid_arg ("System: unknown monitor predicate " ^ other)
+
+let pci_monitor_specs =
+  [
+    (* liveness: a master requesting the bus is granted it; trips when an
+       arbiter starvation window exceeds the bound *)
+    Monitor.spec ~name:"req_eventually_gnt"
+      (Monitor.Bounded_response ("req", "gnt", 24));
+    (* a started transaction is claimed by some target; trips on
+       master-abort injections (ignored claims) *)
+    Monitor.spec ~name:"frame_eventually_devsel"
+      (Monitor.Bounded_response ("frame", "devsel", 16));
+    (* safety: data transfers only under an asserted DEVSEL# *)
+    Monitor.spec ~name:"no_transfer_without_devsel" (Monitor.Never "bad_transfer");
+  ]
+
+(* arm the config's monitors on a fabric: one automaton engine, stepped
+   from the clock observer; [None] when the config declares no property *)
+let attach_monitors (config : Run_config.t) fabric =
+  match config.Run_config.rc_monitors with
+  | [] -> None
+  | monitor_specs ->
+      let m = Monitor.create monitor_specs in
+      Clock.on_rising fabric.fb_clock (fun ~cycle ->
+          Monitor.step m ~cycle (pci_predicate fabric));
+      Some m
+
 (* connect the design's ports (behavioural or RTL, resolved by name through
    [in_port]/[out_port]) to the bus fabric *)
 let connect_pads fb ~in_port ~out_port =
@@ -262,8 +313,15 @@ let observe_app fb ~out_port =
   ignore (Kernel.spawn fb.fb_kernel ~name:"stopper" stopper);
   obs
 
-let finish_pin ~label ~fabric ~obs ~wall ~prof ~synthesis ~fstats =
+let finish_pin ~label ~fabric ~obs ~wall ~prof ~synthesis ~fstats ~monitor =
   Option.iter Vcd.close fabric.fb_vcd;
+  let monitor_report =
+    Option.map
+      (fun m ->
+        Monitor.finish m ~cycle:(Clock.cycles fabric.fb_clock);
+        Monitor.report m)
+      monitor
+  in
   {
     rr_label = label;
     rr_observed = List.rev !obs;
@@ -277,11 +335,13 @@ let finish_pin ~label ~fabric ~obs ~wall ~prof ~synthesis ~fstats =
     rr_synthesis = synthesis;
     rr_profile = profile_with_faults prof fstats;
     rr_fault = fstats;
+    rr_monitor = monitor_report;
   }
 
 let pin_with_vcd ~label ~vcd ?design (config : Run_config.t) ~script =
   let fstats = fault_state config in
   let fabric = fabric_of_config config ~vcd fstats in
+  let monitor = attach_monitors config fabric in
   let design =
     match design with
     | Some d -> d
@@ -296,7 +356,7 @@ let pin_with_vcd ~label ~vcd ?design (config : Run_config.t) ~script =
     timed_run ~max_time:config.Run_config.rc_max_time
       ~profile:config.Run_config.rc_profile ~label fabric.fb_kernel
   in
-  finish_pin ~label ~fabric ~obs ~wall ~prof ~synthesis:None ~fstats
+  finish_pin ~label ~fabric ~obs ~wall ~prof ~synthesis:None ~fstats ~monitor
 
 let pin ?(label = "pin-behavioural") ?design config ~script =
   pin_with_vcd ~label ~vcd:(Run_config.vcd_file config "behavioural") ?design
@@ -319,6 +379,7 @@ let rtl_with_vcd ~label ~vcd ?design (config : Run_config.t) ~script =
   in
   let fstats = fault_state config in
   let fabric = fabric_of_config config ~vcd fstats in
+  let monitor = attach_monitors config fabric in
   let sim =
     Sim.elaborate fabric.fb_kernel ~clock:fabric.fb_clock
       ~engine:config.Run_config.rc_rtl_engine report.Synthesize.rp_rtl
@@ -332,7 +393,7 @@ let rtl_with_vcd ~label ~vcd ?design (config : Run_config.t) ~script =
   (* RTL-engine counters ride the snapshot as extras, ahead of any fault
      extras appended by [finish_pin] *)
   let prof = Option.map (fun sn -> Obs.with_extras sn (Sim.counters sim)) prof in
-  finish_pin ~label ~fabric ~obs ~wall ~prof ~synthesis:(Some report) ~fstats
+  finish_pin ~label ~fabric ~obs ~wall ~prof ~synthesis:(Some report) ~fstats ~monitor
 
 let rtl ?(label = "pin-rtl") ?design config ~script =
   rtl_with_vcd ~label ~vcd:(Run_config.vcd_file config "rtl") ?design config

@@ -40,6 +40,10 @@ type run_report = {
           are attached as extras when faults were injected *)
   rr_fault : Hlcs_fault.Fault.stats option;
       (** [Some] iff the run's fault plan was non-empty *)
+  rr_monitor : Hlcs_verify.Monitor.report option;
+      (** [Some] iff the config declared temporal monitors
+          ([rc_monitors <> []]); always [None] for TLM runs (no bus to
+          observe) *)
 }
 
 val clock_period : Hlcs_engine.Time.t
@@ -56,6 +60,21 @@ val timed_run :
 (** Run the kernel and return the wall seconds spent inside it, plus an
     observability snapshot when [profile] is set.  Shared by every
     configuration runner (including {!Sram_system}'s). *)
+
+(** {1 Temporal monitors}
+
+    The pin-level runners step the config's {!Run_config.t.rc_monitors}
+    from a clock observer ({!Hlcs_engine.Clock.on_rising}): every rising
+    edge samples the named bus predicates — [req], [gnt], [frame], [irdy],
+    [trdy], [devsel], [stop], [transfer] (IRDY# and TRDY# both asserted)
+    and [bad_transfer] (a transfer without DEVSEL#) — and advances every
+    property automaton.  The report lands in [rr_monitor]. *)
+
+val pci_monitor_specs : Hlcs_verify.Monitor.spec list
+(** The stock PCI property set: [req_eventually_gnt] (REQ# answered by
+    GNT# within 24 cycles), [frame_eventually_devsel] (FRAME# claimed by
+    DEVSEL# within 16 cycles), and [no_transfer_without_devsel] (safety:
+    never a data transfer with DEVSEL# deasserted). *)
 
 (** {1 Primary API — one {!Run_config.t} per run} *)
 

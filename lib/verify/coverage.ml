@@ -68,6 +68,96 @@ let ratio t =
 
 let report t = List.map (fun p -> (p.pt_name, sorted_bins p.pt_bins)) t.pts
 
+let hit_bins t =
+  List.concat_map
+    (fun p ->
+      List.filter_map
+        (fun (b, c) -> if c > 0 then Some (p.pt_name, b) else None)
+        (sorted_bins p.pt_bins @ sorted_bins p.pt_unexpected))
+    t.pts
+
+(* Merge [src] into [dst].  The declared shape of a point is the union of
+   both sides' declarations: a bin that either model declared is declared in
+   the result.  An unexpected hit on one side folds into the declared count
+   when the other side declares that bin (the models disagreed about the
+   shape; the union resolves it); hits undeclared on both sides stay
+   unexpected, so a modelling gap survives any number of merges. *)
+let merge dst src =
+  let add h b n =
+    if n > 0 then
+      match Hashtbl.find_opt h b with
+      | Some cell -> cell := !cell + n
+      | None -> Hashtbl.replace h b (ref n)
+  in
+  let declare h b = if not (Hashtbl.mem h b) then Hashtbl.replace h b (ref 0) in
+  List.iter
+    (fun sp ->
+      let dp =
+        match List.find_opt (fun p -> p.pt_name = sp.pt_name) dst.pts with
+        | Some dp -> dp
+        | None ->
+            let dp =
+              {
+                pt_name = sp.pt_name;
+                pt_bins = Hashtbl.create (Hashtbl.length sp.pt_bins);
+                pt_unexpected = Hashtbl.create 4;
+              }
+            in
+            dst.pts <- dst.pts @ [ dp ];
+            dp
+      in
+      Hashtbl.iter
+        (fun b c ->
+          declare dp.pt_bins b;
+          add dp.pt_bins b !c)
+        sp.pt_bins;
+      Hashtbl.iter
+        (fun b c ->
+          if Hashtbl.mem dp.pt_bins b then add dp.pt_bins b !c
+          else add dp.pt_unexpected b !c)
+        sp.pt_unexpected;
+      (* the destination may have filed hits as unexpected before the source
+         taught it the bin is declared *)
+      Hashtbl.iter
+        (fun b c ->
+          match Hashtbl.find_opt dp.pt_unexpected b with
+          | Some u when Hashtbl.mem sp.pt_bins b ->
+              c := !c + !u;
+              Hashtbl.remove dp.pt_unexpected b
+          | _ -> ())
+        dp.pt_bins)
+    src.pts
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let to_json t =
+  let bins h =
+    sorted_bins h
+    |> List.map (fun (b, c) -> Printf.sprintf "{\"bin\": \"%s\", \"hits\": %d}" (json_escape b) c)
+    |> String.concat ", "
+  in
+  let pts =
+    List.map
+      (fun p ->
+        Printf.sprintf
+          "{\"point\": \"%s\", \"bins\": [%s], \"unexpected\": [%s]}"
+          (json_escape p.pt_name) (bins p.pt_bins) (bins p.pt_unexpected))
+      t.pts
+  in
+  Printf.sprintf "{\"ratio\": %.4f, \"points\": [%s]}" (ratio t) (String.concat ", " pts)
+
 let pp ppf t =
   Format.fprintf ppf "@[<v>coverage %.1f%%@," (100.0 *. ratio t);
   List.iter

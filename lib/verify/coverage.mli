@@ -29,5 +29,19 @@ val unexpected : t -> (string * string * int) list
 val ratio : t -> float
 (** Declared bins hit / declared bins, in [0, 1]; 1.0 for an empty model. *)
 
+val hit_bins : t -> (string * string) list
+(** (point, bin) pairs hit at least once, declared or not, sorted per
+    point — the identity set the swarm scheduler scores novelty against. *)
+
+val merge : t -> t -> unit
+(** [merge dst src] folds [src] into [dst].  Declared bins are the union of
+    both declarations with counts summed; a hit that one side filed as
+    unexpected but the other side declares becomes a declared hit; hits
+    undeclared on both sides stay unexpected.  [src] is not modified. *)
+
+val to_json : t -> string
+(** One JSON object: overall ratio plus per-point declared and unexpected
+    bin tables, bins sorted. *)
+
 val report : t -> (string * (string * int) list) list
 val pp : Format.formatter -> t -> unit

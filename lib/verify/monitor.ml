@@ -1,0 +1,255 @@
+(* Automata-based temporal monitors (see monitor.mli).  Each property
+   compiles to a deterministic automaton whose state is one integer; the
+   whole engine steps from a clock observer, so a run with monitors pays a
+   handful of predicate samples and integer compares per cycle. *)
+
+module Diag = Hlcs_analysis.Diag
+
+type prop =
+  | Always of string
+  | Never of string
+  | Eventually_within of string * int
+  | Bounded_response of string * string * int
+  | Response of string * string
+
+type spec = { sp_name : string; sp_prop : prop }
+
+let spec ~name prop =
+  (match prop with
+  | Eventually_within (_, n) when n < 1 ->
+      invalid_arg "Monitor.spec: Eventually_within needs n >= 1"
+  | Bounded_response (_, _, n) when n < 0 ->
+      invalid_arg "Monitor.spec: Bounded_response needs n >= 0"
+  | _ -> ());
+  { sp_name = name; sp_prop = prop }
+
+let prop_to_string = function
+  | Always p -> Printf.sprintf "always %s" p
+  | Never p -> Printf.sprintf "never %s" p
+  | Eventually_within (p, n) -> Printf.sprintf "<>%s within %d" p n
+  | Bounded_response (t, r, n) -> Printf.sprintf "%s -> <>%s within %d" t r n
+  | Response (t, r) -> Printf.sprintf "%s -> <>%s" t r
+
+let predicates = function
+  | Always p | Never p | Eventually_within (p, _) -> [ p ]
+  | Bounded_response (t, r, _) | Response (t, r) -> if t = r then [ t ] else [ t; r ]
+
+type violation = {
+  vl_monitor : string;
+  vl_cycle : int;
+  vl_detail : string;
+  vl_witness : (int * (string * bool) list) list;
+}
+
+(* one automaton: ms_state is the integer automaton state (meaning depends
+   on the property); ms_aux remembers the pending trigger cycle for
+   [Response]; a dead automaton is either satisfied or violated and
+   ignores further steps *)
+type mstate = {
+  ms_spec : spec;
+  mutable ms_state : int;
+  mutable ms_aux : int;
+  mutable ms_dead : bool;
+}
+
+type t = {
+  m_states : mstate list;
+  m_preds : string list;  (* every predicate any spec observes, deduped *)
+  m_ring : (int * (string * bool) list) option array;  (* witness window *)
+  mutable m_ring_pos : int;
+  mutable m_cycles : int;
+  mutable m_violations : violation list;  (* reversed *)
+  mutable m_finished : bool;
+}
+
+let create ?(witness_depth = 8) specs =
+  if witness_depth < 1 then invalid_arg "Monitor.create: witness_depth < 1";
+  let seen = Hashtbl.create 8 in
+  let preds =
+    List.concat_map (fun s -> predicates s.sp_prop) specs
+    |> List.filter (fun p ->
+           if Hashtbl.mem seen p then false
+           else begin
+             Hashtbl.replace seen p ();
+             true
+           end)
+  in
+  {
+    m_states =
+      List.map (fun s -> { ms_spec = s; ms_state = 0; ms_aux = 0; ms_dead = false }) specs;
+    m_preds = preds;
+    m_ring = Array.make witness_depth None;
+    m_ring_pos = 0;
+    m_cycles = 0;
+    m_violations = [];
+    m_finished = false;
+  }
+
+let specs t = List.map (fun m -> m.ms_spec) t.m_states
+
+let witness t =
+  let n = Array.length t.m_ring in
+  let rec collect i acc =
+    if i = n then acc
+    else
+      let slot = t.m_ring.((t.m_ring_pos + n - 1 - i) mod n) in
+      match slot with None -> acc | Some e -> collect (i + 1) (e :: acc)
+  in
+  collect 0 []
+
+let violate t ms ~cycle detail =
+  ms.ms_dead <- true;
+  t.m_violations <-
+    {
+      vl_monitor = ms.ms_spec.sp_name;
+      vl_cycle = cycle;
+      vl_detail = detail;
+      vl_witness = witness t;
+    }
+    :: t.m_violations
+
+let step t ~cycle env =
+  let vals = List.map (fun p -> (p, env p)) t.m_preds in
+  t.m_ring.(t.m_ring_pos) <- Some (cycle, vals);
+  t.m_ring_pos <- (t.m_ring_pos + 1) mod Array.length t.m_ring;
+  t.m_cycles <- t.m_cycles + 1;
+  let v p = List.assoc p vals in
+  List.iter
+    (fun ms ->
+      if not ms.ms_dead then
+        match ms.ms_spec.sp_prop with
+        | Always p -> if not (v p) then violate t ms ~cycle (p ^ " false")
+        | Never p -> if v p then violate t ms ~cycle (p ^ " asserted")
+        | Eventually_within (p, n) ->
+            if v p then ms.ms_dead <- true (* satisfied *)
+            else begin
+              ms.ms_state <- ms.ms_state + 1;
+              if ms.ms_state = n then
+                violate t ms ~cycle (Printf.sprintf "%s never held in %d cycles" p n)
+            end
+        | Bounded_response (tr, rs, n) ->
+            if v rs then ms.ms_state <- 0
+            else if ms.ms_state = 0 then begin
+              if v tr then
+                if n = 0 then
+                  violate t ms ~cycle
+                    (Printf.sprintf "%s without same-cycle %s" tr rs)
+                else ms.ms_state <- n
+            end
+            else begin
+              ms.ms_state <- ms.ms_state - 1;
+              if ms.ms_state = 0 then
+                violate t ms ~cycle
+                  (Printf.sprintf "%s not followed by %s within %d cycles (trigger at cycle %d)"
+                     tr rs n (cycle - n))
+            end
+        | Response (tr, rs) ->
+            if v rs then ms.ms_state <- 0
+            else if ms.ms_state = 0 && v tr then begin
+              ms.ms_state <- 1;
+              ms.ms_aux <- cycle
+            end)
+    t.m_states
+
+let finish t ~cycle =
+  if not t.m_finished then begin
+    t.m_finished <- true;
+    List.iter
+      (fun ms ->
+        if not ms.ms_dead then
+          match ms.ms_spec.sp_prop with
+          | Response (tr, rs) when ms.ms_state > 0 ->
+              violate t ms ~cycle
+                (Printf.sprintf "%s at cycle %d never answered by %s before end of run"
+                   tr ms.ms_aux rs)
+          | _ -> ())
+      t.m_states
+  end
+
+let violations t = List.rev t.m_violations
+let ok t = t.m_violations = []
+
+let violation_counts t =
+  List.map
+    (fun ms ->
+      ( ms.ms_spec.sp_name,
+        List.length
+          (List.filter (fun v -> v.vl_monitor = ms.ms_spec.sp_name) t.m_violations) ))
+    t.m_states
+
+type report = {
+  mr_specs : string list;
+  mr_cycles : int;
+  mr_violations : violation list;
+}
+
+let report t =
+  { mr_specs = List.map (fun m -> m.ms_spec.sp_name) t.m_states;
+    mr_cycles = t.m_cycles;
+    mr_violations = violations t }
+
+let report_ok r = r.mr_violations = []
+
+let pp_report ppf r =
+  Format.fprintf ppf "@[<v>monitors: %d properties, %d cycles, %s@,"
+    (List.length r.mr_specs) r.mr_cycles
+    (if r.mr_violations = [] then "no violations"
+     else Printf.sprintf "%d violation(s)" (List.length r.mr_violations));
+  List.iter
+    (fun v ->
+      Format.fprintf ppf "  VIOLATION %s at cycle %d: %s@," v.vl_monitor v.vl_cycle
+        v.vl_detail)
+    r.mr_violations;
+  Format.fprintf ppf "@]"
+
+let to_diags ~design r =
+  List.map
+    (fun v ->
+      let wit =
+        match v.vl_witness with
+        | [] -> ""
+        | w ->
+            let c0, _ = List.hd w and cn, _ = List.nth w (List.length w - 1) in
+            Printf.sprintf " (witness cycles %d..%d)" c0 cn
+      in
+      Diag.make ~severity:Diag.Error ~scope:v.vl_monitor ~design ~rule:"monitor-violation"
+        (Printf.sprintf "violated at cycle %d: %s%s" v.vl_cycle v.vl_detail wit))
+    r.mr_violations
+
+let finish_trace = finish
+
+let run_trace ?(finish = true) monitor_specs trace =
+  let m = create monitor_specs in
+  Array.iteri (fun i env -> step m ~cycle:(i + 1) env) trace;
+  if finish then finish_trace m ~cycle:(Array.length trace);
+  violations m
+
+(* ------------------------------------------------------------------ *)
+(* brute-force trace oracle (test reference)                           *)
+
+let oracle prop trace =
+  let tt = Array.length trace in
+  let p name i = trace.(i - 1) name in
+  let first_in lo hi f =
+    let rec go i = if i > hi then None else if f i then Some i else go (i + 1) in
+    if lo > hi then None else go lo
+  in
+  match prop with
+  | Always a -> first_in 1 tt (fun i -> not (p a i))
+  | Never a -> first_in 1 tt (fun i -> p a i)
+  | Eventually_within (a, n) ->
+      if first_in 1 (min n tt) (fun i -> p a i) <> None then None
+      else if tt >= n then Some n
+      else None
+  | Bounded_response (tr, rs, n) ->
+      (* first trigger whose full window fits in the trace and contains no
+         response; its violation surfaces when the window expires *)
+      first_in 1 tt (fun i ->
+          p tr i && i + n <= tt && first_in i (i + n) (fun u -> p rs u) = None)
+      |> Option.map (fun i -> i + n)
+  | Response (tr, rs) ->
+      if
+        first_in 1 tt (fun i -> p tr i && first_in i tt (fun u -> p rs u) = None)
+        <> None
+      then Some tt
+      else None

@@ -1,0 +1,100 @@
+(** Automata-based temporal-property monitors, checked online during any
+    simulation run (not only fault runs).
+
+    A property is declared over {e named predicates} — boolean observations
+    of the design sampled once per clock cycle (signal levels like "req" or
+    "gnt", or derived events like "transfer").  The engine compiles each
+    property to a small deterministic automaton whose state is a single
+    integer, steps every automaton from a clock observer
+    ({!Hlcs_engine.Clock.on_rising}), and reports violations as structured
+    records carrying the violation cycle and a witness prefix (the last few
+    cycles of sampled predicate valuations).  The shape follows COSMA's
+    concurrent-state-machine spec objects: one reusable declarative property,
+    one tiny machine, composed in parallel with the design. *)
+
+type prop =
+  | Always of string  (** the predicate holds at every sampled cycle *)
+  | Never of string  (** the predicate holds at no sampled cycle *)
+  | Eventually_within of string * int
+      (** the predicate holds at least once within the first [n] sampled
+          cycles; weak at end of trace (a shorter trace is vacuously ok) *)
+  | Bounded_response of string * string * int
+      (** [Bounded_response (trigger, response, n)]: whenever [trigger]
+          holds, [response] must hold at that cycle or within the next [n]
+          sampled cycles; weak at end of trace *)
+  | Response of string * string
+      (** unbounded response (liveness): every [trigger] is eventually
+          followed by [response]; {e strong} at end of trace — a pending
+          trigger when the run finishes is a violation *)
+
+type spec = { sp_name : string; sp_prop : prop }
+
+val spec : name:string -> prop -> spec
+
+val prop_to_string : prop -> string
+(** Compact rendering, e.g. [req -> <>gnt within 24]. *)
+
+val predicates : prop -> string list
+(** The predicate names the property observes, in order of appearance. *)
+
+type violation = {
+  vl_monitor : string;  (** [sp_name] of the violated spec *)
+  vl_cycle : int;  (** clock cycle at which the automaton rejected *)
+  vl_detail : string;  (** human-readable cause, e.g. pending trigger cycle *)
+  vl_witness : (int * (string * bool) list) list;
+      (** the last few sampled cycles up to and including the violation:
+          (cycle, predicate valuation), oldest first *)
+}
+
+type t
+(** A monitor instance: every spec's automaton plus the shared witness
+    ring.  Single run, single domain — not thread-safe. *)
+
+val create : ?witness_depth:int -> spec list -> t
+(** [witness_depth] bounds the witness prefix kept per violation
+    (default 8 cycles). *)
+
+val specs : t -> spec list
+
+val step : t -> cycle:int -> (string -> bool) -> unit
+(** Samples every predicate the specs mention through the environment
+    function and advances every live automaton.  A violated automaton
+    records one violation and goes dead; [step] after that is cheap. *)
+
+val finish : t -> cycle:int -> unit
+(** End-of-trace: strong properties ({!Response}) with a pending obligation
+    record a violation at [cycle].  Idempotent. *)
+
+val violations : t -> violation list
+(** In detection order. *)
+
+val ok : t -> bool
+
+val violation_counts : t -> (string * int) list
+(** One entry per spec, in declaration order, including zeroes. *)
+
+type report = {
+  mr_specs : string list;  (** monitored property names, declaration order *)
+  mr_cycles : int;  (** sampled cycles *)
+  mr_violations : violation list;
+}
+
+val report : t -> report
+val report_ok : report -> bool
+
+val pp_report : Format.formatter -> report -> unit
+
+val to_diags : design:string -> report -> Hlcs_analysis.Diag.t list
+(** One [monitor-violation] error per violation: scope = monitor name,
+    message carries the property, cycle and witness summary. *)
+
+val run_trace : ?finish:bool -> spec list -> (string -> bool) array -> violation list
+(** Convenience for tests: steps a fresh monitor over a finite trace
+    (element [i] is the environment of cycle [i + 1]), optionally applying
+    end-of-trace semantics (default [true]). *)
+
+val oracle : prop -> (string -> bool) array -> int option
+(** Brute-force trace-semantics oracle used by the qcheck suite: the first
+    cycle (1-based) at which the property is violated on the complete
+    finite trace, [None] if it holds.  Independent of the automata code —
+    direct quantification over the trace. *)

@@ -6,32 +6,70 @@ let command_bins =
 let termination_bins = [ "completed"; "retry"; "disconnect"; "master-abort" ]
 let burst_bins = [ "single"; "short(2-4)"; "long(5+)" ]
 
+let cross_bins =
+  List.concat_map
+    (fun c -> List.map (fun t -> c ^ ":" ^ t) termination_bins)
+    command_bins
+
+let command_label (tx : Pci_types.transaction) =
+  match tx.Pci_types.tx_command with
+  | Pci_types.Mem_read -> "mem_read"
+  | Pci_types.Mem_write -> "mem_write"
+  | Pci_types.Mem_read_line -> "mem_read_line"
+  | Pci_types.Mem_write_invalidate -> "mem_write_invalidate"
+  | Pci_types.Config_read -> "config_read"
+  | Pci_types.Config_write -> "config_write"
+
+let termination_label (tx : Pci_types.transaction) =
+  match tx.Pci_types.tx_termination with
+  | Pci_types.Completed -> "completed"
+  | Pci_types.Retry -> "retry"
+  | Pci_types.Disconnect _ -> "disconnect"
+  | Pci_types.Master_abort -> "master-abort"
+
+let burst_label (tx : Pci_types.transaction) =
+  match List.length tx.Pci_types.tx_data with
+  | 0 | 1 -> "single"
+  | n when n <= 4 -> "short(2-4)"
+  | _ -> "long(5+)"
+
 let model cov =
   ( Coverage.point cov ~name:"bus_command" ~bins:command_bins,
     Coverage.point cov ~name:"termination" ~bins:termination_bins,
     Coverage.point cov ~name:"burst_length" ~bins:burst_bins )
 
 let sample (commands, terminations, bursts) (tx : Pci_types.transaction) =
-  (let open Pci_types in
-   match tx.tx_command with
-   | Mem_read -> Coverage.hit commands "mem_read"
-   | Mem_write -> Coverage.hit commands "mem_write"
-   | Mem_read_line -> Coverage.hit commands "mem_read_line"
-   | Mem_write_invalidate -> Coverage.hit commands "mem_write_invalidate"
-   | Config_read -> Coverage.hit commands "config_read"
-   | Config_write -> Coverage.hit commands "config_write");
-  (match tx.Pci_types.tx_termination with
-  | Pci_types.Completed -> Coverage.hit terminations "completed"
-  | Pci_types.Retry -> Coverage.hit terminations "retry"
-  | Pci_types.Disconnect _ -> Coverage.hit terminations "disconnect"
-  | Pci_types.Master_abort -> Coverage.hit terminations "master-abort");
-  match List.length tx.Pci_types.tx_data with
-  | 0 | 1 -> Coverage.hit bursts "single"
-  | n when n <= 4 -> Coverage.hit bursts "short(2-4)"
-  | _ -> Coverage.hit bursts "long(5+)"
+  Coverage.hit commands (command_label tx);
+  Coverage.hit terminations (termination_label tx);
+  Coverage.hit bursts (burst_label tx)
 
 let of_transactions txs =
   let cov = Coverage.create () in
   let pts = model cov in
   List.iter (sample pts) txs;
+  cov
+
+(* the crossed plan: command x termination, the bin space the swarm
+   scheduler actually has to work for — a blind campaign hits the marginal
+   bins quickly but leaves most of the 16 crossings open *)
+
+type full = {
+  fm_base : Coverage.point * Coverage.point * Coverage.point;
+  fm_cross : Coverage.point;
+}
+
+let full_model cov =
+  {
+    fm_base = model cov;
+    fm_cross = Coverage.point cov ~name:"command_x_termination" ~bins:cross_bins;
+  }
+
+let sample_full fm (tx : Pci_types.transaction) =
+  sample fm.fm_base tx;
+  Coverage.hit fm.fm_cross (command_label tx ^ ":" ^ termination_label tx)
+
+let of_transactions_full txs =
+  let cov = Coverage.create () in
+  let fm = full_model cov in
+  List.iter (sample_full fm) txs;
   cov

@@ -13,3 +13,22 @@ val sample :
 
 val of_transactions : Hlcs_pci.Pci_types.transaction list -> Coverage.t
 (** Builds the model and samples every transaction. *)
+
+(** {1 Crossed plan}
+
+    The three marginal points plus the [command_x_termination] cross (16
+    declared bins): the bin space coverage-guided campaigns close.  Labels
+    for the crossing are [command ^ ":" ^ termination]. *)
+
+type full
+
+val cross_bins : string list
+val command_label : Hlcs_pci.Pci_types.transaction -> string
+val termination_label : Hlcs_pci.Pci_types.transaction -> string
+val burst_label : Hlcs_pci.Pci_types.transaction -> string
+
+val full_model : Coverage.t -> full
+val sample_full : full -> Hlcs_pci.Pci_types.transaction -> unit
+
+val of_transactions_full : Hlcs_pci.Pci_types.transaction list -> Coverage.t
+(** Builds the crossed model and samples every transaction. *)

@@ -1,0 +1,441 @@
+(* Strict schema validation for `hlcs_cli swarm --format json`.
+
+   check_json.exe only accepts the syntax; this checker parses the value
+   and asserts the campaign contract: the scheduler configuration echo, a
+   round ledger whose job counts spend exactly the budget and whose
+   cumulative bin counts are consistent, per-family budget accounting that
+   adds back up to the jobs run, verdict labels drawn from the fault
+   lattice, monitor verdict rows, and a coverage object whose per-point
+   bin tables agree with the reported distinct-bin total.  No external
+   JSON library is assumed; the parser below builds the value the same
+   way check_json.ml recognises it. *)
+
+type json =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of json list
+  | Obj of (string * json) list
+
+exception Bad of string
+
+let parse s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = raise (Bad (Printf.sprintf "%s (at byte %d)" msg !pos)) in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+        advance ();
+        skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    match peek () with
+    | Some c' when c' = c -> advance ()
+    | _ -> fail (Printf.sprintf "expected %C" c)
+  in
+  let string_ () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      match peek () with
+      | None -> fail "unterminated string"
+      | Some '"' -> advance ()
+      | Some '\\' -> (
+          advance ();
+          match peek () with
+          | Some '"' -> advance (); Buffer.add_char buf '"'; go ()
+          | Some '\\' -> advance (); Buffer.add_char buf '\\'; go ()
+          | Some '/' -> advance (); Buffer.add_char buf '/'; go ()
+          | Some 'b' -> advance (); Buffer.add_char buf '\b'; go ()
+          | Some 'f' -> advance (); Buffer.add_char buf '\012'; go ()
+          | Some 'n' -> advance (); Buffer.add_char buf '\n'; go ()
+          | Some 'r' -> advance (); Buffer.add_char buf '\r'; go ()
+          | Some 't' -> advance (); Buffer.add_char buf '\t'; go ()
+          | Some 'u' ->
+              advance ();
+              let code = ref 0 in
+              for _ = 1 to 4 do
+                (match peek () with
+                | Some ('0' .. '9' as c) -> code := (!code * 16) + (Char.code c - 48)
+                | Some ('a' .. 'f' as c) -> code := (!code * 16) + (Char.code c - 87)
+                | Some ('A' .. 'F' as c) -> code := (!code * 16) + (Char.code c - 55)
+                | _ -> fail "bad \\u escape");
+                advance ()
+              done;
+              (* the CLI only escapes control characters, all < 0x80 *)
+              Buffer.add_char buf (Char.chr (!code land 0x7f));
+              go ()
+          | _ -> fail "bad escape")
+      | Some c when Char.code c < 0x20 -> fail "control character in string"
+      | Some c ->
+          advance ();
+          Buffer.add_char buf c;
+          go ()
+    in
+    go ();
+    Buffer.contents buf
+  in
+  let number () =
+    let start = !pos in
+    let member () =
+      match peek () with
+      | Some ('0' .. '9' | '-' | '+' | '.' | 'e' | 'E') ->
+          advance ();
+          true
+      | _ -> false
+    in
+    while member () do () done;
+    if !pos = start then fail "expected a number";
+    float_of_string (String.sub s start (!pos - start))
+  in
+  let literal word v =
+    String.iter expect word;
+    v
+  in
+  let rec value () =
+    skip_ws ();
+    match peek () with
+    | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then (advance (); Obj [])
+        else
+          let rec members acc =
+            skip_ws ();
+            let key = string_ () in
+            skip_ws ();
+            expect ':';
+            let v = value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                advance ();
+                members ((key, v) :: acc)
+            | Some '}' ->
+                advance ();
+                Obj (List.rev ((key, v) :: acc))
+            | _ -> fail "expected ',' or '}'"
+          in
+          members []
+    | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then (advance (); Arr [])
+        else
+          let rec elements acc =
+            let v = value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                advance ();
+                elements (v :: acc)
+            | Some ']' ->
+                advance ();
+                Arr (List.rev (v :: acc))
+            | _ -> fail "expected ',' or ']'"
+          in
+          elements []
+    | Some '"' -> Str (string_ ())
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some 'n' -> literal "null" Null
+    | Some ('-' | '0' .. '9') -> number () |> fun f -> Num f
+    | _ -> fail "expected a JSON value"
+  in
+  let v = value () in
+  skip_ws ();
+  if !pos <> n then fail "trailing garbage after JSON value";
+  v
+
+(* --- the swarm-campaign schema ----------------------------------------- *)
+
+let errors = ref []
+let complain fmt = Printf.ksprintf (fun m -> errors := m :: !errors) fmt
+
+let field obj name =
+  match obj with
+  | Obj members -> List.assoc_opt name members
+  | _ -> None
+
+let require ctx obj name check =
+  match field obj name with
+  | Some v -> check v
+  | None -> complain "%s: missing required field %S" ctx name
+
+let as_bool ctx name = function
+  | Bool b -> Some b
+  | _ ->
+      complain "%s: %S must be a boolean" ctx name;
+      None
+
+let as_int ctx name = function
+  | Num f when Float.is_integer f -> Some (int_of_float f)
+  | _ ->
+      complain "%s: %S must be an integer" ctx name;
+      None
+
+let as_num ctx name = function
+  | Num f -> Some f
+  | _ ->
+      complain "%s: %S must be a number" ctx name;
+      None
+
+let as_string ctx name = function
+  | Str s -> Some s
+  | _ ->
+      complain "%s: %S must be a string" ctx name;
+      None
+
+let as_ratio ctx name v =
+  match as_num ctx name v with
+  | Some f when f < 0.0 || f > 1.0 ->
+      complain "%s: %S = %g outside [0, 1]" ctx name f;
+      Some f
+  | r -> r
+
+let int_field ctx obj name =
+  match field obj name with
+  | Some v -> as_int ctx name v
+  | None ->
+      complain "%s: missing required field %S" ctx name;
+      None
+
+let verdict_labels = [ "clean"; "survived"; "degraded"; "inconsistent" ]
+
+(* hit-bin count of one coverage point: declared bins with hits plus every
+   unexpected bin (recorded only when hit) *)
+let check_point i pt =
+  let ctx = Printf.sprintf "coverage.points[%d]" i in
+  require ctx pt "point" (fun v -> ignore (as_string ctx "point" v));
+  let count key =
+    match field pt key with
+    | Some (Arr bins) ->
+        List.fold_left
+          (fun acc b ->
+            let bctx = Printf.sprintf "%s.%s" ctx key in
+            require bctx b "bin" (fun v -> ignore (as_string bctx "bin" v));
+            match int_field bctx b "hits" with
+            | Some h when h < 0 ->
+                complain "%s: negative hit count %d" bctx h;
+                acc
+            | Some h when h > 0 -> acc + 1
+            | Some _ when key = "unexpected" ->
+                complain "%s: unexpected bin with zero hits" bctx;
+                acc
+            | _ -> acc)
+          0 bins
+    | Some _ ->
+        complain "%s: %S must be an array" ctx key;
+        0
+    | None ->
+        complain "%s: missing required field %S" ctx key;
+        0
+  in
+  count "bins" + count "unexpected"
+
+let check_swarm root =
+  let sw =
+    match field root "swarm" with
+    | Some (Obj _ as sw) -> sw
+    | Some _ ->
+        complain "root: \"swarm\" must be an object";
+        Obj []
+    | None ->
+        complain "root: missing required field \"swarm\"";
+        Obj []
+  in
+  let ctx = "swarm" in
+  ignore (int_field ctx sw "seed");
+  let budget = int_field ctx sw "budget" in
+  (match int_field ctx sw "batch" with
+  | Some b when b < 1 -> complain "%s: batch %d < 1" ctx b
+  | _ -> ());
+  require ctx sw "epsilon" (fun v -> ignore (as_ratio ctx "epsilon" v));
+  require ctx sw "policy" (fun v ->
+      match as_string ctx "policy" v with
+      | Some ("guided" | "blind") -> ()
+      | Some p -> complain "%s: unknown policy %S" ctx p
+      | None -> ());
+  let target =
+    match field sw "target_ratio" with
+    | Some Null -> None
+    | Some v -> as_ratio ctx "target_ratio" v
+    | None ->
+        complain "%s: missing required field \"target_ratio\"" ctx;
+        None
+  in
+  let jobs_run = int_field ctx sw "jobs_run" in
+  let bins = int_field ctx sw "distinct_bins" in
+  require ctx sw "reached_target" (fun v -> ignore (as_bool ctx "reached_target" v));
+  let ok = match field sw "ok" with Some v -> as_bool ctx "ok" v | None -> None in
+  (match (jobs_run, budget) with
+  | Some j, Some b ->
+      if j > b then complain "%s: jobs_run %d exceeds budget %d" ctx j b;
+      (* without an early-stop target the whole budget must be spent *)
+      if target = None && j <> b then
+        complain "%s: no target_ratio but jobs_run %d <> budget %d" ctx j b
+  | _ -> ());
+  (* round ledger: 1-based consecutive rounds, cumulative bins consistent *)
+  require ctx sw "rounds" (function
+    | Arr rounds ->
+        let prev_bins = ref 0 and total_jobs = ref 0 in
+        List.iteri
+          (fun i rd ->
+            let rctx = Printf.sprintf "rounds[%d]" i in
+            (match int_field rctx rd "round" with
+            | Some r when r <> i + 1 -> complain "%s: round %d out of sequence" rctx r
+            | _ -> ());
+            (match int_field rctx rd "jobs" with
+            | Some j when j < 1 -> complain "%s: empty round" rctx
+            | Some j -> total_jobs := !total_jobs + j
+            | None -> ());
+            (match (int_field rctx rd "new_bins", int_field rctx rd "bins") with
+            | Some nb, Some b ->
+                if b <> !prev_bins + nb then
+                  complain "%s: bins %d <> previous %d + new %d" rctx b !prev_bins nb;
+                prev_bins := b
+            | _ -> ());
+            require rctx rd "ratio" (fun v -> ignore (as_ratio rctx "ratio" v)))
+          rounds;
+        (match jobs_run with
+        | Some j when j <> !total_jobs ->
+            complain "%s: rounds spend %d jobs but jobs_run is %d" ctx !total_jobs j
+        | _ -> ());
+        (match bins with
+        | Some b when b <> !prev_bins ->
+            complain "%s: last round ends at %d bins but distinct_bins is %d" ctx
+              !prev_bins b
+        | _ -> ())
+    | _ -> complain "%s: \"rounds\" must be an array" ctx);
+  (* per-family budget spend adds back up to the jobs run *)
+  require ctx sw "families" (function
+    | Arr [] -> complain "%s: empty family table" ctx
+    | Arr fams ->
+        let spent = ref 0 and credited = ref 0 in
+        List.iteri
+          (fun i fam ->
+            let fctx = Printf.sprintf "families[%d]" i in
+            require fctx fam "family" (fun v -> ignore (as_string fctx "family" v));
+            require fctx fam "tags" (function
+              | Arr tags ->
+                  List.iter (fun t -> ignore (as_string fctx "tag" t)) tags
+              | _ -> complain "%s: \"tags\" must be an array" fctx);
+            (match int_field fctx fam "jobs" with
+            | Some j when j < 0 -> complain "%s: negative job count" fctx
+            | Some j -> spent := !spent + j
+            | None -> ());
+            match int_field fctx fam "new_bins" with
+            | Some nb when nb < 0 -> complain "%s: negative new_bins" fctx
+            | Some nb -> credited := !credited + nb
+            | None -> ())
+          fams;
+        (match jobs_run with
+        | Some j when j <> !spent ->
+            complain "%s: families spend %d jobs but jobs_run is %d" ctx !spent j
+        | _ -> ());
+        (* every first hit of a bin is credited to exactly one family *)
+        (match bins with
+        | Some b when b <> !credited ->
+            complain "%s: families credited %d new bins but distinct_bins is %d"
+              ctx !credited b
+        | _ -> ())
+    | _ -> complain "%s: \"families\" must be an array" ctx);
+  (* verdict rows come from the fault lattice *)
+  require ctx sw "verdicts" (function
+    | Arr verdicts ->
+        let jobs_with = ref 0 in
+        List.iteri
+          (fun i v ->
+            let vctx = Printf.sprintf "verdicts[%d]" i in
+            require vctx v "verdict" (fun l ->
+                match as_string vctx "verdict" l with
+                | Some label when not (List.mem label verdict_labels) ->
+                    complain "%s: verdict label %S outside the fault lattice" vctx
+                      label
+                | _ -> ());
+            match int_field vctx v "jobs" with
+            | Some j when j < 1 -> complain "%s: verdict row with no jobs" vctx
+            | Some j -> jobs_with := !jobs_with + j
+            | None -> ())
+          verdicts;
+        (match jobs_run with
+        | Some j when !jobs_with > j ->
+            complain "%s: verdict rows cover %d jobs but only %d ran" ctx !jobs_with j
+        | _ -> ())
+    | _ -> complain "%s: \"verdicts\" must be an array" ctx);
+  (* monitor verdicts *)
+  require ctx sw "monitors" (function
+    | Arr monitors ->
+        List.iteri
+          (fun i m ->
+            let mctx = Printf.sprintf "monitors[%d]" i in
+            require mctx m "monitor" (fun v -> ignore (as_string mctx "monitor" v));
+            match int_field mctx m "violations" with
+            | Some n when n < 1 ->
+                complain "%s: monitor row with no violations" mctx
+            | _ -> ())
+          monitors
+    | _ -> complain "%s: \"monitors\" must be an array" ctx);
+  (* failures, and the verdict's agreement with them *)
+  require ctx sw "failures" (function
+    | Arr failures ->
+        List.iteri
+          (fun i f ->
+            let fctx = Printf.sprintf "failures[%d]" i in
+            require fctx f "job" (fun v -> ignore (as_string fctx "job" v));
+            require fctx f "error" (fun v -> ignore (as_string fctx "error" v)))
+          failures;
+        (match ok with
+        | Some ok ->
+            if ok <> (failures = []) then
+              complain "%s: ok=%b disagrees with %d failure record(s)" ctx ok
+                (List.length failures)
+        | None -> ())
+    | _ -> complain "%s: \"failures\" must be an array" ctx);
+  (* the merged coverage model: per-point bin tables whose hit bins add
+     back up to the reported distinct-bin total *)
+  require ctx sw "coverage" (fun cov ->
+      require "coverage" cov "ratio" (fun v -> ignore (as_ratio "coverage" "ratio" v));
+      require "coverage" cov "points" (function
+        | Arr points ->
+            let names =
+              List.filter_map (fun pt -> field pt "point") points
+              |> List.filter_map (function Str s -> Some s | _ -> None)
+            in
+            if List.length (List.sort_uniq compare names) <> List.length names
+            then complain "coverage: duplicate point names";
+            let hit = List.fold_left (fun acc (i, pt) -> acc + check_point i pt) 0
+                (List.mapi (fun i pt -> (i, pt)) points)
+            in
+            (match bins with
+            | Some b when b <> hit ->
+                complain
+                  "coverage: point tables show %d hit bins but distinct_bins is %d"
+                  hit b
+            | _ -> ())
+        | _ -> complain "coverage: \"points\" must be an array"))
+
+let read_file path =
+  let ic = open_in_bin path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  s
+
+let () =
+  Array.iteri
+    (fun i arg ->
+      if i > 0 then
+        match parse (read_file arg) with
+        | v -> check_swarm v
+        | exception Bad msg -> complain "%s: %s" arg msg)
+    Sys.argv;
+  match !errors with
+  | [] -> ()
+  | errs ->
+      List.iter (Printf.eprintf "%s\n") (List.rev errs);
+      exit 1

@@ -32,6 +32,90 @@ let check_collector () =
     | _ -> false
     | exception Invalid_argument _ -> true)
 
+let check_merge () =
+  (* union-declare semantics: counts sum on common bins; bins declared on
+     only one side become declared in the destination *)
+  let a = Coverage.create () in
+  let pa = Coverage.point a ~name:"p" ~bins:[ "x"; "y" ] in
+  Coverage.hit pa "x";
+  Coverage.hit pa "x";
+  let b = Coverage.create () in
+  let pb = Coverage.point b ~name:"p" ~bins:[ "x"; "z" ] in
+  Coverage.hit pb "x";
+  Coverage.hit pb "z";
+  let qb = Coverage.point b ~name:"q" ~bins:[ "only-b" ] in
+  Coverage.hit qb "only-b";
+  Coverage.merge a b;
+  Alcotest.(check int) "counts summed" 3 (Coverage.bin_count pa "x");
+  Alcotest.(check int) "src-only bin carried" 1 (Coverage.bin_count pa "z");
+  Alcotest.(check (list (pair string string)))
+    "holes = union of declarations minus hits"
+    [ ("p", "y") ]
+    (Coverage.holes a);
+  Alcotest.(check (list (pair string string)))
+    "hit bins merged and sorted"
+    [ ("p", "x"); ("p", "z"); ("q", "only-b") ]
+    (Coverage.hit_bins a);
+  (* src untouched *)
+  Alcotest.(check int) "src not modified" 1 (Coverage.bin_count pb "x")
+
+let check_merge_unexpected_promotion () =
+  (* a hit one side filed as unexpected but the other declares must fold
+     into the declared bin — in both merge directions *)
+  let declare_side () =
+    let t = Coverage.create () in
+    let p = Coverage.point t ~name:"p" ~bins:[ "known" ] in
+    (t, p)
+  in
+  let stray_side () =
+    let t = Coverage.create () in
+    let p = Coverage.point t ~name:"p" ~bins:[ "other" ] in
+    Coverage.hit p "known";
+    (* undeclared there *)
+    Coverage.hit p "wild";
+    (* undeclared everywhere *)
+    t
+  in
+  (* direction 1: dst declares, src has the stray hit *)
+  let d1, p1 = declare_side () in
+  Coverage.merge d1 (stray_side ());
+  Alcotest.(check int) "src unexpected promoted" 1 (Coverage.bin_count p1 "known");
+  Alcotest.(check (list (triple string string int)))
+    "doubly-undeclared hit survives the merge"
+    [ ("p", "wild", 1) ]
+    (Coverage.unexpected d1);
+  (* direction 2: dst has the stray hit, src declares the bin *)
+  let d2 = stray_side () in
+  let s2, sp = declare_side () in
+  Coverage.hit sp "known";
+  Coverage.merge d2 s2;
+  Alcotest.(check (list (triple string string int)))
+    "dst unexpected folded into newly-declared bin"
+    [ ("p", "wild", 1) ]
+    (Coverage.unexpected d2);
+  Alcotest.(check bool) "folded bin now counts as hit" true
+    (List.mem ("p", "known") (Coverage.hit_bins d2))
+
+let check_to_json () =
+  let t = Coverage.create () in
+  let p = Coverage.point t ~name:"esc\"pt" ~bins:[ "a"; "b" ] in
+  Coverage.hit p "a";
+  Coverage.hit p "stray";
+  let js = Coverage.to_json t in
+  let has needle =
+    let ln = String.length needle and lj = String.length js in
+    let rec go i = i + ln <= lj && (String.sub js i ln = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "ratio present" true (has "\"ratio\": 0.5000");
+  Alcotest.(check bool) "point name escaped" true (has "\"esc\\\"pt\"");
+  Alcotest.(check bool) "declared bin with hits" true
+    (has "{\"bin\": \"a\", \"hits\": 1}");
+  Alcotest.(check bool) "hole listed with zero hits" true
+    (has "{\"bin\": \"b\", \"hits\": 0}");
+  Alcotest.(check bool) "unexpected table present" true
+    (has "\"unexpected\": [{\"bin\": \"stray\", \"hits\": 1}]")
+
 let check_empty_model () =
   Alcotest.(check bool) "empty model is full" true (Coverage.ratio (Coverage.create ()) = 1.0)
 
@@ -78,6 +162,10 @@ let tests =
     ( "coverage",
       [
         Alcotest.test_case "collector semantics" `Quick check_collector;
+        Alcotest.test_case "merge sums and union-declares" `Quick check_merge;
+        Alcotest.test_case "merge promotes unexpected hits" `Quick
+          check_merge_unexpected_promotion;
+        Alcotest.test_case "json rendering" `Quick check_to_json;
         Alcotest.test_case "empty model" `Quick check_empty_model;
         Alcotest.test_case "pci model closes under random stimuli" `Slow
           check_pci_coverage_closure;

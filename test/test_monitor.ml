@@ -1,0 +1,221 @@
+(* Temporal-property monitors: automata unit tests, qcheck equivalence
+   against the brute-force trace oracle, and the monitors composed with
+   the figure-3 system runs (clean and under a seeded starvation fault). *)
+
+module Monitor = Hlcs_verify.Monitor
+module Fault = Hlcs_fault.Fault
+open Hlcs_interface
+module Pci_stim = Hlcs_pci.Pci_stim
+
+(* --- trace helpers ------------------------------------------------------ *)
+
+(* a trace over two predicates "a" (trigger) and "b" (response) *)
+let env_of (a, b) name =
+  match name with
+  | "a" -> a
+  | "b" -> b
+  | _ -> invalid_arg ("unknown predicate " ^ name)
+
+let trace_of pairs = Array.of_list (List.map env_of pairs)
+
+let first_violation spec trace =
+  match Monitor.run_trace [ spec ] trace with
+  | [] -> None
+  | v :: _ -> Some v.Monitor.vl_cycle
+
+(* --- automata unit tests ------------------------------------------------ *)
+
+let check_always_never () =
+  let always = Monitor.spec ~name:"alw" (Monitor.Always "a") in
+  let never = Monitor.spec ~name:"nev" (Monitor.Never "a") in
+  let tr = trace_of [ (true, false); (true, false); (false, false); (true, false) ] in
+  Alcotest.(check (option int)) "always rejects at first miss" (Some 3)
+    (first_violation always tr);
+  Alcotest.(check (option int)) "never rejects at first hit" (Some 1)
+    (first_violation never tr);
+  Alcotest.(check (option int)) "always holds on all-true" None
+    (first_violation always (trace_of [ (true, false); (true, false) ]))
+
+let check_bounded_response () =
+  let br n = Monitor.spec ~name:"br" (Monitor.Bounded_response ("a", "b", n)) in
+  (* same-cycle response discharges the trigger *)
+  Alcotest.(check (option int)) "same-cycle response" None
+    (first_violation (br 0) (trace_of [ (true, true); (false, false) ]));
+  (* response at the window edge *)
+  Alcotest.(check (option int)) "response at deadline" None
+    (first_violation (br 2)
+       (trace_of [ (true, false); (false, false); (false, true) ]));
+  (* violation surfaces exactly when the window expires *)
+  Alcotest.(check (option int)) "window expiry cycle" (Some 3)
+    (first_violation (br 2)
+       (trace_of [ (true, false); (false, false); (false, false); (false, true) ]));
+  (* weak at end of trace: pending window, trace too short to decide *)
+  Alcotest.(check (option int)) "weak end-of-trace" None
+    (first_violation (br 5) (trace_of [ (true, false); (false, false) ]));
+  (* a discharged window re-arms on the next trigger *)
+  Alcotest.(check (option int)) "re-armed window violates later" (Some 6)
+    (first_violation (br 1)
+       (trace_of
+          [ (true, true); (false, false); (true, false); (false, true); (true, false); (false, false) ]))
+
+let check_response_strong () =
+  let rsp = Monitor.spec ~name:"rsp" (Monitor.Response ("a", "b")) in
+  Alcotest.(check (option int)) "answered trigger ok" None
+    (first_violation rsp (trace_of [ (true, false); (false, false); (false, true) ]));
+  (* strong at finish: the pending trigger is charged at end of trace *)
+  Alcotest.(check (option int)) "pending trigger charged at finish" (Some 3)
+    (first_violation rsp (trace_of [ (false, true); (true, false); (false, false) ]));
+  (* without end-of-trace semantics the obligation stays open *)
+  Alcotest.(check int) "no finish, no violation" 0
+    (List.length
+       (Monitor.run_trace ~finish:false [ rsp ]
+          (trace_of [ (true, false); (false, false) ])))
+
+let check_eventually_within () =
+  let ev n = Monitor.spec ~name:"ev" (Monitor.Eventually_within ("a", n)) in
+  Alcotest.(check (option int)) "hit inside the bound" None
+    (first_violation (ev 3) (trace_of [ (false, false); (true, false) ]));
+  Alcotest.(check (option int)) "miss rejects at the bound" (Some 2)
+    (first_violation (ev 2)
+       (trace_of [ (false, false); (false, false); (true, false) ]));
+  Alcotest.(check (option int)) "short trace is vacuous" None
+    (first_violation (ev 8) (trace_of [ (false, false); (false, false) ]))
+
+let check_witness () =
+  let spec = Monitor.spec ~name:"w" (Monitor.Bounded_response ("a", "b", 1)) in
+  let m = Monitor.create ~witness_depth:3 [ spec ] in
+  let feed cycle ab = Monitor.step m ~cycle (env_of ab) in
+  feed 1 (false, false);
+  feed 2 (false, false);
+  feed 3 (true, false);
+  feed 4 (false, false);
+  match Monitor.violations m with
+  | [ v ] ->
+      Alcotest.(check int) "violation cycle" 4 v.Monitor.vl_cycle;
+      Alcotest.(check (list int)) "witness = last 3 cycles, oldest first"
+        [ 2; 3; 4 ]
+        (List.map fst v.Monitor.vl_witness);
+      Alcotest.(check (list (pair string bool)))
+        "witness carries the trigger valuation"
+        [ ("a", true); ("b", false) ]
+        (List.assoc 3 v.Monitor.vl_witness)
+  | vs -> Alcotest.failf "expected one violation, got %d" (List.length vs)
+
+let check_spec_validation () =
+  Alcotest.(check bool) "eventually within 0 rejected" true
+    (match Monitor.spec ~name:"x" (Monitor.Eventually_within ("a", 0)) with
+    | _ -> false
+    | exception Invalid_argument _ -> true);
+  Alcotest.(check bool) "negative response window rejected" true
+    (match Monitor.spec ~name:"x" (Monitor.Bounded_response ("a", "b", -1)) with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+(* --- qcheck: automata agree with the brute-force oracle ----------------- *)
+
+let prop_gen =
+  QCheck.Gen.(
+    frequency
+      [
+        (1, return (Monitor.Always "a"));
+        (1, return (Monitor.Never "a"));
+        (2, map (fun n -> Monitor.Eventually_within ("a", 1 + n)) (int_bound 7));
+        (4, map (fun n -> Monitor.Bounded_response ("a", "b", n)) (int_bound 6));
+        (2, return (Monitor.Response ("a", "b")));
+      ])
+
+let trace_gen =
+  QCheck.Gen.(
+    list_size (int_bound 24)
+      (pair (frequency [ (1, return true); (2, return false) ]) (frequency [ (1, return true); (3, return false) ])))
+
+let arb =
+  QCheck.make
+    ~print:(fun (p, tr) ->
+      Printf.sprintf "%s over [%s]" (Monitor.prop_to_string p)
+        (String.concat "; "
+           (List.map (fun (a, b) -> Printf.sprintf "a=%b b=%b" a b) tr)))
+    QCheck.Gen.(pair prop_gen trace_gen)
+
+let qcheck_oracle =
+  QCheck.Test.make ~count:2000 ~name:"monitor automata == trace oracle" arb
+    (fun (prop, pairs) ->
+      let trace = trace_of pairs in
+      let spec = Monitor.spec ~name:"q" prop in
+      first_violation spec trace = Monitor.oracle prop trace)
+
+(* --- system-level: the stock PCI properties ----------------------------- *)
+
+let pci_config ?faults () =
+  Run_config.make ~mem_bytes:256 ?faults ~monitors:System.pci_monitor_specs ()
+
+let check_clean_run_no_violations () =
+  (* figure-3 configurations B and C under the smoke script: every stock
+     property holds on a healthy system, pre- and post-synthesis *)
+  let script = Pci_stim.directed_smoke ~base:0 in
+  let config = pci_config () in
+  List.iter
+    (fun (label, rr) ->
+      match rr.System.rr_monitor with
+      | None -> Alcotest.failf "%s: no monitor report" label
+      | Some m ->
+          Alcotest.(check (list string))
+            (label ^ ": monitored specs")
+            [ "req_eventually_gnt"; "frame_eventually_devsel"; "no_transfer_without_devsel" ]
+            m.Monitor.mr_specs;
+          Alcotest.(check int) (label ^ ": no violations") 0
+            (List.length m.Monitor.mr_violations);
+          Alcotest.(check bool) (label ^ ": sampled every cycle") true
+            (m.Monitor.mr_cycles = rr.System.rr_cycles))
+    [
+      ("behavioural", System.pin config ~script);
+      ("rtl", System.rtl config ~script);
+    ]
+
+let starvation_family =
+  match List.find_index (( = ) "starvation") Fault.families with
+  | Some i -> i
+  | None -> Alcotest.fail "starvation family missing"
+
+let check_starvation_trips_liveness () =
+  (* a seeded arbiter-starvation fault (campaign 3: starve the arbiter for
+     27 cycles from cycle 19, past the 24-cycle REQ#->GNT# bound) must trip
+     req_eventually_gnt, and deterministically so: the cycle is golden *)
+  let _, plan = Fault.family_scenario ~seed:3 ~family:starvation_family 0 in
+  let script = Pci_stim.write_then_read_all
+      (Pci_stim.random ~seed:2004 ~count:12 ~base:0 ~size_bytes:256 ())
+  in
+  let rr = System.pin (pci_config ~faults:plan ()) ~script in
+  match rr.System.rr_monitor with
+  | None -> Alcotest.fail "no monitor report"
+  | Some m -> (
+      match
+        List.filter
+          (fun v -> v.Monitor.vl_monitor = "req_eventually_gnt")
+          m.Monitor.mr_violations
+      with
+      | [] ->
+          Alcotest.failf "starvation did not trip req_eventually_gnt (%d other)"
+            (List.length m.Monitor.mr_violations)
+      | v :: _ ->
+          Alcotest.(check int) "golden violation cycle" 46 v.Monitor.vl_cycle;
+          Alcotest.(check bool) "witness is non-empty" true
+            (v.Monitor.vl_witness <> []))
+
+let tests =
+  [
+    ( "monitor",
+      [
+        Alcotest.test_case "always / never" `Quick check_always_never;
+        Alcotest.test_case "bounded response windows" `Quick check_bounded_response;
+        Alcotest.test_case "unbounded response is strong" `Quick check_response_strong;
+        Alcotest.test_case "eventually within" `Quick check_eventually_within;
+        Alcotest.test_case "witness ring" `Quick check_witness;
+        Alcotest.test_case "spec validation" `Quick check_spec_validation;
+        QCheck_alcotest.to_alcotest ~long:false qcheck_oracle;
+        Alcotest.test_case "clean fig3 runs satisfy the PCI properties" `Slow
+          check_clean_run_no_violations;
+        Alcotest.test_case "seeded starvation trips req_eventually_gnt" `Slow
+          check_starvation_trips_liveness;
+      ] );
+  ]
