@@ -1,6 +1,6 @@
 # Convenience targets; dune is the real build system.
 
-.PHONY: all build test lint check ci bench bench-smoke bench-guard sweep-smoke fault-smoke equiv-smoke swarm-smoke clean
+.PHONY: all build test lint check ci bench bench-smoke bench-guard sweep-smoke fault-smoke equiv-smoke swarm-smoke codegen-smoke clean
 
 all: build
 
@@ -20,7 +20,7 @@ check: build test lint
 # Everything a PR must pass, including one pass over every bench series
 # (tiny iteration counts) so the perf code paths are compiled and exercised
 # even when nobody is looking at the numbers.
-ci: build lint test bench-smoke bench-guard sweep-smoke fault-smoke equiv-smoke swarm-smoke
+ci: build lint test bench-smoke bench-guard sweep-smoke fault-smoke equiv-smoke swarm-smoke codegen-smoke
 
 bench-smoke:
 	dune exec bench/main.exe -- --smoke
@@ -48,6 +48,19 @@ fault-smoke:
 # the JSON against the strict campaign schema (same as `dune build @swarm`).
 swarm-smoke:
 	dune build @swarm
+
+# Cold-then-warm `profile --engine compiled` against a private artefact
+# cache (same as `dune build @codegen`): the first process must compile,
+# the second must hit the on-disk cache, and both profiles must be
+# byte-identical to the interpreter's modulo the engine tag.  Skips (does
+# not fail) on hosts without a native-code toolchain — without ocamlopt
+# the engine degrades to `Levelized and there is nothing to smoke.
+codegen-smoke:
+	@if command -v ocamlopt.opt >/dev/null 2>&1 || command -v ocamlopt >/dev/null 2>&1; then \
+	  dune build @codegen; \
+	else \
+	  echo "codegen-smoke: no native toolchain, skipped"; \
+	fi
 
 # SAT-prove the fig3 (pci) and sram demo designs equivalent pre/post
 # optimisation — every miter expected UNSAT — and validate the JSON

@@ -34,6 +34,21 @@ let policy =
     & info [ "policy" ] ~docv:"POLICY"
         ~doc:"Arbitration policy of the interface object: fcfs, priority or rr.")
 
+let engine =
+  Arg.(
+    value
+    & opt
+        (enum
+           [ ("settle", `Settle); ("levelized", `Levelized); ("compiled", `Compiled) ])
+        `Levelized
+    & info [ "engine" ] ~docv:"ENGINE"
+        ~doc:
+          "RTL evaluation engine: levelized (default, the dirty-cone \
+           interpreter), compiled (code-generated native plugin, cached on \
+           disk; falls back to levelized with a warning when no native \
+           toolchain is available) or settle (the legacy whole-network \
+           reference).")
+
 let format =
   Arg.(
     value

@@ -4,6 +4,7 @@
      hlcs_cli synth    synthesise the PCI interface, dump reports/VHDL
      hlcs_cli lint     static analysis over the shipped library elements
      hlcs_cli equiv    SAT-prove optimised netlists against raw synthesis
+     hlcs_cli emit     print a synthesised netlist as Verilog/VHDL/OCaml
      hlcs_cli profile  simulate one configuration with kernel profiling on
      hlcs_cli sweep    batch-validate a scenario sweep over a domain pool
      hlcs_cli fault    seeded fault-injection campaign over the flow
@@ -47,10 +48,11 @@ let flow_json ~deterministic (report : Hlcs.Flow.report) =
     c.Diag.n_errors c.Diag.n_warnings c.Diag.n_infos
 
 let flow_cmd =
-  let run script mem_bytes target policy vcd_prefix profile equiv format
+  let run script mem_bytes target policy vcd_prefix profile equiv engine format
       deterministic =
     let config =
-      Run_config.make ~mem_bytes ~target ~policy ?vcd_prefix ~profile ~equiv ()
+      Run_config.make ~mem_bytes ~target ~policy ?vcd_prefix ~profile ~equiv
+        ~rtl_engine:engine ()
     in
     let report = Hlcs.Flow.execute ~config ~script () in
     (match format with
@@ -82,7 +84,7 @@ let flow_cmd =
     Term.(
       ret
         (const run $ script_term $ mem_bytes $ target_term $ policy $ vcd_prefix
-       $ profile $ equiv $ format $ deterministic))
+       $ profile $ equiv $ engine $ format $ deterministic))
 
 (* --- synth ------------------------------------------------------------- *)
 
@@ -454,9 +456,9 @@ let equiv_cmd =
 (* --- profile ------------------------------------------------------------ *)
 
 let profile_cmd =
-  let run script mem_bytes target policy which format deterministic =
+  let run script mem_bytes target policy which engine format deterministic =
     let config =
-      Run_config.make ~mem_bytes ~target ~policy ~profile:true ()
+      Run_config.make ~mem_bytes ~target ~policy ~profile:true ~rtl_engine:engine ()
     in
     let rr =
       match which with
@@ -464,7 +466,8 @@ let profile_cmd =
       | `Pin -> System.pin config ~script
       | `Rtl -> System.rtl config ~script
       | `Sram_pin -> Sram_system.run_pin ~policy ~profile:true ~mem_bytes ~script ()
-      | `Sram_rtl -> Sram_system.run_rtl ~policy ~profile:true ~mem_bytes ~script ()
+      | `Sram_rtl ->
+          Sram_system.run_rtl ~policy ~engine ~profile:true ~mem_bytes ~script ()
     in
     match rr.System.rr_profile with
     | None -> `Error (false, "profiling produced no snapshot")
@@ -503,8 +506,8 @@ let profile_cmd =
           scheduler counters and per-phase times.")
     Term.(
       ret
-        (const run $ script_term $ mem_bytes $ target_term $ policy $ which $ format
-       $ deterministic))
+        (const run $ script_term $ mem_bytes $ target_term $ policy $ which
+       $ engine $ format $ deterministic))
 
 (* --- sweep -------------------------------------------------------------- *)
 
@@ -525,7 +528,7 @@ let sweep_failure report =
 
 let sweep_cmd =
   let run n jobs seed count mem_bytes policy target vary no_cache profile vcd_dir
-      format deterministic smoke =
+      engine format deterministic smoke =
     (* --smoke: the CI-sized sweep — few small jobs, profiling on so the
        merged snapshot (and its cache counters) is exercised too *)
     let n, count, profile = if smoke then (4, 4, true) else (n, count, profile) in
@@ -534,7 +537,8 @@ let sweep_cmd =
         ~n ()
     in
     let report =
-      Hlcs.Sweep.run ?jobs ~cache:(not no_cache) ~profile ?vcd_dir ~scenarios ()
+      Hlcs.Sweep.run ?jobs ~cache:(not no_cache) ~profile ?vcd_dir
+        ~rtl_engine:engine ~scenarios ()
     in
     let wall = not deterministic in
     (match format with
@@ -593,7 +597,8 @@ let sweep_cmd =
     Term.(
       ret
         (const run $ n $ jobs $ seed $ count $ mem_bytes $ policy $ target_term
-       $ vary $ no_cache $ profile $ vcd_dir $ format $ deterministic $ smoke))
+       $ vary $ no_cache $ profile $ vcd_dir $ engine $ format $ deterministic
+       $ smoke))
 
 (* --- fault -------------------------------------------------------------- *)
 
@@ -768,6 +773,80 @@ let swarm_cmd =
        $ jobs $ seed $ fault_seed $ count $ mem_bytes $ policy $ target_term
        $ format $ deterministic $ smoke))
 
+(* --- emit --------------------------------------------------------------- *)
+
+let emit_cmd =
+  (* each target is synthesised with the default (optimising) options,
+     then the RT-level netlist is printed in the requested language *)
+  let targets script =
+    [
+      ("pci", fun () -> Pci_master_design.design ~app:script ());
+      (* the figure-3 post-synthesis configuration, under the name the
+         experiment tables use *)
+      ("fig3", fun () -> Pci_master_design.design ~app:script ());
+      ("sram", fun () -> Sram_master_design.design ~app:script ());
+      ("dma", fun () -> Dma_design.design ~src:0 ~dst:64 ~words:8 ());
+      ( "dma-buffered",
+        fun () -> Dma_design.buffered_design ~src:0 ~dst:64 ~words:8 ~chunk:4 () );
+    ]
+  in
+  let run script name lang out =
+    let available = targets script in
+    match List.assoc_opt name available with
+    | None ->
+        `Error
+          ( false,
+            Printf.sprintf "unknown target %S (expected %s)" name
+              (String.concat "|" (List.map fst available)) )
+    | Some mk ->
+        let report = Synthesize.synthesize (mk ()) in
+        let rtl = report.Synthesize.rp_rtl in
+        let text =
+          match lang with
+          | `Ocaml -> Hlcs_rtl.Compile.emit_ocaml rtl
+          | `Verilog -> Hlcs_rtl.Verilog.to_string rtl
+          | `Vhdl -> Hlcs_rtl.Vhdl.to_string rtl
+        in
+        (match out with
+        | None -> print_string text
+        | Some path ->
+            let oc = open_out path in
+            output_string oc text;
+            close_out oc;
+            Printf.printf "netlist written to %s\n" path);
+        `Ok ()
+  in
+  let target_name =
+    Arg.(
+      value
+      & pos 0 string "pci"
+      & info [] ~docv:"TARGET"
+          ~doc:
+            "Design to emit: pci (default, alias fig3), sram, dma or \
+             dma-buffered.")
+  in
+  let lang =
+    Arg.(
+      value
+      & opt (enum [ ("ocaml", `Ocaml); ("verilog", `Verilog); ("vhdl", `Vhdl) ]) `Verilog
+      & info [ "lang" ] ~docv:"LANG"
+          ~doc:
+            "Output language: verilog (default, Verilog-2001), vhdl, or ocaml \
+             (the straight-line module the compiled RTL engine generates, \
+             compiles and Dynlinks).")
+  in
+  let out =
+    Arg.(
+      value & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Write to FILE instead of stdout.")
+  in
+  Cmd.v
+    (Cmd.info "emit"
+       ~doc:
+         "Synthesise a design and print its RT-level netlist as Verilog, VHDL \
+          or the generated-OCaml simulation module.")
+    Term.(ret (const run $ script_term $ target_name $ lang $ out))
+
 (* --- waves ------------------------------------------------------------- *)
 
 let waves_cmd =
@@ -907,6 +986,7 @@ let () =
          synth_cmd;
          lint_cmd;
          equiv_cmd;
+         emit_cmd;
          profile_cmd;
          sweep_cmd;
          fault_cmd;

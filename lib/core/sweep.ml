@@ -109,7 +109,7 @@ let job_snapshots (fr : Flow.report) =
         [ a.Flow.fl_tlm; a.Flow.fl_behavioural; a.Flow.fl_rtl ]
 
 let run ?jobs ?chunk ?(cache = true) ?(profile = false) ?vcd_dir ?max_time
-    ~scenarios () =
+    ?rtl_engine ~scenarios () =
   let cache_handle = if cache then Some (Synth_cache.create ()) else None in
   (match vcd_dir with
   | Some dir when not (Sys.file_exists dir) -> Unix.mkdir dir 0o755
@@ -120,7 +120,7 @@ let run ?jobs ?chunk ?(cache = true) ?(profile = false) ?vcd_dir ?max_time
     let config =
       Run_config.make ~mem_bytes:sc.sc_mem_bytes ~mem_seed:sc.sc_mem_seed
         ~target:sc.sc_target ~policy:sc.sc_policy ?vcd_prefix ?max_time
-        ?cache:cache_handle ~profile ~faults:sc.sc_faults ()
+        ?cache:cache_handle ~profile ~faults:sc.sc_faults ?rtl_engine ()
     in
     (* [cache = false] must mean cold synthesis per run, not a fall-through
        to the process-wide {!Run_config.shared_cache} default. *)

@@ -21,8 +21,10 @@ type t = {
   rc_faults : Hlcs_fault.Fault.plan;  (** {!Hlcs_fault.Fault.empty} = none *)
   rc_rtl_engine : Hlcs_rtl.Sim.engine;
       (** RTL evaluation engine; [`Levelized] (default) is the compiled
-          dirty-cone simulator, [`Settle] the legacy whole-network
-          reference *)
+          dirty-cone simulator, [`Compiled] the code-generating backend
+          (Dynlink-loaded straight-line code, degrading to [`Levelized]
+          when unavailable — see [rr_engine_fallback]), [`Settle] the
+          legacy whole-network reference *)
   rc_equiv : bool;
       (** run the SAT-based equivalence stage in {!Hlcs_core.Flow}:
           CEC-prove the optimised netlist against the raw

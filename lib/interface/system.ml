@@ -34,6 +34,10 @@ type run_report = {
   rr_profile : Obs.snapshot option;
   rr_fault : Fault.stats option;
   rr_monitor : Monitor.report option;
+  rr_rtl_engine : Sim.engine option;
+      (** the RTL engine that actually ran (RTL configurations only) *)
+  rr_engine_fallback : string option;
+      (** why a [`Compiled] request degraded to [`Levelized], when it did *)
 }
 
 let clock_period = Time.ns 10
@@ -101,6 +105,8 @@ let tlm ?(label = "tlm") (config : Run_config.t) ~script =
     rr_profile = profile_with_faults prof fstats;
     rr_fault = fstats;
     rr_monitor = None;
+    rr_rtl_engine = None;
+    rr_engine_fallback = None;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -313,7 +319,8 @@ let observe_app fb ~out_port =
   ignore (Kernel.spawn fb.fb_kernel ~name:"stopper" stopper);
   obs
 
-let finish_pin ~label ~fabric ~obs ~wall ~prof ~synthesis ~fstats ~monitor =
+let finish_pin ?rtl_engine ?engine_fallback ~label ~fabric ~obs ~wall ~prof
+    ~synthesis ~fstats ~monitor () =
   Option.iter Vcd.close fabric.fb_vcd;
   let monitor_report =
     Option.map
@@ -336,6 +343,8 @@ let finish_pin ~label ~fabric ~obs ~wall ~prof ~synthesis ~fstats ~monitor =
     rr_profile = profile_with_faults prof fstats;
     rr_fault = fstats;
     rr_monitor = monitor_report;
+    rr_rtl_engine = rtl_engine;
+    rr_engine_fallback = engine_fallback;
   }
 
 let pin_with_vcd ~label ~vcd ?design (config : Run_config.t) ~script =
@@ -356,7 +365,7 @@ let pin_with_vcd ~label ~vcd ?design (config : Run_config.t) ~script =
     timed_run ~max_time:config.Run_config.rc_max_time
       ~profile:config.Run_config.rc_profile ~label fabric.fb_kernel
   in
-  finish_pin ~label ~fabric ~obs ~wall ~prof ~synthesis:None ~fstats ~monitor
+  finish_pin ~label ~fabric ~obs ~wall ~prof ~synthesis:None ~fstats ~monitor ()
 
 let pin ?(label = "pin-behavioural") ?design config ~script =
   pin_with_vcd ~label ~vcd:(Run_config.vcd_file config "behavioural") ?design
@@ -393,7 +402,10 @@ let rtl_with_vcd ~label ~vcd ?design (config : Run_config.t) ~script =
   (* RTL-engine counters ride the snapshot as extras, ahead of any fault
      extras appended by [finish_pin] *)
   let prof = Option.map (fun sn -> Obs.with_extras sn (Sim.counters sim)) prof in
-  finish_pin ~label ~fabric ~obs ~wall ~prof ~synthesis:(Some report) ~fstats ~monitor
+  finish_pin
+    ~rtl_engine:(Sim.engine_used sim)
+    ?engine_fallback:(Sim.fallback_reason sim)
+    ~label ~fabric ~obs ~wall ~prof ~synthesis:(Some report) ~fstats ~monitor ()
 
 let rtl ?(label = "pin-rtl") ?design config ~script =
   rtl_with_vcd ~label ~vcd:(Run_config.vcd_file config "rtl") ?design config

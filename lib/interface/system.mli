@@ -44,6 +44,13 @@ type run_report = {
       (** [Some] iff the config declared temporal monitors
           ([rc_monitors <> []]); always [None] for TLM runs (no bus to
           observe) *)
+  rr_rtl_engine : Hlcs_rtl.Sim.engine option;
+      (** RTL runs only: the engine that actually executed
+          ({!Hlcs_rtl.Sim.engine_used}), which differs from the requested
+          [rc_rtl_engine] exactly when a [`Compiled] request degraded *)
+  rr_engine_fallback : string option;
+      (** RTL runs only: why a [`Compiled] request degraded to
+          [`Levelized], when it did ({!Hlcs_rtl.Sim.fallback_reason}) *)
 }
 
 val clock_period : Hlcs_engine.Time.t

@@ -1,0 +1,29 @@
+module Bitvec = Hlcs_logic.Bitvec
+
+(* The contact surface between the host simulator and a Dynlink-loaded
+   generated netlist.  The plugin's only top-level effect is one [register]
+   call; the host [take]s the registration immediately after the load (both
+   under the codegen lock, so the slot never sees two plugins at once).
+
+   This module is deliberately tiny and dependency-free: its .cmi digest is
+   part of the artefact-cache fingerprint, so anything added here
+   invalidates every cached .cmxs on disk. *)
+
+type inst = {
+  cg_set_input : int -> Bitvec.t -> unit;
+      (** by position in [rd_inputs]; queues the fanout on change *)
+  cg_settle : unit -> unit;
+  cg_full_settle : unit -> unit;
+  cg_step_registers : unit -> bool;  (** true iff any register changed *)
+  cg_drives : (string * (unit -> Bitvec.t)) array;  (** in [rd_drives] order *)
+  cg_reg_value : int -> Bitvec.t;  (** by [r_id] *)
+  cg_counters : unit -> (string * int) list;
+}
+
+let pending : (string * (unit -> inst)) option ref = ref None
+let register ~key factory = pending := Some (key, factory)
+
+let take () =
+  let p = !pending in
+  pending := None;
+  p

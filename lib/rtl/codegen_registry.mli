@@ -1,0 +1,27 @@
+(** Registration slot connecting a Dynlink-loaded generated netlist
+    (emitted by {!Codegen}) back to the host simulator.
+
+    The generated module's only top-level effect is one {!register} call;
+    the host calls {!take} right after [Dynlink.loadfile_private] returns.
+    Keep this interface frozen: its .cmi digest is part of the on-disk
+    artefact-cache fingerprint. *)
+
+type inst = {
+  cg_set_input : int -> Hlcs_logic.Bitvec.t -> unit;
+      (** by position in [rd_inputs]; queues the fanout on change *)
+  cg_settle : unit -> unit;
+  cg_full_settle : unit -> unit;
+  cg_step_registers : unit -> bool;  (** true iff any register changed *)
+  cg_drives : (string * (unit -> Hlcs_logic.Bitvec.t)) array;
+      (** in [rd_drives] order; narrow drives memoize their boxing *)
+  cg_reg_value : int -> Hlcs_logic.Bitvec.t;  (** by [r_id] *)
+  cg_counters : unit -> (string * int) list;
+      (** same keys as {!Compile.counters} *)
+}
+
+val register : key:string -> (unit -> inst) -> unit
+(** Called by the generated module at load time; [key] is the design
+    content hash the artefact was emitted for. *)
+
+val take : unit -> (string * (unit -> inst)) option
+(** Claims (and clears) the pending registration. *)

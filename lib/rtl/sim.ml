@@ -8,7 +8,7 @@ type observer = { obs_output : port:string -> value:Bitvec.t -> unit }
 
 let no_observer = { obs_output = (fun ~port:_ ~value:_ -> ()) }
 
-type engine = [ `Settle | `Levelized ]
+type engine = [ `Settle | `Levelized | `Compiled ]
 
 (* The legacy whole-network evaluator: closure trees over Bitvec slots,
    every settle re-evaluates every assignment.  Kept as the differential-
@@ -28,7 +28,12 @@ type legacy = {
   mutable l_settles : int;
 }
 
-type impl = Legacy of legacy | Level of Compile.t
+type impl =
+  | Legacy of legacy
+  | Level of Compile.t
+  | Gen of Codegen_registry.inst * Codegen.provenance
+      (** Dynlink-loaded generated code (see {!Codegen}), with where the
+          artefact came from (memo / disk cache / compiled now) *)
 
 type t = {
   st_design : design;
@@ -36,6 +41,9 @@ type t = {
   st_outputs : (string, Bitvec.t Signal.t) Hashtbl.t;
   st_reg_by_name : (string, reg) Hashtbl.t;
   st_impl : impl;
+  st_fallback : string option;
+      (** set when [`Compiled] was requested but codegen was unavailable
+          and the run degraded to [`Levelized] *)
   mutable st_drives : (string * Bitvec.t Signal.t * (unit -> Bitvec.t)) array;
   mutable st_cycles : int;
 }
@@ -149,21 +157,35 @@ let step t observer =
       (* same phase structure, but each settle re-evaluates only the
          transitive fanout of what actually changed *)
       Compile.settle c;
-      if Compile.step_registers c then Compile.settle c);
+      if Compile.step_registers c then Compile.settle c
+  | Gen (g, _) ->
+      g.Codegen_registry.cg_settle ();
+      if g.Codegen_registry.cg_step_registers () then g.Codegen_registry.cg_settle ());
   drive_outputs t observer;
   t.st_cycles <- t.st_cycles + 1
 
 let elaborate kernel ~clock ?(observer = no_observer) ?(engine = `Levelized) design =
   (* the levelized path validates inside [Compile.compile] (memoized per
-     design, so a cached design is not re-checked); only the legacy path
-     needs its own validation pass *)
+     design, so a cached design is not re-checked); the other paths need
+     their own validation pass *)
   (match engine with
   | `Levelized -> ()
-  | `Settle -> (
+  | `Settle | `Compiled -> (
       match Ir.validate design with
       | Ok () -> ()
       | Error (d :: _) -> invalid_arg ("Rtl.Sim.elaborate: " ^ d)
       | Error [] -> ()));
+  (* a [`Compiled] request degrades to [`Levelized] (recording why) when
+     code generation is unavailable: same results, interpreted *)
+  let resolved, st_fallback =
+    match engine with
+    | `Compiled -> (
+        match Codegen.instance design with
+        | Ok (inst, prov) -> (`Gen (inst, prov), None)
+        | Error reason -> (`Interp, Some reason))
+    | `Levelized -> (`Interp, None)
+    | `Settle -> (`Legacy, None)
+  in
   let st_inputs = Hashtbl.create 16 in
   let st_outputs = Hashtbl.create 16 in
   let st_reg_by_name = Hashtbl.create 16 in
@@ -183,8 +205,15 @@ let elaborate kernel ~clock ?(observer = no_observer) ?(engine = `Levelized) des
            ~eq:Bitvec.equal (Bitvec.zero width)))
     design.rd_outputs;
   let impl, drive_fns =
-    match engine with
-    | `Levelized ->
+    match resolved with
+    | `Gen (inst, prov) ->
+        List.iteri
+          (fun i (name, _) ->
+            Signal.on_commit (Hashtbl.find st_inputs name) (fun _ v ->
+                inst.Codegen_registry.cg_set_input i v))
+          design.rd_inputs;
+        (Gen (inst, prov), inst.Codegen_registry.cg_drives)
+    | `Interp ->
         let c = Compile.compile design in
         (* commit tracers fire only on actual value changes, so each one
            feeds the changed value straight into the compiled tables and
@@ -195,7 +224,7 @@ let elaborate kernel ~clock ?(observer = no_observer) ?(engine = `Levelized) des
                 Compile.set_input c i v))
           design.rd_inputs;
         (Level c, Compile.drives c)
-    | `Settle ->
+    | `Legacy ->
         let max_wire =
           List.fold_left (fun m w -> max m (w.w_id + 1)) 0 design.rd_wires
         in
@@ -244,6 +273,7 @@ let elaborate kernel ~clock ?(observer = no_observer) ?(engine = `Levelized) des
       st_outputs;
       st_reg_by_name;
       st_impl = impl;
+      st_fallback;
       st_drives =
         Array.map (fun (name, f) -> (name, Hashtbl.find st_outputs name, f)) drive_fns;
       st_cycles = 0;
@@ -263,7 +293,8 @@ let elaborate kernel ~clock ?(observer = no_observer) ?(engine = `Levelized) des
            started := true;
            (match t.st_impl with
            | Legacy lg -> settle_legacy lg
-           | Level c -> Compile.full_settle c);
+           | Level c -> Compile.full_settle c
+           | Gen (g, _) -> g.Codegen_registry.cg_full_settle ());
            drive_outputs t observer
          end));
   t
@@ -276,20 +307,39 @@ let reg_value t name =
   match t.st_impl with
   | Legacy lg -> lg.l_regs.(r.r_id)
   | Level c -> Compile.reg_value c r
+  | Gen (g, _) -> g.Codegen_registry.cg_reg_value r.r_id
 
 let reg_names t = List.map (fun r -> r.r_name) t.st_design.rd_regs
 let cycles t = t.st_cycles
 
-let counters t =
+let engine_used t : engine =
   match t.st_impl with
-  | Level c -> ("rtl_engine_levelized", 1) :: Compile.counters c
+  | Legacy _ -> `Settle
+  | Level _ -> `Levelized
+  | Gen _ -> `Compiled
+
+let fallback_reason t = t.st_fallback
+
+let counters t =
+  (* [rtl_engine] is the per-engine tag: 0 = settle (legacy reference),
+     1 = levelized interpreter, 2 = compiled generated code *)
+  match t.st_impl with
+  | Gen (g, prov) ->
+      ("rtl_engine", 2)
+      :: g.Codegen_registry.cg_counters ()
+      @ [
+          ( "codegen_cache_hit",
+            match prov with Codegen.Memo | Codegen.Disk -> 1 | Codegen.Built -> 0 );
+          ("codegen_compiled", match prov with Codegen.Built -> 1 | _ -> 0);
+        ]
+  | Level c -> ("rtl_engine", 1) :: Compile.counters c
   | Legacy lg ->
       (* the reference engine re-evaluates the whole network (boxed) on
          every settle; reported under the same keys so before/after
          comparisons line up *)
       let n = Array.length lg.l_order in
       [
-        ("rtl_engine_levelized", 0);
+        ("rtl_engine", 0);
         ("rtl_levels", 0);
         ("rtl_nodes", n);
         ("rtl_settles", lg.l_settles);

@@ -8,11 +8,15 @@
 
 type t
 
-type engine = [ `Settle | `Levelized ]
+type engine = [ `Settle | `Levelized | `Compiled ]
 (** [`Levelized] (the default) runs the {!Compile} engine: dense compiled
-    tables, dirty-cone settles, unboxed narrow nets.  [`Settle] is the
-    legacy whole-network evaluator, kept as the differential-testing
-    reference; both produce identical signal traffic, VCDs and observer
+    tables, dirty-cone settles, unboxed narrow nets.  [`Compiled] runs
+    {!Codegen}'s generated straight-line code, Dynlink-loaded from the
+    on-disk artefact cache; when code generation is unavailable (no
+    ocamlopt, bytecode runtime, unusable cache dir) the run degrades to
+    [`Levelized] and {!fallback_reason} says why.  [`Settle] is the legacy
+    whole-network evaluator, kept as the differential-testing reference.
+    All three produce identical signal traffic, VCDs and observer
     callbacks. *)
 
 type observer = { obs_output : port:string -> value:Hlcs_logic.Bitvec.t -> unit }
@@ -40,8 +44,17 @@ val reg_names : t -> string list
 val cycles : t -> int
 (** Rising edges executed. *)
 
+val engine_used : t -> engine
+(** The engine actually running — differs from the requested one exactly
+    when a [`Compiled] request degraded to [`Levelized]. *)
+
+val fallback_reason : t -> string option
+(** Why a [`Compiled] request degraded, when it did. *)
+
 val counters : t -> (string * int) list
-(** Engine counters in Obs-extras form: [rtl_engine_levelized] (1/0)
-    followed by the {!Compile.counters} keys.  The legacy engine reports
-    under the same keys (every settle evaluates all nodes, boxed, so
-    [rtl_nodes_skipped] and [rtl_fast_evals] stay 0). *)
+(** Engine counters in Obs-extras form: [rtl_engine] (0 = settle,
+    1 = levelized, 2 = compiled) followed by the {!Compile.counters} keys.
+    The legacy engine reports under the same keys (every settle evaluates
+    all nodes, boxed, so [rtl_nodes_skipped] and [rtl_fast_evals] stay 0);
+    the compiled engine appends [codegen_cache_hit] / [codegen_compiled]
+    recording whether its artefact was reused or built this run. *)

@@ -172,10 +172,11 @@ let counter_keys =
     "net_drives"; "net_changes"; "peak_runnable"; "peak_timed";
   ]
 
-(* the RTL-engine extras the levelized simulator attaches to the snapshot *)
+(* the RTL-engine extras the simulator attaches to the snapshot;
+   rtl_engine tags which evaluator ran (0 settle, 1 levelized, 2 compiled) *)
 let rtl_keys =
   [
-    "rtl_engine_levelized"; "rtl_levels"; "rtl_nodes"; "rtl_settles";
+    "rtl_engine"; "rtl_levels"; "rtl_nodes"; "rtl_settles";
     "rtl_nodes_evaluated"; "rtl_nodes_skipped"; "rtl_cone_max";
     "rtl_fast_evals"; "rtl_wide_evals"; "rtl_update_evals";
     "rtl_updates_skipped";
@@ -233,8 +234,26 @@ let check_profile ~require_rtl ctx root =
             (get "rtl_nodes_evaluated");
         if get "rtl_levels" < 1 then complain "%s: rtl_levels must be >= 1" ctx;
         if get "rtl_nodes" < 1 then complain "%s: rtl_nodes must be >= 1" ctx;
-        if get "rtl_engine_levelized" = 1 && get "rtl_settles" < 1 then
-          complain "%s: levelized run reports no settles" ctx
+        let engine = get "rtl_engine" in
+        if engine < 0 || engine > 2 then
+          complain "%s: rtl_engine must be 0 (settle), 1 (levelized) or 2 (compiled)"
+            ctx;
+        if engine >= 1 && get "rtl_settles" < 1 then
+          complain "%s: incremental engine reports no settles" ctx;
+        if engine = 2 then begin
+          (* a compiled run declares where its artefact came from: reused
+             from memo/disk or built by this process, exactly one of the
+             two *)
+          List.iter
+            (fun k ->
+              if not (List.mem_assoc k ex) then
+                complain "%s: compiled profile missing %S" ctx k)
+            [ "codegen_cache_hit"; "codegen_compiled" ];
+          if get "codegen_cache_hit" + get "codegen_compiled" <> 1 then
+            complain
+              "%s: compiled profile must report exactly one of cache_hit/compiled"
+              ctx
+        end
 
 let read_file path =
   let ic = open_in_bin path in
