@@ -1,6 +1,6 @@
 # Convenience targets; dune is the real build system.
 
-.PHONY: all build test lint check ci bench bench-smoke bench-guard sweep-smoke fault-smoke equiv-smoke swarm-smoke codegen-smoke clean
+.PHONY: all build test lint check ci bench bench-smoke bench-guard sweep-smoke fault-smoke equiv-smoke swarm-smoke codegen-smoke serve-smoke clean
 
 all: build
 
@@ -20,7 +20,7 @@ check: build test lint
 # Everything a PR must pass, including one pass over every bench series
 # (tiny iteration counts) so the perf code paths are compiled and exercised
 # even when nobody is looking at the numbers.
-ci: build lint test bench-smoke bench-guard sweep-smoke fault-smoke equiv-smoke swarm-smoke codegen-smoke
+ci: build lint test bench-smoke bench-guard sweep-smoke fault-smoke equiv-smoke swarm-smoke codegen-smoke serve-smoke
 
 bench-smoke:
 	dune exec bench/main.exe -- --smoke
@@ -61,6 +61,16 @@ codegen-smoke:
 	else \
 	  echo "codegen-smoke: no native toolchain, skipped"; \
 	fi
+
+# The serve-protocol contract (same as `dune build @serve`): the fig3
+# flow job replayed through the daemon's stdio session at two pool
+# widths (event streams identical modulo wall clock, result payload
+# byte-equal to `hlcs_cli flow`), the malformed-request and
+# queue-overflow transcripts golden-diffed, and the two-process
+# disk-cache proof — a second daemon process must answer the same job
+# from $HLCS_SYNTH_CACHE without re-synthesising.
+serve-smoke:
+	dune build @serve
 
 # SAT-prove the fig3 (pci) and sram demo designs equivalent pre/post
 # optimisation — every miter expected UNSAT — and validate the JSON

@@ -575,9 +575,91 @@ let netlist_compiled () =
           drive_netlist ~set_input:i.cg_set_input ~settle:i.cg_settle
             ~full_settle:i.cg_full_settle ~step_registers:i.cg_step_registers)
 
+(* ------------------------------------------------------------------ *)
+(* SERVE: the job daemon's protocol overhead and its restart story     *)
+
+module Serve = Hlcs_serve.Serve
+module Serve_protocol = Hlcs_serve.Protocol
+module Job = Hlcs.Job
+
+(* one full session round-trip — frame a submit, cancel it, shut down —
+   through the same [Serve.session] loop the daemon runs.  No job body
+   executes, so the series isolates framing + decode + admission, the
+   per-request cost a client pays before any simulation happens. *)
+let serve_request_bytes =
+  lazy
+    (let job =
+       match
+         Hlcs_json.Json.parse
+           (Job.to_json { Job.default with Job.j_deterministic = true })
+       with
+       | Ok j -> j
+       | Error e -> failwith ("serve bench: job codec: " ^ e)
+     in
+     let b = Buffer.create 512 in
+     let frame p =
+       Buffer.add_string b (Printf.sprintf "%d\n" (String.length p));
+       Buffer.add_string b p
+     in
+     frame (Serve_protocol.submit_to_string ~id:"b1" job);
+     frame (Serve_protocol.simple_request_to_string (`Cancel "b1"));
+     frame (Serve_protocol.simple_request_to_string `Shutdown);
+     Buffer.contents b)
+
+let serve_submit_latency () =
+  let reqf = Filename.temp_file "hlcs_bench_serve" ".req" in
+  let outf = Filename.temp_file "hlcs_bench_serve" ".out" in
+  let oc = open_out_bin reqf in
+  output_string oc (Lazy.force serve_request_bytes);
+  close_out oc;
+  let ic = open_in_bin reqf and out = open_out_bin outf in
+  let summary, reason = Serve.session Serve.default_config ic out in
+  close_in ic;
+  close_out out;
+  Sys.remove reqf;
+  Sys.remove outf;
+  if reason <> `Shutdown || summary.Serve.sm_cancelled <> 1 then
+    failwith "serve bench: round-trip did not follow the script";
+  None
+
+(* the restart story: a fresh process (modelled as a fresh cache over a
+   pre-populated disk directory) answering the fig3 synthesis from the
+   disk tier instead of re-synthesising.  The cold population runs once,
+   un-timed; every timed iteration is the warm load — compare against
+   batch/sweep16_seq_uncached for the cold synthesis cost it replaces. *)
+let serve_synth_disk =
+  lazy
+    (let dir = Filename.temp_file "hlcs_bench_synth" "" in
+     Sys.remove dir;
+     Unix.mkdir dir 0o700;
+     let cold = Synth_cache.create ~disk:(`Dir dir) () in
+     ignore
+       (Synth_cache.synthesize cold
+          (Pci_master_design.design ~app:random_script ()));
+     if (Synth_cache.stats cold).Synth_cache.misses <> 1 then
+       failwith "serve bench: cold synthesis did not populate the disk tier";
+     dir)
+
+let serve_warm_vs_cold_synth () =
+  let dir = Lazy.force serve_synth_disk in
+  let warm = Synth_cache.create ~disk:(`Dir dir) () in
+  ignore
+    (Synth_cache.synthesize warm (Pci_master_design.design ~app:random_script ()));
+  let s = Synth_cache.stats warm in
+  if s.Synth_cache.disk_hits <> 1 || s.Synth_cache.misses <> 0 then
+    failwith "serve bench: warm synthesis missed the disk tier";
+  None
+
+let serve_series =
+  [
+    ("serve/submit_latency", serve_submit_latency);
+    ("serve/warm_vs_cold_synth", serve_warm_vs_cold_synth);
+  ]
+
 let series =
   series
   @ [ ("fig3/netlist_levelized", netlist_levelized) ]
+  @ serve_series
   @ (if Codegen.available () then
        ("fig3/netlist_compiled", netlist_compiled) :: codegen_series
      else begin

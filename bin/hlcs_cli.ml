@@ -9,13 +9,19 @@
      hlcs_cli sweep    batch-validate a scenario sweep over a domain pool
      hlcs_cli fault    seeded fault-injection campaign over the flow
      hlcs_cli swarm    coverage-guided scenario swarm over the fault families
+     hlcs_cli serve    job daemon: flow/sweep/fault/swarm requests over a socket
+     hlcs_cli submit   client: send one job to a running daemon
      hlcs_cli waves    produce the Figure-4 VCD waveforms
      hlcs_cli latency  the FW1 method-call latency series
 
    All commands are deterministic in their --seed (and the fault campaign
    additionally in its --fault-seed).  Common flags (--format,
    --deterministic, --jobs, --seed, ...) are declared once in Cli_common
-   so they parse identically across subcommands. *)
+   so they parse identically across subcommands.  The five batch
+   subcommands (flow, profile, sweep, fault, swarm) decode to one
+   Hlcs.Job.t and run through Job.run; `--config job.json` loads the
+   same job from a file and `--dump-job` writes one, so any flag
+   combination can be replayed through the daemon unchanged. *)
 
 open Cmdliner
 open Cli_common
@@ -25,40 +31,91 @@ module Pci_stim = Hlcs_pci.Pci_stim
 module Obs = Hlcs_obs.Obs
 open Hlcs_interface
 
-(* --- flow -------------------------------------------------------------- *)
+(* --- the Job-backed subcommands ----------------------------------------- *)
 
 module Diag = Hlcs_analysis.Diag
+module Job = Hlcs.Job
 
-let flow_json ~deterministic (report : Hlcs.Flow.report) =
-  let stage (s : Hlcs.Flow.stage) =
-    Printf.sprintf
-      "{\"name\": %s, \"ok\": %b, \"detail\": %s, \"wall_seconds\": %s}"
-      (Diag.json_string s.Hlcs.Flow.sg_name)
-      s.Hlcs.Flow.sg_ok
-      (Diag.json_string s.Hlcs.Flow.sg_detail)
-      (if deterministic then "0" else Printf.sprintf "%.6f" s.Hlcs.Flow.sg_wall_seconds)
+(* flow, profile, sweep, fault and swarm all decode to one Hlcs.Job.t and
+   execute through Job.run — identical semantics whether the job arrived
+   as flags, a --config file, or a frame over the serve protocol *)
+
+let config_file_term =
+  Arg.(
+    value & opt (some file) None
+    & info [ "config" ] ~docv:"FILE"
+        ~doc:
+          "Load the complete job (kind, run configuration, seeds, pool width) \
+           from a Job-codec JSON file instead of the command-line flags; only \
+           --format still applies.  The file's kind must match the subcommand.")
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let job_of_config_file ~expected path =
+  match Job.of_json_string (read_file path) with
+  | Error e -> Error (Printf.sprintf "%s: %s" path e)
+  | Ok job ->
+      let kind = Job.kind_name job.Job.j_kind in
+      if kind <> expected then
+        Error
+          (Printf.sprintf "%s: a %S job cannot run under `hlcs_cli %s'" path
+             kind expected)
+      else Ok job
+
+let dump_job_term =
+  Arg.(
+    value & flag
+    & info [ "dump-job" ]
+        ~doc:
+          "Print the job the flags describe as Job-codec JSON (the format \
+           --config and the serve protocol consume) and exit without running.")
+
+(* resolve the job (config file wins), run it, render, map the failure
+   rule to the exit status — the shared tail of all five subcommands *)
+let run_job ~expected ~config_file ?(dump = false) ~format job =
+  let job =
+    match config_file with
+    | None -> Ok job
+    | Some path -> job_of_config_file ~expected path
   in
-  let c = Diag.count report.Hlcs.Flow.fl_diags in
-  Printf.sprintf
-    "{\"ok\": %b, \"stages\": [%s], \"diagnostics\": %s, \"counts\": {\"errors\": %d, \
-     \"warnings\": %d, \"infos\": %d}}"
-    report.Hlcs.Flow.fl_ok
-    (String.concat ", " (List.map stage report.Hlcs.Flow.fl_stages))
-    (Diag.json_of_diags report.Hlcs.Flow.fl_diags)
-    c.Diag.n_errors c.Diag.n_warnings c.Diag.n_infos
+  match job with
+  | Error e -> `Error (false, e)
+  | Ok job when dump ->
+      print_endline (Job.to_json job);
+      `Ok ()
+  | Ok job -> (
+      match Job.run job with
+      | Error e -> `Error (false, e)
+      | Ok outcome -> (
+          (match format with
+          | `Text -> print_string (Job.render_text job outcome)
+          | `Json -> print_endline (Job.render_json job outcome));
+          match Job.failure outcome with
+          | None -> `Ok ()
+          | Some msg -> `Error (false, msg)))
+
+(* --- flow -------------------------------------------------------------- *)
 
 let flow_cmd =
-  let run script mem_bytes target policy vcd_prefix profile equiv engine format
-      deterministic =
+  let run seed count mem_bytes target policy vcd_prefix profile equiv engine
+      format deterministic config_file dump =
     let config =
       Run_config.make ~mem_bytes ~target ~policy ?vcd_prefix ~profile ~equiv
         ~rtl_engine:engine ()
     in
-    let report = Hlcs.Flow.execute ~config ~script () in
-    (match format with
-    | `Text -> Format.printf "%a@." Hlcs.Flow.pp_report report
-    | `Json -> print_endline (flow_json ~deterministic report));
-    if report.Hlcs.Flow.fl_ok then `Ok () else `Error (false, "flow failed")
+    run_job ~expected:"flow" ~config_file ~dump ~format
+      {
+        Job.j_kind = Job.Flow;
+        j_config = config;
+        j_seed = seed;
+        j_count = count;
+        j_jobs = None;
+        j_deterministic = deterministic;
+      }
   in
   let vcd_prefix =
     Arg.(
@@ -83,8 +140,9 @@ let flow_cmd =
     (Cmd.info "flow" ~doc:"Run the paper's complete design flow (Figure 2).")
     Term.(
       ret
-        (const run $ script_term $ mem_bytes $ target_term $ policy $ vcd_prefix
-       $ profile $ equiv $ engine $ format $ deterministic))
+        (const run $ seed $ count $ mem_bytes $ target_term $ policy $ vcd_prefix
+       $ profile $ equiv $ engine $ format $ deterministic $ config_file_term
+       $ dump_job_term))
 
 (* --- synth ------------------------------------------------------------- *)
 
@@ -456,27 +514,20 @@ let equiv_cmd =
 (* --- profile ------------------------------------------------------------ *)
 
 let profile_cmd =
-  let run script mem_bytes target policy which engine format deterministic =
+  let run seed count mem_bytes target policy which engine format deterministic
+      config_file dump =
     let config =
       Run_config.make ~mem_bytes ~target ~policy ~profile:true ~rtl_engine:engine ()
     in
-    let rr =
-      match which with
-      | `Tlm -> System.tlm config ~script
-      | `Pin -> System.pin config ~script
-      | `Rtl -> System.rtl config ~script
-      | `Sram_pin -> Sram_system.run_pin ~policy ~profile:true ~mem_bytes ~script ()
-      | `Sram_rtl ->
-          Sram_system.run_rtl ~policy ~engine ~profile:true ~mem_bytes ~script ()
-    in
-    match rr.System.rr_profile with
-    | None -> `Error (false, "profiling produced no snapshot")
-    | Some sn ->
-        let wall = not deterministic in
-        (match format with
-        | `Text -> print_string (Obs.render_text ~wall sn)
-        | `Json -> print_endline (Obs.render_json ~wall sn));
-        `Ok ()
+    run_job ~expected:"profile" ~config_file ~dump ~format
+      {
+        Job.j_kind = Job.Profile which;
+        j_config = config;
+        j_seed = seed;
+        j_count = count;
+        j_jobs = None;
+        j_deterministic = deterministic;
+      }
   in
   let which =
     let designs =
@@ -506,45 +557,31 @@ let profile_cmd =
           scheduler counters and per-phase times.")
     Term.(
       ret
-        (const run $ script_term $ mem_bytes $ target_term $ policy $ which
-       $ engine $ format $ deterministic))
+        (const run $ seed $ count $ mem_bytes $ target_term $ policy $ which
+       $ engine $ format $ deterministic $ config_file_term $ dump_job_term))
 
 (* --- sweep -------------------------------------------------------------- *)
 
-let sweep_failure report =
-  (* non-zero exit whenever any job carries a failure record or a failed
-     flow, even if the merged snapshot rendered fine *)
-  match Hlcs.Sweep.failed_jobs report with
-  | [] -> `Ok ()
-  | failed ->
-      `Error
-        ( false,
-          Printf.sprintf "sweep failed: %d of %d jobs (%s)" (List.length failed)
-            (List.length report.Hlcs.Sweep.sw_jobs)
-            (String.concat ", "
-               (List.map
-                  (fun jb -> jb.Hlcs.Sweep.jb_scenario.Hlcs.Sweep.sc_name)
-                  failed)) )
-
 let sweep_cmd =
   let run n jobs seed count mem_bytes policy target vary no_cache profile vcd_dir
-      engine format deterministic smoke =
+      engine format deterministic smoke config_file dump =
     (* --smoke: the CI-sized sweep — few small jobs, profiling on so the
        merged snapshot (and its cache counters) is exercised too *)
     let n, count, profile = if smoke then (4, 4, true) else (n, count, profile) in
-    let scenarios =
-      Hlcs.Sweep.scenarios ~base_seed:seed ~count ~mem_bytes ~policy ~target ~vary
-        ~n ()
+    let config =
+      Run_config.make ~mem_bytes ~target ~policy ?vcd_prefix:vcd_dir ~profile
+        ~rtl_engine:engine ()
     in
-    let report =
-      Hlcs.Sweep.run ?jobs ~cache:(not no_cache) ~profile ?vcd_dir
-        ~rtl_engine:engine ~scenarios ()
-    in
-    let wall = not deterministic in
-    (match format with
-    | `Text -> print_string (Hlcs.Sweep.render_text ~wall report)
-    | `Json -> print_endline (Hlcs.Sweep.render_json ~wall report));
-    sweep_failure report
+    let config = if no_cache then Run_config.without_cache config else config in
+    run_job ~expected:"sweep" ~config_file ~dump ~format
+      {
+        Job.j_kind = Job.Sweep { n; vary };
+        j_config = config;
+        j_seed = seed;
+        j_count = count;
+        j_jobs = jobs;
+        j_deterministic = deterministic;
+      }
   in
   let n =
     Arg.(
@@ -598,26 +635,28 @@ let sweep_cmd =
       ret
         (const run $ n $ jobs $ seed $ count $ mem_bytes $ policy $ target_term
        $ vary $ no_cache $ profile $ vcd_dir $ engine $ format $ deterministic
-       $ smoke))
+       $ smoke $ config_file_term $ dump_job_term))
 
 (* --- fault -------------------------------------------------------------- *)
 
 let fault_cmd =
   let run n jobs seed fault_seed count mem_bytes policy target vcd_dir format
-      deterministic smoke =
+      deterministic smoke config_file dump =
     (* --smoke: the CI-sized campaign — one cycle through the fault
        families on a small script *)
     let n, count = if smoke then (8, 4) else (n, count) in
-    let scenarios =
-      Hlcs.Sweep.fault_scenarios ~base_seed:seed ~count ~mem_bytes ~policy
-        ~target ~fault_seed ~n ()
+    let config =
+      Run_config.make ~mem_bytes ~target ~policy ?vcd_prefix:vcd_dir ()
     in
-    let report = Hlcs.Sweep.run ?jobs ?vcd_dir ~scenarios () in
-    let wall = not deterministic in
-    (match format with
-    | `Text -> print_string (Hlcs.Sweep.render_text ~wall report)
-    | `Json -> print_endline (Hlcs.Sweep.render_json ~wall report));
-    sweep_failure report
+    run_job ~expected:"fault" ~config_file ~dump ~format
+      {
+        Job.j_kind = Job.Fault { n; fault_seed };
+        j_config = config;
+        j_seed = seed;
+        j_count = count;
+        j_jobs = jobs;
+        j_deterministic = deterministic;
+      }
   in
   let n =
     Arg.(
@@ -658,47 +697,41 @@ let fault_cmd =
     Term.(
       ret
         (const run $ n $ jobs $ seed $ fault_seed $ count $ mem_bytes $ policy
-       $ target_term $ vcd_dir $ format $ deterministic $ smoke))
+       $ target_term $ vcd_dir $ format $ deterministic $ smoke
+       $ config_file_term $ dump_job_term))
 
 (* --- swarm -------------------------------------------------------------- *)
 
 let swarm_cmd =
   let run budget batch epsilon blind target_coverage mode jobs seed fault_seed
-      count mem_bytes policy target format deterministic smoke =
+      count mem_bytes policy target format deterministic smoke config_file dump =
     (* --smoke: the CI-sized campaign — a small budget on short scripts,
-       flow mode so the verdict lattice is exercised too *)
+       flow mode so the verdict lattice is exercised too.  Inconsistent
+       verdicts and monitor violations are campaign findings (data), not
+       infrastructure failures: Job.failure only fails on crashed jobs. *)
     let budget, batch, count, mem_bytes, fault_seed =
       if smoke then (16, 4, 3, 256, 1) else (budget, batch, count, mem_bytes, fault_seed)
     in
-    let config =
+    let config = Run_config.make ~mem_bytes ~target ~policy () in
+    run_job ~expected:"swarm" ~config_file ~dump ~format
       {
-        Hlcs.Swarm.sw_seed = seed;
-        sw_budget = budget;
-        sw_batch = batch;
-        sw_epsilon = epsilon;
-        sw_guided = not blind;
-        sw_target_ratio = target_coverage;
+        Job.j_kind =
+          Job.Swarm
+            {
+              budget;
+              batch;
+              epsilon;
+              guided = not blind;
+              target_ratio = target_coverage;
+              mode;
+              fault_seed;
+            };
+        j_config = config;
+        j_seed = seed;
+        j_count = count;
+        j_jobs = jobs;
+        j_deterministic = deterministic;
       }
-    in
-    let t0 = Unix.gettimeofday () in
-    let report =
-      Hlcs.Sweep.swarm ?jobs ~mode ~base_seed:seed ~count ~mem_bytes ~policy
-        ~target ~fault_seed config ()
-    in
-    let wall = if deterministic then None else Some (Unix.gettimeofday () -. t0) in
-    (match format with
-    | `Text -> print_string (Hlcs.Swarm.render_text ?wall report)
-    | `Json -> print_string (Hlcs.Swarm.render_json ?wall report));
-    (* inconsistent verdicts and monitor violations are campaign findings
-       (data), not infrastructure failures: only a crashed job fails us *)
-    match report.Hlcs.Swarm.sr_failures with
-    | [] -> `Ok ()
-    | failed ->
-        `Error
-          ( false,
-            Printf.sprintf "swarm failed: %d of %d jobs crashed (%s)"
-              (List.length failed) report.Hlcs.Swarm.sr_jobs
-              (String.concat ", " (List.map fst failed)) )
   in
   let budget =
     Arg.(
@@ -771,7 +804,7 @@ let swarm_cmd =
       ret
         (const run $ budget $ batch $ epsilon $ blind $ target_coverage $ mode
        $ jobs $ seed $ fault_seed $ count $ mem_bytes $ policy $ target_term
-       $ format $ deterministic $ smoke))
+       $ format $ deterministic $ smoke $ config_file_term $ dump_job_term))
 
 (* --- emit --------------------------------------------------------------- *)
 
@@ -851,6 +884,10 @@ let emit_cmd =
 
 let waves_cmd =
   let run mem_bytes target out =
+    (* the default prefix lives under waves/ so demo runs stop littering
+       the working directory with pci_*.vcd dumps *)
+    let dir = Filename.dirname out in
+    if dir <> "." && not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
     let script = Pci_stim.directed_smoke ~base:0 in
     let config =
       Run_config.make ~mem_bytes ~target ~vcd_prefix:out ()
@@ -864,7 +901,11 @@ let waves_cmd =
     Printf.printf "written: %s_behavioural.vcd, %s_rtl.vcd\n" out out
   in
   let out =
-    Arg.(value & opt string "pci" & info [ "out" ] ~docv:"PREFIX" ~doc:"Output prefix.")
+    Arg.(
+      value
+      & opt string (Filename.concat "waves" "pci")
+      & info [ "out" ] ~docv:"PREFIX"
+          ~doc:"Output prefix (default waves/pci; the directory is created).")
   in
   Cmd.v
     (Cmd.info "waves" ~doc:"Dump the Figure-4 waveforms (pre- and post-synthesis).")
@@ -945,6 +986,187 @@ let latency_cmd =
        ~doc:"Method-call completion latency vs concurrent callers (FW1).")
     Term.(const run $ rounds $ max_callers)
 
+(* --- serve / submit ------------------------------------------------------ *)
+
+module Serve = Hlcs_serve.Serve
+module Protocol = Hlcs_serve.Protocol
+module Json = Hlcs_json.Json
+
+let capacity_term =
+  Arg.(
+    value & opt int 64
+    & info [ "capacity" ] ~docv:"N"
+        ~doc:
+          "Admission bound: submissions past N queued jobs are rejected with \
+           a structured retry hint (backpressure, never a crash).")
+
+let batch_term =
+  Arg.(
+    value & opt (some int) None
+    & info [ "batch" ] ~docv:"N"
+        ~doc:"Jobs per pool batch at a drain (default: the whole queue).")
+
+let socket_term =
+  Arg.(
+    value & opt (some string) None
+    & info [ "socket" ] ~docv:"PATH" ~doc:"Unix-domain socket path.")
+
+let serve_cmd =
+  let run socket capacity batch jobs max_connections =
+    let cfg = { Serve.sv_capacity = capacity; sv_batch = batch; sv_jobs = jobs } in
+    match socket with
+    | Some path ->
+        Serve.serve_unix ?max_connections cfg ~path;
+        `Ok ()
+    | None ->
+        (* stdio mode: one session over this process's stdin/stdout —
+           length-prefixed frames in, events out; used by the protocol
+           contract tests and by pipeline embeddings *)
+        let _ = Serve.session cfg stdin stdout in
+        `Ok ()
+  in
+  let max_connections =
+    Arg.(
+      value & opt (some int) None
+      & info [ "max-connections" ] ~docv:"N"
+          ~doc:"Exit after N socket sessions even without a shutdown request.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the job daemon: flow/profile/sweep/fault/swarm requests as JSON \
+          frames over a Unix socket (--socket) or stdin/stdout, scheduled on \
+          the domain pool behind a bounded admission queue with round-robin \
+          per-client fairness and streamed structured events.")
+    Term.(ret (const run $ socket_term $ capacity_term $ batch_term $ jobs $ max_connections))
+
+let submit_cmd =
+  let run socket config_file id timeout_ms shutdown print_events seed count
+      mem_bytes target policy deterministic =
+    let job =
+      match config_file with
+      | Some path -> Job.of_json_string (read_file path)
+      | None ->
+          (* no file: a flow job from the common flags — the one-liner
+             client for the acceptance path *)
+          Ok
+            {
+              Job.j_kind = Job.Flow;
+              j_config = Run_config.make ~mem_bytes ~target ~policy ();
+              j_seed = seed;
+              j_count = count;
+              j_jobs = None;
+              j_deterministic = deterministic;
+            }
+    in
+    match job with
+    | Error e -> `Error (false, e)
+    | Ok job -> (
+        let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+        let finally () = try Unix.close fd with Unix.Unix_error _ -> () in
+        Fun.protect ~finally (fun () ->
+            (try Unix.connect fd (Unix.ADDR_UNIX socket)
+             with Unix.Unix_error (e, _, _) ->
+               failwith
+                 (Printf.sprintf "cannot connect to %s: %s" socket
+                    (Unix.error_message e)));
+            let ic = Unix.in_channel_of_descr fd in
+            let oc = Unix.out_channel_of_descr fd in
+            Protocol.write_frame oc
+              (Protocol.submit_to_string ~id ?timeout_ms (Job.to_json_value job));
+            Protocol.write_frame oc (Protocol.simple_request_to_string `Drain);
+            if shutdown then
+              Protocol.write_frame oc (Protocol.simple_request_to_string `Shutdown);
+            (* read events until our result (or a terminal error) arrives *)
+            let result = ref None in
+            let finished = ref false in
+            while not !finished do
+              match Protocol.read_frame ic with
+              | Ok None | Error _ -> finished := true
+              | Ok (Some payload) -> (
+                  if print_events then print_endline payload;
+                  match Json.parse payload with
+                  | Error _ -> ()
+                  | Ok j -> (
+                      let event = Json.string_field "event" j in
+                      let jid = Json.string_field "id" j in
+                      match (event, jid) with
+                      | Ok "result", Ok jid when jid = id ->
+                          result := Some (Ok j);
+                          if not shutdown then finished := true
+                      | Ok ("error" | "rejected"), Ok jid when jid = id ->
+                          result := Some (Error j);
+                          if not shutdown then finished := true
+                      | Ok "bye", _ -> finished := true
+                      | _ -> ()))
+            done;
+            match !result with
+            | None -> `Error (false, "daemon closed the stream without a result")
+            | Some (Error j) ->
+                let detail =
+                  match
+                    (Json.member "error" j, Json.member "reason" j)
+                  with
+                  | Some (Json.String e), _ -> e
+                  | _, Some (Json.String r) -> r
+                  | _ -> Json.to_string j
+                in
+                `Error (false, detail)
+            | Some (Ok j) -> (
+                (match Json.member "payload" j with
+                | Some p -> if not print_events then print_endline (Json.to_string p)
+                | None -> ());
+                match Json.member "ok" j with
+                | Some (Json.Bool true) -> `Ok ()
+                | _ -> (
+                    match Json.member "failure" j with
+                    | Some (Json.String f) -> `Error (false, f)
+                    | _ -> `Error (false, "job failed")))))
+  in
+  let socket =
+    Arg.(
+      required & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH" ~doc:"Daemon socket to connect to.")
+  in
+  let id =
+    Arg.(
+      value & opt string "job-1"
+      & info [ "id" ] ~docv:"ID" ~doc:"Client-chosen job id tagging the events.")
+  in
+  let timeout_ms =
+    Arg.(
+      value & opt (some int) None
+      & info [ "timeout-ms" ] ~docv:"MS"
+          ~doc:
+            "Queue-wait bound: if the job is still queued after MS \
+             milliseconds it is reported as a structured timeout error \
+             instead of running.")
+  in
+  let shutdown =
+    Arg.(
+      value & flag
+      & info [ "shutdown" ] ~doc:"Ask the daemon to shut down after this job.")
+  in
+  let print_events =
+    Arg.(
+      value & flag
+      & info [ "events" ]
+          ~doc:
+            "Print every event frame as it streams instead of only the final \
+             result payload.")
+  in
+  Cmd.v
+    (Cmd.info "submit"
+       ~doc:
+         "Submit one job to a running daemon and print the result payload: \
+          either --config JOB.json (any kind) or a flow job built from the \
+          common flags.")
+    Term.(
+      ret
+        (const run $ socket $ config_file_term $ id $ timeout_ms $ shutdown
+       $ print_events $ seed $ count $ mem_bytes $ target_term $ policy
+       $ deterministic))
+
 (* --- wavediff ----------------------------------------------------------- *)
 
 let wavediff_cmd =
@@ -991,6 +1213,8 @@ let () =
          sweep_cmd;
          fault_cmd;
          swarm_cmd;
+         serve_cmd;
+         submit_cmd;
          waves_cmd;
          latency_cmd;
          wavediff_cmd;

@@ -8,3 +8,4 @@
 include Hlcs_api
 module Flow = Flow
 module Sweep = Sweep
+module Job = Job

@@ -177,6 +177,7 @@ let run ?jobs ?chunk ?(cache = true) ?(profile = false) ?vcd_dir ?max_time
              [
                ("synth_cache_hits", st.Synth_cache.hits);
                ("synth_cache_misses", st.Synth_cache.misses);
+               ("synth_cache_disk_hits", st.Synth_cache.disk_hits);
              ])
     | other, _ -> other
   in
@@ -376,8 +377,8 @@ let render_text ?(wall = true) r =
   | None -> Buffer.add_string buf "synthesis cache: disabled\n"
   | Some st ->
       Buffer.add_string buf
-        (Printf.sprintf "synthesis cache: %d hits, %d misses\n"
-           st.Synth_cache.hits st.Synth_cache.misses));
+        (Printf.sprintf "synthesis cache: %d hits, %d misses, %d disk hits\n"
+           st.Synth_cache.hits st.Synth_cache.misses st.Synth_cache.disk_hits));
   (match r.sw_profile with
   | None -> ()
   | Some sn -> Buffer.add_string buf (Obs.render_text ~wall sn));
@@ -456,8 +457,9 @@ let render_json ?(wall = true) r =
       | None -> []
       | Some st ->
           [
-            Printf.sprintf "\"cache\": {\"hits\": %d, \"misses\": %d}"
-              st.Synth_cache.hits st.Synth_cache.misses;
+            Printf.sprintf
+              "\"cache\": {\"hits\": %d, \"misses\": %d, \"disk_hits\": %d}"
+              st.Synth_cache.hits st.Synth_cache.misses st.Synth_cache.disk_hits;
           ])
     @ [
         Printf.sprintf "\"job_reports\": [%s]"

@@ -1,0 +1,27 @@
+module Monitor = Hlcs_verify.Monitor
+
+(* The stock temporal-property specs, by name.  Living below System lets
+   the Run_config codec resolve declarative monitor names without a
+   dependency cycle (System builds on Run_config). *)
+
+let stock =
+  [
+    (* liveness: a master requesting the bus is granted it; trips when an
+       arbiter starvation window exceeds the bound *)
+    ( "req_eventually_gnt",
+      Monitor.spec ~name:"req_eventually_gnt"
+        (Monitor.Bounded_response ("req", "gnt", 24)) );
+    (* a started transaction is claimed by some target; trips on
+       master-abort injections (ignored claims) *)
+    ( "frame_eventually_devsel",
+      Monitor.spec ~name:"frame_eventually_devsel"
+        (Monitor.Bounded_response ("frame", "devsel", 16)) );
+    (* safety: data transfers only under an asserted DEVSEL# *)
+    ( "no_transfer_without_devsel",
+      Monitor.spec ~name:"no_transfer_without_devsel"
+        (Monitor.Never "bad_transfer") );
+  ]
+
+let pci = List.map snd stock
+let find name = List.assoc_opt name stock
+let names = List.map fst stock

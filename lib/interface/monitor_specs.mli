@@ -1,0 +1,15 @@
+(** The registry of stock temporal-property monitors, by name.
+
+    The {!Run_config} codec serialises [rc_monitors] as a list of names
+    resolved here — monitor automata are closures once armed, so the
+    declarative form a job file or wire request can carry is a name from
+    this table.  {!System.pci_monitor_specs} re-exports {!pci}. *)
+
+val stock : (string * Hlcs_verify.Monitor.spec) list
+(** Every stock spec with its wire name (equal to its [sp_name]). *)
+
+val pci : Hlcs_verify.Monitor.spec list
+(** The three PCI protocol properties, in registry order. *)
+
+val find : string -> Hlcs_verify.Monitor.spec option
+val names : string list

@@ -65,6 +65,332 @@ let with_monitors rc_monitors t = { t with rc_monitors }
 let vcd_file t suffix =
   Option.map (fun p -> p ^ "_" ^ suffix ^ ".vcd") t.rc_vcd_prefix
 
+(* ------------------------------------------------------------------ *)
+(* Versioned JSON codec.
+
+   The serializable surface is the whole record, with the two
+   unrepresentable fields mapped to declarative forms:
+
+   - [rc_cache] (a live handle) becomes ["shared" | "none" | "private" |
+     "disk"]: the process-wide shared cache, no cache, a fresh private
+     memory cache, or the process-wide disk-tier cache (the directory
+     named by HLCS_SYNTH_CACHE, defaulting to ~/.cache/hlcs/synth);
+   - [rc_monitors] (compiled to automata closures when armed) becomes the
+     list of stock spec names from {!Monitor_specs}; only registry specs
+     survive a round trip, and unknown names are decode errors. *)
+
+module Json = Hlcs_json.Json
+
+let codec_version = 1
+
+(* the process-wide disk-tier cache behind [cache: "disk"]: one handle,
+   so every disk-configured job in a process shares the memory tier too *)
+let disk_cache =
+  lazy
+    (let dir =
+       match Sys.getenv_opt Synth_cache.env_var with
+       | Some d when d <> "" -> d
+       | _ -> (
+           match Sys.getenv_opt "HOME" with
+           | Some h when h <> "" ->
+               List.fold_left Filename.concat h [ ".cache"; "hlcs"; "synth" ]
+           | _ -> Filename.concat (Filename.get_temp_dir_name ()) "hlcs-synth")
+     in
+     Synth_cache.create ~disk:(`Dir dir) ())
+
+let cache_form t =
+  match t.rc_cache with
+  | None -> "none"
+  | Some c ->
+      if c == shared_cache then "shared"
+      else if Lazy.is_val disk_cache && c == Lazy.force disk_cache then "disk"
+      else if Synth_cache.disk_dir c <> None then "disk"
+      else "private"
+
+let cache_of_form = function
+  | "none" -> Ok None
+  | "shared" -> Ok (Some shared_cache)
+  | "private" -> Ok (Some (Synth_cache.create ~disk:`Memory ()))
+  | "disk" -> Ok (Some (Lazy.force disk_cache))
+  | other -> Error (Printf.sprintf "unknown cache form %S" other)
+
+let engine_to_string = function
+  | `Settle -> "settle"
+  | `Levelized -> "levelized"
+  | `Compiled -> "compiled"
+
+let engine_of_string = function
+  | "settle" -> Ok `Settle
+  | "levelized" -> Ok `Levelized
+  | "compiled" -> Ok `Compiled
+  | other -> Error (Printf.sprintf "unknown rtl engine %S" other)
+
+let json_opt_int = function None -> Json.Null | Some i -> Json.Int i
+
+let target_to_json (tgt : Pci_target.config) =
+  Json.Obj
+    [
+      ("base_address", Json.Int tgt.Pci_target.base_address);
+      ("devsel_latency", Json.Int tgt.Pci_target.devsel_latency);
+      ("wait_states", Json.Int tgt.Pci_target.wait_states);
+      ("retry_every", json_opt_int tgt.Pci_target.retry_every);
+      ("disconnect_after", json_opt_int tgt.Pci_target.disconnect_after);
+      ("ignore_every", json_opt_int tgt.Pci_target.ignore_every);
+    ]
+
+let ( let* ) = Result.bind
+
+let target_of_json j =
+  let* base_address = Json.int_field "base_address" j in
+  let* devsel_latency = Json.int_field "devsel_latency" j in
+  let* wait_states = Json.int_field "wait_states" j in
+  let* retry_every = Json.opt_field "retry_every" j Json.to_int in
+  let* disconnect_after = Json.opt_field "disconnect_after" j Json.to_int in
+  let* ignore_every = Json.opt_field "ignore_every" j Json.to_int in
+  Ok
+    {
+      Pci_target.base_address;
+      devsel_latency;
+      wait_states;
+      retry_every;
+      disconnect_after;
+      ignore_every;
+    }
+
+let glitch_kind_to_string = function
+  | Fault.Stuck_zero -> "stuck0"
+  | Fault.Stuck_one -> "stuck1"
+  | Fault.Stuck_x -> "stuckx"
+
+let glitch_kind_of_string = function
+  | "stuck0" -> Ok Fault.Stuck_zero
+  | "stuck1" -> Ok Fault.Stuck_one
+  | "stuckx" -> Ok Fault.Stuck_x
+  | other -> Error (Printf.sprintf "unknown glitch kind %S" other)
+
+let faults_to_json (p : Fault.plan) =
+  Json.Obj
+    [
+      ("seed", Json.Int p.Fault.fp_seed);
+      ( "glitches",
+        Json.List
+          (List.map
+             (fun (g : Fault.glitch) ->
+               Json.Obj
+                 [
+                   ("net", Json.String g.Fault.gl_net);
+                   ("kind", Json.String (glitch_kind_to_string g.Fault.gl_kind));
+                   ("from_cycle", Json.Int g.Fault.gl_from_cycle);
+                   ("cycles", Json.Int g.Fault.gl_cycles);
+                 ])
+             p.Fault.fp_glitches) );
+      ("jitter", Json.Bool p.Fault.fp_jitter);
+      ( "target",
+        Json.Obj
+          [
+            ("extra_wait_states", Json.Int p.Fault.fp_target.Fault.tf_extra_wait_states);
+            ("retry_every", json_opt_int p.Fault.fp_target.Fault.tf_retry_every);
+            ("disconnect_after", json_opt_int p.Fault.fp_target.Fault.tf_disconnect_after);
+            ("abort_every", json_opt_int p.Fault.fp_target.Fault.tf_abort_every);
+          ] );
+      ( "starvation",
+        match p.Fault.fp_starvation with
+        | None -> Json.Null
+        | Some s ->
+            Json.Obj
+              [
+                ("from_cycle", Json.Int s.Fault.sv_from_cycle);
+                ("cycles", Json.Int s.Fault.sv_cycles);
+              ] );
+      ( "stall",
+        match p.Fault.fp_stall with
+        | None -> Json.Null
+        | Some s ->
+            Json.Obj
+              [
+                ("command", Json.Int s.Fault.st_command);
+                ("cycles", Json.Int s.Fault.st_cycles);
+              ] );
+      ( "guard",
+        match p.Fault.fp_guard with
+        | None -> Json.Null
+        | Some g ->
+            Json.Obj
+              [
+                ("timeout_ps", Json.Int (Time.to_ps g.Fault.gp_timeout));
+                ("retries", Json.Int g.Fault.gp_retries);
+                ("backoff_ps", Json.Int (Time.to_ps g.Fault.gp_backoff));
+              ] );
+    ]
+
+let faults_of_json j =
+  let* fp_seed = Json.int_field "seed" j in
+  let* glitches = Json.list_field "glitches" j in
+  let* fp_glitches =
+    List.fold_left
+      (fun acc g ->
+        let* acc = acc in
+        let* gl_net = Json.string_field "net" g in
+        let* kind = Json.string_field "kind" g in
+        let* gl_kind = glitch_kind_of_string kind in
+        let* gl_from_cycle = Json.int_field "from_cycle" g in
+        let* gl_cycles = Json.int_field "cycles" g in
+        Ok ({ Fault.gl_net; gl_kind; gl_from_cycle; gl_cycles } :: acc))
+      (Ok []) glitches
+    |> Result.map List.rev
+  in
+  let* fp_jitter = Json.bool_field "jitter" j in
+  let* tgt =
+    match Json.member "target" j with
+    | None -> Error "missing member \"target\""
+    | Some tj ->
+        let* tf_extra_wait_states = Json.int_field "extra_wait_states" tj in
+        let* tf_retry_every = Json.opt_field "retry_every" tj Json.to_int in
+        let* tf_disconnect_after = Json.opt_field "disconnect_after" tj Json.to_int in
+        let* tf_abort_every = Json.opt_field "abort_every" tj Json.to_int in
+        Ok { Fault.tf_extra_wait_states; tf_retry_every; tf_disconnect_after; tf_abort_every }
+  in
+  let* fp_starvation =
+    Json.opt_field "starvation" j (fun sj ->
+        let* sv_from_cycle = Json.int_field "from_cycle" sj in
+        let* sv_cycles = Json.int_field "cycles" sj in
+        Ok { Fault.sv_from_cycle; sv_cycles })
+  in
+  let* fp_stall =
+    Json.opt_field "stall" j (fun sj ->
+        let* st_command = Json.int_field "command" sj in
+        let* st_cycles = Json.int_field "cycles" sj in
+        Ok { Fault.st_command; st_cycles })
+  in
+  let* fp_guard =
+    Json.opt_field "guard" j (fun gj ->
+        let* timeout = Json.int_field "timeout_ps" gj in
+        let* gp_retries = Json.int_field "retries" gj in
+        let* backoff = Json.int_field "backoff_ps" gj in
+        Ok
+          {
+            Fault.gp_timeout = Time.ps timeout;
+            gp_retries;
+            gp_backoff = Time.ps backoff;
+          })
+  in
+  Ok { Fault.fp_seed; fp_glitches; fp_jitter; fp_target = tgt; fp_starvation; fp_stall; fp_guard }
+
+let to_json_value t =
+  Json.Obj
+    [
+      ("config_version", Json.Int codec_version);
+      ("mem_bytes", Json.Int t.rc_mem_bytes);
+      ("mem_seed", Json.Int t.rc_mem_seed);
+      ( "policy",
+        match t.rc_policy with
+        | None -> Json.Null
+        | Some p -> Json.String (Policy.to_string p) );
+      ("target", target_to_json t.rc_target);
+      ( "synth_options",
+        match t.rc_synth_options with
+        | None -> Json.Null
+        | Some o ->
+            Json.Obj
+              [
+                ("chaining", Json.Bool o.Synthesize.chaining);
+                ("age_width", Json.Int o.Synthesize.age_width);
+                ("optimize", Json.Bool o.Synthesize.optimize);
+              ] );
+      ( "vcd_prefix",
+        match t.rc_vcd_prefix with None -> Json.Null | Some p -> Json.String p );
+      ("max_time_ps", Json.Int (Time.to_ps t.rc_max_time));
+      ("profile", Json.Bool t.rc_profile);
+      ("cache", Json.String (cache_form t));
+      ("faults", faults_to_json t.rc_faults);
+      ("rtl_engine", Json.String (engine_to_string t.rc_rtl_engine));
+      ("equiv", Json.Bool t.rc_equiv);
+      ( "monitors",
+        Json.List
+          (List.map
+             (fun (s : Hlcs_verify.Monitor.spec) ->
+               Json.String s.Hlcs_verify.Monitor.sp_name)
+             t.rc_monitors) );
+    ]
+
+let to_json t = Json.to_string (to_json_value t)
+
+let of_json j =
+  let* v = Json.int_field "config_version" j in
+  if v <> codec_version then
+    Error (Printf.sprintf "unsupported config_version %d (this build speaks %d)" v codec_version)
+  else
+    let* rc_mem_bytes = Json.int_field "mem_bytes" j in
+    let* rc_mem_seed = Json.int_field "mem_seed" j in
+    let* rc_policy =
+      Json.opt_field "policy" j (fun pj ->
+          let* s = Json.to_string_val pj in
+          match Policy.of_string s with
+          | Some p -> Ok p
+          | None -> Error (Printf.sprintf "unknown policy %S" s))
+    in
+    let* rc_target =
+      match Json.member "target" j with
+      | None -> Error "missing member \"target\""
+      | Some tj -> target_of_json tj
+    in
+    let* rc_synth_options =
+      Json.opt_field "synth_options" j (fun oj ->
+          let* chaining = Json.bool_field "chaining" oj in
+          let* age_width = Json.int_field "age_width" oj in
+          let* optimize = Json.bool_field "optimize" oj in
+          Ok { Synthesize.chaining; age_width; optimize })
+    in
+    let* rc_vcd_prefix = Json.opt_field "vcd_prefix" j Json.to_string_val in
+    let* max_time = Json.int_field "max_time_ps" j in
+    let* rc_profile = Json.bool_field "profile" j in
+    let* cache_form = Json.string_field "cache" j in
+    let* rc_cache = cache_of_form cache_form in
+    let* rc_faults =
+      match Json.member "faults" j with
+      | None -> Error "missing member \"faults\""
+      | Some fj -> faults_of_json fj
+    in
+    let* engine = Json.string_field "rtl_engine" j in
+    let* rc_rtl_engine = engine_of_string engine in
+    let* rc_equiv = Json.bool_field "equiv" j in
+    let* monitor_names = Json.list_field "monitors" j in
+    let* rc_monitors =
+      List.fold_left
+        (fun acc mj ->
+          let* acc = acc in
+          let* name = Json.to_string_val mj in
+          match Monitor_specs.find name with
+          | Some spec -> Ok (spec :: acc)
+          | None ->
+              Error
+                (Printf.sprintf "unknown monitor %S (stock: %s)" name
+                   (String.concat ", " Monitor_specs.names)))
+        (Ok []) monitor_names
+      |> Result.map List.rev
+    in
+    Ok
+      {
+        rc_mem_bytes;
+        rc_mem_seed;
+        rc_policy;
+        rc_target;
+        rc_synth_options;
+        rc_vcd_prefix;
+        rc_max_time = Time.ps max_time;
+        rc_profile;
+        rc_cache;
+        rc_faults;
+        rc_rtl_engine;
+        rc_equiv;
+        rc_monitors;
+      }
+
+let of_json_string s =
+  match Json.parse s with
+  | Error e -> Error ("config: " ^ e)
+  | Ok j -> of_json j
+
 (* merge the plan's target faults onto the configured target: the plan
    perturbs whatever environment the run was going to use *)
 let effective_target t =

@@ -89,3 +89,32 @@ val effective_target : t -> Hlcs_pci.Pci_target.config
 (** [rc_target] with the fault plan's {!Hlcs_fault.Fault.target_faults}
     merged on top (extra wait states added; retry/disconnect/abort
     injections overriding when the plan sets them). *)
+
+(** {1 Versioned JSON codec}
+
+    The serializable surface of a run configuration, used by job files
+    ([hlcs_cli flow --config job.json]), the serve wire protocol and the
+    submit client.  Two fields are unrepresentable as live values and map
+    to declarative forms:
+
+    - [rc_cache] becomes [cache: "shared" | "none" | "private" | "disk"]:
+      the process-wide {!shared_cache}, no cache, a fresh private memory
+      cache, or a process-wide disk-backed cache rooted at
+      [$HLCS_SYNTH_CACHE] (default [~/.cache/hlcs/synth]);
+    - [rc_monitors] becomes a list of stock spec names resolved through
+      {!Monitor_specs}; unknown names are decode errors.
+
+    [of_json (parse (to_json t))] succeeds for every [t] whose monitors
+    come from the registry, and the composite
+    [to_json ∘ of_json ∘ to_json] is the identity on strings. *)
+
+val codec_version : int
+(** Emitted as [config_version]; {!of_json} rejects any other value. *)
+
+val to_json : t -> string
+(** Canonical single-line JSON object. *)
+
+val to_json_value : t -> Hlcs_json.Json.t
+
+val of_json : Hlcs_json.Json.t -> (t, string) result
+val of_json_string : string -> (t, string) result

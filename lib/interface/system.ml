@@ -259,19 +259,7 @@ let pci_predicate fb name =
       && not (live bus.Pci_bus.devsel_n)
   | other -> invalid_arg ("System: unknown monitor predicate " ^ other)
 
-let pci_monitor_specs =
-  [
-    (* liveness: a master requesting the bus is granted it; trips when an
-       arbiter starvation window exceeds the bound *)
-    Monitor.spec ~name:"req_eventually_gnt"
-      (Monitor.Bounded_response ("req", "gnt", 24));
-    (* a started transaction is claimed by some target; trips on
-       master-abort injections (ignored claims) *)
-    Monitor.spec ~name:"frame_eventually_devsel"
-      (Monitor.Bounded_response ("frame", "devsel", 16));
-    (* safety: data transfers only under an asserted DEVSEL# *)
-    Monitor.spec ~name:"no_transfer_without_devsel" (Monitor.Never "bad_transfer");
-  ]
+let pci_monitor_specs = Monitor_specs.pci
 
 (* arm the config's monitors on a fabric: one automaton engine, stepped
    from the clock observer; [None] when the config declares no property *)

@@ -1,0 +1,104 @@
+type 'a t = {
+  cap : int;
+  mutable total : int;
+  lanes : (string, 'a Queue.t) Hashtbl.t;
+  mutable rotation : string list;  (* each live lane once; head serves next *)
+}
+
+type rejection = {
+  rj_capacity : int;
+  rj_length : int;
+  rj_retry_after_ms : int;
+}
+
+let create ~capacity =
+  if capacity < 1 then invalid_arg "Admission.create: capacity < 1";
+  { cap = capacity; total = 0; lanes = Hashtbl.create 7; rotation = [] }
+
+let capacity t = t.cap
+let length t = t.total
+
+let submit ~client item t =
+  if t.total >= t.cap then
+    Error
+      {
+        rj_capacity = t.cap;
+        rj_length = t.total;
+        (* a deterministic hint that grows with occupancy: the client
+           backs off harder the fuller the room it was bounced from *)
+        rj_retry_after_ms = 50 * t.total;
+      }
+  else begin
+    let q =
+      match Hashtbl.find_opt t.lanes client with
+      | Some q -> q
+      | None ->
+          let q = Queue.create () in
+          Hashtbl.add t.lanes client q;
+          t.rotation <- t.rotation @ [ client ];
+          q
+    in
+    Queue.push item q;
+    t.total <- t.total + 1;
+    Ok ()
+  end
+
+let drop_lane t client =
+  Hashtbl.remove t.lanes client;
+  t.rotation <- List.filter (fun c -> c <> client) t.rotation
+
+let drain ?max t =
+  let limit = match max with None -> t.total | Some m -> m in
+  let taken = ref [] in
+  let n = ref 0 in
+  while !n < limit && t.total > 0 do
+    match t.rotation with
+    | [] -> t.total <- 0 (* unreachable: total counts queued items *)
+    | client :: rest -> (
+        match Hashtbl.find_opt t.lanes client with
+        | None -> t.rotation <- rest
+        | Some q when Queue.is_empty q -> drop_lane t client
+        | Some q ->
+            let item = Queue.pop q in
+            t.total <- t.total - 1;
+            incr n;
+            taken := (client, item) :: !taken;
+            if Queue.is_empty q then drop_lane t client
+            else t.rotation <- rest @ [ client ])
+  done;
+  List.rev !taken
+
+let remove_client client t =
+  match Hashtbl.find_opt t.lanes client with
+  | None -> []
+  | Some q ->
+      let items = List.of_seq (Queue.to_seq q) in
+      t.total <- t.total - List.length items;
+      drop_lane t client;
+      items
+
+let remove p t =
+  let removed = ref [] in
+  List.iter
+    (fun client ->
+      match Hashtbl.find_opt t.lanes client with
+      | None -> ()
+      | Some q ->
+          let keep, gone = List.partition (fun x -> not (p x)) (List.of_seq (Queue.to_seq q)) in
+          if gone <> [] then begin
+            Queue.clear q;
+            List.iter (fun x -> Queue.push x q) keep;
+            t.total <- t.total - List.length gone;
+            removed := !removed @ gone;
+            if Queue.is_empty q then drop_lane t client
+          end)
+    t.rotation;
+  !removed
+
+let clients t =
+  List.filter
+    (fun c ->
+      match Hashtbl.find_opt t.lanes c with
+      | Some q -> not (Queue.is_empty q)
+      | None -> false)
+    t.rotation

@@ -1,0 +1,46 @@
+(** A bounded admission queue with round-robin per-client fairness.
+
+    The serve daemon's waiting room: submissions are tagged with a client
+    lane, the total queue length is bounded (backpressure is a structured
+    {!rejection}, never a crash or an unbounded buffer), and {!drain}
+    interleaves lanes round-robin so one chatty client cannot starve the
+    others.  Pure data structure, single consumer — the daemon's session
+    loop owns it; it is {e not} thread-safe.
+
+    Determinism: lane rotation state is part of the queue, so a given
+    sequence of [submit]/[drain] calls yields the same drain order on
+    every run, regardless of wall clock or pool width. *)
+
+type 'a t
+
+type rejection = {
+  rj_capacity : int;  (** the configured bound *)
+  rj_length : int;  (** occupancy at the time of rejection *)
+  rj_retry_after_ms : int;
+      (** backoff hint for the client, proportional to occupancy *)
+}
+
+val create : capacity:int -> 'a t
+(** @raise Invalid_argument if [capacity < 1]. *)
+
+val capacity : _ t -> int
+val length : _ t -> int
+
+val submit : client:string -> 'a -> 'a t -> (unit, rejection) result
+(** Enqueue on the client's lane (created on first use), unless the
+    {e total} occupancy has reached capacity. *)
+
+val drain : ?max:int -> 'a t -> (string * 'a) list
+(** Dequeue up to [max] items (default: everything), one per non-empty
+    lane per round, resuming the rotation where the previous drain
+    stopped.  Empty lanes are forgotten. *)
+
+val remove_client : string -> 'a t -> 'a list
+(** Drop a client's lane (disconnect): its queued items, FIFO order. *)
+
+val remove : ('a -> bool) -> 'a t -> 'a list
+(** Remove every queued item matching the predicate (cancellation),
+    in rotation-then-FIFO order. *)
+
+val clients : _ t -> string list
+(** Clients with at least one queued item, in rotation order. *)

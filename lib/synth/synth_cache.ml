@@ -1,4 +1,4 @@
-(* Content-hashed synthesis memoisation.
+(* Content-hashed synthesis memoisation, with an optional on-disk tier.
 
    Key = MD5 over (option fields, canonical serialisation of the HLIR
    design).  The HLIR AST is pure data (no closures, no mutation after
@@ -11,31 +11,92 @@
    lookups for other designs proceed; concurrent requests for the same
    key wait on the condition variable until the first requester publishes
    [Ready] (or [Raised]).  Either way they are counted as hits — the
-   synthesiser ran once. *)
+   synthesiser ran once.
 
-type stats = { hits : int; misses : int }
+   Disk tier: modelled on the codegen artefact cache.  A cache created
+   with a disk directory persists every successful synthesis as
+   [hlcs_sy_<key>-<fpr>.bin] (a small header, a digest of the payload,
+   then the marshalled report), written to a temp file and renamed so a
+   concurrent process never observes a torn entry.  A memory miss probes
+   the disk before synthesising; a valid entry loads (counted as a
+   [disk_hits]) and a corrupt or truncated one is deleted and rebuilt.
+   The fingerprint (compiler version + cache format version) keys the
+   file name, so entries written by an incompatible runtime are pruned
+   rather than unmarshalled.  Failures anywhere on the disk path degrade
+   to memory-only behaviour — the cache never makes synthesis fail. *)
+
+type stats = { hits : int; misses : int; disk_hits : int }
 
 type entry =
   | Pending
   | Ready of Synthesize.report
   | Raised of exn
 
+type disk = { dk_dir : string; dk_fpr : string }
+
 type t = {
   lock : Mutex.t;
   published : Condition.t;
   table : (string, entry) Hashtbl.t;
+  disk : disk option;
   mutable hits : int;
   mutable misses : int;
+  mutable disk_hits : int;
 }
 
-let create () =
+(* bump when the entry layout (or anything reachable from
+   [Synthesize.report]) changes shape: stale fingerprints are pruned, not
+   unmarshalled *)
+let format_version = "1"
+
+let fingerprint =
+  String.sub
+    (Digest.to_hex (Digest.string (Sys.ocaml_version ^ "+sy" ^ format_version)))
+    0 8
+
+let env_var = "HLCS_SYNTH_CACHE"
+
+let rec mkdir_p d =
+  if not (Sys.file_exists d) then begin
+    let parent = Filename.dirname d in
+    if parent <> d then mkdir_p parent;
+    try Sys.mkdir d 0o755 with Sys_error _ -> ()
+  end
+
+(* a usable directory or nothing; never raises *)
+let open_disk dir =
+  match
+    mkdir_p dir;
+    Sys.file_exists dir && Sys.is_directory dir
+    &&
+    let p = Filename.temp_file ~temp_dir:dir ".probe" "" in
+    Sys.remove p;
+    true
+  with
+  | true -> Some { dk_dir = dir; dk_fpr = fingerprint }
+  | false -> None
+  | exception _ -> None
+
+let resolve_disk = function
+  | `Memory -> None
+  | `Dir d -> open_disk d
+  | `Env -> (
+      match Sys.getenv_opt env_var with
+      | Some d when d <> "" -> open_disk d
+      | _ -> None)
+
+let create ?(disk = `Env) () =
   {
     lock = Mutex.create ();
     published = Condition.create ();
     table = Hashtbl.create 16;
+    disk = resolve_disk disk;
     hits = 0;
     misses = 0;
+    disk_hits = 0;
   }
+
+let disk_dir t = Option.map (fun d -> d.dk_dir) t.disk
 
 let key ?(options = Synthesize.default_options) design =
   let opts =
@@ -44,6 +105,73 @@ let key ?(options = Synthesize.default_options) design =
   in
   Digest.to_hex
     (Digest.string (opts ^ Marshal.to_string design [ Marshal.No_sharing ]))
+
+(* ------------------------------------------------------------------ *)
+(* Disk tier *)
+
+let magic = "HLCSSY1\n"
+let entry_file dk k = Filename.concat dk.dk_dir (Printf.sprintf "hlcs_sy_%s-%s.bin" k dk.dk_fpr)
+let rm_f p = try Sys.remove p with Sys_error _ -> ()
+
+(* entries for [k] written under another fingerprint are unreadable by
+   this runtime: delete them rather than letting them accumulate *)
+let prune_stale dk k =
+  match Sys.readdir dk.dk_dir with
+  | exception Sys_error _ -> ()
+  | entries ->
+      let prefix = Printf.sprintf "hlcs_sy_%s-" k in
+      let keep = Filename.basename (entry_file dk k) in
+      Array.iter
+        (fun f ->
+          if
+            String.length f > String.length prefix
+            && String.sub f 0 (String.length prefix) = prefix
+            && f <> keep
+          then rm_f (Filename.concat dk.dk_dir f))
+        entries
+
+let disk_load dk k =
+  let path = entry_file dk k in
+  if not (Sys.file_exists path) then None
+  else
+    match
+      let ic = open_in_bin path in
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          let m = really_input_string ic (String.length magic) in
+          if m <> magic then failwith "bad magic";
+          let digest = really_input_string ic 16 in
+          let payload =
+            really_input_string ic
+              (in_channel_length ic - String.length magic - 16)
+          in
+          if Digest.string payload <> digest then failwith "bad digest";
+          (Marshal.from_string payload 0 : Synthesize.report))
+    with
+    | report -> Some report
+    | exception _ ->
+        (* torn, truncated or otherwise corrupt: prune and resynthesise *)
+        rm_f path;
+        None
+
+let disk_store dk k report =
+  match
+    let path = entry_file dk k in
+    prune_stale dk k;
+    let payload = Marshal.to_string report [ Marshal.No_sharing ] in
+    let tmp = Filename.temp_file ~temp_dir:dk.dk_dir ".sy" ".tmp" in
+    let oc = open_out_bin tmp in
+    output_string oc magic;
+    output_string oc (Digest.string payload);
+    output_string oc payload;
+    close_out oc;
+    Sys.rename tmp path
+  with
+  | () -> ()
+  | exception _ -> ()
+
+(* ------------------------------------------------------------------ *)
 
 let synthesize t ?options design =
   let k = key ?options design in
@@ -61,29 +189,49 @@ let synthesize t ?options design =
     | Some Pending ->
         Condition.wait t.published t.lock;
         resolve ()
-    | None ->
+    | None -> (
         Hashtbl.replace t.table k Pending;
-        t.misses <- t.misses + 1;
         Mutex.unlock t.lock;
-        let outcome =
-          match Synthesize.synthesize ?options design with
-          | report -> Ready report
-          | exception exn -> Raised exn
+        (* probe the disk tier before paying for synthesis; both the load
+           and the synthesis run outside the lock *)
+        let from_disk =
+          match t.disk with None -> None | Some dk -> disk_load dk k
         in
-        Mutex.lock t.lock;
-        Hashtbl.replace t.table k outcome;
-        Condition.broadcast t.published;
-        Mutex.unlock t.lock;
-        (match outcome with
-        | Ready report -> report
-        | Raised exn -> raise exn
-        | Pending -> assert false)
+        match from_disk with
+        | Some report ->
+            Mutex.lock t.lock;
+            t.disk_hits <- t.disk_hits + 1;
+            Hashtbl.replace t.table k (Ready report);
+            Condition.broadcast t.published;
+            Mutex.unlock t.lock;
+            report
+        | None -> (
+            let outcome =
+              match Synthesize.synthesize ?options design with
+              | report -> Ready report
+              | exception exn -> Raised exn
+            in
+            (* persist successes only: a failure is cached in memory (a
+               design outside the synthesisable subset stays outside it)
+               but never written to disk *)
+            (match (outcome, t.disk) with
+            | Ready report, Some dk -> disk_store dk k report
+            | _ -> ());
+            Mutex.lock t.lock;
+            t.misses <- t.misses + 1;
+            Hashtbl.replace t.table k outcome;
+            Condition.broadcast t.published;
+            Mutex.unlock t.lock;
+            match outcome with
+            | Ready report -> report
+            | Raised exn -> raise exn
+            | Pending -> assert false))
   in
   resolve ()
 
 let stats t =
   Mutex.lock t.lock;
-  let s = { hits = t.hits; misses = t.misses } in
+  let s = { hits = t.hits; misses = t.misses; disk_hits = t.disk_hits } in
   Mutex.unlock t.lock;
   s
 

@@ -1,4 +1,5 @@
-(** A content-addressed memo table over {!Synthesize.synthesize}.
+(** A content-addressed memo table over {!Synthesize.synthesize}, with an
+    optional persistent on-disk tier.
 
     Refinement-based validation re-synthesises the same unit under design
     for every job of a sweep (and the flow driver itself synthesises the
@@ -15,17 +16,46 @@
     {!Hlcs_runtime.Pool} sweep.  A synthesis in flight is represented by
     a pending entry: concurrent requests for the same key block on it
     rather than duplicating the work, so an N-job sweep over one design
-    synthesises exactly once regardless of domain count. *)
+    synthesises exactly once regardless of domain count.
+
+    {b Disk tier.}  A cache opened on a directory additionally persists
+    every successful synthesis as a content-keyed file, so a fresh
+    process — a restarted serve daemon, a cold CLI run — reloads prior
+    reports instead of resynthesising.  Entries carry a payload digest
+    and a runtime fingerprint in the file name: corrupt or truncated
+    files are deleted and rebuilt, entries written by an incompatible
+    runtime are pruned unread, and any filesystem failure silently
+    degrades the cache to memory-only.  By default the tier is armed
+    exactly when [HLCS_SYNTH_CACHE] names a directory, so the ordinary
+    test and CI runs (no variable set) stay byte-reproducible. *)
 
 type t
 
 type stats = {
-  hits : int;  (** requests served from the table (including waits on a
-                   computation already in flight) *)
+  hits : int;  (** requests served from the in-memory table (including
+                   waits on a computation already in flight) *)
   misses : int;  (** requests that had to run the synthesiser *)
+  disk_hits : int;
+      (** requests served by loading a persisted report from the disk
+          tier (always [0] on a memory-only cache) *)
 }
 
-val create : unit -> t
+val env_var : string
+(** ["HLCS_SYNTH_CACHE"] — the directory the [`Env] disk mode reads. *)
+
+val fingerprint : string
+(** The runtime fingerprint in every entry file name (compiler version +
+    cache format version, truncated digest). *)
+
+val create : ?disk:[ `Memory | `Env | `Dir of string ] -> unit -> t
+(** [`Env] (the default): persist to the directory named by
+    {!env_var} when set and usable, else memory-only.  [`Dir d]: persist
+    to [d] (created if missing; memory-only if unusable).  [`Memory]:
+    never touch the disk. *)
+
+val disk_dir : t -> string option
+(** The directory of the armed disk tier, [None] on memory-only caches
+    (including those whose requested directory was unusable). *)
 
 val key : ?options:Synthesize.options -> Hlcs_hlir.Ast.design -> string
 (** The content hash: a digest over the canonical (sharing-expanded)
@@ -38,9 +68,9 @@ val synthesize : t -> ?options:Synthesize.options -> Hlcs_hlir.Ast.design -> Syn
 (** Like {!Synthesize.synthesize}, memoised on {!key}.  A synthesis that
     raises (e.g. {!Synthesize.Synthesis_error}) is cached as a failure
     and re-raised on later hits — a design outside the synthesisable
-    subset stays outside it. *)
+    subset stays outside it.  Failures are never persisted to disk. *)
 
 val stats : t -> stats
 
 val size : t -> int
-(** Number of distinct keys resident (completed or in flight). *)
+(** Number of distinct keys resident in memory (completed or in flight). *)

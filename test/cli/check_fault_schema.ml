@@ -245,7 +245,27 @@ let check_job i job =
   optional ctx job "verdict" (check_verdict ctx);
   optional ctx job "failure" (fun v -> ignore (as_string ctx "failure" v))
 
-let check_campaign root =
+(* every CLI JSON report ships inside the versioned envelope
+   {"schema_version": N, "kind": K, "payload": ...}; peel it (and check
+   the tags) before validating the campaign payload *)
+let unwrap_envelope ~kind ctx root =
+  (match field root "schema_version" with
+  | Some (Num f) when Float.is_integer f && f >= 1.0 -> ()
+  | Some _ -> complain "%s: \"schema_version\" must be a positive integer" ctx
+  | None -> complain "%s: missing \"schema_version\"" ctx);
+  (match field root "kind" with
+  | Some (Str k) when k = kind -> ()
+  | Some (Str k) -> complain "%s: kind %S, expected %S" ctx k kind
+  | Some _ -> complain "%s: \"kind\" must be a string" ctx
+  | None -> complain "%s: missing \"kind\"" ctx);
+  match field root "payload" with
+  | Some payload -> payload
+  | None ->
+      complain "%s: missing \"payload\"" ctx;
+      Obj []
+
+let check_campaign envelope =
+  let root = unwrap_envelope ~kind:"fault" "root" envelope in
   (match root with
   | Obj _ -> ()
   | _ -> complain "root: must be an object");

@@ -192,7 +192,27 @@ let int_map ctx name = function
       complain "%s: %S must be an object" ctx name;
       []
 
-let check_profile ~require_rtl ctx root =
+(* every CLI JSON report ships inside the versioned envelope
+   {"schema_version": N, "kind": K, "payload": ...}; peel it (and check
+   the tags) before validating the payload proper *)
+let unwrap_envelope ~kind ctx root =
+  (match field root "schema_version" with
+  | Some (Num f) when Float.is_integer f && f >= 1.0 -> ()
+  | Some _ -> complain "%s: \"schema_version\" must be a positive integer" ctx
+  | None -> complain "%s: missing \"schema_version\"" ctx);
+  (match field root "kind" with
+  | Some (Str k) when k = kind -> ()
+  | Some (Str k) -> complain "%s: kind %S, expected %S" ctx k kind
+  | Some _ -> complain "%s: \"kind\" must be a string" ctx
+  | None -> complain "%s: missing \"kind\"" ctx);
+  match field root "payload" with
+  | Some payload -> payload
+  | None ->
+      complain "%s: missing \"payload\"" ctx;
+      Obj []
+
+let check_profile ~require_rtl ctx envelope =
+  let root = unwrap_envelope ~kind:"profile" ctx envelope in
   (match root with Obj _ -> () | _ -> complain "%s: root must be an object" ctx);
   (match field root "label" with
   | Some (Str _) -> ()

@@ -1,0 +1,156 @@
+(* Property checks over serve event streams — the verifier half of the
+   @serve contract rules.
+
+   Three modes:
+
+   - [same A B]         the two framed streams are byte-identical after
+                        scrubbing wall-clock figures ("0.0013s wall" —
+                        the one nondeterminism deterministic rendering
+                        keeps, because a stage really did take time);
+                        this is the `--jobs 1` vs `--jobs 2` invariance.
+   - [payload S F ID]   the result event for job ID inside stream S
+                        carries exactly the JSON that `hlcs_cli flow`
+                        printed into file F (scrubbed the same way) —
+                        the job behaves identically over the wire and
+                        on the command line.  The payload is extracted
+                        textually (it is the last member of the result
+                        frame), never reparsed, so the comparison is
+                        byte-exact.
+   - [warm COLD WARM]   the two-process disk-cache proof: the cold
+                        stream's stats must show misses with no disk
+                        hits, the warm stream's stats must show disk
+                        hits with no misses — the synthesis survived
+                        the process boundary. *)
+
+module Protocol = Hlcs_serve.Protocol
+module Json = Hlcs_json.Json
+
+let die fmt = Printf.ksprintf (fun m -> prerr_endline m; exit 1) fmt
+
+let read_frames path =
+  let ic = open_in_bin path in
+  let rec go acc =
+    match Protocol.read_frame ic with
+    | Ok None -> List.rev acc
+    | Ok (Some p) -> go (p :: acc)
+    | Error e -> die "%s: bad event frame: %s" path e
+  in
+  let frames = go [] in
+  close_in ic;
+  frames
+
+let read_file path =
+  let ic = open_in_bin path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  s
+
+(* replace every "<digits-and-dots>s wall" with "Xs wall" *)
+let scrub_wall s =
+  let n = String.length s in
+  let b = Buffer.create n in
+  let isnum c = (c >= '0' && c <= '9') || c = '.' in
+  let last = ref 0 in
+  let i = ref 0 in
+  while !i < n do
+    if !i + 6 <= n && String.sub s !i 6 = "s wall" && !i > 0 && isnum s.[!i - 1]
+    then begin
+      let k = ref (!i - 1) in
+      while !k > 0 && isnum s.[!k - 1] do
+        decr k
+      done;
+      Buffer.add_substring b s !last (!k - !last);
+      Buffer.add_char b 'X';
+      last := !i;
+      i := !i + 6
+    end
+    else incr i
+  done;
+  Buffer.add_substring b s !last (n - !last);
+  Buffer.contents b
+
+let event_field frame name =
+  match Json.parse frame with
+  | Error e -> die "unparsable event frame: %s\n%s" e frame
+  | Ok v -> Json.member name v
+
+let is_event frame name =
+  match event_field frame "event" with
+  | Some (Json.String e) -> e = name
+  | _ -> false
+
+let check_same a b =
+  let fa = read_frames a and fb = read_frames b in
+  if List.length fa <> List.length fb then
+    die "%s has %d events, %s has %d" a (List.length fa) b (List.length fb);
+  List.iteri
+    (fun i (x, y) ->
+      let x = scrub_wall x and y = scrub_wall y in
+      if x <> y then die "event %d differs:\n%s: %s\n%s: %s" i a x b y)
+    (List.combine fa fb)
+
+(* the payload is spliced verbatim as the final member of the result
+   frame: everything between "\"payload\": " and the closing brace *)
+let extract_payload frame =
+  let marker = "\"payload\": " in
+  let ml = String.length marker and n = String.length frame in
+  let rec find i =
+    if i + ml > n then die "result frame has no payload member: %s" frame
+    else if String.sub frame i ml = marker then i + ml
+    else find (i + 1)
+  in
+  let start = find 0 in
+  if n = 0 || frame.[n - 1] <> '}' then die "result frame is not an object";
+  String.sub frame start (n - 1 - start)
+
+let check_payload stream direct id =
+  let result =
+    match
+      List.find_opt
+        (fun f ->
+          is_event f "result"
+          && event_field f "id" = Some (Json.String id))
+        (read_frames stream)
+    with
+    | Some f -> f
+    | None -> die "%s: no result event for job %S" stream id
+  in
+  let from_wire = scrub_wall (extract_payload result) in
+  let from_cli = scrub_wall (String.trim (read_file direct)) in
+  if from_wire <> from_cli then
+    die "payload for %S differs from the direct CLI run:\nwire: %s\ncli:  %s" id
+      from_wire from_cli
+
+let last_stats path =
+  match List.rev (List.filter (fun f -> is_event f "stats") (read_frames path)) with
+  | s :: _ -> s
+  | [] -> die "%s: no stats event" path
+
+let cache_counter stats name =
+  match event_field stats "cache" with
+  | Some cache -> (
+      match Json.member name cache with
+      | Some (Json.Int n) -> n
+      | _ -> die "stats cache has no integer %S: %s" name stats)
+  | None -> die "stats event has no cache block: %s" stats
+
+let check_warm cold warm =
+  let cs = last_stats cold and ws = last_stats warm in
+  let cm = cache_counter cs "misses" and cd = cache_counter cs "disk_hits" in
+  let wm = cache_counter ws "misses" and wd = cache_counter ws "disk_hits" in
+  if cd <> 0 then die "cold process reports %d disk hits (cache not cold)" cd;
+  if cm < 1 then die "cold process synthesised nothing (misses = %d)" cm;
+  if wd < 1 then die "warm process hit the disk tier %d times — not persisted" wd;
+  if wm <> 0 then
+    die "warm process still missed %d times — disk tier incomplete" wm
+
+let () =
+  match Array.to_list Sys.argv with
+  | [ _; "same"; a; b ] -> check_same a b
+  | [ _; "payload"; stream; direct; id ] -> check_payload stream direct id
+  | [ _; "warm"; cold; warm ] -> check_warm cold warm
+  | _ ->
+      prerr_endline
+        "usage: check_serve (same A B | payload STREAM DIRECT ID | warm COLD \
+         WARM)";
+      exit 2

@@ -238,7 +238,27 @@ let check_point i pt =
   in
   count "bins" + count "unexpected"
 
-let check_swarm root =
+(* every CLI JSON report ships inside the versioned envelope
+   {"schema_version": N, "kind": K, "payload": ...}; peel it (and check
+   the tags) before validating the swarm payload *)
+let unwrap_envelope ~kind ctx root =
+  (match field root "schema_version" with
+  | Some (Num f) when Float.is_integer f && f >= 1.0 -> ()
+  | Some _ -> complain "%s: \"schema_version\" must be a positive integer" ctx
+  | None -> complain "%s: missing \"schema_version\"" ctx);
+  (match field root "kind" with
+  | Some (Str k) when k = kind -> ()
+  | Some (Str k) -> complain "%s: kind %S, expected %S" ctx k kind
+  | Some _ -> complain "%s: \"kind\" must be a string" ctx
+  | None -> complain "%s: missing \"kind\"" ctx);
+  match field root "payload" with
+  | Some payload -> payload
+  | None ->
+      complain "%s: missing \"payload\"" ctx;
+      Obj []
+
+let check_swarm envelope =
+  let root = unwrap_envelope ~kind:"swarm" "root" envelope in
   let sw =
     match field root "swarm" with
     | Some (Obj _ as sw) -> sw

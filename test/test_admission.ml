@@ -1,0 +1,161 @@
+(* The bounded admission queue under the serve daemon.
+
+   Three behaviours carry the subsystem: round-robin drains interleave
+   client lanes (with rotation state surviving across drains, so a
+   partial drain does not reset fairness), the capacity bound turns
+   overflow into a structured rejection rather than growth or a crash,
+   and removal (cancel / disconnect) preserves the order of what
+   remains.  A qcheck property pins the conservation law: every
+   submitted item is eventually drained exactly once, in lane-FIFO
+   order. *)
+
+open QCheck2
+module Admission = Hlcs_runtime.Admission
+
+let submit_exn ~client x q =
+  match Admission.submit ~client x q with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "unexpected rejection"
+
+let drain_values ?max q = List.map snd (Admission.drain ?max q)
+
+let rr_interleaves =
+  Alcotest.test_case "drain interleaves client lanes round-robin" `Quick
+    (fun () ->
+      let q = Admission.create ~capacity:16 in
+      List.iter (fun x -> submit_exn ~client:"a" x q) [ "a1"; "a2"; "a3" ];
+      List.iter (fun x -> submit_exn ~client:"b" x q) [ "b1"; "b2" ];
+      submit_exn ~client:"c" "c1" q;
+      Alcotest.(check (list string))
+        "one per lane per round"
+        [ "a1"; "b1"; "c1"; "a2"; "b2"; "a3" ]
+        (drain_values q);
+      Alcotest.(check int) "empty after" 0 (Admission.length q))
+
+let rotation_persists =
+  Alcotest.test_case "rotation survives across partial drains" `Quick
+    (fun () ->
+      let q = Admission.create ~capacity:16 in
+      List.iter (fun x -> submit_exn ~client:"a" x q) [ "a1"; "a2" ];
+      List.iter (fun x -> submit_exn ~client:"b" x q) [ "b1"; "b2" ];
+      Alcotest.(check (list string)) "first" [ "a1" ] (drain_values ~max:1 q);
+      (* the next drain resumes at b, not back at a *)
+      Alcotest.(check (list string)) "resumes" [ "b1" ] (drain_values ~max:1 q);
+      Alcotest.(check (list string)) "rest" [ "a2"; "b2" ] (drain_values q))
+
+let rejection_is_structured =
+  Alcotest.test_case "overflow is a structured rejection" `Quick (fun () ->
+      let q = Admission.create ~capacity:2 in
+      submit_exn ~client:"a" 1 q;
+      submit_exn ~client:"b" 2 q;
+      (match Admission.submit ~client:"c" 3 q with
+      | Ok () -> Alcotest.fail "admitted past capacity"
+      | Error rj ->
+          Alcotest.(check int) "capacity" 2 rj.Admission.rj_capacity;
+          Alcotest.(check int) "length" 2 rj.Admission.rj_length;
+          Alcotest.(check bool)
+            "positive retry hint" true
+            (rj.Admission.rj_retry_after_ms > 0));
+      (* the rejected item left no trace *)
+      Alcotest.(check int) "length unchanged" 2 (Admission.length q);
+      Alcotest.(check (list string)) "lanes unchanged" [ "a"; "b" ]
+        (Admission.clients q);
+      (* draining frees the slot again *)
+      ignore (Admission.drain ~max:1 q);
+      submit_exn ~client:"c" 3 q)
+
+let remove_client_fifo =
+  Alcotest.test_case "remove_client returns its items FIFO and drops the lane"
+    `Quick (fun () ->
+      let q = Admission.create ~capacity:8 in
+      List.iter (fun x -> submit_exn ~client:"a" x q) [ 1; 2; 3 ];
+      submit_exn ~client:"b" 10 q;
+      Alcotest.(check (list int)) "fifo" [ 1; 2; 3 ]
+        (Admission.remove_client "a" q);
+      Alcotest.(check (list string)) "lane gone" [ "b" ] (Admission.clients q);
+      Alcotest.(check int) "length" 1 (Admission.length q))
+
+let remove_predicate =
+  Alcotest.test_case "remove takes matching items, keeps lane order" `Quick
+    (fun () ->
+      let q = Admission.create ~capacity:8 in
+      List.iter (fun x -> submit_exn ~client:"a" x q) [ 1; 2; 3; 4 ];
+      submit_exn ~client:"b" 6 q;
+      let removed = Admission.remove (fun x -> x mod 2 = 0) q in
+      Alcotest.(check int) "three removed" 3 (List.length removed);
+      Alcotest.(check bool) "all even" true (List.for_all (fun x -> x mod 2 = 0) removed);
+      Alcotest.(check (list int)) "odds drain in order" [ 1; 3 ] (drain_values q))
+
+(* conservation: any submit/drain schedule yields each admitted item
+   exactly once, and each client's items come out in its FIFO order *)
+let conservation =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count:200
+       ~name:"admission: exactly-once, per-lane FIFO under any schedule"
+       Gen.(
+         pair (int_range 1 12)
+           (list_size (int_range 0 40)
+              (oneof
+                 [
+                   map (fun c -> `Submit c) (int_range 0 3);
+                   map (fun m -> `Drain m) (int_range 1 5);
+                 ])))
+       (fun (capacity, ops) ->
+         let q = Admission.create ~capacity in
+         let next = ref 0 in
+         let admitted = Hashtbl.create 64 in
+         let out = ref [] in
+         List.iter
+           (function
+             | `Submit c ->
+                 let client = Printf.sprintf "c%d" c in
+                 let x = !next in
+                 incr next;
+                 (match Admission.submit ~client x q with
+                 | Ok () -> Hashtbl.replace admitted x client
+                 | Error rj ->
+                     if rj.Admission.rj_length < capacity then
+                       QCheck2.Test.fail_report "rejected below capacity")
+             | `Drain m -> out := !out @ Admission.drain ~max:m q)
+           ops;
+         out := !out @ Admission.drain q;
+         (* exactly once *)
+         if List.length !out <> Hashtbl.length admitted then
+           QCheck2.Test.fail_reportf "drained %d of %d admitted"
+             (List.length !out) (Hashtbl.length admitted);
+         let seen = Hashtbl.create 64 in
+         List.iter
+           (fun (client, x) ->
+             if Hashtbl.mem seen x then
+               QCheck2.Test.fail_reportf "item %d drained twice" x;
+             Hashtbl.replace seen x ();
+             match Hashtbl.find_opt admitted x with
+             | Some c when c = client -> ()
+             | _ -> QCheck2.Test.fail_reportf "item %d on wrong lane" x)
+           !out;
+         (* per-lane FIFO: item numbers within one client's drains ascend *)
+         let by_client = Hashtbl.create 8 in
+         List.iter
+           (fun (client, x) ->
+             let prev =
+               Option.value ~default:(-1) (Hashtbl.find_opt by_client client)
+             in
+             if x <= prev then
+               QCheck2.Test.fail_reportf "lane %s out of order: %d after %d"
+                 client x prev;
+             Hashtbl.replace by_client client x)
+           !out;
+         true))
+
+let tests =
+  [
+    ( "admission",
+      [
+        rr_interleaves;
+        rotation_persists;
+        rejection_is_structured;
+        remove_client_fifo;
+        remove_predicate;
+        conservation;
+      ] );
+  ]
