@@ -1,6 +1,6 @@
 # Convenience targets; dune is the real build system.
 
-.PHONY: all build test lint check ci bench bench-smoke bench-guard sweep-smoke fault-smoke equiv-smoke swarm-smoke codegen-smoke serve-smoke clean
+.PHONY: all build test lint check ci bench bench-smoke bench-guard sweep-smoke fault-smoke equiv-smoke swarm-smoke codegen-smoke serve-smoke synth-smoke verilog-smoke clean
 
 all: build
 
@@ -20,7 +20,7 @@ check: build test lint
 # Everything a PR must pass, including one pass over every bench series
 # (tiny iteration counts) so the perf code paths are compiled and exercised
 # even when nobody is looking at the numbers.
-ci: build lint test bench-smoke bench-guard sweep-smoke fault-smoke equiv-smoke swarm-smoke codegen-smoke serve-smoke
+ci: build lint test bench-smoke bench-guard sweep-smoke fault-smoke equiv-smoke swarm-smoke codegen-smoke serve-smoke synth-smoke verilog-smoke
 
 bench-smoke:
 	dune exec bench/main.exe -- --smoke
@@ -71,6 +71,27 @@ codegen-smoke:
 # from $HLCS_SYNTH_CACHE without re-synthesising.
 serve-smoke:
 	dune build @serve
+
+# The two-process incremental-synthesis proof (same as `dune build
+# @synth`): a cold daemon synthesises the fig3 flow job from scratch
+# into a private $HLCS_SYNTH_CACHE, a second daemon process runs a
+# one-process edit of the design (different stimulus seed) and must
+# reuse the clean netlist fragments from disk — synth_units_reused > 0,
+# exactly one unit rebuilt, never a full resynthesis.
+synth-smoke:
+	dune build @synth
+
+# Cross-check the emitted Verilog against icarus (same as `dune build
+# @verilog`): compile `hlcs_cli emit fig3 --lang verilog` plus a
+# generated stimulus testbench under iverilog, and diff the sampled
+# output-port waveforms against our own simulator's VCD.  Skips (does
+# not fail) on hosts without iverilog/vvp on PATH.
+verilog-smoke:
+	@if command -v iverilog >/dev/null 2>&1 && command -v vvp >/dev/null 2>&1; then \
+	  dune build @verilog; \
+	else \
+	  echo "verilog-smoke: iverilog not found, skipped"; \
+	fi
 
 # SAT-prove the fig3 (pci) and sram demo designs equivalent pre/post
 # optimisation — every miter expected UNSAT — and validate the JSON

@@ -656,10 +656,84 @@ let serve_series =
     ("serve/warm_vs_cold_synth", serve_warm_vs_cold_synth);
   ]
 
+(* ------------------------------------------------------------------ *)
+(* SYNTH: incremental unit-granular synthesis                          *)
+
+(* the incremental cost model: a one-unit edit must cost one unit plus a
+   relink, never a full resynthesis.  The workload is fig3 driven by a
+   heavier 80-request stimulus than the CLI default — incremental
+   synthesis is a large-design optimisation, and the app process (which
+   the stimulus script compiles into) is where fig3 grows.  The warm
+   partition (the design's fragments, keyed by unit signature) is built
+   once, un-timed; full_cold times the from-scratch pipeline it
+   replaces, one_unit_dirty times a one-unit edit — retuning the bus
+   arbiter's age counters, which dirties exactly the object:bus_if unit
+   while both process units relink from the warm partition — and
+   relink_warm times the pure link with every fragment reused. *)
+let synth_script =
+  lazy
+    (Pci_stim.write_then_read_all
+       (Pci_stim.random ~seed:7 ~count:80 ~base:0 ~size_bytes:mem_bytes ()))
+
+let synth_base_design =
+  lazy (Pci_master_design.design ~app:(Lazy.force synth_script) ())
+
+(* the one-unit edit: a bus_if arbiter configuration change.  age_width
+   is read only by object lowering, so the two process signatures are
+   untouched and exactly one unit goes dirty. *)
+let synth_edited_options =
+  { Synthesize.default_options with Synthesize.age_width = 12 }
+
+let synth_warm_fragments =
+  lazy
+    (let pl = Synthesize.plan (Lazy.force synth_base_design) in
+     List.map
+       (fun u ->
+         ( u.Synthesize.u_signature,
+           Synthesize.synthesize_unit pl.Synthesize.pl_options
+             u.Synthesize.u_decl ))
+       pl.Synthesize.pl_units)
+
+let synth_full_cold () =
+  ignore (Synthesize.synthesize (Lazy.force synth_base_design));
+  None
+
+let synth_relink ~options ~expect_rebuilt () =
+  let warm = Lazy.force synth_warm_fragments in
+  let pl = Synthesize.plan ~options (Lazy.force synth_base_design) in
+  let rebuilt = ref 0 in
+  let frags =
+    List.map
+      (fun u ->
+        match List.assoc_opt u.Synthesize.u_signature warm with
+        | Some f -> f
+        | None ->
+            incr rebuilt;
+            Synthesize.synthesize_unit pl.Synthesize.pl_options
+              u.Synthesize.u_decl)
+      pl.Synthesize.pl_units
+  in
+  ignore (Synthesize.link_plan pl frags);
+  if !rebuilt <> expect_rebuilt then
+    failwith
+      (Printf.sprintf "synth bench: %d units rebuilt (expected %d)" !rebuilt
+         expect_rebuilt);
+  None
+
+let synth_series =
+  [
+    ("synth/full_cold", synth_full_cold);
+    ( "synth/one_unit_dirty",
+      synth_relink ~options:synth_edited_options ~expect_rebuilt:1 );
+    ( "synth/relink_warm",
+      synth_relink ~options:Synthesize.default_options ~expect_rebuilt:0 );
+  ]
+
 let series =
   series
   @ [ ("fig3/netlist_levelized", netlist_levelized) ]
   @ serve_series
+  @ synth_series
   @ (if Codegen.available () then
        ("fig3/netlist_compiled", netlist_compiled) :: codegen_series
      else begin
@@ -684,7 +758,11 @@ let filtered ~filter entries =
 
 let measure ~repeat f =
   let last = f () in
-  (* warm-up: fills minor heap, loads code paths *)
+  (* warm-up: fills minor heap, loads code paths.  Compacting afterwards
+     gives every series the same heap shape regardless of what ran before
+     it in the same process — without it the min of a short series can
+     carry another series' major-GC debt. *)
+  Gc.compact ();
   let runs =
     Array.init repeat (fun _ ->
         let t0 = Unix.gettimeofday () in

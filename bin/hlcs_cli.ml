@@ -808,23 +808,24 @@ let swarm_cmd =
 
 (* --- emit --------------------------------------------------------------- *)
 
+(* the named designs `emit` and `units` operate on *)
+let design_targets script =
+  [
+    ("pci", fun () -> Pci_master_design.design ~app:script ());
+    (* the figure-3 post-synthesis configuration, under the name the
+       experiment tables use *)
+    ("fig3", fun () -> Pci_master_design.design ~app:script ());
+    ("sram", fun () -> Sram_master_design.design ~app:script ());
+    ("dma", fun () -> Dma_design.design ~src:0 ~dst:64 ~words:8 ());
+    ( "dma-buffered",
+      fun () -> Dma_design.buffered_design ~src:0 ~dst:64 ~words:8 ~chunk:4 () );
+  ]
+
 let emit_cmd =
   (* each target is synthesised with the default (optimising) options,
      then the RT-level netlist is printed in the requested language *)
-  let targets script =
-    [
-      ("pci", fun () -> Pci_master_design.design ~app:script ());
-      (* the figure-3 post-synthesis configuration, under the name the
-         experiment tables use *)
-      ("fig3", fun () -> Pci_master_design.design ~app:script ());
-      ("sram", fun () -> Sram_master_design.design ~app:script ());
-      ("dma", fun () -> Dma_design.design ~src:0 ~dst:64 ~words:8 ());
-      ( "dma-buffered",
-        fun () -> Dma_design.buffered_design ~src:0 ~dst:64 ~words:8 ~chunk:4 () );
-    ]
-  in
   let run script name lang out =
-    let available = targets script in
+    let available = design_targets script in
     match List.assoc_opt name available with
     | None ->
         `Error
@@ -879,6 +880,61 @@ let emit_cmd =
          "Synthesise a design and print its RT-level netlist as Verilog, VHDL \
           or the generated-OCaml simulation module.")
     Term.(ret (const run $ script_term $ target_name $ lang $ out))
+
+(* --- units -------------------------------------------------------------- *)
+
+let units_cmd =
+  (* the incremental-synthesis partition: what `Synth_cache` keys its
+     fragment tier by.  Editing a unit changes exactly the signatures
+     shown here (its own, plus — for an interface change — those of its
+     clients), so the table doubles as a dirtiness debugger. *)
+  let run script name =
+    let available = design_targets script in
+    match List.assoc_opt name available with
+    | None ->
+        `Error
+          ( false,
+            Printf.sprintf "unknown target %S (expected %s)" name
+              (String.concat "|" (List.map fst available)) )
+    | Some mk ->
+        let design = mk () in
+        let pl = Synthesize.plan design in
+        Printf.printf "design %s: %d synthesis units\n" pl.Synthesize.pl_name
+          (List.length pl.Synthesize.pl_units);
+        Printf.printf "%-34s %-34s %8s %8s %8s\n" "unit" "signature" "wires"
+          "regs" "gates";
+        List.iter
+          (fun (pu : Synthesize.plan_unit) ->
+            let frag =
+              Synthesize.synthesize_unit pl.Synthesize.pl_options
+                pu.Synthesize.u_decl
+            in
+            let st =
+              Hlcs_rtl.Stats.of_design (Synthesize.fragment_design frag)
+            in
+            Printf.printf "%-34s %-34s %8d %8d %8d\n" pu.Synthesize.u_name
+              pu.Synthesize.u_signature st.Hlcs_rtl.Stats.wires
+              st.Hlcs_rtl.Stats.registers st.Hlcs_rtl.Stats.gate_estimate)
+          pl.Synthesize.pl_units;
+        `Ok ()
+  in
+  let target_name =
+    Arg.(
+      value
+      & pos 0 string "pci"
+      & info [] ~docv:"TARGET"
+          ~doc:
+            "Design to partition: pci (default, alias fig3), sram, dma or \
+             dma-buffered.")
+  in
+  Cmd.v
+    (Cmd.info "units"
+       ~doc:
+         "Print the incremental-synthesis unit partition of a design: one row \
+          per process / shared object / port bundle with its content \
+          signature (the fragment-cache key) and per-fragment resource \
+          statistics.")
+    Term.(ret (const run $ script_term $ target_name))
 
 (* --- waves ------------------------------------------------------------- *)
 
@@ -1209,6 +1265,7 @@ let () =
          lint_cmd;
          equiv_cmd;
          emit_cmd;
+         units_cmd;
          profile_cmd;
          sweep_cmd;
          fault_cmd;

@@ -108,9 +108,15 @@ let job_snapshots (fr : Flow.report) =
         (fun (rr : System.run_report) -> rr.System.rr_profile)
         [ a.Flow.fl_tlm; a.Flow.fl_behavioural; a.Flow.fl_rtl ]
 
-let run ?jobs ?chunk ?(cache = true) ?(profile = false) ?vcd_dir ?max_time
-    ?rtl_engine ~scenarios () =
-  let cache_handle = if cache then Some (Synth_cache.create ()) else None in
+let run ?jobs ?chunk ?(cache = true) ?cache_handle ?(profile = false) ?vcd_dir
+    ?max_time ?rtl_engine ~scenarios () =
+  let cache_handle =
+    if not cache then None
+    else
+      match cache_handle with
+      | Some _ as h -> h
+      | None -> Some (Synth_cache.create ())
+  in
   (match vcd_dir with
   | Some dir when not (Sys.file_exists dir) -> Unix.mkdir dir 0o755
   | Some _ | None -> ());
@@ -178,6 +184,9 @@ let run ?jobs ?chunk ?(cache = true) ?(profile = false) ?vcd_dir ?max_time
                ("synth_cache_hits", st.Synth_cache.hits);
                ("synth_cache_misses", st.Synth_cache.misses);
                ("synth_cache_disk_hits", st.Synth_cache.disk_hits);
+               ("synth_units_total", st.Synth_cache.units_total);
+               ("synth_units_reused", st.Synth_cache.units_reused);
+               ("synth_units_rebuilt", st.Synth_cache.units_rebuilt);
              ])
     | other, _ -> other
   in
@@ -377,8 +386,11 @@ let render_text ?(wall = true) r =
   | None -> Buffer.add_string buf "synthesis cache: disabled\n"
   | Some st ->
       Buffer.add_string buf
-        (Printf.sprintf "synthesis cache: %d hits, %d misses, %d disk hits\n"
-           st.Synth_cache.hits st.Synth_cache.misses st.Synth_cache.disk_hits));
+        (Printf.sprintf
+           "synthesis cache: %d hits, %d misses, %d disk hits; units: %d \
+            reused, %d rebuilt\n"
+           st.Synth_cache.hits st.Synth_cache.misses st.Synth_cache.disk_hits
+           st.Synth_cache.units_reused st.Synth_cache.units_rebuilt));
   (match r.sw_profile with
   | None -> ()
   | Some sn -> Buffer.add_string buf (Obs.render_text ~wall sn));
@@ -458,8 +470,12 @@ let render_json ?(wall = true) r =
       | Some st ->
           [
             Printf.sprintf
-              "\"cache\": {\"hits\": %d, \"misses\": %d, \"disk_hits\": %d}"
-              st.Synth_cache.hits st.Synth_cache.misses st.Synth_cache.disk_hits;
+              "\"cache\": {\"hits\": %d, \"misses\": %d, \"disk_hits\": %d, \
+               \"units_total\": %d, \"units_reused\": %d, \"units_rebuilt\": \
+               %d}"
+              st.Synth_cache.hits st.Synth_cache.misses st.Synth_cache.disk_hits
+              st.Synth_cache.units_total st.Synth_cache.units_reused
+              st.Synth_cache.units_rebuilt;
           ])
     @ [
         Printf.sprintf "\"job_reports\": [%s]"

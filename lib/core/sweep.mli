@@ -103,6 +103,7 @@ val run :
   ?jobs:int ->
   ?chunk:int ->
   ?cache:bool ->
+  ?cache_handle:Hlcs_synth.Synth_cache.t ->
   ?profile:bool ->
   ?vcd_dir:string ->
   ?max_time:Hlcs_engine.Time.t ->
@@ -112,7 +113,10 @@ val run :
   report
 (** Runs one {!Flow.execute} per scenario.  [jobs] defaults to
     {!Hlcs_runtime.Pool.recommended_jobs}; [cache] (default [true])
-    shares one synthesis cache across all jobs; [vcd_dir] dumps
+    shares one synthesis cache across all jobs — a private one, unless
+    [cache_handle] supplies an existing cache so consecutive sweeps (or
+    a test) share unit fragments across calls ([cache:false] wins over
+    any handle); [vcd_dir] dumps
     [<dir>/<sc_name>_{behavioural,rtl}.vcd] per job (the directory is
     created if missing); [rtl_engine] selects the RTL evaluation engine
     for every job ([`Compiled] amortises one code-generated artefact

@@ -62,6 +62,18 @@ let counter_fields :
 
 let glossary = List.map (fun (n, _, d) -> (n, d)) counter_fields
 
+(* extras are free-form gauges, but the ones the stock tooling attaches
+   deserve the same documentation discipline as the kernel counters *)
+let known_extras =
+  [
+    ("synth_cache_hits", "synthesis requests served from the in-memory report cache");
+    ("synth_cache_misses", "synthesis requests that had to plan, resolve units and link");
+    ("synth_cache_disk_hits", "synthesis reports loaded from the on-disk cache tier");
+    ("synth_units_total", "synthesis units resolved while serving cache misses");
+    ("synth_units_reused", "units whose netlist fragment was reused from the fragment cache");
+    ("synth_units_rebuilt", "units actually resynthesised (the dirty cone of the edit)");
+  ]
+
 (* --- aggregation ------------------------------------------------------ *)
 
 (* Counters accumulate work (sum across runs); the two [peak_*] fields are

@@ -35,6 +35,13 @@ val glossary : (string * string) list
 (** Counter name and one-line meaning, in render order — the table behind
     the EXPERIMENTS.md profiling section. *)
 
+val known_extras : (string * string) list
+(** The extra gauge names the stock tooling attaches with {!with_extras}
+    (the sweep driver's synthesis-cache and incremental-synthesis unit
+    counters), with one-line meanings.  Extras remain free-form; this
+    list documents the conventional names so the EXPERIMENTS.md tables
+    and the daemon's stats consumers cannot drift from the producers. *)
+
 val with_extras : snapshot -> (string * int) list -> snapshot
 (** Append named integer gauges to the snapshot; both renderers list them
     after the kernel counters. *)

@@ -80,6 +80,7 @@ type builder = {
   mutable b_drives : (string * expr) list;
   mutable b_updates : (reg * expr) list;
   b_names : (string, int) Hashtbl.t;
+  b_assigned : (int, unit) Hashtbl.t;  (* wire ids with an assignment *)
   mutable b_next_wire : int;
   mutable b_next_reg : int;
 }
@@ -95,6 +96,7 @@ let builder name =
     b_drives = [];
     b_updates = [];
     b_names = Hashtbl.create 64;
+    b_assigned = Hashtbl.create 64;
     b_next_wire = 0;
     b_next_reg = 0;
   }
@@ -130,8 +132,11 @@ let fresh_reg b ?init name width =
   r
 
 let assign b wire e =
-  if List.mem_assq wire b.b_assigns then
+  (* hashed: the linker replays every fragment assignment through here,
+     and a list scan per call made building n assigns quadratic *)
+  if Hashtbl.mem b.b_assigned wire.w_id then
     invalid_arg (Printf.sprintf "Rtl.Ir.assign: wire %s already assigned" wire.w_name);
+  Hashtbl.replace b.b_assigned wire.w_id ();
   if expr_width e <> wire.w_width then
     invalid_arg (Printf.sprintf "Rtl.Ir.assign: width mismatch on %s" wire.w_name);
   b.b_assigns <- (wire, e) :: b.b_assigns

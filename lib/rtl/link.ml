@@ -1,0 +1,194 @@
+exception Link_error of string
+
+let err fmt = Format.kasprintf (fun s -> raise (Link_error s)) fmt
+
+let is_symbol n = String.length n > 0 && n.[0] = '$'
+let export_name sym = if is_symbol sym then sym else "$" ^ sym
+let import sym width = Ir.Input (export_name sym, width)
+
+(* Local-id -> final-entity maps.  Builder ids are dense, but a fragment
+   that went through [Opt.eliminate_dead] has holes in its wire ids, so
+   the maps are option arrays sized by the largest id present. *)
+let id_map top = Array.make (top + 1) None
+
+let top_wire (d : Ir.design) =
+  List.fold_left (fun a (w : Ir.wire) -> max a w.Ir.w_id) (-1) d.Ir.rd_wires
+
+let top_reg (d : Ir.design) =
+  List.fold_left (fun a (r : Ir.reg) -> max a r.Ir.r_id) (-1) d.Ir.rd_regs
+
+let link ~name ~inputs ~outputs ?(strip_dead = false) frag_list =
+  let b = Ir.builder name in
+  List.iter (fun (n, w) -> Ir.add_input b n w) inputs;
+  List.iter (fun (n, w) -> Ir.add_output b n w) outputs;
+  let frags = Array.of_list frag_list in
+  let wmaps = Array.map (fun d -> id_map (top_wire d)) frags in
+  let rmaps = Array.map (fun d -> id_map (top_reg d)) frags in
+  (* Registers first so their (CEC-visible) names are independent of how
+     many same-named wires survived fragment-level optimisation. *)
+  Array.iteri
+    (fun fi (d : Ir.design) ->
+      List.iter
+        (fun (r : Ir.reg) ->
+          rmaps.(fi).(r.Ir.r_id) <-
+            Some (Ir.fresh_reg b ~init:r.Ir.r_init r.Ir.r_name r.Ir.r_width))
+        d.Ir.rd_regs)
+    frags;
+  Array.iteri
+    (fun fi (d : Ir.design) ->
+      List.iter
+        (fun (w : Ir.wire) ->
+          wmaps.(fi).(w.Ir.w_id) <- Some (Ir.fresh_wire b w.Ir.w_name w.Ir.w_width))
+        d.Ir.rd_wires)
+    frags;
+  (* The export table: symbol -> (owning fragment, raw driver). *)
+  let exports : (string, int * Ir.expr) Hashtbl.t = Hashtbl.create 64 in
+  Array.iteri
+    (fun fi (d : Ir.design) ->
+      List.iter
+        (fun (n, e) ->
+          if is_symbol n then
+            if Hashtbl.mem exports n then err "symbol %s exported twice" n
+            else Hashtbl.replace exports n (fi, e))
+        d.Ir.rd_drives)
+    frags;
+  let resolved : (string, Ir.expr) Hashtbl.t = Hashtbl.create 64 in
+  let visiting : (string, unit) Hashtbl.t = Hashtbl.create 8 in
+  let final_wire fi (w : Ir.wire) =
+    match wmaps.(fi).(w.Ir.w_id) with
+    | Some w' -> w'
+    | None -> err "fragment %d references undeclared wire %s" fi w.Ir.w_name
+  in
+  let final_reg fi (r : Ir.reg) =
+    match rmaps.(fi).(r.Ir.r_id) with
+    | Some r' -> r'
+    | None -> err "fragment %d references undeclared register %s" fi r.Ir.r_name
+  in
+  (* Rewrite a fragment expression into the final namespace, splicing in
+     resolved exports for every import.  Export drivers are leaves by
+     construction (the synthesiser drives symbols from wires/registers),
+     so the splice cannot duplicate meaningful logic. *)
+  let rec remap fi (e : Ir.expr) : Ir.expr =
+    match e with
+    | Ir.Const _ -> e
+    | Ir.Wire w -> Ir.Wire (final_wire fi w)
+    | Ir.Reg r -> Ir.Reg (final_reg fi r)
+    | Ir.Input (s, w) when is_symbol s ->
+        let e' = resolve s in
+        let w' = Ir.expr_width e' in
+        if w' <> w then err "symbol %s: exported width %d, imported width %d" s w' w;
+        e'
+    | Ir.Input _ -> e
+    | Ir.Unop (op, x) -> Ir.Unop (op, remap fi x)
+    | Ir.Binop (op, x, y) -> Ir.Binop (op, remap fi x, remap fi y)
+    | Ir.Mux (c, x, y) -> Ir.Mux (remap fi c, remap fi x, remap fi y)
+    | Ir.Slice (x, hi, lo) -> Ir.Slice (remap fi x, hi, lo)
+  (* A fragment-level copy propagation can collapse an export onto one of
+     the fragment's own imports, so resolution chases symbol-to-symbol
+     chains (with cycle detection). *)
+  and resolve sym =
+    match Hashtbl.find_opt resolved sym with
+    | Some e -> e
+    | None -> (
+        if Hashtbl.mem visiting sym then err "import cycle through symbol %s" sym;
+        match Hashtbl.find_opt exports sym with
+        | None -> err "unresolved symbol %s" sym
+        | Some (fi, raw) ->
+            Hashtbl.replace visiting sym ();
+            let e = remap fi raw in
+            Hashtbl.remove visiting sym;
+            Hashtbl.replace resolved sym e;
+            e)
+  in
+  (* Remap everything into the final namespace first, then emit the
+     assignments by depth-first dependency walk from the design's roots
+     (port drives and register updates).  One pass gives three things the
+     old emit-then-sweep shape paid for separately: dead cones are never
+     emitted (the [strip_dead] sweep), [rd_assigns] comes out in
+     topological order (so the caller never re-sorts — the incremental
+     relink path feeds it straight to the stats report), and a
+     combinational cycle surfaces here as a linker error instead of in a
+     later validation pass. *)
+  let assigns : (int, Ir.wire * Ir.expr) Hashtbl.t = Hashtbl.create 256 in
+  let wire_order = ref [] in
+  let updates = ref [] in
+  let drives = ref [] in
+  (try
+     Array.iteri
+       (fun fi (d : Ir.design) ->
+         List.iter
+           (fun ((w : Ir.wire), e) ->
+             let w' = final_wire fi w in
+             Hashtbl.replace assigns w'.Ir.w_id (w', remap fi e);
+             wire_order := w' :: !wire_order)
+           d.Ir.rd_assigns;
+         List.iter
+           (fun ((r : Ir.reg), e) ->
+             updates := (final_reg fi r, remap fi e) :: !updates)
+           d.Ir.rd_updates;
+         List.iter
+           (fun (n, e) ->
+             if not (is_symbol n) then drives := (n, remap fi e) :: !drives)
+           d.Ir.rd_drives)
+       frags
+   with Invalid_argument m -> err "link: %s" m);
+  let wire_order = List.rev !wire_order in
+  let updates = List.rev !updates in
+  let drives = List.rev !drives in
+  let emitted : (int, unit) Hashtbl.t = Hashtbl.create 256 in
+  let emitting : (int, unit) Hashtbl.t = Hashtbl.create 8 in
+  let rec emit_wire (w : Ir.wire) =
+    if not (Hashtbl.mem emitted w.Ir.w_id) then begin
+      if Hashtbl.mem emitting w.Ir.w_id then
+        err "combinational cycle through %s" w.Ir.w_name;
+      match Hashtbl.find_opt assigns w.Ir.w_id with
+      | None -> err "wire %s is never assigned" w.Ir.w_name
+      | Some (w, e) ->
+          Hashtbl.replace emitting w.Ir.w_id ();
+          emit_deps e;
+          Hashtbl.remove emitting w.Ir.w_id;
+          Hashtbl.replace emitted w.Ir.w_id ();
+          Ir.assign b w e
+    end
+  and emit_deps = function
+    | Ir.Wire w -> emit_wire w
+    | Ir.Const _ | Ir.Reg _ | Ir.Input _ -> ()
+    | Ir.Unop (_, x) | Ir.Slice (x, _, _) -> emit_deps x
+    | Ir.Binop (_, x, y) ->
+        emit_deps x;
+        emit_deps y
+    | Ir.Mux (c, x, y) ->
+        emit_deps c;
+        emit_deps x;
+        emit_deps y
+  in
+  (try
+     List.iter (fun (_, e) -> emit_deps e) drives;
+     List.iter (fun (_, e) -> emit_deps e) updates;
+     (* without stripping, dead cones are still part of the contract;
+        they join the same topological order after the live logic *)
+     if not strip_dead then List.iter emit_wire wire_order;
+     List.iter (fun ((r : Ir.reg), e) -> Ir.update b r e) updates;
+     List.iter (fun (n, e) -> Ir.drive b n e) drives
+   with Invalid_argument m -> err "link: %s" m);
+  let d = Ir.finish b in
+  let d =
+    if strip_dead then
+      {
+        d with
+        Ir.rd_wires =
+          List.filter (fun (w : Ir.wire) -> Hashtbl.mem emitted w.Ir.w_id) d.Ir.rd_wires;
+      }
+    else d
+  in
+  let reg_arrays =
+    Array.to_list
+      (Array.map
+         (Array.map (function
+           | Some r -> r
+           | None ->
+               (* register ids are dense and never optimised away *)
+               assert false))
+         rmaps)
+  in
+  (d, reg_arrays)

@@ -177,39 +177,36 @@ let share_common d =
 
 (* --- dead wire elimination ----------------------------------------------- *)
 
-let rec mark live e =
-  match e with
-  | Wire w -> Hashtbl.replace live w.w_id ()
-  | Const _ | Reg _ | Input _ -> ()
-  | Unop (_, x) | Slice (x, _, _) -> mark live x
-  | Binop (_, x, y) ->
-      mark live x;
-      mark live y
-  | Mux (c, a, b) ->
-      mark live c;
-      mark live a;
-      mark live b
-
 let eliminate_dead d =
   let live : (int, unit) Hashtbl.t = Hashtbl.create 64 in
-  List.iter (fun (_, e) -> mark live e) d.rd_drives;
-  List.iter (fun (_, e) -> mark live e) d.rd_updates;
-  (* transitively: a live wire's assignment keeps its sources live *)
   let by_id = Hashtbl.create 64 in
   List.iter (fun (w, e) -> Hashtbl.replace by_id w.w_id e) d.rd_assigns;
-  let changed = ref true in
-  while !changed do
-    changed := false;
-    Hashtbl.iter
-      (fun id () ->
-        match Hashtbl.find_opt by_id id with
-        | Some e ->
-            let before = Hashtbl.length live in
-            mark live e;
-            if Hashtbl.length live <> before then changed := true
-        | None -> ())
-      (Hashtbl.copy live)
-  done;
+  (* transitively: a live wire's assignment keeps its sources live — one
+     depth-first sweep from the root reads expands each wire at most once,
+     so the pass is linear in the expression graph (the relink path calls
+     it on every cache hit, where the old fixpoint's repeated re-marking
+     was the single most expensive step) *)
+  let rec reach e =
+    match e with
+    | Wire w ->
+        if not (Hashtbl.mem live w.w_id) then begin
+          Hashtbl.replace live w.w_id ();
+          match Hashtbl.find_opt by_id w.w_id with
+          | Some e' -> reach e'
+          | None -> ()
+        end
+    | Const _ | Reg _ | Input _ -> ()
+    | Unop (_, x) | Slice (x, _, _) -> reach x
+    | Binop (_, x, y) ->
+        reach x;
+        reach y
+    | Mux (c, a, b) ->
+        reach c;
+        reach a;
+        reach b
+  in
+  List.iter (fun (_, e) -> reach e) d.rd_drives;
+  List.iter (fun (_, e) -> reach e) d.rd_updates;
   {
     d with
     rd_wires = List.filter (fun w -> Hashtbl.mem live w.w_id) d.rd_wires;

@@ -78,55 +78,74 @@ let rec count acc e =
       count acc b
   | Slice (x, _, _) -> count acc x
 
-(* Longest register-to-register path, counted in operator levels; wire
-   levels are resolved along the topological order of the assignments. *)
-let critical_path_of d =
-  let level : (int, int) Hashtbl.t = Hashtbl.create 64 in
-  let rec depth = function
-    | Const _ | Reg _ | Input _ -> 0
-    | Wire w -> ( match Hashtbl.find_opt level w.w_id with Some l -> l | None -> 0)
-    | Unop (_, e) -> 1 + depth e
-    | Binop (Concat, a, b) -> max (depth a) (depth b)
-    | Binop (_, a, b) -> 1 + max (depth a) (depth b)
-    | Mux (c, a, b) -> 1 + max (depth c) (max (depth a) (depth b))
-    | Slice (e, _, _) -> depth e
-  in
-  (match Ir.topo_order d with
-  | order -> List.iter (fun (w, e) -> Hashtbl.replace level w.w_id (depth e)) order
-  | exception Ir.Combinational_cycle _ -> ());
-  let paths =
-    List.map (fun (_, e) -> depth e) d.rd_updates
-    @ List.map (fun (_, e) -> depth e) d.rd_drives
-  in
-  List.fold_left max 0 paths
+(* Both levelizations in one walk over the topological order:
 
-(* Wire-granularity levelization: a wire's level is one more than the
-   deepest wire its expression reads (inputs, registers and constants sit
-   at level 0).  This is, by construction, the same level the {!Compile}
-   engine assigns its evaluation nodes — [max_comb_depth] must equal
-   [Compile.levels] and [depth_histogram] its per-level node counts, which
-   gives the levelizer a checkable invariant. *)
-let depths_of d =
+   - operator levels (the critical path): each Unop/Binop/Mux adds one,
+     slices and concatenations are wiring, a wire leaf contributes the
+     level stored for its assignment;
+   - wire levels: a wire sits one above the deepest wire its expression
+     reads, with inputs, registers and constants at level 0.  This is,
+     by construction, the level the {!Compile} engine assigns its
+     evaluation nodes — [max_comb_depth] must equal [Compile.levels] and
+     [depth_histogram] its per-level node counts, which gives the
+     levelizer a checkable invariant.
+
+   The two used to be separate passes; they share one expression walk
+   because the incremental relink path recomputes stats on every
+   synthesis and the walks are its largest remaining cost. *)
+let levels_of d order =
   let nw = List.fold_left (fun m w -> max m (w.w_id + 1)) 0 d.rd_wires in
-  let level = Array.make (max 1 nw) 0 in
-  let rec lvl = function
-    | Wire w -> level.(w.w_id)
-    | Const _ | Reg _ | Input _ -> 0
-    | Unop (_, x) | Slice (x, _, _) -> lvl x
-    | Binop (_, x, y) -> max (lvl x) (lvl y)
-    | Mux (c, a, b) -> max (lvl c) (max (lvl a) (lvl b))
+  let op_level = Array.make (max 1 nw) 0 in
+  let wire_level = Array.make (max 1 nw) 0 in
+  (* returns (operator depth, wire depth) of an expression *)
+  let rec walk = function
+    | Wire w -> (op_level.(w.w_id), wire_level.(w.w_id))
+    | Const _ | Reg _ | Input _ -> (0, 0)
+    | Unop (_, x) ->
+        let o, l = walk x in
+        (1 + o, l)
+    | Slice (x, _, _) -> walk x
+    | Binop (op, x, y) ->
+        let ox, lx = walk x in
+        let oy, ly = walk y in
+        let o = max ox oy in
+        ((if op = Concat then o else 1 + o), max lx ly)
+    | Mux (c, a, b) ->
+        let oc, lc = walk c in
+        let oa, la = walk a in
+        let ob, lb = walk b in
+        (1 + max oc (max oa ob), max lc (max la lb))
   in
-  match Ir.topo_order d with
-  | order ->
-      List.iter (fun (w, e) -> level.(w.w_id) <- 1 + lvl e) order;
-      let deepest = List.fold_left (fun m (w, _) -> max m level.(w.w_id)) 0 order in
-      let hist = Array.make (deepest + 1) 0 in
-      List.iter (fun (w, _) -> hist.(level.(w.w_id)) <- hist.(level.(w.w_id)) + 1) order;
-      (deepest, hist)
-  | exception Ir.Combinational_cycle _ -> (0, [| 0 |])
+  List.iter
+    (fun (w, e) ->
+      let o, l = walk e in
+      op_level.(w.w_id) <- o;
+      wire_level.(w.w_id) <- 1 + l)
+    order;
+  let critical =
+    let root m (_, e) = max m (fst (walk e)) in
+    List.fold_left root (List.fold_left root 0 d.rd_updates) d.rd_drives
+  in
+  let deepest =
+    List.fold_left (fun m (w, _) -> max m wire_level.(w.w_id)) 0 order
+  in
+  let hist = Array.make (deepest + 1) 0 in
+  List.iter
+    (fun (w, _) ->
+      hist.(wire_level.(w.w_id)) <- hist.(wire_level.(w.w_id)) + 1)
+    order;
+  (critical, deepest, hist)
 
-let of_design d =
-  let max_comb_depth, depth_histogram = depths_of d in
+let of_design ?order d =
+  (* a cyclic design degrades to an empty order: depth 0 per wire, the
+     critical path still counting the operators under drives and updates *)
+  let order =
+    match order with
+    | Some order -> order
+    | None -> (
+        try Ir.topo_order d with Ir.Combinational_cycle _ -> [])
+  in
+  let critical_path, max_comb_depth, depth_histogram = levels_of d order in
   let acc =
     { adders = 0; multipliers = 0; comparators = 0; logic_ops = 0; muxes = 0;
       shifters = 0; gates = 0 }
@@ -147,7 +166,7 @@ let of_design d =
     muxes = acc.muxes;
     shifters = acc.shifters;
     gate_estimate = acc.gates + (cost_reg_bit * register_bits);
-    critical_path = critical_path_of d;
+    critical_path;
     max_comb_depth;
     depth_histogram;
   }

@@ -28,6 +28,12 @@ type t = {
           {!Compile.level_histogram}. *)
 }
 
-val of_design : Ir.design -> t
+(** [of_design ?order d] computes the report.  Callers that already hold
+    a topological sort of [d]'s assignments (e.g. the incremental linker,
+    which validates by sorting) pass it as [order] to avoid resorting;
+    without it the sort is computed internally, and a combinationally
+    cyclic design degrades to depth 0 rather than raising. *)
+val of_design : ?order:(Ir.wire * Ir.expr) list -> Ir.design -> t
+
 val pp : Format.formatter -> t -> unit
 val to_string : t -> string

@@ -100,6 +100,9 @@ let emit_stats st =
             ("hits", Json.Int cs.Synth_cache.hits);
             ("misses", Json.Int cs.Synth_cache.misses);
             ("disk_hits", Json.Int cs.Synth_cache.disk_hits);
+            ("synth_units_total", Json.Int cs.Synth_cache.units_total);
+            ("synth_units_reused", Json.Int cs.Synth_cache.units_reused);
+            ("synth_units_rebuilt", Json.Int cs.Synth_cache.units_rebuilt);
             ( "disk_dir",
               match Synth_cache.disk_dir cache with
               | None -> Json.Null

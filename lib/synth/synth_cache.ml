@@ -1,53 +1,87 @@
 (* Content-hashed synthesis memoisation, with an optional on-disk tier.
 
-   Key = MD5 over (option fields, canonical serialisation of the HLIR
-   design).  The HLIR AST is pure data (no closures, no mutation after
+   Two tiers of granularity:
+
+   - the {e report} tier keys the complete [Synthesize.report] by an MD5
+     over (option fields, canonical serialisation of the HLIR design) —
+     a byte-identical design under identical options replays without any
+     work at all;
+   - the {e fragment} tier keys each synthesis unit's netlist fragment by
+     its content signature ([Synthesize.plan_unit.u_signature]).  A
+     report miss plans the design, resolves every unit against the
+     fragment tier, resynthesises only the units whose signatures are
+     new, and links.  Editing one process of an N-unit design therefore
+     costs one unit synthesis plus a link; a sweep over N design
+     variants shares every unchanged unit across jobs and — through the
+     disk tier — across daemon restarts.
+
+   The HLIR AST is pure data (no closures, no mutation after
    construction), so [Marshal] with [No_sharing] is a canonical encoding:
    structurally equal designs serialise to identical bytes regardless of
    how much substructure they happen to share in memory.
 
-   Concurrency: one mutex guards the table and the counters.  A miss
+   Concurrency: one mutex guards both tables and the counters.  A miss
    installs [Pending] and runs the synthesiser *outside* the lock, so
    lookups for other designs proceed; concurrent requests for the same
-   key wait on the condition variable until the first requester publishes
-   [Ready] (or [Raised]).  Either way they are counted as hits — the
-   synthesiser ran once.
+   key (report or unit) wait on the condition variable until the first
+   requester publishes the result.  Either way they are counted as hits —
+   the synthesiser ran once.
 
    Disk tier: modelled on the codegen artefact cache.  A cache created
    with a disk directory persists every successful synthesis as
-   [hlcs_sy_<key>-<fpr>.bin] (a small header, a digest of the payload,
-   then the marshalled report), written to a temp file and renamed so a
-   concurrent process never observes a torn entry.  A memory miss probes
-   the disk before synthesising; a valid entry loads (counted as a
-   [disk_hits]) and a corrupt or truncated one is deleted and rebuilt.
-   The fingerprint (compiler version + cache format version) keys the
-   file name, so entries written by an incompatible runtime are pruned
-   rather than unmarshalled.  Failures anywhere on the disk path degrade
-   to memory-only behaviour — the cache never makes synthesis fail. *)
+   [hlcs_sy_<key>-<fpr>.bin] (report tier) and every fragment as
+   [hlcs_syu_<sig>-<fpr>.bin], each a small header, a digest of the
+   payload, then the marshalled value, written to a temp file and renamed
+   so a concurrent process never observes a torn entry.  A memory miss
+   probes the disk before synthesising; a valid entry loads (a report
+   load counts as a [disk_hits]) and a corrupt or truncated one is
+   deleted and rebuilt.  The fingerprint (compiler version + cache format
+   version) keys the file name; opening the directory prunes every
+   [hlcs_sy*] blob written under a foreign fingerprint, so entries from
+   an incompatible runtime are deleted rather than unmarshalled and the
+   directory does not accumulate unreadable files across toolchain
+   upgrades.  Failures anywhere on the disk path degrade to memory-only
+   behaviour — the cache never makes synthesis fail. *)
 
-type stats = { hits : int; misses : int; disk_hits : int }
+type stats = {
+  hits : int;
+  misses : int;
+  disk_hits : int;
+  units_total : int;
+  units_reused : int;
+  units_rebuilt : int;
+}
 
 type entry =
   | Pending
   | Ready of Synthesize.report
   | Raised of exn
 
+type uentry =
+  | U_pending
+  | U_ready of Synthesize.fragment
+  | U_raised of exn
+
 type disk = { dk_dir : string; dk_fpr : string }
 
 type t = {
   lock : Mutex.t;
   published : Condition.t;
-  table : (string, entry) Hashtbl.t;
+  table : (string, entry) Hashtbl.t;  (* report tier: design key *)
+  units : (string, uentry) Hashtbl.t;  (* fragment tier: unit signature *)
   disk : disk option;
   mutable hits : int;
   mutable misses : int;
   mutable disk_hits : int;
+  mutable units_total : int;
+  mutable units_reused : int;
+  mutable units_rebuilt : int;
 }
 
 (* bump when the entry layout (or anything reachable from
-   [Synthesize.report]) changes shape: stale fingerprints are pruned, not
-   unmarshalled *)
-let format_version = "1"
+   [Synthesize.report] / [Synthesize.fragment]) changes shape: stale
+   fingerprints are pruned, not unmarshalled *)
+let format_version = "2"
 
 let fingerprint =
   String.sub
@@ -63,6 +97,34 @@ let rec mkdir_p d =
     try Sys.mkdir d 0o755 with Sys_error _ -> ()
   end
 
+let rm_f p = try Sys.remove p with Sys_error _ -> ()
+
+let starts_with ~prefix s =
+  String.length s >= String.length prefix
+  && String.sub s 0 (String.length prefix) = prefix
+
+let ends_with ~suffix s =
+  String.length s >= String.length suffix
+  && String.sub s (String.length s - String.length suffix) (String.length suffix)
+     = suffix
+
+(* Every blob this module ever wrote starts with [hlcs_sy]; any such file
+   not keyed by the current fingerprint was written by an incompatible
+   runtime and will never be read again — delete it. *)
+let prune_foreign_fingerprints dir fpr =
+  match Sys.readdir dir with
+  | exception Sys_error _ -> ()
+  | entries ->
+      let keep_suffix = Printf.sprintf "-%s.bin" fpr in
+      Array.iter
+        (fun f ->
+          if
+            starts_with ~prefix:"hlcs_sy" f
+            && ends_with ~suffix:".bin" f
+            && not (ends_with ~suffix:keep_suffix f)
+          then rm_f (Filename.concat dir f))
+        entries
+
 (* a usable directory or nothing; never raises *)
 let open_disk dir =
   match
@@ -73,7 +135,9 @@ let open_disk dir =
     Sys.remove p;
     true
   with
-  | true -> Some { dk_dir = dir; dk_fpr = fingerprint }
+  | true ->
+      prune_foreign_fingerprints dir fingerprint;
+      Some { dk_dir = dir; dk_fpr = fingerprint }
   | false -> None
   | exception _ -> None
 
@@ -90,10 +154,14 @@ let create ?(disk = `Env) () =
     lock = Mutex.create ();
     published = Condition.create ();
     table = Hashtbl.create 16;
+    units = Hashtbl.create 64;
     disk = resolve_disk disk;
     hits = 0;
     misses = 0;
     disk_hits = 0;
+    units_total = 0;
+    units_reused = 0;
+    units_rebuilt = 0;
   }
 
 let disk_dir t = Option.map (fun d -> d.dk_dir) t.disk
@@ -109,29 +177,17 @@ let key ?(options = Synthesize.default_options) design =
 (* ------------------------------------------------------------------ *)
 (* Disk tier *)
 
-let magic = "HLCSSY1\n"
-let entry_file dk k = Filename.concat dk.dk_dir (Printf.sprintf "hlcs_sy_%s-%s.bin" k dk.dk_fpr)
-let rm_f p = try Sys.remove p with Sys_error _ -> ()
+let magic = "HLCSSY2\n"
 
-(* entries for [k] written under another fingerprint are unreadable by
-   this runtime: delete them rather than letting them accumulate *)
-let prune_stale dk k =
-  match Sys.readdir dk.dk_dir with
-  | exception Sys_error _ -> ()
-  | entries ->
-      let prefix = Printf.sprintf "hlcs_sy_%s-" k in
-      let keep = Filename.basename (entry_file dk k) in
-      Array.iter
-        (fun f ->
-          if
-            String.length f > String.length prefix
-            && String.sub f 0 (String.length prefix) = prefix
-            && f <> keep
-          then rm_f (Filename.concat dk.dk_dir f))
-        entries
+let report_file dk k =
+  Filename.concat dk.dk_dir (Printf.sprintf "hlcs_sy_%s-%s.bin" k dk.dk_fpr)
 
-let disk_load dk k =
-  let path = entry_file dk k in
+let unit_file dk s =
+  Filename.concat dk.dk_dir (Printf.sprintf "hlcs_syu_%s-%s.bin" s dk.dk_fpr)
+
+let disk_load : 'a. disk -> (disk -> string -> string) -> string -> 'a option =
+ fun dk file k ->
+  let path = file dk k in
   if not (Sys.file_exists path) then None
   else
     match
@@ -147,19 +203,18 @@ let disk_load dk k =
               (in_channel_length ic - String.length magic - 16)
           in
           if Digest.string payload <> digest then failwith "bad digest";
-          (Marshal.from_string payload 0 : Synthesize.report))
+          Marshal.from_string payload 0)
     with
-    | report -> Some report
+    | v -> Some v
     | exception _ ->
         (* torn, truncated or otherwise corrupt: prune and resynthesise *)
         rm_f path;
         None
 
-let disk_store dk k report =
+let disk_store dk file k v =
   match
-    let path = entry_file dk k in
-    prune_stale dk k;
-    let payload = Marshal.to_string report [ Marshal.No_sharing ] in
+    let path = file dk k in
+    let payload = Marshal.to_string v [ Marshal.No_sharing ] in
     let tmp = Filename.temp_file ~temp_dir:dk.dk_dir ".sy" ".tmp" in
     let oc = open_out_bin tmp in
     output_string oc magic;
@@ -170,6 +225,68 @@ let disk_store dk k report =
   with
   | () -> ()
   | exception _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Fragment tier *)
+
+(* Resolve one unit: memory promise, then disk blob, then synthesis.
+   Runs with the lock *released*; takes and releases it internally. *)
+let resolve_unit t options (pu : Synthesize.plan_unit) =
+  let s = pu.Synthesize.u_signature in
+  Mutex.lock t.lock;
+  let rec go () =
+    match Hashtbl.find_opt t.units s with
+    | Some (U_ready frag) ->
+        t.units_total <- t.units_total + 1;
+        t.units_reused <- t.units_reused + 1;
+        Mutex.unlock t.lock;
+        frag
+    | Some (U_raised exn) ->
+        t.units_total <- t.units_total + 1;
+        t.units_reused <- t.units_reused + 1;
+        Mutex.unlock t.lock;
+        raise exn
+    | Some U_pending ->
+        Condition.wait t.published t.lock;
+        go ()
+    | None -> (
+        Hashtbl.replace t.units s U_pending;
+        Mutex.unlock t.lock;
+        let from_disk =
+          match t.disk with
+          | None -> None
+          | Some dk -> (disk_load dk unit_file s : Synthesize.fragment option)
+        in
+        match from_disk with
+        | Some frag ->
+            Mutex.lock t.lock;
+            t.units_total <- t.units_total + 1;
+            t.units_reused <- t.units_reused + 1;
+            Hashtbl.replace t.units s (U_ready frag);
+            Condition.broadcast t.published;
+            Mutex.unlock t.lock;
+            frag
+        | None -> (
+            let outcome =
+              match Synthesize.synthesize_unit options pu.Synthesize.u_decl with
+              | frag -> U_ready frag
+              | exception exn -> U_raised exn
+            in
+            (match (outcome, t.disk) with
+            | U_ready frag, Some dk -> disk_store dk unit_file s frag
+            | _ -> ());
+            Mutex.lock t.lock;
+            t.units_total <- t.units_total + 1;
+            t.units_rebuilt <- t.units_rebuilt + 1;
+            Hashtbl.replace t.units s outcome;
+            Condition.broadcast t.published;
+            Mutex.unlock t.lock;
+            match outcome with
+            | U_ready frag -> frag
+            | U_raised exn -> raise exn
+            | U_pending -> assert false))
+  in
+  go ()
 
 (* ------------------------------------------------------------------ *)
 
@@ -195,7 +312,9 @@ let synthesize t ?options design =
         (* probe the disk tier before paying for synthesis; both the load
            and the synthesis run outside the lock *)
         let from_disk =
-          match t.disk with None -> None | Some dk -> disk_load dk k
+          match t.disk with
+          | None -> None
+          | Some dk -> (disk_load dk report_file k : Synthesize.report option)
         in
         match from_disk with
         | Some report ->
@@ -206,8 +325,18 @@ let synthesize t ?options design =
             Mutex.unlock t.lock;
             report
         | None -> (
+            (* the dirty-cone path: plan, resolve each unit against the
+               fragment tier, relink — only units with unseen signatures
+               pay for synthesis *)
             let outcome =
-              match Synthesize.synthesize ?options design with
+              match
+                let pl = Synthesize.plan ?options design in
+                let opts = pl.Synthesize.pl_options in
+                let frags =
+                  List.map (resolve_unit t opts) pl.Synthesize.pl_units
+                in
+                Synthesize.link_plan pl frags
+              with
               | report -> Ready report
               | exception exn -> Raised exn
             in
@@ -215,7 +344,7 @@ let synthesize t ?options design =
                design outside the synthesisable subset stays outside it)
                but never written to disk *)
             (match (outcome, t.disk) with
-            | Ready report, Some dk -> disk_store dk k report
+            | Ready report, Some dk -> disk_store dk report_file k report
             | _ -> ());
             Mutex.lock t.lock;
             t.misses <- t.misses + 1;
@@ -231,7 +360,16 @@ let synthesize t ?options design =
 
 let stats t =
   Mutex.lock t.lock;
-  let s = { hits = t.hits; misses = t.misses; disk_hits = t.disk_hits } in
+  let s =
+    {
+      hits = t.hits;
+      misses = t.misses;
+      disk_hits = t.disk_hits;
+      units_total = t.units_total;
+      units_reused = t.units_reused;
+      units_rebuilt = t.units_rebuilt;
+    }
+  in
   Mutex.unlock t.lock;
   s
 

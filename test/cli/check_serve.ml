@@ -20,7 +20,15 @@
                         stream's stats must show misses with no disk
                         hits, the warm stream's stats must show disk
                         hits with no misses — the synthesis survived
-                        the process boundary. *)
+                        the process boundary.
+   - [units COLD WARM]  the two-process incremental-synthesis proof:
+                        the cold daemon synthesised every unit from
+                        scratch (rebuilt = total, reused = 0); the warm
+                        daemon ran a one-process edit of the same design
+                        against the cold cache directory, so it must
+                        reuse fragments (reused > 0) and rebuild only
+                        the dirty unit — never a full resynthesis
+                        (rebuilt < total). *)
 
 module Protocol = Hlcs_serve.Protocol
 module Json = Hlcs_json.Json
@@ -144,13 +152,41 @@ let check_warm cold warm =
   if wm <> 0 then
     die "warm process still missed %d times — disk tier incomplete" wm
 
+let check_units cold warm =
+  let cs = last_stats cold and ws = last_stats warm in
+  let ct = cache_counter cs "synth_units_total" in
+  let cre = cache_counter cs "synth_units_reused" in
+  let crb = cache_counter cs "synth_units_rebuilt" in
+  let wt = cache_counter ws "synth_units_total" in
+  let wre = cache_counter ws "synth_units_reused" in
+  let wrb = cache_counter ws "synth_units_rebuilt" in
+  if ct < 2 then die "cold process resolved only %d units — nothing to prove" ct;
+  if cre <> 0 then
+    die "cold process reused %d units (fragment cache not cold)" cre;
+  if crb <> ct then
+    die "cold process rebuilt %d of %d units — cache not cold" crb ct;
+  if wt <> ct then
+    die "warm process resolved %d units, cold resolved %d — partitions differ"
+      wt ct;
+  if wre = 0 then
+    die "warm process reused no fragments — disk fragment tier not hit";
+  if wrb >= wt then
+    die "warm process rebuilt all %d units — a full resynthesis after a \
+         one-process edit" wrb;
+  if wrb <> 1 then
+    die "warm process rebuilt %d units for a one-process edit (expected 1)" wrb;
+  if wre + wrb <> wt then
+    die "warm unit counters do not add up: %d reused + %d rebuilt <> %d total"
+      wre wrb wt
+
 let () =
   match Array.to_list Sys.argv with
   | [ _; "same"; a; b ] -> check_same a b
   | [ _; "payload"; stream; direct; id ] -> check_payload stream direct id
   | [ _; "warm"; cold; warm ] -> check_warm cold warm
+  | [ _; "units"; cold; warm ] -> check_units cold warm
   | _ ->
       prerr_endline
         "usage: check_serve (same A B | payload STREAM DIRECT ID | warm COLD \
-         WARM)";
+         WARM | units COLD WARM)";
       exit 2

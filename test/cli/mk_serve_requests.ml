@@ -8,6 +8,11 @@
    - [cache]     the same job followed by a stats probe — run twice
                  against one $HLCS_SYNTH_CACHE directory, the second
                  process must prove the disk tier (disk_hits > 0);
+   - [units]     the fig3 flow job with a different stimulus seed — a
+                 one-process edit of the design (only the generated app
+                 process body changes) — run against the cache directory
+                 a [cache] daemon populated: the warm process must prove
+                 the fragment tier (units reused, one unit rebuilt);
    - [malformed] a parade of bad requests (unparsable, unknown verb,
                  foreign schema version, undecodable job) that must all
                  answer with structured error events, then still serve;
@@ -44,6 +49,15 @@ let () =
       w (simple `Shutdown)
   | "cache" ->
       w (Protocol.submit_to_string ~id:"fig3" (job flow_job));
+      w (simple `Drain);
+      w (simple `Stats);
+      w (simple `Shutdown)
+  | "units" ->
+      (* a different stimulus seed regenerates the app process body and
+         nothing else: the canonical one-unit edit of the fig3 design *)
+      w
+        (Protocol.submit_to_string ~id:"fig3-edited"
+           (job { flow_job with Job.j_seed = 2005 }));
       w (simple `Drain);
       w (simple `Stats);
       w (simple `Shutdown)

@@ -1,0 +1,229 @@
+(* Cross-check of the Verilog emitter against icarus verilog — the
+   external-simulator half of the @verilog contract rules.
+
+   Two modes:
+
+   - [emit]  synthesises the fig3 design (the same defaults as
+             `hlcs_cli emit fig3 --lang verilog`: stimulus seed 2004,
+             12 requests, 1024-byte window) and writes three artefacts
+             into the current directory:
+               fig3_cross.v   the emitted netlist;
+               fig3_tb.v      a generated testbench driving every input
+                              port from a shared 48-bit LCG and sampling
+                              every output port once per clock cycle
+                              into like-named registers, which are the
+                              only signals dumped to fig3_iv.vcd;
+               fig3_ours.vcd  the same input sequence replayed through
+                              our own RTL simulator, output ports dumped
+                              through the engine's VCD writer.
+   - [check OURS THEIRS]  loads both dumps and compares, per output
+             port, the time-abstracted value sequences (consecutive
+             duplicates collapsed, leading zeros normalised) — the two
+             simulators run at different time scales but must agree on
+             every value each output ever takes, in order.
+
+   Alignment contract between the two sides: inputs for cycle 0 are
+   driven at time 0 and for cycle k at the k-th falling edge; outputs
+   are functions of the registers committed at a rising edge and the
+   inputs sampled by it, so the testbench samples them at the following
+   falling edge (before driving the next inputs) while our simulator
+   records the values driven at the edge itself.  Both dumps therefore
+   start from the all-zero reset value and then agree element-wise. *)
+
+module Kernel = Hlcs_engine.Kernel
+module Clock = Hlcs_engine.Clock
+module Signal = Hlcs_engine.Signal
+module Time = Hlcs_engine.Time
+module Vcd = Hlcs_engine.Vcd
+module Bitvec = Hlcs_logic.Bitvec
+module Ir = Hlcs_rtl.Ir
+module Verilog = Hlcs_rtl.Verilog
+module Sim = Hlcs_rtl.Sim
+module Synthesize = Hlcs_synth.Synthesize
+module Pci_stim = Hlcs_pci.Pci_stim
+module Pci_master_design = Hlcs_interface.Pci_master_design
+module Vcd_reader = Hlcs_verify.Vcd_reader
+
+let die fmt = Printf.ksprintf (fun m -> prerr_endline m; exit 1) fmt
+
+(* how many rising edges both simulators observe *)
+let cycles = 400
+
+(* --- the shared stimulus: one 48-bit LCG, one step per input per cycle *)
+
+let lcg_mul = 25214903917
+let lcg_inc = 11
+let lcg_seed = 2004
+let lcg_mask = (1 lsl 48) - 1
+let lcg_step s = ((s * lcg_mul) + lcg_inc) land lcg_mask
+
+(* the top [w] bits of the state after one step, as the next value for a
+   [w]-bit input port — the testbench mirrors this bit selection *)
+let lcg_take s w =
+  if w > 48 then die "input port wider than the LCG state (%d bits)" w;
+  (lcg_step s, lcg_step s lsr (48 - w))
+
+let fig3_design () =
+  let script =
+    Pci_stim.write_then_read_all
+      (Pci_stim.random ~seed:2004 ~count:12 ~base:0 ~size_bytes:1024 ())
+  in
+  let report =
+    Synthesize.synthesize (Pci_master_design.design ~app:script ())
+  in
+  report.Synthesize.rp_rtl
+
+(* --- testbench generation ---------------------------------------------- *)
+
+let v_init w = if w = 1 then "1'b0" else Printf.sprintf "%d'd0" w
+
+let v_decl kw (name, w) =
+  if w = 1 then Printf.sprintf "  %s %s" kw name
+  else Printf.sprintf "  %s [%d:0] %s" kw (w - 1) name
+
+let testbench (d : Ir.design) =
+  let b = Buffer.create 4096 in
+  let pr fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  pr "// Generated testbench for the iverilog cross-check: drives every\n";
+  pr "// input from a 48-bit LCG (state *= %d, += %d, seed %d),\n" lcg_mul
+    lcg_inc lcg_seed;
+  pr "// one step per input per cycle, and samples every output at the\n";
+  pr "// falling edge into the like-named registers dumped to the VCD.\n";
+  pr "`timescale 1ns/1ns\n";
+  pr "module tb;\n";
+  pr "  reg clk = 1'b0;\n";
+  pr "  reg [47:0] lcg = 48'd%d;\n" lcg_seed;
+  pr "  integer cycle = 0;\n";
+  List.iter
+    (fun (n, w) -> pr "%s = %s;\n" (v_decl "reg" (n, w)) (v_init w))
+    d.Ir.rd_inputs;
+  List.iter
+    (fun (n, w) -> pr "%s;\n" (v_decl "wire" (n ^ "_w", w)))
+    d.Ir.rd_outputs;
+  (* the sampled copies carry the port names, so both VCDs agree *)
+  List.iter
+    (fun (n, w) -> pr "%s = %s;\n" (v_decl "reg" (n, w)) (v_init w))
+    d.Ir.rd_outputs;
+  pr "\n  %s dut (\n    .clk(clk)" d.Ir.rd_name;
+  List.iter (fun (n, _) -> pr ",\n    .%s(%s)" n n) d.Ir.rd_inputs;
+  List.iter (fun (n, _) -> pr ",\n    .%s(%s_w)" n n) d.Ir.rd_outputs;
+  pr "\n  );\n\n";
+  pr "  task drive_inputs;\n    begin\n";
+  List.iter
+    (fun (n, w) ->
+      pr "      lcg = lcg * 48'd%d + 48'd%d;\n" lcg_mul lcg_inc;
+      pr "      %s = lcg[47:%d];\n" n (48 - w))
+    d.Ir.rd_inputs;
+  pr "    end\n  endtask\n\n";
+  pr "  initial begin\n";
+  pr "    $dumpfile(\"fig3_iv.vcd\");\n";
+  pr "    $dumpvars(0%s);\n"
+    (String.concat ""
+       (List.map (fun (n, _) -> ", " ^ n) d.Ir.rd_outputs));
+  pr "    drive_inputs;\n";
+  pr "  end\n\n";
+  pr "  always #5 clk = ~clk;\n\n";
+  pr "  always @(negedge clk) begin\n";
+  List.iter (fun (n, _) -> pr "    %s = %s_w;\n" n n) d.Ir.rd_outputs;
+  pr "    cycle = cycle + 1;\n";
+  pr "    if (cycle >= %d) $finish;\n" cycles;
+  pr "    drive_inputs;\n";
+  pr "  end\nendmodule\n";
+  Buffer.contents b
+
+(* --- our side of the bargain ------------------------------------------- *)
+
+let simulate_ours (d : Ir.design) ~vcd_path =
+  let kernel = Kernel.create () in
+  (* first rising edge at 5ns, matching the testbench's #5 toggle *)
+  let clock =
+    Clock.create kernel ~name:"clk" ~period:(Time.ns 10) ~start:(Time.ns 5) ()
+  in
+  let sim = Sim.elaborate kernel ~clock d in
+  let vcd = Vcd.create kernel ~path:vcd_path in
+  List.iter
+    (fun (n, _) -> Vcd.add_bitvec vcd ~name:n (Sim.out_port sim n))
+    d.Ir.rd_outputs;
+  let state = ref lcg_seed in
+  let drive_inputs () =
+    List.iter
+      (fun (n, w) ->
+        let s, v = lcg_take !state w in
+        state := s;
+        Signal.write (Sim.in_port sim n) (Bitvec.of_int ~width:w v))
+      d.Ir.rd_inputs
+  in
+  let _ =
+    Kernel.spawn kernel (fun () ->
+        drive_inputs ();
+        for _ = 1 to cycles - 1 do
+          Clock.wait_falling clock;
+          drive_inputs ()
+        done)
+  in
+  (* the last sampled edge is at (10 * cycles - 5) ns; stop before the
+     next one so both dumps cover exactly [cycles] edges *)
+  Kernel.run ~max_time:(Time.ns (10 * cycles)) kernel;
+  Vcd.close vcd
+
+let emit () =
+  let d = fig3_design () in
+  Verilog.write_file "fig3_cross.v" d;
+  let oc = open_out "fig3_tb.v" in
+  output_string oc (testbench d);
+  close_out oc;
+  simulate_ours d ~vcd_path:"fig3_ours.vcd"
+
+(* --- comparison -------------------------------------------------------- *)
+
+(* "b0010", "b10", "10" and a scalar "1" must all compare by numeric
+   content: strip the vector marker, then redundant leading zeros *)
+let canonical v =
+  let v = String.lowercase_ascii v in
+  let v =
+    if String.length v > 1 && v.[0] = 'b' then
+      String.sub v 1 (String.length v - 1)
+    else v
+  in
+  let n = String.length v in
+  let rec skip i = if i < n - 1 && v.[i] = '0' then skip (i + 1) else i in
+  String.sub v (skip 0) (n - skip 0)
+
+let check ours theirs =
+  let a = Vcd_reader.load ours and b = Vcd_reader.load theirs in
+  let names = Vcd_reader.signal_names a in
+  if names = [] then die "%s declares no signals" ours;
+  let bad = ref 0 in
+  List.iter
+    (fun name ->
+      let sa = List.map canonical (Vcd_reader.value_sequence a name) in
+      let sb =
+        match List.map canonical (Vcd_reader.value_sequence b name) with
+        | exception Not_found ->
+            die "%s: output %S missing from the iverilog dump" theirs name
+        | sb -> sb
+      in
+      if sa <> sb then begin
+        incr bad;
+        Printf.eprintf
+          "output %S diverges:\n  ours (%d values): %s\n  iverilog (%d \
+           values): %s\n"
+          name (List.length sa)
+          (String.concat " " sa)
+          (List.length sb)
+          (String.concat " " sb)
+      end)
+    names;
+  if !bad > 0 then
+    die "%d of %d outputs disagree with iverilog" !bad (List.length names);
+  Printf.printf "verilog cross-check: %d outputs, %d cycles, all value \
+                 sequences agree\n"
+    (List.length names) cycles
+
+let () =
+  match Array.to_list Sys.argv with
+  | [ _; "emit" ] -> emit ()
+  | [ _; "check"; ours; theirs ] -> check ours theirs
+  | _ ->
+      prerr_endline "usage: verilog_crosscheck (emit | check OURS THEIRS)";
+      exit 2

@@ -319,6 +319,37 @@ let check_sweep_deterministic () =
           Alcotest.(check (option int)) "cache hits surfaced as extras" (Some 7)
             (List.assoc_opt "synth_cache_hits" sn.Obs.sn_extras))
 
+(* a one-process edit between sweeps: varying the stimulus seed changes
+   only the application process (the script compiles into its body), so a
+   warm shared cache rebuilds exactly that unit and relinks the rest *)
+let check_sweep_incremental_units () =
+  let cache = Synth_cache.create ~disk:`Memory () in
+  let sweep seed =
+    Sweep.run ~jobs:1 ~cache_handle:cache
+      ~scenarios:(Sweep.scenarios ~base_seed:seed ~count:4 ~mem_bytes:256 ~n:2 ())
+      ()
+  in
+  let r1 = sweep 2004 in
+  Alcotest.(check bool) "first sweep passes" true r1.Sweep.sw_ok;
+  let cold = Synth_cache.stats cache in
+  Alcotest.(check int) "cold sweep rebuilds every unit"
+    cold.Synth_cache.units_total cold.Synth_cache.units_rebuilt;
+  Alcotest.(check bool) "the design has several units" true
+    (cold.Synth_cache.units_total > 1);
+  let r2 = sweep 2005 in
+  Alcotest.(check bool) "second sweep passes" true r2.Sweep.sw_ok;
+  let warm = Synth_cache.stats cache in
+  Alcotest.(check int) "env-axis sweep after a one-process edit: 1 rebuilt" 1
+    (warm.Synth_cache.units_rebuilt - cold.Synth_cache.units_rebuilt);
+  Alcotest.(check int) "every other unit relinked from cache"
+    (cold.Synth_cache.units_total - 1)
+    (warm.Synth_cache.units_reused - cold.Synth_cache.units_reused);
+  match r2.Sweep.sw_cache with
+  | None -> Alcotest.fail "cache stats missing"
+  | Some st ->
+      Alcotest.(check int) "unit counters surfaced in the sweep report"
+        warm.Synth_cache.units_rebuilt st.Synth_cache.units_rebuilt
+
 let tests =
   [
     ( "runtime",
@@ -333,5 +364,7 @@ let tests =
         Alcotest.test_case "obs: merge_all" `Quick check_merge_all;
         Alcotest.test_case "sweep: 4 domains == sequential" `Quick
           check_sweep_deterministic;
+        Alcotest.test_case "sweep: one-process edit rebuilds one unit" `Quick
+          check_sweep_incremental_units;
       ] );
   ]

@@ -457,6 +457,116 @@ let random_equivalence =
                  (Hlcs_hlir.Pretty.design_to_string d)
              else true))
 
+(* --- incremental synthesis --------------------------------------------- *)
+
+module Synth_cache = Hlcs_synth.Synth_cache
+module Cec = Hlcs_analysis.Cec
+
+(* A genuine single-unit edit: prepend a self-assignment to one process
+   body.  The process's FSM gains a commit, so its fragment really
+   changes, while every other unit's signature stays put. *)
+let edit_process nth (d : A.design) =
+  {
+    d with
+    A.d_processes =
+      List.mapi
+        (fun i (p : A.process_decl) ->
+          if i = nth then
+            { p with A.p_body = A.Set ("x", A.Var "x") :: p.A.p_body }
+          else p)
+        d.A.d_processes;
+  }
+
+let report_bytes (r : Synthesize.report) = Marshal.to_string r [ Marshal.No_sharing ]
+
+(* The headline incremental-synthesis invariant: warming a cache on a
+   design, editing one process and resynthesising must (a) rebuild
+   exactly that unit, reusing every other fragment, and (b) produce a
+   report byte-identical to a from-scratch synthesis of the edited
+   design — with the SAT-based checker as an independent second witness
+   on the netlists. *)
+let incremental_byte_identity =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count:25
+       ~name:"incremental relink == full resynthesis (byte-identical)"
+       (Gen.pair gen_design Gen.bool)
+       (fun (d, edit_last) ->
+         match Hlcs_hlir.Typecheck.check d with
+         | Error _ -> QCheck2.assume_fail ()
+         | Ok () ->
+             let c = Synth_cache.create ~disk:`Memory () in
+             ignore (Synth_cache.synthesize c d);
+             let warm = Synth_cache.stats c in
+             let nunits = warm.Synth_cache.units_total in
+             let nth = if edit_last then List.length d.A.d_processes - 1 else 0 in
+             let d' = edit_process nth d in
+             let incremental = Synth_cache.synthesize c d' in
+             let full = Synthesize.synthesize d' in
+             let st = Synth_cache.stats c in
+             if st.Synth_cache.units_rebuilt - warm.Synth_cache.units_rebuilt <> 1
+             then
+               QCheck2.Test.fail_reportf "expected 1 rebuilt unit, got %d (of %d)"
+                 (st.Synth_cache.units_rebuilt - warm.Synth_cache.units_rebuilt)
+                 nunits;
+             if
+               st.Synth_cache.units_reused - warm.Synth_cache.units_reused
+               <> nunits - 1
+             then
+               QCheck2.Test.fail_reportf "expected %d reused units, got %d"
+                 (nunits - 1)
+                 (st.Synth_cache.units_reused - warm.Synth_cache.units_reused);
+             if report_bytes incremental <> report_bytes full then
+               QCheck2.Test.fail_reportf
+                 "incremental relink differs from full resynthesis:@.%s"
+                 (Hlcs_hlir.Pretty.design_to_string d');
+             (match
+                (Cec.check incremental.Synthesize.rp_rtl full.Synthesize.rp_rtl)
+                  .Cec.rp_verdict
+              with
+             | Cec.Equivalent -> ()
+             | Cec.Inequivalent cx ->
+                 QCheck2.Test.fail_reportf "CEC counterexample: %s"
+                   (Cec.counterexample_to_string cx)
+             | Cec.Incomparable reasons ->
+                 QCheck2.Test.fail_reportf "CEC incomparable: %s"
+                   (String.concat "; " reasons));
+             true))
+
+(* the fig3 partition the CLI's `units` table and EXPERIMENTS.md describe:
+   an interface-preserving body edit dirties that process's signature and
+   nothing else *)
+let check_plan_signatures () =
+  let d = producer_consumer () in
+  let pl = Synthesize.plan d in
+  let names = List.map (fun u -> u.Synthesize.u_name) pl.Synthesize.pl_units in
+  Alcotest.(check (list string))
+    "one unit per process and object"
+    [ "process:producer"; "process:consumer"; "object:buffer" ]
+    names;
+  (* the consumer has a local [x] for the self-assignment edit *)
+  let d' = edit_process 1 d in
+  let pl' = Synthesize.plan d' in
+  let sigs pl = List.map (fun u -> (u.Synthesize.u_name, u.Synthesize.u_signature)) pl.Synthesize.pl_units in
+  let changed =
+    List.filter
+      (fun (n, s) -> List.assoc n (sigs pl) <> s)
+      (sigs pl')
+  in
+  Alcotest.(check (list string))
+    "exactly the edited process is dirty" [ "process:consumer" ]
+    (List.map fst changed);
+  (* options the unit's lowering never reads leave its signature alone:
+     the FCFS age width is an object-side knob *)
+  let opts = { Synthesize.default_options with Synthesize.age_width = 8 } in
+  let pl_aged = Synthesize.plan ~options:opts d in
+  List.iter2
+    (fun (n, s) (n', s') ->
+      Alcotest.(check string) "names align" n n';
+      if String.length n >= 7 && String.sub n 0 7 = "object:" then
+        Alcotest.(check bool) (n ^ " signature moved") false (s = s')
+      else Alcotest.(check string) (n ^ " signature stable") s s')
+    (sigs pl) (sigs pl_aged)
+
 let tests =
   [
     ( "synth",
@@ -473,6 +583,8 @@ let tests =
         Alcotest.test_case "rejects ill-typed designs" `Quick check_rejects_ill_typed;
         Alcotest.test_case "vhdl of synthesised design" `Quick check_vhdl_of_synthesised;
         Alcotest.test_case "fsm graphviz export" `Quick check_fsm_dot;
+        Alcotest.test_case "unit partition and signatures" `Quick check_plan_signatures;
         random_equivalence;
+        incremental_byte_identity;
       ] );
   ]
